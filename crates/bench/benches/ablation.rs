@@ -1,0 +1,108 @@
+//! Criterion bench: ablations over the design choices DESIGN.md calls out.
+//!
+//! 1. **Clustering strategy** — LC+merge vs round-robin vs level/wavefront
+//!    vs single-cluster: simulated makespans on the same graphs show what
+//!    the critical-path structure buys.
+//! 2. **Cost model** — StaticCost (the paper's) vs FlopCost (shape-aware):
+//!    both the pass cost and the resulting schedule quality.
+//! 3. **Merging** — LC with vs without the merging fixpoint.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ramiel_cluster::{
+    cluster_graph, distance_to_end, dsc_clustering, level_clustering, linear_clustering,
+    round_robin, single_cluster, Clustering, FlopCost, StaticCost,
+};
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_runtime::{simulate_clustering, SimConfig};
+use std::hint::black_box;
+
+fn sim(g: &ramiel_ir::Graph, c: &Clustering) -> u64 {
+    simulate_clustering(g, c, &StaticCost, &SimConfig::default())
+        .expect("simulation")
+        .makespan
+}
+
+/// Print-once comparison wrapped in a bench so it lands in the bench report.
+fn bench_strategy_makespans(c: &mut Criterion) {
+    let g = build(ModelKind::InceptionV3, &ModelConfig::full());
+    let lc = cluster_graph(&g, &StaticCost);
+    let k = lc.num_clusters();
+    let strategies: Vec<(&str, Clustering)> = vec![
+        ("lc_merged", lc),
+        ("dsc", dsc_clustering(&g, &StaticCost)),
+        ("round_robin", round_robin(&g, k)),
+        ("level", level_clustering(&g, k)),
+        ("single", single_cluster(&g)),
+    ];
+    for (name, clustering) in &strategies {
+        println!(
+            "ablation makespan inception_v3 {name}: {} ({} clusters, {} messages)",
+            sim(&g, clustering),
+            clustering.num_clusters(),
+            clustering.cross_cluster_edges(&g)
+        );
+    }
+    let mut group = c.benchmark_group("ablation_simulate_strategy");
+    for (name, clustering) in strategies {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &clustering,
+            |b, clustering| {
+                b.iter(|| sim(black_box(&g), clustering));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let g = build(ModelKind::Googlenet, &ModelConfig::full());
+    let mut group = c.benchmark_group("ablation_cost_model");
+    group.bench_function("static", |b| {
+        b.iter(|| distance_to_end(black_box(&g), &StaticCost));
+    });
+    group.bench_function("flop", |b| {
+        b.iter(|| distance_to_end(black_box(&g), &FlopCost::default()));
+    });
+    group.finish();
+    // schedule quality under each cost model (evaluated with StaticCost so
+    // the comparison is apples-to-apples)
+    for (name, clustering) in [
+        ("static", cluster_graph(&g, &StaticCost)),
+        ("flop", cluster_graph(&g, &FlopCost::default())),
+    ] {
+        println!(
+            "ablation cost-model googlenet {name}: makespan {} with {} clusters",
+            sim(&g, &clustering),
+            clustering.num_clusters()
+        );
+    }
+}
+
+fn bench_merging_ablation(c: &mut Criterion) {
+    let g = build(ModelKind::NasNet, &ModelConfig::full());
+    let dist = distance_to_end(&g, &StaticCost);
+    let lc = linear_clustering(&g, &dist);
+    let merged = ramiel_cluster::merge_clusters_fixpoint(&lc, &dist);
+    println!(
+        "ablation merging nasnet: unmerged {} clusters makespan {}, merged {} clusters makespan {}",
+        lc.num_clusters(),
+        sim(&g, &lc),
+        merged.num_clusters(),
+        sim(&g, &merged)
+    );
+    let mut group = c.benchmark_group("ablation_merge_fixpoint");
+    group.sample_size(10);
+    group.bench_function("nasnet", |b| {
+        b.iter(|| ramiel_cluster::merge_clusters_fixpoint(black_box(&lc), &dist));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategy_makespans,
+    bench_cost_models,
+    bench_merging_ablation
+);
+criterion_main!(benches);

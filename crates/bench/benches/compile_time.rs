@@ -1,0 +1,73 @@
+//! Criterion bench: compile time, Ramiel vs IOS (Table VIII).
+//!
+//! The paper's headline: Ramiel generates code in seconds where IOS's
+//! dynamic program takes minutes to hours (10×–500×). Here both run over the
+//! same graphs and cost model; the gap comes purely from algorithmic
+//! complexity (two linear passes vs a subset DP).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ramiel::{compile, PipelineOptions};
+use ramiel_cluster::StaticCost;
+use ramiel_ios::{ios_schedule, IosConfig};
+use ramiel_models::{build, ModelConfig, ModelKind};
+use std::hint::black_box;
+
+const MODELS: [ModelKind; 3] = [
+    ModelKind::Squeezenet,
+    ModelKind::InceptionV3,
+    ModelKind::NasNet,
+];
+
+fn bench_ramiel_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_ramiel_compile");
+    group.sample_size(10);
+    for kind in MODELS {
+        let g = build(kind, &ModelConfig::full());
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &g, |b, g| {
+            b.iter(|| {
+                compile(black_box(g.clone()), &PipelineOptions::all_optimizations())
+                    .expect("pipeline")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ios_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_ios_compile");
+    group.sample_size(10);
+    for kind in MODELS {
+        let g = build(kind, &ModelConfig::full());
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &g, |b, g| {
+            b.iter(|| ios_schedule(black_box(g), &StaticCost, &IosConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_codegen_only(c: &mut Criterion) {
+    // isolate the code-generation stage (the part unique to Ramiel among
+    // auto-parallelizers: readable Python out)
+    let mut group = c.benchmark_group("codegen");
+    for kind in [ModelKind::Squeezenet, ModelKind::Bert] {
+        let compiled = compile(build(kind, &ModelConfig::full()), &PipelineOptions::default())
+            .expect("pipeline");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &compiled,
+            |b, c| {
+                b.iter(|| {
+                    ramiel_codegen::generate_parallel(
+                        black_box(&c.graph),
+                        &c.clustering,
+                        &ramiel_codegen::CodegenOptions::default(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ramiel_compile, bench_ios_compile, bench_codegen_only);
+criterion_main!(benches);

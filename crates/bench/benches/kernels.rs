@@ -1,0 +1,87 @@
+//! Criterion bench: the tensor kernels underlying every measured table —
+//! the substrate analogue of PyTorch's operator microbenchmarks, plus the
+//! intra-op scaling ablation (Table V's mechanism).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ramiel_tensor::kernels::conv::{conv2d, ConvSpec};
+use ramiel_tensor::kernels::gemm::matmul;
+use ramiel_tensor::kernels::norm::softmax;
+use ramiel_tensor::{ExecCtx, Value};
+use std::hint::black_box;
+
+fn f32t(shape: Vec<usize>, seed: u64) -> ramiel_tensor::Tensor<f32> {
+    Value::random_f32(shape, seed).f32().expect("f32").clone()
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let x = f32t(vec![1, 16, 32, 32], 1);
+    let w = f32t(vec![16, 16, 3, 3], 2);
+    let spec = ConvSpec {
+        kernel: (3, 3),
+        stride: (1, 1),
+        pads: (1, 1),
+        groups: 1,
+    };
+    let mut group = c.benchmark_group("conv2d_3x3_16ch_32px");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let ctx = ExecCtx::with_intra_op(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| conv2d(&ctx, black_box(&x), &w, None, &spec).expect("conv"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = f32t(vec![128, 256], 3);
+    let bm = f32t(vec![256, 128], 4);
+    let mut group = c.benchmark_group("matmul_128x256x128");
+    group.sample_size(20);
+    for threads in [1usize, 2, 4] {
+        let ctx = ExecCtx::with_intra_op(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| matmul(&ctx, black_box(&a), &bm).expect("matmul"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_attention_matmul(c: &mut Criterion) {
+    // BERT-shaped scores product: [1, 4, 32, 16] x [1, 4, 16, 32]
+    let q = f32t(vec![1, 4, 32, 16], 5);
+    let k = f32t(vec![1, 4, 16, 32], 6);
+    let ctx = ExecCtx::sequential();
+    c.bench_function("attention_qk_matmul", |b| {
+        b.iter(|| matmul(&ctx, black_box(&q), &k).expect("matmul"));
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let x = f32t(vec![4, 32, 32], 7);
+    c.bench_function("softmax_last_axis", |b| {
+        b.iter(|| softmax(black_box(&x), -1).expect("softmax"));
+    });
+}
+
+fn bench_eval_dispatch(c: &mut Criterion) {
+    // per-op dispatch overhead (relevant to the cluster executor's floor)
+    let ctx = ExecCtx::sequential();
+    let x = Value::random_f32(vec![64], 8);
+    c.bench_function("eval_op_relu_64", |b| {
+        b.iter(|| {
+            ramiel_tensor::eval_op(&ctx, &ramiel_ir::OpKind::Relu, black_box(std::slice::from_ref(&x)))
+                .expect("relu")
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conv,
+    bench_matmul,
+    bench_batched_attention_matmul,
+    bench_softmax,
+    bench_eval_dispatch
+);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Criterion bench: real execution, sequential vs clustered-parallel
+//! (Tables IV–VI).
+//!
+//! Note the host caveat recorded in EXPERIMENTS.md: on a single-core
+//! container the parallel executor pays thread/message overhead with no
+//! parallel hardware underneath, so the *measured* ratios here are the
+//! overhead story; the speedup shape lives in the simulator benches and the
+//! `tables` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ramiel::{compile, PipelineOptions};
+use ramiel_cluster::StaticCost;
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_runtime::{
+    run_parallel, run_sequential, simulate_clustering, synth_inputs, SimConfig,
+};
+use ramiel_tensor::ExecCtx;
+use std::hint::black_box;
+
+/// Table IV models kept to the quicker half so the bench suite stays snappy;
+/// the `tables` binary covers all eight.
+const MODELS: [ModelKind; 4] = [
+    ModelKind::Squeezenet,
+    ModelKind::Googlenet,
+    ModelKind::InceptionV3,
+    ModelKind::YoloV5,
+];
+
+fn bench_sequential_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_sequential");
+    group.sample_size(10);
+    for kind in MODELS {
+        let compiled = compile(build(kind, &ModelConfig::full()), &PipelineOptions::default())
+            .expect("pipeline");
+        let inputs = synth_inputs(&compiled.graph, 42);
+        let ctx = ExecCtx::sequential();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &compiled,
+            |b, c| {
+                b.iter(|| run_sequential(black_box(&c.graph), &inputs, &ctx).expect("seq"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_parallel");
+    group.sample_size(10);
+    for kind in MODELS {
+        let compiled = compile(build(kind, &ModelConfig::full()), &PipelineOptions::default())
+            .expect("pipeline");
+        let inputs = synth_inputs(&compiled.graph, 42);
+        let ctx = ExecCtx::sequential();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &compiled,
+            |b, c| {
+                b.iter(|| {
+                    run_parallel(black_box(&c.graph), &c.clustering, &inputs, &ctx).expect("par")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_intra_op(c: &mut Criterion) {
+    // Table V: the intra-op knob (rayon pool size) on one conv-heavy model.
+    let mut group = c.benchmark_group("table5_intra_op");
+    group.sample_size(10);
+    let compiled = compile(
+        build(ModelKind::InceptionV3, &ModelConfig::full()),
+        &PipelineOptions::default(),
+    )
+    .expect("pipeline");
+    let inputs = synth_inputs(&compiled.graph, 42);
+    for threads in [1usize, 2, 4] {
+        let ctx = ExecCtx::with_intra_op(threads);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| run_sequential(&compiled.graph, &inputs, &ctx).expect("seq"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pruned_execution(c: &mut Criterion) {
+    // Table VI: LC vs LC+DCE on the prunable models (real execution).
+    let mut group = c.benchmark_group("table6_lc_dce");
+    group.sample_size(10);
+    for kind in [ModelKind::YoloV5, ModelKind::Bert] {
+        for (label, prune) in [("lc", false), ("lc_dce", true)] {
+            let compiled = compile(
+                build(kind, &ModelConfig::full()),
+                &PipelineOptions {
+                    prune,
+                    ..Default::default()
+                },
+            )
+            .expect("pipeline");
+            let inputs = synth_inputs(&compiled.graph, 42);
+            let ctx = ExecCtx::sequential();
+            group.bench_with_input(
+                BenchmarkId::new(label, kind.name()),
+                &compiled,
+                |b, c| {
+                    b.iter(|| {
+                        run_parallel(&c.graph, &c.clustering, &inputs, &ctx).expect("par")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    // The simulator itself must stay cheap — it is run inside every table.
+    let mut group = c.benchmark_group("simulator");
+    for kind in [ModelKind::Squeezenet, ModelKind::NasNet] {
+        let compiled = compile(build(kind, &ModelConfig::full()), &PipelineOptions::default())
+            .expect("pipeline");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &compiled,
+            |b, c| {
+                b.iter(|| {
+                    simulate_clustering(
+                        black_box(&c.graph),
+                        &c.clustering,
+                        &StaticCost,
+                        &SimConfig::default(),
+                    )
+                    .expect("sim")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    // serving-shape ablation: standing ClusterPool (the paper's long-lived
+    // processes) vs spawn-per-inference run_parallel
+    let compiled = compile(
+        build(ModelKind::Squeezenet, &ModelConfig::full()),
+        &PipelineOptions::default(),
+    )
+    .expect("pipeline");
+    let inputs = synth_inputs(&compiled.graph, 42);
+    let ctx = ExecCtx::sequential();
+    let mut group = c.benchmark_group("pool_vs_spawn");
+    group.sample_size(20);
+    group.bench_function("spawn_per_inference", |b| {
+        b.iter(|| run_parallel(&compiled.graph, &compiled.clustering, &inputs, &ctx).expect("par"));
+    });
+    let mut pool = ramiel_runtime::ClusterPool::new(&compiled.graph, &compiled.clustering, &ctx)
+        .expect("pool");
+    group.bench_function("standing_pool", |b| {
+        b.iter(|| pool.run(&inputs).expect("pool run"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_execution,
+    bench_parallel_execution,
+    bench_intra_op,
+    bench_pruned_execution,
+    bench_simulator,
+    bench_pool_vs_spawn
+);
+criterion_main!(benches);

@@ -1,0 +1,574 @@
+//! Shared harness that regenerates every table and figure in the paper's
+//! evaluation section. The `tables` binary prints them; the Criterion
+//! benches wrap the same entry points.
+//!
+//! Two kinds of numbers appear side by side:
+//!
+//! - **measured** — wall-clock on this host's real kernel execution (the
+//!   analogue of the paper's Xeon runs; absolute values differ, shape
+//!   should match);
+//! - **simulated** — deterministic makespans from the discrete-event
+//!   simulator under the paper's static cost model (bit-for-bit
+//!   reproducible anywhere).
+
+use ramiel::{compile, CompiledModel, PipelineOptions};
+use ramiel_cluster::{hypercluster, switched_hypercluster, StaticCost};
+use ramiel_ios::{ios_makespan, ios_schedule, IosConfig};
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_runtime::{
+    clustering_peak_memory, run_hyper, run_parallel, run_sequential, sequential_peak_memory,
+    simulate_clustering, simulate_hyper, simulate_sequential, synth_inputs, Env, SimConfig,
+};
+use ramiel_tensor::ExecCtx;
+use std::time::{Duration, Instant};
+
+/// Simulator configuration used across tables. A communication latency of 4
+/// cost units reflects the paper's observation that Python-process queues
+/// are expensive relative to small ops (it is what pushes SqueezeNet below
+/// 1×, as in Table IV).
+pub fn sim_config() -> SimConfig {
+    SimConfig {
+        comm_latency: 8,
+        dispatch_overhead: 0,
+    }
+}
+
+/// Vision/transformer models at paper-faithful topology.
+pub fn model_config() -> ModelConfig {
+    ModelConfig::full()
+}
+
+/// Per-model cloning restraint, mirroring the paper's "applied with care
+/// and in a limited setting": transformers only tolerate cloning the very
+/// top of the graph (cheap embedding-side nodes), vision models take the
+/// default budget.
+pub fn clone_config_for(kind: ModelKind) -> ramiel_passes::CloneConfig {
+    match kind {
+        ModelKind::Bert => ramiel_passes::CloneConfig {
+            max_node_cost: 1,
+            top_fraction: 0.1,
+            rounds: 1,
+            ..Default::default()
+        },
+        _ => ramiel_passes::CloneConfig::default(),
+    }
+}
+
+/// Wall-clock one closure, with warm-up, returning ms per iteration.
+pub fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Simulated speedup of a compiled model's clustering vs sequential.
+pub fn simulated_speedup(c: &CompiledModel) -> f64 {
+    let sim = simulate_clustering(&c.graph, &c.clustering, &StaticCost, &sim_config())
+        .expect("simulation");
+    simulate_sequential(&c.graph, &StaticCost, 1) as f64 / sim.makespan as f64
+}
+
+/// Simulated speedup against a *fixed* sequential baseline cost (used for
+/// Table VI/VII where all variants compare to the unoptimized model).
+pub fn simulated_speedup_vs(c: &CompiledModel, baseline_seq: u64) -> f64 {
+    let sim = simulate_clustering(&c.graph, &c.clustering, &StaticCost, &sim_config())
+        .expect("simulation");
+    baseline_seq as f64 / sim.makespan as f64
+}
+
+/// Measured (real-execution) sequential and parallel times in ms.
+pub fn measured_times(c: &CompiledModel, iters: usize, intra_op: usize) -> (f64, f64) {
+    let inputs = synth_inputs(&c.graph, 42);
+    let ctx = ExecCtx::with_intra_op(intra_op);
+    let seq = time_ms(iters, || {
+        run_sequential(&c.graph, &inputs, &ctx).expect("sequential run");
+    });
+    let par = time_ms(iters, || {
+        run_parallel(&c.graph, &c.clustering, &inputs, &ctx).expect("parallel run");
+    });
+    (seq, par)
+}
+
+// --------------------------------------------------------------------------
+// Table I — potential parallelism
+// --------------------------------------------------------------------------
+
+pub struct Table1Row {
+    pub model: String,
+    pub nodes: usize,
+    pub node_cost: u64,
+    pub cp_cost: u64,
+    pub parallelism: f64,
+}
+
+pub fn table1() -> Vec<Table1Row> {
+    ModelKind::all()
+        .into_iter()
+        .map(|k| {
+            let g = build(k, &model_config());
+            let r = ramiel_cluster::parallelism_report(&g, &StaticCost);
+            Table1Row {
+                model: k.name().into(),
+                nodes: r.num_nodes,
+                node_cost: r.total_node_cost,
+                cp_cost: r.critical_path_cost,
+                parallelism: r.parallelism,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Table II — clusters before/after merging
+// --------------------------------------------------------------------------
+
+pub struct Table2Row {
+    pub model: String,
+    pub before: usize,
+    pub after: usize,
+}
+
+pub fn table2() -> Vec<Table2Row> {
+    ModelKind::all()
+        .into_iter()
+        .map(|k| {
+            let c = compile(build(k, &model_config()), &PipelineOptions::default())
+                .expect("pipeline");
+            Table2Row {
+                model: k.name().into(),
+                before: c.report.clusters_before_merge,
+                after: c.report.clusters_after_merge,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Table III — clusters after constant propagation + DCE
+// --------------------------------------------------------------------------
+
+pub struct Table3Row {
+    pub model: String,
+    pub before_cp: usize,
+    pub after_cp: usize,
+    pub nodes_before: usize,
+    pub nodes_after: usize,
+    pub lc_before_cp: usize,
+    pub lc_after_cp: usize,
+}
+
+pub fn table3() -> Vec<Table3Row> {
+    [ModelKind::YoloV5, ModelKind::NasNet, ModelKind::Bert]
+        .into_iter()
+        .map(|k| {
+            let plain = compile(build(k, &model_config()), &PipelineOptions::default())
+                .expect("pipeline");
+            let pruned = compile(
+                build(k, &model_config()),
+                &PipelineOptions {
+                    prune: true,
+                    ..Default::default()
+                },
+            )
+            .expect("pipeline");
+            Table3Row {
+                model: k.name().into(),
+                before_cp: plain.report.clusters_after_merge,
+                after_cp: pruned.report.clusters_after_merge,
+                nodes_before: plain.graph.num_nodes(),
+                nodes_after: pruned.graph.num_nodes(),
+                lc_before_cp: plain.report.clusters_before_merge,
+                lc_after_cp: pruned.report.clusters_before_merge,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Table IV — LC: sequential vs parallel
+// --------------------------------------------------------------------------
+
+pub struct Table4Row {
+    pub model: String,
+    pub parallelism: f64,
+    pub clusters: usize,
+    pub seq_ms: f64,
+    pub par_ms: f64,
+    pub speedup: f64,
+    pub sim_speedup: f64,
+}
+
+pub fn table4(iters: usize) -> Vec<Table4Row> {
+    ModelKind::all()
+        .into_iter()
+        .map(|k| {
+            let c = compile(build(k, &model_config()), &PipelineOptions::default())
+                .expect("pipeline");
+            let (seq_ms, par_ms) = measured_times(&c, iters, 1);
+            Table4Row {
+                model: k.name().into(),
+                parallelism: c.report.parallelism.parallelism,
+                clusters: c.report.clusters_after_merge,
+                seq_ms,
+                par_ms,
+                speedup: seq_ms / par_ms,
+                sim_speedup: simulated_speedup(&c),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Table V — LC + downstream intra-op parallelism
+// --------------------------------------------------------------------------
+
+pub struct Table5Row {
+    pub model: String,
+    pub par2_ms: f64,
+    pub seq2_ms: f64,
+    pub speedup2: f64,
+    pub par4_ms: f64,
+    pub seq4_ms: f64,
+    pub speedup4: f64,
+    pub best_overall: f64,
+}
+
+pub fn table5(iters: usize) -> Vec<Table5Row> {
+    // the paper's Table V subset (vision models; BERT/YOLO omitted there)
+    [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::InceptionV3,
+        ModelKind::InceptionV4,
+        ModelKind::Retinanet,
+        ModelKind::NasNet,
+    ]
+    .into_iter()
+    .map(|k| {
+        let c = compile(build(k, &model_config()), &PipelineOptions::default())
+            .expect("pipeline");
+        let (seq2, par2) = measured_times(&c, iters, 2);
+        let (seq4, par4) = measured_times(&c, iters, 4);
+        Table5Row {
+            model: k.name().into(),
+            par2_ms: par2,
+            seq2_ms: seq2,
+            speedup2: seq2 / par2,
+            par4_ms: par4,
+            seq4_ms: seq4,
+            speedup4: seq4 / par4,
+            best_overall: seq2.min(seq4) / par2.min(par4),
+        }
+    })
+    .collect()
+}
+
+// --------------------------------------------------------------------------
+// Table VI — S_LC vs S_LC+DCE (fixed baseline: the unpruned model)
+// --------------------------------------------------------------------------
+
+pub struct Table6Row {
+    pub model: String,
+    pub s_lc: f64,
+    pub s_lc_dce: f64,
+    pub s_lc_measured: f64,
+    pub s_lc_dce_measured: f64,
+}
+
+pub fn table6(iters: usize) -> Vec<Table6Row> {
+    [ModelKind::YoloV5, ModelKind::Bert, ModelKind::NasNet]
+        .into_iter()
+        .map(|k| {
+            let plain = compile(build(k, &model_config()), &PipelineOptions::default())
+                .expect("pipeline");
+            let pruned = compile(
+                build(k, &model_config()),
+                &PipelineOptions {
+                    prune: true,
+                    ..Default::default()
+                },
+            )
+            .expect("pipeline");
+            let baseline = simulate_sequential(&plain.graph, &StaticCost, 1);
+            // measured: both parallels against the unpruned sequential time
+            let inputs = synth_inputs(&plain.graph, 42);
+            let ctx = ExecCtx::sequential();
+            let seq_ms = time_ms(iters, || {
+                run_sequential(&plain.graph, &inputs, &ctx).expect("seq");
+            });
+            let par_ms = time_ms(iters, || {
+                run_parallel(&plain.graph, &plain.clustering, &inputs, &ctx).expect("par");
+            });
+            let par_pruned_ms = time_ms(iters, || {
+                run_parallel(&pruned.graph, &pruned.clustering, &inputs, &ctx).expect("par");
+            });
+            Table6Row {
+                model: k.name().into(),
+                s_lc: simulated_speedup_vs(&plain, baseline),
+                s_lc_dce: simulated_speedup_vs(&pruned, baseline),
+                s_lc_measured: seq_ms / par_ms,
+                s_lc_dce_measured: seq_ms / par_pruned_ms,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Table VII — overall: LC, +DCE, +cloning, best
+// --------------------------------------------------------------------------
+
+pub struct Table7Row {
+    pub model: String,
+    pub s_lc: f64,
+    pub s_lc_dce: Option<f64>,
+    pub s_lc_clone: Option<f64>,
+    pub s_overall: f64,
+}
+
+pub fn table7() -> Vec<Table7Row> {
+    let prunable = [ModelKind::YoloV5, ModelKind::Bert, ModelKind::NasNet];
+    let clonable = [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::InceptionV3,
+        ModelKind::InceptionV4,
+        ModelKind::Bert,
+        ModelKind::Retinanet,
+    ];
+    ModelKind::all()
+        .into_iter()
+        .map(|k| {
+            let plain = compile(build(k, &model_config()), &PipelineOptions::default())
+                .expect("pipeline");
+            let baseline = simulate_sequential(&plain.graph, &StaticCost, 1);
+            let s_lc = simulated_speedup_vs(&plain, baseline);
+            let s_dce = prunable.contains(&k).then(|| {
+                let c = compile(
+                    build(k, &model_config()),
+                    &PipelineOptions {
+                        prune: true,
+                        ..Default::default()
+                    },
+                )
+                .expect("pipeline");
+                simulated_speedup_vs(&c, baseline)
+            });
+            let s_clone = clonable.contains(&k).then(|| {
+                let c = compile(
+                    build(k, &model_config()),
+                    &PipelineOptions {
+                        cloning: Some(clone_config_for(k)),
+                        ..Default::default()
+                    },
+                )
+                .expect("pipeline");
+                simulated_speedup_vs(&c, baseline)
+            });
+            let s_overall = [Some(s_lc), s_dce, s_clone]
+                .into_iter()
+                .flatten()
+                .fold(f64::MIN, f64::max);
+            Table7Row {
+                model: k.name().into(),
+                s_lc,
+                s_lc_dce: s_dce,
+                s_lc_clone: s_clone,
+                s_overall,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Table VIII — comparison with IOS
+// --------------------------------------------------------------------------
+
+pub struct Table8Row {
+    pub model: String,
+    pub ours_speedup: f64,
+    pub ours_ct: Duration,
+    pub ios_speedup: f64,
+    pub ios_ct: Duration,
+    pub ios_dp_states: usize,
+}
+
+pub fn table8() -> Vec<Table8Row> {
+    [ModelKind::Squeezenet, ModelKind::InceptionV3, ModelKind::NasNet]
+        .into_iter()
+        .map(|k| {
+            let g = build(k, &model_config());
+            let baseline = simulate_sequential(&g, &StaticCost, 1);
+            let t = Instant::now();
+            let c = compile(g.clone(), &PipelineOptions::all_optimizations())
+                .expect("pipeline");
+            let ours_ct = t.elapsed();
+            let ios_cfg = IosConfig::default();
+            let (sched, stats) = ios_schedule(&g, &StaticCost, &ios_cfg);
+            let ios_mk = ios_makespan(&g, &sched, &StaticCost, &ios_cfg);
+            Table8Row {
+                model: k.name().into(),
+                ours_speedup: simulated_speedup_vs(&c, baseline),
+                ours_ct,
+                ios_speedup: baseline as f64 / ios_mk as f64,
+                ios_ct: stats.compile_time,
+                ios_dp_states: stats.dp_states,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Fig. 12 — cloning uplift
+// --------------------------------------------------------------------------
+
+pub struct Fig12Row {
+    pub model: String,
+    pub plain_speedup: f64,
+    pub cloned_speedup: f64,
+    pub uplift_pct: f64,
+}
+
+pub fn fig12() -> Vec<Fig12Row> {
+    // the paper clones the smaller graphs and skips NASNet
+    [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::InceptionV3,
+        ModelKind::InceptionV4,
+        ModelKind::Bert,
+        ModelKind::Retinanet,
+    ]
+    .into_iter()
+    .map(|k| {
+        let plain = compile(build(k, &model_config()), &PipelineOptions::default())
+            .expect("pipeline");
+        let baseline = simulate_sequential(&plain.graph, &StaticCost, 1);
+        let cloned = compile(
+            build(k, &model_config()),
+            &PipelineOptions {
+                cloning: Some(clone_config_for(k)),
+                ..Default::default()
+            },
+        )
+        .expect("pipeline");
+        let p = simulated_speedup_vs(&plain, baseline);
+        let c = simulated_speedup_vs(&cloned, baseline);
+        Fig12Row {
+            model: k.name().into(),
+            plain_speedup: p,
+            cloned_speedup: c,
+            uplift_pct: 100.0 * (c / p - 1.0),
+        }
+    })
+    .collect()
+}
+
+// --------------------------------------------------------------------------
+// Figs. 13 & 14 — hyperclustering
+// --------------------------------------------------------------------------
+
+pub struct HyperRow {
+    pub model: String,
+    pub batch: usize,
+    pub switched: bool,
+    pub intra_op: usize,
+    pub measured_speedup: f64,
+    pub sim_speedup: f64,
+}
+
+/// One hyperclustering measurement: per-batch speedup vs running the batch
+/// through the sequential code sample by sample.
+pub fn hyper_row(kind: ModelKind, batch: usize, switched: bool, intra_op: usize, iters: usize) -> HyperRow {
+    let c = compile(build(kind, &model_config()), &PipelineOptions::default())
+        .expect("pipeline");
+    let hc = if switched {
+        switched_hypercluster(&c.clustering, batch)
+    } else {
+        hypercluster(&c.clustering, batch)
+    };
+    let inputs: Vec<Env> = (0..batch)
+        .map(|b| synth_inputs(&c.graph, b as u64))
+        .collect();
+    let ctx = ExecCtx::with_intra_op(intra_op);
+    let seq_ms = time_ms(iters, || {
+        for inp in &inputs {
+            run_sequential(&c.graph, inp, &ctx).expect("seq");
+        }
+    });
+    let par_ms = time_ms(iters, || {
+        run_hyper(&c.graph, &hc, &inputs, &ctx).expect("hyper");
+    });
+    let sim = simulate_hyper(&c.graph, &hc, &StaticCost, &sim_config()).expect("sim");
+    let seq_sim = simulate_sequential(&c.graph, &StaticCost, batch);
+    HyperRow {
+        model: kind.name().into(),
+        batch,
+        switched,
+        intra_op,
+        measured_speedup: seq_ms / par_ms,
+        sim_speedup: seq_sim as f64 / sim.makespan as f64,
+    }
+}
+
+/// Fig. 13: plain hyperclustering across batch sizes, with/without intra-op.
+pub fn fig13(iters: usize) -> Vec<HyperRow> {
+    let mut rows = Vec::new();
+    for kind in [ModelKind::Squeezenet, ModelKind::Googlenet, ModelKind::InceptionV3] {
+        for batch in [2usize, 4, 8, 12] {
+            for intra in [1usize, 2] {
+                rows.push(hyper_row(kind, batch, false, intra, iters));
+            }
+        }
+    }
+    rows
+}
+
+/// Fig. 14: switched hyperclustering on SqueezeNet, batches 2/3/4.
+pub fn fig14(iters: usize) -> Vec<HyperRow> {
+    let mut rows = Vec::new();
+    for batch in [2usize, 3, 4] {
+        for intra in [1usize, 2] {
+            rows.push(hyper_row(ModelKind::Squeezenet, batch, false, intra, iters));
+            rows.push(hyper_row(ModelKind::Squeezenet, batch, true, intra, iters));
+        }
+    }
+    rows
+}
+
+// --------------------------------------------------------------------------
+// Memory footprint (extension: the edge-device angle of the paper's intro)
+// --------------------------------------------------------------------------
+
+pub struct MemoryRow {
+    pub model: String,
+    pub static_kib: f64,
+    pub seq_peak_kib: f64,
+    pub par_peak_kib: f64,
+    pub overhead_pct: f64,
+}
+
+/// Peak activation memory: sequential vs LC-parallel schedule, per model.
+pub fn memory_table() -> Vec<MemoryRow> {
+    ModelKind::all()
+        .into_iter()
+        .map(|k| {
+            let c = compile(build(k, &model_config()), &PipelineOptions::default())
+                .expect("pipeline");
+            let seq = sequential_peak_memory(&c.graph);
+            let par = clustering_peak_memory(&c.graph, &c.clustering, &StaticCost, &sim_config())
+                .expect("memory sim");
+            MemoryRow {
+                model: k.name().into(),
+                static_kib: seq.static_bytes as f64 / 1024.0,
+                seq_peak_kib: seq.peak_activation_bytes as f64 / 1024.0,
+                par_peak_kib: par.peak_activation_bytes as f64 / 1024.0,
+                overhead_pct: 100.0
+                    * (par.peak_activation_bytes as f64 / seq.peak_activation_bytes.max(1) as f64
+                        - 1.0),
+            }
+        })
+        .collect()
+}

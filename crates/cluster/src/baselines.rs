@@ -1,0 +1,132 @@
+//! Baseline clustering strategies, used by the ablation benches to quantify
+//! what the critical-path structure of Linear Clustering actually buys over
+//! naive partitions.
+//!
+//! All baselines produce valid [`Clustering`]s (partition + internally
+//! topologically ordered), so they run on the same executor and simulator.
+
+use crate::types::{Cluster, Clustering};
+use ramiel_ir::topo::{levels, topo_sort};
+use ramiel_ir::Graph;
+
+/// Everything in one cluster — the sequential schedule.
+pub fn single_cluster(graph: &Graph) -> Clustering {
+    let order = topo_sort(graph).expect("acyclic graph required");
+    Clustering::new(vec![Cluster::new(order)])
+}
+
+/// Topological-order round-robin over `k` workers: node `i` of the topo
+/// order goes to worker `i mod k`. Maximally communication-oblivious.
+pub fn round_robin(graph: &Graph, k: usize) -> Clustering {
+    let k = k.max(1);
+    let order = topo_sort(graph).expect("acyclic graph required");
+    let lanes = k.min(order.len().max(1));
+    let mut clusters = vec![Vec::new(); lanes];
+    for (i, n) in order.into_iter().enumerate() {
+        clusters[i % lanes].push(n);
+    }
+    Clustering::new(
+        clusters
+            .into_iter()
+            .filter(|c| !c.is_empty())
+            .map(Cluster::new)
+            .collect(),
+    )
+}
+
+/// Level-based (wavefront) clustering: nodes are assigned to `k` workers
+/// round-robin *within each ASAP level*, the way stage schedulers split
+/// independent work. Respects dependences by construction (levels ascend).
+pub fn level_clustering(graph: &Graph, k: usize) -> Clustering {
+    let k = k.max(1);
+    let lvl = levels(graph).expect("acyclic graph required");
+    let max_level = lvl.iter().copied().max().unwrap_or(0);
+    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    for (n, &l) in lvl.iter().enumerate() {
+        by_level[l].push(n);
+    }
+    let mut clusters = vec![Vec::new(); k];
+    for level in by_level {
+        for (i, n) in level.into_iter().enumerate() {
+            clusters[i % k].push(n);
+        }
+    }
+    Clustering::new(
+        clusters
+            .into_iter()
+            .filter(|c| !c.is_empty())
+            .map(Cluster::new)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_ir::{DType, GraphBuilder, OpKind};
+
+    fn fork(branches: usize) -> Graph {
+        let mut b = GraphBuilder::new("f");
+        let x = b.input("x", DType::F32, vec![4]);
+        let root = b.op("root", OpKind::Relu, vec![x]);
+        let outs: Vec<String> = (0..branches)
+            .map(|_| b.op("br", OpKind::Sigmoid, vec![root.clone()]))
+            .collect();
+        let mut acc = outs[0].clone();
+        for o in &outs[1..] {
+            acc = b.op("j", OpKind::Add, vec![acc, o.clone()]);
+        }
+        b.output(&acc);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn all_baselines_are_valid_partitions() {
+        let g = fork(5);
+        for c in [
+            single_cluster(&g),
+            round_robin(&g, 3),
+            level_clustering(&g, 3),
+        ] {
+            c.check_partition(&g).unwrap();
+            c.check_internal_order(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn single_cluster_has_no_messages() {
+        let g = fork(4);
+        let c = single_cluster(&g);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.cross_cluster_edges(&g), 0);
+    }
+
+    #[test]
+    fn round_robin_spreads_nodes_evenly() {
+        let g = fork(6);
+        let c = round_robin(&g, 4);
+        let sizes: Vec<usize> = c.clusters.iter().map(Cluster::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn round_robin_creates_many_more_messages_than_lc() {
+        let g = fork(6);
+        let lc = crate::cluster_graph(&g, &crate::StaticCost);
+        let rr = round_robin(&g, lc.num_clusters().max(2));
+        assert!(
+            rr.cross_cluster_edges(&g) > lc.cross_cluster_edges(&g),
+            "rr {} vs lc {}",
+            rr.cross_cluster_edges(&g),
+            lc.cross_cluster_edges(&g)
+        );
+    }
+
+    #[test]
+    fn level_clustering_respects_worker_bound() {
+        let g = fork(9);
+        let c = level_clustering(&g, 3);
+        assert!(c.num_clusters() <= 3);
+        c.check_partition(&g).unwrap();
+    }
+}

@@ -1,0 +1,194 @@
+//! Operator cost models.
+//!
+//! The paper prices nodes with *static weights*: "heavy DL operations like
+//! Conv, Matmul etc. having higher cost than simpler ones. Also a Conv using
+//! a bigger kernel of size 7×7 or 5×5 is assigned a higher cost compared to
+//! those of size 3×3 or 1×1. Elementwise operations like Relu are assigned a
+//! cost of 1." Each graph edge additionally costs 1 when computing the
+//! critical path, modelling tensor-dependence overhead.
+//!
+//! [`StaticCost`] reproduces that scheme. [`FlopCost`] is a shape-aware
+//! refinement (FLOPs scaled to the same unit system) used by the discrete-
+//! event simulator and the ablation benches; it needs `value_info` to be
+//! populated by shape inference.
+
+use ramiel_ir::{Graph, Node, OpKind};
+
+/// Prices a node and an edge. Costs are `u64` "work units".
+pub trait CostModel: Sync {
+    /// Weighted cost of executing `node` within `graph`.
+    fn node_cost(&self, graph: &Graph, node: &Node) -> u64;
+
+    /// Cost added per dependence edge on the critical path (the paper uses 1).
+    fn edge_cost(&self) -> u64 {
+        1
+    }
+
+    /// Total weighted cost of all nodes (the paper's `Wt.Cost of Nodes`).
+    fn total_cost(&self, graph: &Graph) -> u64 {
+        graph.nodes.iter().map(|n| self.node_cost(graph, n)).sum()
+    }
+}
+
+/// The paper's static per-operator weights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticCost;
+
+impl CostModel for StaticCost {
+    fn node_cost(&self, _graph: &Graph, node: &Node) -> u64 {
+        match &node.op {
+            OpKind::Conv { kernel, .. } => match kernel.0.max(kernel.1) {
+                0..=1 => 4,
+                2..=3 => 8,
+                4..=5 => 14,
+                _ => 24,
+            },
+            // Transformer-scale matrix products dominate everything else in
+            // the graphs that carry them (BERT's per-node cost in the
+            // paper's Table I averages ≈22 units).
+            OpKind::MatMul | OpKind::Gemm { .. } => 40,
+            OpKind::MaxPool(_) | OpKind::AveragePool(_) | OpKind::GlobalAveragePool => 2,
+            OpKind::BatchNorm { .. }
+            | OpKind::LayerNorm { .. }
+            | OpKind::Softmax { .. }
+            | OpKind::ReduceMean { .. } => 2,
+            OpKind::Resize { .. } => 2,
+            op if op.is_elementwise() => 1,
+            op if op.is_shape_op() => 1,
+            _ => 1,
+        }
+    }
+}
+
+/// Shape-aware FLOP-derived cost (1 unit ≈ 250k FLOPs, floor 1), used by the
+/// schedule simulator so that simulated makespans track real kernel times.
+#[derive(Debug, Clone, Copy)]
+pub struct FlopCost {
+    /// FLOPs per cost unit.
+    pub flops_per_unit: f64,
+}
+
+impl Default for FlopCost {
+    fn default() -> Self {
+        FlopCost {
+            flops_per_unit: 250_000.0,
+        }
+    }
+}
+
+impl FlopCost {
+    /// Approximate FLOPs of a node (0 for pure data movement).
+    pub fn flops(&self, graph: &Graph, node: &Node) -> f64 {
+        let out_numel = |i: usize| -> f64 {
+            node.outputs
+                .get(i)
+                .and_then(|t| graph.value_info.get(t))
+                .map(|v| v.numel() as f64)
+                .unwrap_or(0.0)
+        };
+        let in_numel = |i: usize| -> f64 {
+            node.inputs
+                .get(i)
+                .and_then(|t| graph.tensor_info(t))
+                .map(|v| v.numel() as f64)
+                .unwrap_or(0.0)
+        };
+        match &node.op {
+            OpKind::Conv { kernel, groups, .. } => {
+                // 2 · out_elems · (C/g) · kh · kw
+                let cin = node
+                    .inputs
+                    .first()
+                    .and_then(|t| graph.tensor_info(t))
+                    .and_then(|v| v.shape.get(1).copied())
+                    .unwrap_or(1) as f64;
+                2.0 * out_numel(0) * (cin / *groups as f64) * (kernel.0 * kernel.1) as f64
+            }
+            OpKind::MatMul => {
+                // 2 · out_elems · k
+                let k = node
+                    .inputs
+                    .first()
+                    .and_then(|t| graph.tensor_info(t))
+                    .and_then(|v| v.shape.last().copied())
+                    .unwrap_or(1) as f64;
+                2.0 * out_numel(0) * k
+            }
+            OpKind::Gemm { .. } => {
+                let k = node
+                    .inputs
+                    .first()
+                    .and_then(|t| graph.tensor_info(t))
+                    .and_then(|v| v.shape.last().copied())
+                    .unwrap_or(1) as f64;
+                2.0 * out_numel(0) * k
+            }
+            OpKind::MaxPool(p) | OpKind::AveragePool(p) => {
+                out_numel(0) * (p.kernel.0 * p.kernel.1) as f64
+            }
+            OpKind::GlobalAveragePool => in_numel(0),
+            OpKind::BatchNorm { .. } => 2.0 * in_numel(0),
+            OpKind::LayerNorm { .. } => 8.0 * in_numel(0),
+            OpKind::Softmax { .. } => 5.0 * in_numel(0),
+            OpKind::ReduceMean { .. } => in_numel(0),
+            op if op.is_elementwise() => in_numel(0),
+            op if op.is_shape_op() => in_numel(0) * 0.25, // copy traffic
+            _ => in_numel(0),
+        }
+    }
+}
+
+impl CostModel for FlopCost {
+    fn node_cost(&self, graph: &Graph, node: &Node) -> u64 {
+        (self.flops(graph, node) / self.flops_per_unit).ceil().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_ir::{DType, GraphBuilder};
+
+    fn conv_graph() -> Graph {
+        let mut b = GraphBuilder::new("c");
+        let x = b.input("x", DType::F32, vec![1, 3, 16, 16]);
+        let c1 = b.conv(&x, 3, 8, (1, 1), (1, 1), (0, 0), 1);
+        let c3 = b.conv(&c1, 8, 8, (3, 3), (1, 1), (1, 1), 1);
+        let c5 = b.conv(&c3, 8, 8, (5, 5), (1, 1), (2, 2), 1);
+        let c7 = b.conv(&c5, 8, 8, (7, 7), (1, 1), (3, 3), 1);
+        let r = b.op("r", ramiel_ir::OpKind::Relu, vec![c7]);
+        b.output(&r);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn static_cost_ranks_kernels() {
+        let g = conv_graph();
+        let sc = StaticCost;
+        let costs: Vec<u64> = g.nodes.iter().map(|n| sc.node_cost(&g, n)).collect();
+        // conv1x1 < conv3x3 < conv5x5 < conv7x7, relu == 1
+        assert_eq!(costs, vec![4, 8, 14, 24, 1]);
+        assert_eq!(sc.total_cost(&g), 51);
+        assert_eq!(sc.edge_cost(), 1);
+    }
+
+    #[test]
+    fn flop_cost_monotone_in_kernel_size() {
+        let g = conv_graph();
+        let fc = FlopCost::default();
+        let costs: Vec<u64> = g.nodes.iter().map(|n| fc.node_cost(&g, n)).collect();
+        assert!(costs[1] > costs[0]);
+        assert!(costs[2] > costs[1]);
+        assert!(costs[3] > costs[2]);
+        assert!(costs[4] >= 1); // elementwise floors at 1
+    }
+
+    #[test]
+    fn flop_cost_conv_formula() {
+        let g = conv_graph();
+        let fc = FlopCost::default();
+        // node 1 is the 3x3 conv: out 1×8×16×16, cin 8, so 2·2048·8·9 FLOPs
+        let flops = fc.flops(&g, &g.nodes[1]);
+        assert_eq!(flops, 2.0 * 2048.0 * 8.0 * 9.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! DSC-lite: a Dominant Sequence Clustering variant (Yang & Gerasoulis,
+//! 1994), the other classic linear-clustering algorithm from the same era as
+//! Kim & Browne's LC. Included as a literature comparison point for the
+//! ablation benches.
+//!
+//! The full DSC maintains priority queues of free/partially-free nodes and
+//! guarantees non-increasing parallel time per step; this implementation
+//! keeps the core idea at O(V·E) simplicity:
+//!
+//! 1. process nodes in descending *dominant-sequence priority*
+//!    `tlevel(n) + blevel(n)` (top level + bottom level, both including unit
+//!    edge costs);
+//! 2. each node joins the cluster of the predecessor that most reduces its
+//!    estimated start time (zeroing that edge), provided the merge does not
+//!    increase the estimate; otherwise it starts a new cluster;
+//! 3. cluster op-lists stay sorted by descending `distance_to_end`, which —
+//!    as with merged LC clusters — is always a valid execution order.
+
+use crate::cost::CostModel;
+use crate::distance::distance_to_end;
+use crate::types::{Cluster, Clustering};
+use ramiel_ir::topo::topo_sort;
+use ramiel_ir::Graph;
+
+/// Run DSC-lite over the graph.
+pub fn dsc_clustering(graph: &Graph, cost: &dyn CostModel) -> Clustering {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Clustering::new(Vec::new());
+    }
+    let adj = graph.adjacency();
+    let order = topo_sort(graph).expect("acyclic graph required");
+    let node_cost: Vec<u64> = graph
+        .nodes
+        .iter()
+        .map(|nd| cost.node_cost(graph, nd))
+        .collect();
+    let edge = cost.edge_cost();
+
+    // blevel = distance to end (includes own cost); tlevel via forward pass.
+    let blevel = distance_to_end(graph, cost);
+    let mut tlevel = vec![0u64; n];
+    for &u in &order {
+        for &p in &adj.preds[u] {
+            tlevel[u] = tlevel[u].max(tlevel[p] + node_cost[p] + edge);
+        }
+    }
+
+    // cluster id per node; clusters carry their current finish time.
+    let mut cluster_of: Vec<Option<usize>> = vec![None; n];
+    let mut cluster_finish: Vec<u64> = Vec::new();
+    let mut start_time = vec![0u64; n];
+
+    for &u in &order {
+        // arrival time from each predecessor (edge cost unless same cluster;
+        // cluster unknown yet — evaluate both hypotheses below)
+        let mut best: Option<(u64, usize)> = None; // (start, cluster)
+        let mut ready_other = 0u64; // max arrival over preds NOT in candidate
+        for &p in &adj.preds[u] {
+            let f = start_time[p] + node_cost[p];
+            ready_other = ready_other.max(f + edge);
+        }
+        // hypothesis: join pred p's cluster, zeroing edge p→u. Ties between
+        // predecessor clusters break toward the dominant sequence (largest
+        // tlevel+blevel), as in full DSC.
+        let mut best_priority = 0u64;
+        for &p in &adj.preds[u] {
+            let c = cluster_of[p].expect("topological order places preds first");
+            let mut ready = cluster_finish[c]; // worker availability
+            for &q in &adj.preds[u] {
+                let f = start_time[q] + node_cost[q];
+                let arrive = if cluster_of[q] == Some(c) { f } else { f + edge };
+                ready = ready.max(arrive);
+            }
+            let priority = tlevel[p] + blevel[p];
+            let better = match best {
+                None => true,
+                Some((bs, _)) => ready < bs || (ready == bs && priority > best_priority),
+            };
+            if better {
+                best = Some((ready, c));
+                best_priority = priority;
+            }
+        }
+        // hypothesis: fresh cluster
+        let fresh_start = ready_other;
+        let (start, cluster) = match best {
+            Some((s, c)) if s <= fresh_start => (s, c),
+            _ => {
+                cluster_finish.push(0);
+                (fresh_start, cluster_finish.len() - 1)
+            }
+        };
+        cluster_of[u] = Some(cluster);
+        start_time[u] = start;
+        cluster_finish[cluster] = start + node_cost[u];
+    }
+
+    // materialize clusters ordered by descending distance-to-end
+    let k = cluster_finish.len();
+    let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (u, c) in cluster_of.iter().enumerate() {
+        clusters[c.expect("all nodes placed")].push(u);
+    }
+    let mut out: Vec<Cluster> = clusters
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .map(|mut nodes| {
+            nodes.sort_by_key(|&nd| (std::cmp::Reverse(blevel[nd]), nd));
+            Cluster::new(nodes)
+        })
+        .collect();
+    // deterministic cluster order: by entry-node distance, then id
+    out.sort_by_key(|c| (std::cmp::Reverse(blevel[c.entry()]), c.entry()));
+    Clustering::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::StaticCost;
+    use ramiel_ir::{DType, GraphBuilder, OpKind};
+
+    fn fork_join(branches: usize, chain: usize) -> Graph {
+        let mut b = GraphBuilder::new("fj");
+        let x = b.input("x", DType::F32, vec![4]);
+        let root = b.op("root", OpKind::Relu, vec![x]);
+        let mut outs = Vec::new();
+        for _ in 0..branches {
+            let mut t = root.clone();
+            for _ in 0..chain {
+                t = b.op("n", OpKind::Sigmoid, vec![t]);
+            }
+            outs.push(t);
+        }
+        let mut acc = outs[0].clone();
+        for o in &outs[1..] {
+            acc = b.op("j", OpKind::Add, vec![acc, o.clone()]);
+        }
+        b.output(&acc);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dsc_produces_valid_clusterings() {
+        for g in [fork_join(4, 3), fork_join(2, 6), fork_join(6, 1)] {
+            let c = dsc_clustering(&g, &StaticCost);
+            c.check_partition(&g).unwrap();
+            c.check_internal_order(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn chain_collapses_to_one_cluster() {
+        let mut b = GraphBuilder::new("c");
+        let mut t = b.input("x", DType::F32, vec![4]);
+        for _ in 0..6 {
+            t = b.op("n", OpKind::Relu, vec![t]);
+        }
+        b.output(&t);
+        let g = b.finish().unwrap();
+        let c = dsc_clustering(&g, &StaticCost);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn parallel_branches_split_across_clusters() {
+        let g = fork_join(4, 4);
+        let c = dsc_clustering(&g, &StaticCost);
+        assert!(c.num_clusters() >= 2, "got {}", c.num_clusters());
+        assert!(c.num_clusters() <= 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = fork_join(3, 3);
+        assert_eq!(dsc_clustering(&g, &StaticCost), dsc_clustering(&g, &StaticCost));
+    }
+
+    #[test]
+    fn works_on_models() {
+        // structural smoke test on a real model shape
+        use ramiel_ir::validate::validate;
+        let g = {
+            let mut b = GraphBuilder::new("m");
+            let x = b.input("x", DType::F32, vec![1, 3, 8, 8]);
+            let c1 = b.conv_relu(&x, 3, 4, 3, 1, 1);
+            let e1 = b.conv_relu(&c1, 4, 4, 1, 1, 0);
+            let e3 = b.conv_relu(&c1, 4, 4, 3, 1, 1);
+            let cat = b.op("cat", OpKind::Concat { axis: 1 }, vec![e1, e3]);
+            b.output(&cat);
+            b.finish().unwrap()
+        };
+        validate(&g).unwrap();
+        let c = dsc_clustering(&g, &StaticCost);
+        c.check_partition(&g).unwrap();
+        c.check_internal_order(&g).unwrap();
+    }
+}

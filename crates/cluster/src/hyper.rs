@@ -1,0 +1,226 @@
+//! Hyperclustering (Section III-E): batch-size > 1 schedules that fill
+//! cross-cluster communication slack with work from other in-flight samples,
+//! the way hyperthreading fills pipeline stalls.
+//!
+//! - **Plain hyperclustering** (Fig. 8): hypercluster `HYC_i` carries
+//!   cluster `i`'s operations for *every* batch element, interleaved
+//!   round-robin at operation granularity — while sample 0 waits on a
+//!   message, sample 1's operations keep the worker busy.
+//! - **Switched hyperclustering** (Fig. 9): `SHYC_i` takes batch `b`'s
+//!   operations from cluster `(i + b) mod k` instead of always cluster `i`,
+//!   rotating heavy and light clusters across workers so total work per
+//!   hypercluster evens out.
+
+use crate::types::Clustering;
+use ramiel_ir::NodeId;
+use serde::Serialize;
+
+/// One schedule entry: execute `node` for batch element `batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct HyperOp {
+    pub batch: usize,
+    pub node: NodeId,
+}
+
+/// A batch-aware clustering: each hypercluster is an ordered op list over
+/// (batch, node) pairs, executed sequentially on one worker.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HyperClustering {
+    pub batch: usize,
+    pub hyperclusters: Vec<Vec<HyperOp>>,
+    /// True if built by the switched variant.
+    pub switched: bool,
+}
+
+impl HyperClustering {
+    pub fn num_hyperclusters(&self) -> usize {
+        self.hyperclusters.len()
+    }
+
+    /// Total weighted cost per hypercluster under a node-cost table.
+    pub fn costs(&self, node_cost: &[u64]) -> Vec<u64> {
+        self.hyperclusters
+            .iter()
+            .map(|h| h.iter().map(|op| node_cost[op.node]).sum())
+            .collect()
+    }
+
+    /// Load imbalance: max hypercluster cost / mean hypercluster cost
+    /// (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self, node_cost: &[u64]) -> f64 {
+        let costs = self.costs(node_cost);
+        let max = *costs.iter().max().unwrap_or(&0) as f64;
+        let mean = costs.iter().sum::<u64>() as f64 / costs.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Check that every (batch, node) pair appears exactly once across all
+    /// hyperclusters, for `num_nodes` graph nodes.
+    pub fn check_coverage(&self, num_nodes: usize) -> Result<(), String> {
+        let mut seen = vec![false; num_nodes * self.batch];
+        for h in &self.hyperclusters {
+            for op in h {
+                if op.node >= num_nodes || op.batch >= self.batch {
+                    return Err(format!("op out of range: {op:?}"));
+                }
+                let key = op.batch * num_nodes + op.node;
+                if seen[key] {
+                    return Err(format!("duplicate op {op:?}"));
+                }
+                seen[key] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!(
+                "missing op: batch {} node {}",
+                missing / num_nodes,
+                missing % num_nodes
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Interleave one cluster's node list across `batch` samples, round-robin at
+/// op granularity: `(b0,n0), (b1,n0), …, (b0,n1), (b1,n1), …`.
+fn interleave(nodes: &[NodeId], batch: usize) -> Vec<HyperOp> {
+    let mut out = Vec::with_capacity(nodes.len() * batch);
+    for &node in nodes {
+        for b in 0..batch {
+            out.push(HyperOp { batch: b, node });
+        }
+    }
+    out
+}
+
+/// Plain hyperclustering (Fig. 8): `HYC_i` = cluster `i` replicated over all
+/// batch elements, interleaved.
+pub fn hypercluster(clustering: &Clustering, batch: usize) -> HyperClustering {
+    assert!(batch >= 1, "batch size must be >= 1");
+    HyperClustering {
+        batch,
+        hyperclusters: clustering
+            .clusters
+            .iter()
+            .map(|c| interleave(&c.nodes, batch))
+            .collect(),
+        switched: false,
+    }
+}
+
+/// Switched hyperclustering (Fig. 9): `SHYC_i` takes batch `b`'s copy of
+/// cluster `(i + b) mod k`. Within the hypercluster, ops are ordered by
+/// position-in-cluster first so the samples stay interleaved.
+pub fn switched_hypercluster(clustering: &Clustering, batch: usize) -> HyperClustering {
+    assert!(batch >= 1, "batch size must be >= 1");
+    let k = clustering.clusters.len().max(1);
+    let longest = clustering
+        .clusters
+        .iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(0);
+    let mut hyperclusters = Vec::with_capacity(k);
+    for i in 0..clustering.clusters.len() {
+        let mut ops = Vec::new();
+        // Interleave by op position so each sample makes forward progress.
+        for pos in 0..longest {
+            for b in 0..batch {
+                let source = &clustering.clusters[(i + b) % k];
+                if let Some(&node) = source.nodes.get(pos) {
+                    ops.push(HyperOp { batch: b, node });
+                }
+            }
+        }
+        hyperclusters.push(ops);
+    }
+    HyperClustering {
+        batch,
+        hyperclusters,
+        switched: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Cluster;
+
+    fn two_clusters() -> Clustering {
+        // cluster sizes 5 and 2 — the paper's SqueezeNet example shape
+        Clustering::new(vec![
+            Cluster::new(vec![0, 1, 2, 3, 4]),
+            Cluster::new(vec![5, 6]),
+        ])
+    }
+
+    #[test]
+    fn plain_hypercluster_replicates_per_batch() {
+        let hc = hypercluster(&two_clusters(), 2);
+        assert_eq!(hc.num_hyperclusters(), 2);
+        assert_eq!(hc.hyperclusters[0].len(), 10);
+        assert_eq!(hc.hyperclusters[1].len(), 4);
+        hc.check_coverage(7).unwrap();
+        // interleaved: same node for both batches adjacently
+        assert_eq!(hc.hyperclusters[0][0], HyperOp { batch: 0, node: 0 });
+        assert_eq!(hc.hyperclusters[0][1], HyperOp { batch: 1, node: 0 });
+    }
+
+    #[test]
+    fn switched_hypercluster_balances_load() {
+        let c = two_clusters();
+        let node_cost = vec![1u64; 7];
+        let plain = hypercluster(&c, 2);
+        let switched = switched_hypercluster(&c, 2);
+        switched.check_coverage(7).unwrap();
+        // plain: costs [10, 4] → imbalance 10/7; switched: [7, 7] → 1.0
+        assert!(switched.load_imbalance(&node_cost) < plain.load_imbalance(&node_cost));
+        assert_eq!(switched.costs(&node_cost), vec![7, 7]);
+    }
+
+    #[test]
+    fn switched_with_batch_equal_one_is_the_original_clustering() {
+        let c = two_clusters();
+        let s = switched_hypercluster(&c, 1);
+        let nodes0: Vec<usize> = s.hyperclusters[0].iter().map(|o| o.node).collect();
+        assert_eq!(nodes0, vec![0, 1, 2, 3, 4]);
+        s.check_coverage(7).unwrap();
+    }
+
+    #[test]
+    fn coverage_detects_missing_and_duplicate() {
+        let mut hc = hypercluster(&two_clusters(), 2);
+        let dropped = hc.hyperclusters[1].pop().unwrap();
+        assert!(hc.check_coverage(7).is_err());
+        hc.hyperclusters[1].push(dropped);
+        hc.hyperclusters[1].push(dropped);
+        assert!(hc.check_coverage(7).is_err());
+    }
+
+    #[test]
+    fn larger_batches_cover_all_samples() {
+        let c = two_clusters();
+        for batch in [2, 4, 8, 12] {
+            hypercluster(&c, batch).check_coverage(7).unwrap();
+            switched_hypercluster(&c, batch).check_coverage(7).unwrap();
+        }
+    }
+
+    #[test]
+    fn three_cluster_rotation() {
+        let c = Clustering::new(vec![
+            Cluster::new(vec![0, 1]),
+            Cluster::new(vec![2]),
+            Cluster::new(vec![3, 4, 5]),
+        ]);
+        let s = switched_hypercluster(&c, 3);
+        s.check_coverage(6).unwrap();
+        // every hypercluster draws one sample from each cluster ⇒ equal cost
+        let costs = s.costs(&[1; 6]);
+        assert_eq!(costs, vec![6, 6, 6]);
+    }
+}

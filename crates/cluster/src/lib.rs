@@ -1,0 +1,45 @@
+//! # ramiel-cluster
+//!
+//! The paper's core contribution: task parallelization of ML dataflow graphs
+//! via **recursive critical-path-based Linear Clustering** (Kim & Browne's
+//! LC, Algorithm 1), a **cluster-merging** fixpoint pass (Algorithms 2–3),
+//! and **hyperclustering** for batch sizes > 1 (plain and *switched*).
+//!
+//! Pipeline (batch = 1):
+//!
+//! ```text
+//! Graph ──cost model──▶ distance_to_end ──▶ LC ──▶ merge ──▶ Clustering
+//! ```
+//!
+//! The [`cost`] module also computes the paper's *potential parallelism*
+//! factor (Table I): total weighted node cost divided by the weighted
+//! critical-path length (edges count 1 each).
+
+pub mod baselines;
+pub mod cost;
+pub mod critical_path;
+pub mod distance;
+pub mod dsc;
+pub mod hyper;
+pub mod lc;
+pub mod merge;
+pub mod types;
+
+pub use baselines::{level_clustering, round_robin, single_cluster};
+pub use cost::{CostModel, FlopCost, StaticCost};
+pub use critical_path::{critical_path, parallelism_report, ParallelismReport};
+pub use distance::distance_to_end;
+pub use dsc::dsc_clustering;
+pub use hyper::{hypercluster, switched_hypercluster, HyperClustering};
+pub use lc::linear_clustering;
+pub use merge::{merge_clusters_fixpoint, merge_clusters_once};
+pub use types::{Cluster, Clustering};
+
+use ramiel_ir::Graph;
+
+/// Run the full batch-1 clustering pipeline: distances → LC → merge.
+pub fn cluster_graph(graph: &Graph, cost: &dyn CostModel) -> Clustering {
+    let dist = distance_to_end(graph, cost);
+    let lc = linear_clustering(graph, &dist);
+    merge_clusters_fixpoint(&lc, &dist)
+}

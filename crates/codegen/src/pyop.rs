@@ -1,0 +1,260 @@
+//! Lowering of a single IR operator to its PyTorch expression — the paper's
+//! `GeneratePytorchCodeForOperandType`.
+
+use ramiel_ir::{DType, OpKind};
+
+fn int_list(v: &[i64]) -> String {
+    let items: Vec<String> = v.iter().map(|d| d.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn usize_list(v: &[usize]) -> String {
+    let items: Vec<String> = v.iter().map(|d| d.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn isize_list(v: &[isize]) -> String {
+    let items: Vec<String> = v.iter().map(|d| d.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Render the right-hand side of `out = <expr>` for one node. `args` are the
+/// already-SSA-renamed Python names of the node's inputs.
+pub fn torch_expr(op: &OpKind, args: &[String]) -> String {
+    let a = |i: usize| args.get(i).cloned().unwrap_or_else(|| "None".into());
+    match op {
+        OpKind::Conv {
+            stride,
+            pads,
+            groups,
+            ..
+        } => {
+            let bias = if args.len() > 2 { a(2) } else { "None".into() };
+            format!(
+                "F.conv2d({}, {}, {bias}, stride=({}, {}), padding=({}, {}), groups={})",
+                a(0),
+                a(1),
+                stride.0,
+                stride.1,
+                pads.0,
+                pads.1,
+                groups
+            )
+        }
+        OpKind::MatMul => format!("torch.matmul({}, {})", a(0), a(1)),
+        OpKind::Gemm { trans_b } => {
+            let w = if *trans_b {
+                a(1)
+            } else {
+                format!("{}.t()", a(1))
+            };
+            let bias = if args.len() > 2 { a(2) } else { "None".into() };
+            format!("F.linear({}, {w}, {bias})", a(0))
+        }
+        OpKind::Relu => format!("F.relu({})", a(0)),
+        OpKind::LeakyRelu { alpha } => format!("F.leaky_relu({}, {alpha})", a(0)),
+        OpKind::Sigmoid => format!("torch.sigmoid({})", a(0)),
+        OpKind::Tanh => format!("torch.tanh({})", a(0)),
+        OpKind::Gelu => format!("F.gelu({})", a(0)),
+        OpKind::Erf => format!("torch.erf({})", a(0)),
+        OpKind::Sqrt => format!("torch.sqrt({})", a(0)),
+        OpKind::Exp => format!("torch.exp({})", a(0)),
+        OpKind::Neg => format!("-{}", a(0)),
+        OpKind::Clip { min, max } => format!("torch.clamp({}, {min}, {max})", a(0)),
+        OpKind::Dropout | OpKind::Identity => a(0),
+        OpKind::Add => format!("{} + {}", a(0), a(1)),
+        OpKind::Sub => format!("{} - {}", a(0), a(1)),
+        OpKind::Mul => format!("{} * {}", a(0), a(1)),
+        OpKind::Div => format!("{} / {}", a(0), a(1)),
+        OpKind::Pow => format!("torch.pow({}, {})", a(0), a(1)),
+        OpKind::Equal => format!("torch.eq({}, {})", a(0), a(1)),
+        OpKind::Where => format!("torch.where({}, {}, {})", a(0), a(1), a(2)),
+        OpKind::Softmax { axis } => format!("F.softmax({}, dim={axis})", a(0)),
+        OpKind::BatchNorm { epsilon } => format!(
+            "F.batch_norm({}, {}, {}, weight={}, bias={}, training=False, eps={epsilon})",
+            a(0),
+            a(3),
+            a(4),
+            a(1),
+            a(2)
+        ),
+        OpKind::LayerNorm { epsilon } => format!(
+            "F.layer_norm({}, {}.shape, weight={}, bias={}, eps={epsilon})",
+            a(0),
+            a(1),
+            a(1),
+            a(2)
+        ),
+        OpKind::ReduceMean { axes, keepdims } => format!(
+            "torch.mean({}, dim={}, keepdim={})",
+            a(0),
+            isize_list(axes),
+            if *keepdims { "True" } else { "False" }
+        ),
+        OpKind::MaxPool(p) => format!(
+            "F.max_pool2d({}, ({}, {}), stride=({}, {}), padding=({}, {}), ceil_mode={})",
+            a(0),
+            p.kernel.0,
+            p.kernel.1,
+            p.stride.0,
+            p.stride.1,
+            p.pads.0,
+            p.pads.1,
+            if p.ceil_mode { "True" } else { "False" }
+        ),
+        OpKind::AveragePool(p) => format!(
+            "F.avg_pool2d({}, ({}, {}), stride=({}, {}), padding=({}, {}), ceil_mode={}, count_include_pad=False)",
+            a(0),
+            p.kernel.0,
+            p.kernel.1,
+            p.stride.0,
+            p.stride.1,
+            p.pads.0,
+            p.pads.1,
+            if p.ceil_mode { "True" } else { "False" }
+        ),
+        OpKind::GlobalAveragePool => format!("F.adaptive_avg_pool2d({}, 1)", a(0)),
+        OpKind::Concat { axis } => format!("torch.cat([{}], dim={axis})", args.join(", ")),
+        OpKind::Split { axis, parts } => format!(
+            "torch.split({}, {}, dim={axis})",
+            a(0),
+            usize_list(parts)
+        ),
+        OpKind::Slice {
+            axes,
+            starts,
+            ends,
+            steps,
+        } => format!(
+            "_slice({}, {}, {}, {}, {})",
+            a(0),
+            isize_list(axes),
+            int_list(starts),
+            int_list(ends),
+            int_list(steps)
+        ),
+        OpKind::Gather { axis } => format!("_gather({}, {}, {axis})", a(0), a(1)),
+        OpKind::Reshape => format!("torch.reshape({}, _shape({}, {}))", a(0), a(0), a(1)),
+        OpKind::Transpose { perm } => format!("{}.permute({})", a(0), usize_list(perm)),
+        OpKind::Flatten { axis } => format!("torch.flatten({}, {axis})", a(0)),
+        OpKind::Unsqueeze { axes } => {
+            let mut expr = a(0);
+            for ax in axes {
+                expr = format!("torch.unsqueeze({expr}, {ax})");
+            }
+            expr
+        }
+        OpKind::Squeeze { axes } => {
+            let mut expr = a(0);
+            // squeeze from the back so earlier axes stay valid
+            let mut axs = axes.clone();
+            axs.sort_unstable_by(|x, y| y.cmp(x));
+            for ax in axs {
+                expr = format!("torch.squeeze({expr}, {ax})");
+            }
+            expr
+        }
+        OpKind::Expand => format!("{}.expand(_shape({}, {}))", a(0), a(0), a(1)),
+        OpKind::Resize { scale } => format!(
+            "F.interpolate({}, scale_factor=({}, {}), mode='nearest')",
+            a(0),
+            scale.0,
+            scale.1
+        ),
+        OpKind::Pad { pads } => format!(
+            "F.pad({}, ({}, {}, {}, {}))", // torch order: left, right, top, bottom
+            a(0),
+            pads.1,
+            pads.3,
+            pads.0,
+            pads.2
+        ),
+        OpKind::Cast { to } => {
+            let dt = match to {
+                DType::F32 => "torch.float32",
+                DType::I64 => "torch.int64",
+                DType::Bool => "torch.bool",
+            };
+            format!("{}.to({dt})", a(0))
+        }
+        OpKind::Constant => "None  # resolved from weights".into(),
+        OpKind::Shape => format!("torch.tensor({}.shape, dtype=torch.int64)", a(0)),
+        OpKind::ConstantOfShape { value } => {
+            format!("torch.full(_shape(None, {}), {value})", a(0))
+        }
+    }
+}
+
+/// Helper functions injected once at the top of every generated module.
+pub const PY_HELPERS: &str = r#"
+def _slice(x, axes, starts, ends, steps):
+    idx = [slice(None)] * x.dim()
+    for ax, s, e, st in zip(axes, starts, ends, steps):
+        e = None if e >= 2**62 else e
+        idx[ax] = slice(s, e, st)
+    return x[tuple(idx)]
+
+
+def _gather(x, indices, axis):
+    return torch.index_select(x, axis, indices.reshape(-1)).reshape(
+        x.shape[:axis] + tuple(indices.shape) + x.shape[axis + 1:]
+    )
+
+
+def _shape(x, spec):
+    dims = [int(d) for d in spec]
+    if x is not None:
+        for i, d in enumerate(dims):
+            if d == 0:
+                dims[i] = x.shape[i]
+    return dims
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> String {
+        v.to_string()
+    }
+
+    #[test]
+    fn conv_lowering() {
+        let op = OpKind::Conv {
+            kernel: (3, 3),
+            stride: (2, 2),
+            pads: (1, 1),
+            groups: 1,
+        };
+        let e = torch_expr(&op, &[s("x"), s("w"), s("b")]);
+        assert_eq!(
+            e,
+            "F.conv2d(x, w, b, stride=(2, 2), padding=(1, 1), groups=1)"
+        );
+    }
+
+    #[test]
+    fn binary_and_activation_lowering() {
+        assert_eq!(torch_expr(&OpKind::Add, &[s("a"), s("b")]), "a + b");
+        assert_eq!(torch_expr(&OpKind::Relu, &[s("x")]), "F.relu(x)");
+        assert_eq!(
+            torch_expr(&OpKind::Softmax { axis: -1 }, &[s("x")]),
+            "F.softmax(x, dim=-1)"
+        );
+    }
+
+    #[test]
+    fn gemm_transposes_when_needed() {
+        assert!(torch_expr(&OpKind::Gemm { trans_b: true }, &[s("x"), s("w"), s("b")])
+            .contains("F.linear(x, w, b)"));
+        assert!(torch_expr(&OpKind::Gemm { trans_b: false }, &[s("x"), s("w")])
+            .contains("w.t()"));
+    }
+
+    #[test]
+    fn helpers_define_slice_gather_shape() {
+        assert!(PY_HELPERS.contains("def _slice"));
+        assert!(PY_HELPERS.contains("def _gather"));
+        assert!(PY_HELPERS.contains("def _shape"));
+    }
+}

@@ -1,0 +1,336 @@
+//! `ramiel` — command-line front end for the pipeline.
+//!
+//! ```text
+//! ramiel models                          list built-in models
+//! ramiel report                          Table-I-style parallelism metrics
+//! ramiel compile <model> [flags]         run the pipeline, emit Python code
+//! ramiel run <model> [flags]             execute seq/parallel and time it
+//! ramiel export <model> <path>           save a model as .rmodel.json
+//! ```
+//!
+//! `<model>` is a built-in name (`squeezenet`, `googlenet`, `inception-v3`,
+//! `inception-v4`, `yolo-v5`, `bert`, `retinanet`, `nasnet`) or a path to a
+//! `.rmodel.json` file.
+//!
+//! Flags: `--prune` (const-prop + DCE), `--clone` (task cloning),
+//! `--batch N` + `--switched` (hyperclustering), `--intra-op N` (rayon
+//! intra-op threads), `--iters N`, `--out DIR`, `--tiny` (reduced model).
+
+use ramiel::{compile, CompiledModel, HyperMode, PipelineOptions, Scheduler};
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_runtime::{run_parallel, run_sequential, synth_inputs};
+use ramiel_tensor::ExecCtx;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn parse_model(name: &str, cfg: &ModelConfig) -> Result<ramiel_ir::Graph, String> {
+    let kind = match name.to_ascii_lowercase().as_str() {
+        "squeezenet" => Some(ModelKind::Squeezenet),
+        "googlenet" => Some(ModelKind::Googlenet),
+        "inception-v3" | "inceptionv3" => Some(ModelKind::InceptionV3),
+        "inception-v4" | "inceptionv4" => Some(ModelKind::InceptionV4),
+        "yolo-v5" | "yolo" | "yolov5" => Some(ModelKind::YoloV5),
+        "bert" => Some(ModelKind::Bert),
+        "retinanet" => Some(ModelKind::Retinanet),
+        "nasnet" => Some(ModelKind::NasNet),
+        _ => None,
+    };
+    match kind {
+        Some(k) => Ok(build(k, cfg)),
+        None => ramiel_ir::model_file::load(name)
+            .map_err(|e| format!("`{name}` is not a built-in model or loadable file: {e}")),
+    }
+}
+
+struct Flags {
+    prune: bool,
+    clone: bool,
+    batch: usize,
+    switched: bool,
+    intra_op: usize,
+    iters: usize,
+    out: Option<String>,
+    tiny: bool,
+    mode: String,
+    scheduler: Scheduler,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        prune: false,
+        clone: false,
+        batch: 1,
+        switched: false,
+        intra_op: 1,
+        iters: 3,
+        out: None,
+        tiny: false,
+        mode: "both".into(),
+        scheduler: Scheduler::LcMerge,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--prune" => f.prune = true,
+            "--clone" => f.clone = true,
+            "--switched" => f.switched = true,
+            "--tiny" => f.tiny = true,
+            "--batch" => f.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--intra-op" => {
+                f.intra_op = value("--intra-op")?.parse().map_err(|e| format!("--intra-op: {e}"))?
+            }
+            "--iters" => f.iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--out" => f.out = Some(value("--out")?),
+            "--mode" => f.mode = value("--mode")?,
+            "--scheduler" => {
+                f.scheduler = match value("--scheduler")?.as_str() {
+                    "lc" => Scheduler::LcMerge,
+                    "dsc" => Scheduler::Dsc,
+                    other => return Err(format!("unknown scheduler `{other}` (lc|dsc)")),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(f)
+}
+
+fn options(f: &Flags) -> PipelineOptions {
+    PipelineOptions {
+        prune: f.prune,
+        cloning: f.clone.then(ramiel_passes::CloneConfig::default),
+        batch: f.batch,
+        hyper: if f.batch > 1 {
+            if f.switched {
+                HyperMode::Switched
+            } else {
+                HyperMode::Plain
+            }
+        } else {
+            HyperMode::Off
+        },
+        scheduler: f.scheduler,
+        ..Default::default()
+    }
+}
+
+fn cmd_models(detail: bool) {
+    for k in ModelKind::all() {
+        let g = build(k, &ModelConfig::full());
+        println!(
+            "{:14} {:5} nodes {:5} edges {:8} params",
+            k.name(),
+            g.num_nodes(),
+            g.num_edges(),
+            g.num_parameters()
+        );
+        if detail {
+            for (op, count) in ramiel_models::op_histogram(&g) {
+                println!("    {op:<22} {count:4}");
+            }
+        }
+    }
+}
+
+fn cmd_report() {
+    println!(
+        "{:<14} {:>7} {:>13} {:>8} {:>12}",
+        "Model", "#Nodes", "Wt.NodeCost", "Wt.CP", "Parallelism"
+    );
+    for k in ModelKind::all() {
+        let g = build(k, &ModelConfig::full());
+        let r = ramiel_cluster::parallelism_report(&g, &ramiel_cluster::StaticCost);
+        println!(
+            "{:<14} {:>7} {:>13} {:>8} {:>11.2}x",
+            r.model, r.num_nodes, r.total_node_cost, r.critical_path_cost, r.parallelism
+        );
+    }
+}
+
+fn summarize(c: &CompiledModel) {
+    println!("model:                 {}", c.report.model);
+    println!("nodes:                 {} → prune {} → clone {}", c.report.nodes_before, c.report.nodes_after_prune, c.report.nodes_after_cloning);
+    println!("clusters:              {} → merged {}", c.report.clusters_before_merge, c.report.clusters_after_merge);
+    println!("cross-cluster edges:   {}", c.report.cross_cluster_edges);
+    println!("potential parallelism: {:.2}x", c.report.parallelism.parallelism);
+    println!("compile time:          {:.2?}", c.compile_time);
+}
+
+fn cmd_compile(model: &str, f: &Flags) -> Result<(), String> {
+    let cfg = if f.tiny { ModelConfig::tiny() } else { ModelConfig::full() };
+    let g = parse_model(model, &cfg)?;
+    let c = compile(g, &options(f)).map_err(|e| e.to_string())?;
+    summarize(&c);
+    if let Some(dir) = &f.out {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let base = std::path::Path::new(dir);
+        std::fs::write(base.join("parallel.py"), &c.parallel_code).map_err(|e| e.to_string())?;
+        std::fs::write(base.join("sequential.py"), &c.sequential_code)
+            .map_err(|e| e.to_string())?;
+        if let Some(hyper_code) = &c.hyper_code {
+            std::fs::write(base.join("hyper.py"), hyper_code).map_err(|e| e.to_string())?;
+        }
+        let assignment: std::collections::HashMap<usize, usize> = c.clustering.assignment();
+        std::fs::write(
+            base.join("clusters.dot"),
+            ramiel_ir::dot::to_dot(&c.graph, Some(&assignment)),
+        )
+        .map_err(|e| e.to_string())?;
+        std::fs::write(
+            base.join("report.json"),
+            serde_json::to_string_pretty(&c.report).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("wrote parallel.py, sequential.py, clusters.dot, report.json to {dir}");
+    }
+    Ok(())
+}
+
+fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
+    let cfg = if f.tiny { ModelConfig::tiny() } else { ModelConfig::full() };
+    let g = parse_model(model, &cfg)?;
+    let c = compile(g, &options(f)).map_err(|e| e.to_string())?;
+    summarize(&c);
+    let inputs = synth_inputs(&c.graph, 42);
+    let ctx = ExecCtx::with_intra_op(f.intra_op);
+
+    let time_it = |label: &str, body: &dyn Fn() -> Result<(), String>| -> Result<(), String> {
+        body()?; // warm-up
+        let start = Instant::now();
+        for _ in 0..f.iters {
+            body()?;
+        }
+        println!(
+            "{label}: {:.2} ms/iter over {} iters",
+            start.elapsed().as_secs_f64() * 1e3 / f.iters as f64,
+            f.iters
+        );
+        Ok(())
+    };
+
+    if f.mode == "seq" || f.mode == "both" {
+        time_it("sequential", &|| {
+            run_sequential(&c.graph, &inputs, &ctx)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        })?;
+    }
+    if f.mode == "par" || f.mode == "both" {
+        time_it("parallel  ", &|| {
+            run_parallel(&c.graph, &c.clustering, &inputs, &ctx)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        })?;
+    }
+    Ok(())
+}
+
+fn cmd_simulate(model: &str, f: &Flags) -> Result<(), String> {
+    use ramiel_runtime::{simulate_clustering, simulate_hyper, simulate_sequential, SimConfig};
+    let cfg = if f.tiny { ModelConfig::tiny() } else { ModelConfig::full() };
+    let g = parse_model(model, &cfg)?;
+    let c = compile(g, &options(f)).map_err(|e| e.to_string())?;
+    summarize(&c);
+    let sim_cfg = SimConfig {
+        comm_latency: 8,
+        dispatch_overhead: 0,
+    };
+    let cost = ramiel_cluster::StaticCost;
+    let seq = simulate_sequential(&c.graph, &cost, f.batch.max(1));
+    let sim = match &c.hyper {
+        Some(hc) => simulate_hyper(&c.graph, hc, &cost, &sim_cfg),
+        None => simulate_clustering(&c.graph, &c.clustering, &cost, &sim_cfg),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("simulated sequential:  {seq} units (batch {})", f.batch.max(1));
+    println!("simulated parallel:    {} units", sim.makespan);
+    println!("simulated speedup:     {:.2}x", seq as f64 / sim.makespan as f64);
+    println!("per-worker busy:       {:?}", sim.busy);
+    println!("slack fraction:        {:.0}%", 100.0 * sim.slack_fraction());
+    Ok(())
+}
+
+/// Differential fuzzing: random layered DAGs through the full pipeline,
+/// comparing parallel execution of the optimized graph against plain
+/// sequential execution of the original.
+fn cmd_fuzz(f: &Flags) -> Result<(), String> {
+    use ramiel_models::synthetic;
+    let graphs = f.iters.max(1) * 10;
+    let mut max_nodes = 0usize;
+    for seed in 0..graphs as u64 {
+        let layers = 2 + (seed % 7) as usize;
+        let width = 1 + (seed % 5) as usize;
+        let g = synthetic::layered_random(seed * 7919 + 17, layers, width, 2);
+        max_nodes = max_nodes.max(g.num_nodes());
+        let inputs = synth_inputs(&g, seed);
+        let ctx = ExecCtx::sequential();
+        let baseline = run_sequential(&g, &inputs, &ctx)
+            .map_err(|e| format!("seed {seed}: sequential: {e}"))?;
+        let c = compile(g, &PipelineOptions::all_optimizations())
+            .map_err(|e| format!("seed {seed}: compile: {e}"))?;
+        c.clustering
+            .check_partition(&c.graph)
+            .map_err(|e| format!("seed {seed}: partition: {e}"))?;
+        let par = run_parallel(&c.graph, &c.clustering, &inputs, &ctx)
+            .map_err(|e| format!("seed {seed}: parallel: {e}"))?;
+        for (k, a) in &baseline {
+            let b = par
+                .get(k)
+                .ok_or_else(|| format!("seed {seed}: output `{k}` missing"))?;
+            if a != b {
+                return Err(format!("seed {seed}: output `{k}` diverged"));
+            }
+        }
+    }
+    println!("fuzzed {graphs} random graphs (largest {max_nodes} nodes): all differential checks passed");
+    Ok(())
+}
+
+fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
+    let cfg = if f.tiny { ModelConfig::tiny() } else { ModelConfig::full() };
+    let g = parse_model(model, &cfg)?;
+    ramiel_ir::model_file::save(&g, path).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} nodes)", path, g.num_nodes());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: ramiel <models|report|compile|run|simulate|fuzz|export> [model] [flags]";
+    let result = match args.first().map(String::as_str) {
+        Some("models") => {
+            cmd_models(args.iter().any(|a| a == "--detail"));
+            Ok(())
+        }
+        Some("report") => {
+            cmd_report();
+            Ok(())
+        }
+        Some("compile") if args.len() >= 2 => {
+            parse_flags(&args[2..]).and_then(|f| cmd_compile(&args[1], &f))
+        }
+        Some("run") if args.len() >= 2 => {
+            parse_flags(&args[2..]).and_then(|f| cmd_run(&args[1], &f))
+        }
+        Some("simulate") if args.len() >= 2 => {
+            parse_flags(&args[2..]).and_then(|f| cmd_simulate(&args[1], &f))
+        }
+        Some("fuzz") => parse_flags(&args[1..]).and_then(|f| cmd_fuzz(&f)),
+        Some("export") if args.len() >= 3 => {
+            parse_flags(&args[3..]).and_then(|f| cmd_export(&args[1], &args[2], &f))
+        }
+        _ => Err(usage.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! # ramiel
+//!
+//! End-to-end facade for the **Ramiel** pipeline (Fig. 10 of the paper):
+//!
+//! ```text
+//! model ─▶ [prune: const-prop + DCE] ─▶ [cloning] ─▶ distance pass
+//!       ─▶ Linear Clustering ─▶ cluster merging ─▶ [hyperclustering]
+//!       ─▶ parallel + sequential PyTorch/Python codegen
+//! ```
+//!
+//! [`compile`] runs the pipeline and returns a [`CompiledModel`] holding the
+//! optimized graph, the clustering, generated code, per-stage statistics and
+//! the measured compile time (the paper's Table VIII `CT` column).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ramiel::{compile, PipelineOptions};
+//! use ramiel_models::{build, ModelKind, ModelConfig};
+//!
+//! let graph = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+//! let compiled = compile(graph, &PipelineOptions::default()).unwrap();
+//! assert!(compiled.clustering.num_clusters() >= 1);
+//! println!("{}", compiled.parallel_code);
+//! ```
+
+pub use ramiel_cluster as cluster;
+pub use ramiel_codegen as codegen;
+pub use ramiel_ios as ios;
+pub use ramiel_ir as ir;
+pub use ramiel_models as models;
+pub use ramiel_passes as passes;
+pub use ramiel_runtime as runtime;
+pub use ramiel_tensor as tensor;
+
+use ramiel_cluster::cost::{CostModel, FlopCost, StaticCost};
+use ramiel_cluster::hyper::HyperClustering;
+use ramiel_cluster::{
+    distance_to_end, hypercluster, linear_clustering, merge_clusters_fixpoint, parallelism_report,
+    switched_hypercluster, Clustering, ParallelismReport,
+};
+use ramiel_codegen::CodegenOptions;
+use ramiel_ir::Graph;
+use ramiel_passes::CloneConfig;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Which cost model prices nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostKind {
+    /// The paper's static per-operator weights.
+    #[default]
+    Static,
+    /// Shape-aware FLOP-derived costs (ablation / simulator refinement).
+    Flop,
+}
+
+impl CostKind {
+    /// Materialize the cost model.
+    pub fn model(self) -> Box<dyn CostModel> {
+        match self {
+            CostKind::Static => Box::new(StaticCost),
+            CostKind::Flop => Box::new(FlopCost::default()),
+        }
+    }
+}
+
+/// Which clustering algorithm partitions the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// The paper's recursive critical-path Linear Clustering + merging.
+    #[default]
+    LcMerge,
+    /// Dominant Sequence Clustering (comparison algorithm from the same
+    /// literature; see `ramiel_cluster::dsc`).
+    Dsc,
+}
+
+/// Hyperclustering mode for batch > 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HyperMode {
+    /// Batch-1 clustering only.
+    #[default]
+    Off,
+    /// Plain hyperclustering (Fig. 8).
+    Plain,
+    /// Switched hyperclustering (Fig. 9).
+    Switched,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// Run constant propagation + DCE before clustering (Section III-C).
+    pub prune: bool,
+    /// Run task cloning before clustering (Section III-D).
+    pub cloning: Option<CloneConfig>,
+    pub cost: CostKind,
+    /// Inference batch size (enables hyperclustering when > 1).
+    pub batch: usize,
+    pub hyper: HyperMode,
+    /// Clustering algorithm (LC+merge by default).
+    pub scheduler: Scheduler,
+}
+
+impl PipelineOptions {
+    /// Everything on, as in the paper's `S_Overall` column.
+    pub fn all_optimizations() -> Self {
+        PipelineOptions {
+            prune: true,
+            cloning: Some(CloneConfig::default()),
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-stage statistics gathered while compiling.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineReport {
+    pub model: String,
+    pub nodes_before: usize,
+    pub nodes_after_prune: usize,
+    pub nodes_after_cloning: usize,
+    /// Table II "Before Merging".
+    pub clusters_before_merge: usize,
+    /// Table II "After Merging" (== Table III/IV cluster count).
+    pub clusters_after_merge: usize,
+    pub cross_cluster_edges: usize,
+    pub parallelism: ParallelismReport,
+}
+
+/// Output of [`compile`].
+pub struct CompiledModel {
+    /// The (possibly pruned/cloned) graph the clusters refer to.
+    pub graph: Graph,
+    pub clustering: Clustering,
+    /// Present when `batch > 1` and a hyper mode is selected.
+    pub hyper: Option<HyperClustering>,
+    /// Generated hypercluster Python (present alongside `hyper`).
+    pub hyper_code: Option<String>,
+    /// Distance-to-end table for `graph` (reusable by simulators).
+    pub distances: Vec<u64>,
+    pub parallel_code: String,
+    pub sequential_code: String,
+    pub report: PipelineReport,
+    /// End-to-end pipeline time (the paper's compile-time metric).
+    pub compile_time: Duration,
+}
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum CompileError {
+    Ir(ramiel_ir::IrError),
+    Invalid(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Ir(e) => write!(f, "{e}"),
+            CompileError::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ramiel_ir::IrError> for CompileError {
+    fn from(e: ramiel_ir::IrError) -> Self {
+        CompileError::Ir(e)
+    }
+}
+
+/// Run the full Ramiel pipeline on a graph.
+pub fn compile(mut graph: Graph, opts: &PipelineOptions) -> Result<CompiledModel, CompileError> {
+    let start = Instant::now();
+    let cost = opts.cost.model();
+    let nodes_before = graph.num_nodes();
+
+    if opts.prune {
+        ramiel_passes::prune(&mut graph)?;
+    }
+    let nodes_after_prune = graph.num_nodes();
+
+    if let Some(clone_cfg) = &opts.cloning {
+        ramiel_passes::clone_nodes(&mut graph, cost.as_ref(), clone_cfg)?;
+    }
+    let nodes_after_cloning = graph.num_nodes();
+
+    let distances = distance_to_end(&graph, cost.as_ref());
+    let (clusters_before_merge, clustering) = match opts.scheduler {
+        Scheduler::LcMerge => {
+            let lc = linear_clustering(&graph, &distances);
+            let before = lc.num_clusters();
+            (before, merge_clusters_fixpoint(&lc, &distances))
+        }
+        Scheduler::Dsc => {
+            let c = ramiel_cluster::dsc_clustering(&graph, cost.as_ref());
+            (c.num_clusters(), c)
+        }
+    };
+
+    let hyper = match (opts.hyper, opts.batch) {
+        (HyperMode::Off, _) | (_, 0..=1) => None,
+        (HyperMode::Plain, b) => Some(hypercluster(&clustering, b)),
+        (HyperMode::Switched, b) => Some(switched_hypercluster(&clustering, b)),
+    };
+
+    let cg = CodegenOptions::default();
+    let parallel_code = ramiel_codegen::generate_parallel(&graph, &clustering, &cg);
+    let sequential_code = ramiel_codegen::generate_sequential(&graph, &cg);
+    let hyper_code = hyper
+        .as_ref()
+        .map(|hc| ramiel_codegen::generate_hyper_parallel(&graph, hc, &cg));
+
+    let report = PipelineReport {
+        model: graph.name.clone(),
+        nodes_before,
+        nodes_after_prune,
+        nodes_after_cloning,
+        clusters_before_merge,
+        clusters_after_merge: clustering.num_clusters(),
+        cross_cluster_edges: clustering.cross_cluster_edges(&graph),
+        parallelism: parallelism_report(&graph, cost.as_ref()),
+    };
+
+    Ok(CompiledModel {
+        graph,
+        clustering,
+        hyper,
+        hyper_code,
+        distances,
+        parallel_code,
+        sequential_code,
+        report,
+        compile_time: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_models::{build, ModelConfig, ModelKind};
+
+    #[test]
+    fn compile_squeezenet_end_to_end() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let c = compile(g, &PipelineOptions::default()).unwrap();
+        assert!(c.report.clusters_before_merge >= c.report.clusters_after_merge);
+        assert!(c.parallel_code.contains("def cluster_0"));
+        assert!(c.sequential_code.contains("def run_sequential"));
+        c.clustering.check_partition(&c.graph).unwrap();
+    }
+
+    #[test]
+    fn prune_shrinks_models_with_shape_chains() {
+        let g = build(ModelKind::YoloV5, &ModelConfig::tiny());
+        let no_prune = compile(g.clone(), &PipelineOptions::default()).unwrap();
+        let pruned = compile(
+            g,
+            &PipelineOptions {
+                prune: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(pruned.report.nodes_after_prune < no_prune.report.nodes_after_prune);
+    }
+
+    #[test]
+    fn hyper_modes_produce_hyperclusters() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let opts = PipelineOptions {
+            batch: 4,
+            hyper: HyperMode::Switched,
+            ..Default::default()
+        };
+        let c = compile(g, &opts).unwrap();
+        let hc = c.hyper.expect("hyperclustering requested");
+        assert!(hc.switched);
+        assert_eq!(hc.batch, 4);
+        hc.check_coverage(c.graph.num_nodes()).unwrap();
+    }
+
+    #[test]
+    fn compile_time_is_measured() {
+        let g = build(ModelKind::Googlenet, &ModelConfig::tiny());
+        let c = compile(g, &PipelineOptions::all_optimizations()).unwrap();
+        assert!(c.compile_time.as_nanos() > 0);
+    }
+}

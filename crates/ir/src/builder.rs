@@ -1,0 +1,278 @@
+//! Ergonomic, deterministic construction of dataflow graphs.
+//!
+//! [`GraphBuilder`] is what the model-zoo generators use: it assigns unique
+//! node/tensor names, synthesizes deterministic pseudo-random weights (so a
+//! model is bit-identical across runs without dragging a RNG dependency into
+//! the IR crate), and finishes with validation + shape inference.
+
+use crate::graph::{Graph, TensorInfo};
+use crate::op::{DType, OpKind};
+use crate::shape::infer_shapes;
+use crate::tensor_data::TensorData;
+use crate::validate::validate;
+use crate::Result;
+
+/// How to fill a synthesized weight tensor.
+#[derive(Debug, Clone, Copy)]
+pub enum Init {
+    /// Every element set to the given constant.
+    Const(f32),
+    /// Deterministic pseudo-random uniform values in `[-scale, scale]`,
+    /// seeded from the tensor name.
+    Uniform(f32),
+}
+
+/// Builder for [`Graph`]s. See the crate docs for an example.
+pub struct GraphBuilder {
+    graph: Graph,
+    counter: usize,
+}
+
+/// SplitMix64 step — tiny deterministic generator for weight synthesis.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn name_seed(name: &str) -> u64 {
+    // FNV-1a over the name: stable across platforms and runs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+impl GraphBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            graph: Graph::new(name),
+            counter: 0,
+        }
+    }
+
+    /// A fresh unique name with the given prefix.
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        format!("{prefix}_{n}")
+    }
+
+    /// Declare a runtime graph input and return its tensor name.
+    pub fn input(&mut self, name: &str, dtype: DType, shape: Vec<usize>) -> String {
+        self.graph
+            .inputs
+            .push(TensorInfo::new(name, dtype, shape));
+        name.to_string()
+    }
+
+    /// Register an initializer with explicit data and return its name.
+    pub fn init(&mut self, name: &str, data: TensorData) -> String {
+        self.graph.initializers.insert(name.to_string(), data);
+        name.to_string()
+    }
+
+    /// Synthesize a weight initializer and return its name.
+    pub fn weight(&mut self, prefix: &str, shape: Vec<usize>, init: Init) -> String {
+        let name = self.fresh(prefix);
+        let numel: usize = shape.iter().product();
+        let data = match init {
+            Init::Const(c) => vec![c; numel],
+            Init::Uniform(scale) => {
+                let mut state = name_seed(&name);
+                (0..numel)
+                    .map(|_| {
+                        let u = splitmix64(&mut state);
+                        // Map the top 24 bits to [-scale, scale).
+                        let f = (u >> 40) as f32 / (1u64 << 24) as f32;
+                        (2.0 * f - 1.0) * scale
+                    })
+                    .collect()
+            }
+        };
+        self.graph
+            .initializers
+            .insert(name.clone(), TensorData::f32(shape, data));
+        name
+    }
+
+    /// A constant 1-D i64 initializer (shape vectors, axes, indices).
+    pub fn const_i64(&mut self, prefix: &str, values: Vec<i64>) -> String {
+        let name = self.fresh(prefix);
+        self.graph
+            .initializers
+            .insert(name.clone(), TensorData::vec_i64(values));
+        name
+    }
+
+    /// A scalar f32 initializer.
+    pub fn const_scalar(&mut self, prefix: &str, v: f32) -> String {
+        let name = self.fresh(prefix);
+        self.graph
+            .initializers
+            .insert(name.clone(), TensorData::scalar_f32(v));
+        name
+    }
+
+    /// Append a single-output node; returns the output tensor name.
+    pub fn op(&mut self, prefix: &str, op: OpKind, inputs: Vec<String>) -> String {
+        debug_assert_eq!(op.num_outputs(), 1, "use op_multi for multi-output ops");
+        let name = self.fresh(prefix);
+        let out = format!("{name}:0");
+        self.graph.push_node(name, op, inputs, vec![out.clone()]);
+        out
+    }
+
+    /// Append a multi-output node (e.g. `Split`); returns the output names.
+    pub fn op_multi(&mut self, prefix: &str, op: OpKind, inputs: Vec<String>) -> Vec<String> {
+        let name = self.fresh(prefix);
+        let outs: Vec<String> = (0..op.num_outputs())
+            .map(|i| format!("{name}:{i}"))
+            .collect();
+        self.graph.push_node(name, op, inputs, outs.clone());
+        outs
+    }
+
+    /// Mark a tensor as a graph output.
+    pub fn output(&mut self, tensor: &str) {
+        self.graph.outputs.push(tensor.to_string());
+    }
+
+    /// Validate, run shape inference, and return the finished graph.
+    pub fn finish(mut self) -> Result<Graph> {
+        validate(&self.graph)?;
+        infer_shapes(&mut self.graph)?;
+        Ok(self.graph)
+    }
+
+    /// Access the graph under construction (for tests and advanced callers).
+    pub fn graph_mut(&mut self) -> &mut Graph {
+        &mut self.graph
+    }
+
+    // ---- high-level layer helpers shared by the model zoo -----------------
+
+    /// `Conv → Relu` with synthesized weight + bias, the workhorse of every
+    /// vision model in the paper.
+    pub fn conv_relu(
+        &mut self,
+        x: &str,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> String {
+        let y = self.conv(x, in_ch, out_ch, (k, k), (stride, stride), (pad, pad), 1);
+        self.op("relu", OpKind::Relu, vec![y])
+    }
+
+    /// Bare convolution with synthesized weight + bias.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        &mut self,
+        x: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        pads: (usize, usize),
+        groups: usize,
+    ) -> String {
+        let w = self.weight(
+            "w",
+            vec![out_ch, in_ch / groups, kernel.0, kernel.1],
+            Init::Uniform(0.05),
+        );
+        let b = self.weight("b", vec![out_ch], Init::Uniform(0.05));
+        self.op(
+            "conv",
+            OpKind::Conv {
+                kernel,
+                stride,
+                pads,
+                groups,
+            },
+            vec![x.to_string(), w, b],
+        )
+    }
+
+    /// Fully-connected layer with synthesized weight + bias.
+    pub fn linear(&mut self, x: &str, in_f: usize, out_f: usize) -> String {
+        let w = self.weight("w", vec![out_f, in_f], Init::Uniform(0.05));
+        let b = self.weight("b", vec![out_f], Init::Uniform(0.05));
+        self.op(
+            "gemm",
+            OpKind::Gemm { trans_b: true },
+            vec![x.to_string(), w, b],
+        )
+    }
+
+    /// Inference-mode batch normalization with synthesized parameters.
+    pub fn batch_norm(&mut self, x: &str, ch: usize) -> String {
+        let scale = self.weight("bn_s", vec![ch], Init::Const(1.0));
+        let bias = self.weight("bn_b", vec![ch], Init::Const(0.0));
+        let mean = self.weight("bn_m", vec![ch], Init::Uniform(0.01));
+        let var = self.weight("bn_v", vec![ch], Init::Const(1.0));
+        self.op(
+            "bn",
+            OpKind::BatchNorm { epsilon: 1e-5 },
+            vec![x.to_string(), scale, bias, mean, var],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_valid_conv_net() {
+        let mut b = GraphBuilder::new("tiny");
+        let x = b.input("x", DType::F32, vec![1, 3, 8, 8]);
+        let y = b.conv_relu(&x, 3, 4, 3, 1, 1);
+        let z = b.op("gap", OpKind::GlobalAveragePool, vec![y]);
+        b.output(&z);
+        let g = b.finish().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.value_info[&z].shape, vec![1, 4, 1, 1]);
+    }
+
+    #[test]
+    fn weights_are_deterministic_across_builders() {
+        let mk = || {
+            let mut b = GraphBuilder::new("t");
+            b.weight("w", vec![4, 4], Init::Uniform(0.1));
+            b.graph_mut().initializers["w_0"].clone()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn uniform_weights_are_in_range_and_not_constant() {
+        let mut b = GraphBuilder::new("t");
+        b.weight("w", vec![64], Init::Uniform(0.05));
+        let data = b.graph_mut().initializers["w_0"].as_f32().unwrap().to_vec();
+        assert!(data.iter().all(|v| v.abs() <= 0.05));
+        assert!(data.iter().any(|v| *v != data[0]));
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let mut b = GraphBuilder::new("t");
+        let a = b.fresh("n");
+        let c = b.fresh("n");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn finish_rejects_invalid_graphs() {
+        let mut b = GraphBuilder::new("bad");
+        b.op("r", OpKind::Relu, vec!["ghost".into()]);
+        assert!(b.finish().is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Graphviz (DOT) export, used to render the paper's dataflow-graph figures
+//! (Figs. 1–9) from our graphs, optionally colored by cluster assignment.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Palette used to color clusters (cycled when there are more clusters).
+const PALETTE: &[&str] = &[
+    "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+];
+
+/// Render the graph as DOT. `cluster_of` optionally maps node id → cluster
+/// index; nodes in the same cluster share a fill color.
+pub fn to_dot(graph: &Graph, cluster_of: Option<&HashMap<NodeId, usize>>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", graph.name);
+    let _ = writeln!(s, "  rankdir=TB; node [shape=box, style=filled, fontname=\"Helvetica\"];");
+    for n in &graph.nodes {
+        let color = cluster_of
+            .and_then(|m| m.get(&n.id))
+            .map(|&c| PALETTE[c % PALETTE.len()])
+            .unwrap_or("#ffffff");
+        let cluster_tag = cluster_of
+            .and_then(|m| m.get(&n.id))
+            .map(|c| format!("\\nC{c}"))
+            .unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "  n{} [label=\"{}\\n{}{}\", fillcolor=\"{}\"];",
+            n.id,
+            n.name,
+            n.op.name(),
+            cluster_tag,
+            color
+        );
+    }
+    for (src, dst, tensor) in graph.edges() {
+        let _ = writeln!(s, "  n{src} -> n{dst} [label=\"{tensor}\", fontsize=8];");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TensorInfo;
+    use crate::op::{DType, OpKind};
+
+    #[test]
+    fn dot_contains_nodes_edges_and_colors() {
+        let mut g = Graph::new("g");
+        g.inputs.push(TensorInfo::new("x", DType::F32, vec![1]));
+        g.push_node("a", OpKind::Relu, vec!["x".into()], vec!["y".into()]);
+        g.push_node("b", OpKind::Sigmoid, vec!["y".into()], vec!["z".into()]);
+        g.outputs.push("z".into());
+
+        let plain = to_dot(&g, None);
+        assert!(plain.contains("digraph \"g\""));
+        assert!(plain.contains("n0 -> n1"));
+        assert!(plain.contains("Relu"));
+
+        let mut clusters = HashMap::new();
+        clusters.insert(0usize, 0usize);
+        clusters.insert(1usize, 1usize);
+        let colored = to_dot(&g, Some(&clusters));
+        assert!(colored.contains("C0"));
+        assert!(colored.contains("C1"));
+        assert!(colored.contains(PALETTE[0]));
+    }
+}

@@ -1,0 +1,87 @@
+//! On-disk model format: JSON serialization of a whole [`Graph`].
+//!
+//! This plays the role ONNX files play for the paper's tool — a frozen,
+//! self-contained model (topology + weights) that the pipeline ingests.
+
+use crate::error::IrError;
+use crate::graph::Graph;
+use crate::Result;
+use std::path::Path;
+
+/// Serialize a graph to a JSON string.
+pub fn to_json(graph: &Graph) -> Result<String> {
+    serde_json::to_string(graph).map_err(|e| IrError::Serde(e.to_string()))
+}
+
+/// Deserialize a graph from a JSON string (no validation; call
+/// [`crate::validate::validate`] if the source is untrusted).
+pub fn from_json(json: &str) -> Result<Graph> {
+    serde_json::from_str(json).map_err(|e| IrError::Serde(e.to_string()))
+}
+
+/// Write a graph to disk; `.json` paths get the JSON encoding, everything
+/// else the human-readable text format from [`crate::text_format`].
+pub fn save(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let body = if path.extension().is_some_and(|e| e == "json") {
+        to_json(graph)?
+    } else {
+        crate::text_format::to_text(graph)
+    };
+    std::fs::write(path, body).map_err(|e| IrError::Serde(e.to_string()))
+}
+
+/// Read a graph from disk, auto-detecting the encoding: JSON if the content
+/// starts with `{`, the text format otherwise.
+pub fn load(path: impl AsRef<Path>) -> Result<Graph> {
+    let body = std::fs::read_to_string(path).map_err(|e| IrError::Serde(e.to_string()))?;
+    if body.trim_start().starts_with('{') {
+        from_json(&body)
+    } else {
+        crate::text_format::from_text(&body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::op::{DType, OpKind};
+
+    #[test]
+    fn json_roundtrip_preserves_graph() {
+        let mut b = GraphBuilder::new("rt");
+        let x = b.input("x", DType::F32, vec![1, 3, 8, 8]);
+        let y = b.conv_relu(&x, 3, 4, 3, 1, 1);
+        let z = b.op("gap", OpKind::GlobalAveragePool, vec![y]);
+        b.output(&z);
+        let g = b.finish().unwrap();
+
+        let json = to_json(&g).unwrap();
+        let g2 = from_json(&json).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn bad_json_is_a_serde_error() {
+        assert!(matches!(from_json("{not json"), Err(IrError::Serde(_))));
+    }
+
+    #[test]
+    fn save_load_roundtrips_both_encodings() {
+        let mut b = GraphBuilder::new("enc");
+        let x = b.input("x", DType::F32, vec![1, 3, 4, 4]);
+        let y = b.conv_relu(&x, 3, 2, 3, 1, 1);
+        b.output(&y);
+        let g = b.finish().unwrap();
+        let dir = std::env::temp_dir();
+        let json_path = dir.join(format!("ramiel_mf_{}.json", std::process::id()));
+        let text_path = dir.join(format!("ramiel_mf_{}.rmodel", std::process::id()));
+        save(&g, &json_path).unwrap();
+        save(&g, &text_path).unwrap();
+        assert_eq!(load(&json_path).unwrap(), g);
+        assert_eq!(load(&text_path).unwrap(), g);
+        std::fs::remove_file(json_path).ok();
+        std::fs::remove_file(text_path).ok();
+    }
+}

@@ -1,0 +1,152 @@
+//! Structural well-formedness checks for graphs.
+//!
+//! Every model generator and every transformation pass is expected to leave
+//! the graph in a state where [`validate`] succeeds; the integration tests
+//! enforce this after each pipeline stage.
+
+use crate::error::IrError;
+use crate::graph::Graph;
+use crate::topo::topo_sort;
+use crate::Result;
+use std::collections::HashSet;
+
+/// Check that a graph is structurally sound:
+///
+/// 1. every tensor has exactly one definition (node output, graph input, or
+///    initializer);
+/// 2. every node input and every graph output refers to a defined tensor;
+/// 3. node ids match their position;
+/// 4. node names are unique (codegen requires this);
+/// 5. the graph is acyclic;
+/// 6. every node has the right number of outputs for its operator.
+pub fn validate(graph: &Graph) -> Result<()> {
+    let mut defined: HashSet<&str> = HashSet::new();
+    for inp in &graph.inputs {
+        if !defined.insert(&inp.name) {
+            return Err(IrError::DuplicateTensor(inp.name.clone()));
+        }
+    }
+    for name in graph.initializers.keys() {
+        if !defined.insert(name) {
+            return Err(IrError::DuplicateTensor(name.clone()));
+        }
+    }
+    let mut names: HashSet<&str> = HashSet::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if node.id != i {
+            return Err(IrError::Invalid(format!(
+                "node `{}` has id {} but sits at index {i}",
+                node.name, node.id
+            )));
+        }
+        if !names.insert(&node.name) {
+            return Err(IrError::Invalid(format!(
+                "duplicate node name `{}`",
+                node.name
+            )));
+        }
+        if node.outputs.len() != node.op.num_outputs() {
+            return Err(IrError::Invalid(format!(
+                "node `{}` ({}) must produce {} outputs, has {}",
+                node.name,
+                node.op.name(),
+                node.op.num_outputs(),
+                node.outputs.len()
+            )));
+        }
+        for out in &node.outputs {
+            // A `Constant` node's payload lives in the initializer table
+            // under its output name by design — that pairing is the one
+            // permitted "double definition".
+            let constant_payload =
+                matches!(node.op, crate::op::OpKind::Constant) && graph.is_initializer(out);
+            if !defined.insert(out) && !constant_payload {
+                return Err(IrError::DuplicateTensor(out.clone()));
+            }
+        }
+    }
+    for node in &graph.nodes {
+        for inp in &node.inputs {
+            if !defined.contains(inp.as_str()) {
+                return Err(IrError::UnknownTensor(inp.clone()));
+            }
+        }
+    }
+    for out in &graph.outputs {
+        if !defined.contains(out.as_str()) {
+            return Err(IrError::UnknownTensor(out.clone()));
+        }
+    }
+    topo_sort(graph)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TensorInfo;
+    use crate::op::{DType, OpKind};
+
+    fn ok_graph() -> Graph {
+        let mut g = Graph::new("ok");
+        g.inputs.push(TensorInfo::new("x", DType::F32, vec![1]));
+        g.push_node("a", OpKind::Relu, vec!["x".into()], vec!["y".into()]);
+        g.outputs.push("y".into());
+        g
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        validate(&ok_graph()).unwrap();
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut g = ok_graph();
+        g.nodes[0].inputs[0] = "ghost".into();
+        assert!(matches!(validate(&g), Err(IrError::UnknownTensor(t)) if t == "ghost"));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let mut g = ok_graph();
+        g.push_node("b", OpKind::Relu, vec!["x".into()], vec!["y".into()]);
+        assert!(matches!(validate(&g), Err(IrError::DuplicateTensor(_))));
+    }
+
+    #[test]
+    fn duplicate_node_name_rejected() {
+        let mut g = ok_graph();
+        g.push_node("a", OpKind::Relu, vec!["y".into()], vec!["z".into()]);
+        assert!(matches!(validate(&g), Err(IrError::Invalid(_))));
+    }
+
+    #[test]
+    fn unknown_graph_output_rejected() {
+        let mut g = ok_graph();
+        g.outputs.push("ghost".into());
+        assert!(matches!(validate(&g), Err(IrError::UnknownTensor(_))));
+    }
+
+    #[test]
+    fn bad_node_id_rejected() {
+        let mut g = ok_graph();
+        g.nodes[0].id = 7;
+        assert!(matches!(validate(&g), Err(IrError::Invalid(_))));
+    }
+
+    #[test]
+    fn split_arity_enforced() {
+        let mut g = ok_graph();
+        g.push_node(
+            "s",
+            OpKind::Split {
+                axis: 0,
+                parts: vec![1, 1],
+            },
+            vec!["y".into()],
+            vec!["s0".into()], // should be two outputs
+        );
+        assert!(matches!(validate(&g), Err(IrError::Invalid(_))));
+    }
+}

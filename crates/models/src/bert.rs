@@ -1,0 +1,244 @@
+//! BERT encoder, as an ONNX exporter sees it (Fig. 3).
+//!
+//! Every transformer layer carries the exporter's *decomposed* forms:
+//! LayerNorm as `ReduceMean → Sub → Mul → ReduceMean → Add → Sqrt → Div →
+//! Mul → Add`, GELU as `Div → Erf → Add → Mul → Mul`, and the head
+//! split/merge reshapes as `Shape → Gather → Concat → Reshape` chains. The
+//! repeated MHA subgraph "hanging off one node" is exactly the structure the
+//! paper notes lends itself to constant propagation and DCE.
+//!
+//! Paper node count: 963 for the zoo export; ours lands ≈800 with 12 layers
+//! (the export also decomposes a few ops we keep fused, e.g. bias packing).
+
+use crate::common::exporter_reshape;
+use crate::ModelConfig;
+use ramiel_ir::{DType, Graph, GraphBuilder, OpKind};
+
+/// Decomposed layer normalization: 9 nodes.
+fn layer_norm_decomposed(b: &mut GraphBuilder, x: &str, hidden: usize) -> String {
+    let mean = b.op(
+        "ln_mean",
+        OpKind::ReduceMean {
+            axes: vec![-1],
+            keepdims: true,
+        },
+        vec![x.to_string()],
+    );
+    let centered = b.op("ln_sub", OpKind::Sub, vec![x.to_string(), mean]);
+    let sq = b.op("ln_sq", OpKind::Mul, vec![centered.clone(), centered.clone()]);
+    let var = b.op(
+        "ln_var",
+        OpKind::ReduceMean {
+            axes: vec![-1],
+            keepdims: true,
+        },
+        vec![sq],
+    );
+    let eps = b.const_scalar("ln_eps", 1e-12);
+    let var_eps = b.op("ln_addeps", OpKind::Add, vec![var, eps]);
+    let std = b.op("ln_sqrt", OpKind::Sqrt, vec![var_eps]);
+    let normed = b.op("ln_div", OpKind::Div, vec![centered, std]);
+    let gamma = b.weight("ln_g", vec![hidden], ramiel_ir::builder::Init::Const(1.0));
+    let scaled = b.op("ln_scale", OpKind::Mul, vec![normed, gamma]);
+    let beta = b.weight("ln_b", vec![hidden], ramiel_ir::builder::Init::Const(0.0));
+    b.op("ln_shift", OpKind::Add, vec![scaled, beta])
+}
+
+/// Decomposed GELU: 5 nodes.
+fn gelu_decomposed(b: &mut GraphBuilder, x: &str) -> String {
+    let sqrt2 = b.const_scalar("g_sqrt2", std::f32::consts::SQRT_2);
+    let scaled = b.op("g_div", OpKind::Div, vec![x.to_string(), sqrt2]);
+    let erf = b.op("g_erf", OpKind::Erf, vec![scaled]);
+    let one = b.const_scalar("g_one", 1.0);
+    let shifted = b.op("g_add", OpKind::Add, vec![erf, one]);
+    let prod = b.op("g_mul", OpKind::Mul, vec![x.to_string(), shifted]);
+    let half = b.const_scalar("g_half", 0.5);
+    b.op("g_scale", OpKind::Mul, vec![prod, half])
+}
+
+/// Dense projection: `MatMul(x, W) + bias` (2 nodes).
+fn dense(b: &mut GraphBuilder, x: &str, din: usize, dout: usize) -> String {
+    let w = b.weight("w", vec![din, dout], ramiel_ir::builder::Init::Uniform(0.05));
+    let mm = b.op("mm", OpKind::MatMul, vec![x.to_string(), w]);
+    let bias = b.weight("bias", vec![dout], ramiel_ir::builder::Init::Uniform(0.05));
+    b.op("badd", OpKind::Add, vec![mm, bias])
+}
+
+/// Split `[B, S, H]` into heads `[B, nh, S, dh]` via the exporter chain.
+fn split_heads(b: &mut GraphBuilder, x: &str, seq: usize, heads: usize, dh: usize) -> String {
+    let rs = exporter_reshape(b, x, &[0, seq as i64, heads as i64, dh as i64], &[0]);
+    b.op(
+        "perm",
+        OpKind::Transpose {
+            perm: vec![0, 2, 1, 3],
+        },
+        vec![rs],
+    )
+}
+
+/// One transformer encoder layer.
+#[allow(clippy::too_many_arguments)]
+fn encoder_layer(
+    b: &mut GraphBuilder,
+    x: &str,
+    mask_bias: &str,
+    hidden: usize,
+    heads: usize,
+    seq: usize,
+) -> String {
+    let dh = hidden / heads;
+    let q = dense(b, x, hidden, hidden);
+    let k = dense(b, x, hidden, hidden);
+    let v = dense(b, x, hidden, hidden);
+    let qh = split_heads(b, &q, seq, heads, dh);
+    let kh = split_heads(b, &k, seq, heads, dh);
+    let vh = split_heads(b, &v, seq, heads, dh);
+    let kt = b.op(
+        "kt",
+        OpKind::Transpose {
+            perm: vec![0, 1, 3, 2],
+        },
+        vec![kh],
+    );
+    let scores = b.op("qk", OpKind::MatMul, vec![qh, kt]);
+    let scale = b.const_scalar("scale", (dh as f32).sqrt());
+    let scaled = b.op("qk_scale", OpKind::Div, vec![scores, scale]);
+    let masked = b.op("qk_mask", OpKind::Add, vec![scaled, mask_bias.to_string()]);
+    let probs = b.op("attn", OpKind::Softmax { axis: -1 }, vec![masked]);
+    let ctx = b.op("av", OpKind::MatMul, vec![probs, vh]);
+    let merged = b.op(
+        "unperm",
+        OpKind::Transpose {
+            perm: vec![0, 2, 1, 3],
+        },
+        vec![ctx],
+    );
+    let flat = exporter_reshape(b, &merged, &[0, seq as i64, hidden as i64], &[0]);
+    let attn_out = dense(b, &flat, hidden, hidden);
+    let res1 = b.op("res1", OpKind::Add, vec![x.to_string(), attn_out]);
+    let ln1 = layer_norm_decomposed(b, &res1, hidden);
+
+    let ffn1 = dense(b, &ln1, hidden, 4 * hidden);
+    let act = gelu_decomposed(b, &ffn1);
+    let ffn2 = dense(b, &act, 4 * hidden, hidden);
+    let res2 = b.op("res2", OpKind::Add, vec![ln1, ffn2]);
+    layer_norm_decomposed(b, &res2, hidden)
+}
+
+/// Build the BERT encoder.
+pub fn build(cfg: &ModelConfig) -> Graph {
+    let hidden = cfg.hidden;
+    let heads = (hidden / 16).max(1);
+    let seq = cfg.seq_len;
+    let vocab = 128;
+    let layers = cfg.repeats(12);
+    let mut b = GraphBuilder::new("BERT");
+
+    let ids = b.input("input_ids", DType::I64, vec![cfg.batch, seq]);
+    let mask = b.input("attention_mask", DType::F32, vec![cfg.batch, seq]);
+
+    // embeddings: word gather + position add + decomposed LN
+    let word_emb = b.weight(
+        "word_emb",
+        vec![vocab, hidden],
+        ramiel_ir::builder::Init::Uniform(0.05),
+    );
+    let we = b.op("word", OpKind::Gather { axis: 0 }, vec![word_emb, ids]);
+    let pos_emb = b.weight(
+        "pos_emb",
+        vec![seq, hidden],
+        ramiel_ir::builder::Init::Uniform(0.05),
+    );
+    let emb = b.op("embed", OpKind::Add, vec![we, pos_emb]);
+    let mut t = layer_norm_decomposed(&mut b, &emb, hidden);
+
+    // attention-mask bias: (1 − mask) · −10000, broadcast over heads
+    let m1 = b.op(
+        "mask_u",
+        OpKind::Unsqueeze { axes: vec![1, 2] },
+        vec![mask],
+    );
+    let one = b.const_scalar("one", 1.0);
+    let inv = b.op("mask_inv", OpKind::Sub, vec![one, m1]);
+    let neg = b.const_scalar("neg", -10000.0);
+    let mask_bias = b.op("mask_bias", OpKind::Mul, vec![inv, neg]);
+
+    for _ in 0..layers {
+        t = encoder_layer(&mut b, &t, &mask_bias, hidden, heads, seq);
+    }
+
+    // pooler: first token → dense → tanh
+    let first = b.op(
+        "cls",
+        OpKind::Slice {
+            axes: vec![1],
+            starts: vec![0],
+            ends: vec![1],
+            steps: vec![1],
+        },
+        vec![t.clone()],
+    );
+    let flat = b.op("cls_flat", OpKind::Flatten { axis: 1 }, vec![first]);
+    let pooled = b.linear(&flat, hidden, hidden);
+    let out = b.op("pool_tanh", OpKind::Tanh, vec![pooled]);
+    b.output(&t);
+    b.output(&out);
+    b.finish().expect("BERT must build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_near_paper() {
+        let g = build(&ModelConfig::full());
+        assert!(
+            (700..=1000).contains(&g.num_nodes()),
+            "BERT has {} nodes, expected ≈963",
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn repeated_mha_structure() {
+        let g = build(&ModelConfig::full());
+        let softmaxes = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Softmax { .. }))
+            .count();
+        assert_eq!(softmaxes, 12, "one attention softmax per layer");
+        let erfs = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Erf))
+            .count();
+        assert_eq!(erfs, 12, "one decomposed GELU per layer");
+    }
+
+    #[test]
+    fn exporter_chains_fold_statically() {
+        let g = build(&ModelConfig::tiny());
+        // shape inference succeeded (finish() ran), so every reshape chain
+        // resolved; check the chains exist for CP+DCE to prune
+        let shape_nodes = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Shape))
+            .count();
+        assert!(shape_nodes >= 4);
+    }
+
+    #[test]
+    fn sequence_and_pooled_outputs() {
+        let cfg = ModelConfig::tiny();
+        let g = build(&cfg);
+        assert_eq!(g.outputs.len(), 2);
+        let seq_out = &g.outputs[0];
+        assert_eq!(
+            g.value_info[seq_out].shape,
+            vec![cfg.batch, cfg.seq_len, cfg.hidden]
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Layer helpers shared by the model generators.
+
+use ramiel_ir::{GraphBuilder, OpKind, PoolSpec, TensorData};
+
+/// `Conv (no bias) → BatchNorm → Relu` — the ResNet/Inception workhorse.
+pub fn conv_bn_relu(
+    b: &mut GraphBuilder,
+    x: &str,
+    cin: usize,
+    cout: usize,
+    kernel: (usize, usize),
+    stride: usize,
+    pads: (usize, usize),
+) -> String {
+    let c = b.conv(x, cin, cout, kernel, (stride, stride), pads, 1);
+    let n = b.batch_norm(&c, cout);
+    b.op("relu", OpKind::Relu, vec![n])
+}
+
+/// `Conv → Sigmoid → Mul` — SiLU activation as ONNX exporters emit it for
+/// YOLO v5.
+pub fn conv_silu(
+    b: &mut GraphBuilder,
+    x: &str,
+    cin: usize,
+    cout: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> String {
+    let c = b.conv(x, cin, cout, (k, k), (stride, stride), (pad, pad), 1);
+    let s = b.op("sig", OpKind::Sigmoid, vec![c.clone()]);
+    b.op("silu", OpKind::Mul, vec![c, s])
+}
+
+/// Max pool with a square kernel.
+pub fn max_pool(b: &mut GraphBuilder, x: &str, k: usize, stride: usize, pad: usize) -> String {
+    b.op(
+        "maxpool",
+        OpKind::MaxPool(PoolSpec {
+            kernel: (k, k),
+            stride: (stride, stride),
+            pads: (pad, pad),
+            ceil_mode: false,
+        }),
+        vec![x.to_string()],
+    )
+}
+
+/// Average pool with a square kernel.
+pub fn avg_pool(b: &mut GraphBuilder, x: &str, k: usize, stride: usize, pad: usize) -> String {
+    b.op(
+        "avgpool",
+        OpKind::AveragePool(PoolSpec {
+            kernel: (k, k),
+            stride: (stride, stride),
+            pads: (pad, pad),
+            ceil_mode: false,
+        }),
+        vec![x.to_string()],
+    )
+}
+
+/// Concat along the channel axis.
+pub fn concat_channels(b: &mut GraphBuilder, inputs: Vec<String>) -> String {
+    b.op("concat", OpKind::Concat { axis: 1 }, inputs)
+}
+
+/// Classifier head: `GlobalAveragePool → Flatten → Gemm → Softmax`.
+pub fn classifier_head(b: &mut GraphBuilder, x: &str, cin: usize, classes: usize) -> String {
+    let gap = b.op("gap", OpKind::GlobalAveragePool, vec![x.to_string()]);
+    let fl = b.op("flatten", OpKind::Flatten { axis: 1 }, vec![gap]);
+    let fc = b.linear(&fl, cin, classes);
+    b.op("softmax", OpKind::Softmax { axis: -1 }, vec![fc])
+}
+
+/// The ONNX-exporter reshape idiom: recompute part of the target shape at
+/// "runtime" through `Shape → Gather → Unsqueeze → Concat` and feed it to
+/// `Reshape`. Statically the result equals `Reshape(x, target)`, but the
+/// chain only disappears after constant propagation + DCE — exactly the
+/// structure the paper prunes in YOLO/BERT/NASNet (Table III).
+///
+/// `dynamic_axes` selects which entries of `target` are recomputed from the
+/// input's shape (by axis index); the rest are embedded as constants.
+pub fn exporter_reshape(
+    b: &mut GraphBuilder,
+    x: &str,
+    target: &[i64],
+    dynamic_axes: &[usize],
+) -> String {
+    let shape = b.op("shape", OpKind::Shape, vec![x.to_string()]);
+    let mut parts: Vec<String> = Vec::with_capacity(target.len());
+    for (i, &d) in target.iter().enumerate() {
+        if dynamic_axes.contains(&i) {
+            let idx = b.const_i64("sidx", vec![i as i64]);
+            let g = b.op("gather", OpKind::Gather { axis: 0 }, vec![shape.clone(), idx]);
+            parts.push(g);
+        } else {
+            let name = b.fresh("sdim");
+            b.init(&name, TensorData::vec_i64(vec![d]));
+            parts.push(name);
+        }
+    }
+    let spec = b.op("shapecat", OpKind::Concat { axis: 0 }, parts);
+    b.op("reshape", OpKind::Reshape, vec![x.to_string(), spec])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_ir::DType;
+
+    #[test]
+    fn conv_bn_relu_shapes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![1, 3, 8, 8]);
+        let y = conv_bn_relu(&mut b, &x, 3, 16, (3, 3), 2, (1, 1));
+        b.output(&y);
+        let g = b.finish().unwrap();
+        assert_eq!(g.value_info[&y].shape, vec![1, 16, 4, 4]);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn conv_silu_is_three_nodes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![1, 4, 8, 8]);
+        let y = conv_silu(&mut b, &x, 4, 8, 3, 1, 1);
+        b.output(&y);
+        let g = b.finish().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.value_info[&y].shape, vec![1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn exporter_reshape_resolves_statically() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![2, 4, 4]);
+        let y = exporter_reshape(&mut b, &x, &[0, -1], &[0]);
+        b.output(&y);
+        let g = b.finish().unwrap();
+        assert_eq!(g.value_info[&y].shape, vec![2, 16]);
+        // the chain really exists (Shape + Gather + Concat + Reshape)
+        assert!(g.nodes.iter().any(|n| matches!(n.op, OpKind::Shape)));
+        assert!(g.nodes.iter().any(|n| matches!(n.op, OpKind::Gather { .. })));
+    }
+
+    #[test]
+    fn classifier_head_is_four_nodes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![1, 8, 4, 4]);
+        let y = classifier_head(&mut b, &x, 8, 10);
+        b.output(&y);
+        let g = b.finish().unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.value_info[&y].shape, vec![1, 10]);
+    }
+}

@@ -1,0 +1,211 @@
+//! # ramiel-models
+//!
+//! Programmatic generators for the eight models the paper evaluates:
+//! SqueezeNet, GoogleNet, Inception V3, Inception V4, YOLO v5, BERT,
+//! RetinaNet and NASNet.
+//!
+//! The paper pulls frozen ONNX exports of these models from the PyTorch /
+//! HuggingFace / ONNX model zoos. We rebuild the same *graph structures*
+//! directly in the IR: the fork-join fire modules of SqueezeNet, the
+//! four-branch inception blocks, YOLO's CSP blocks with SiLU (each
+//! `Conv → Sigmoid → Mul`), BERT's multi-headed attention stacks with the
+//! exporter's decomposed LayerNorm/GELU and `Shape → Gather → Concat →
+//! Reshape` chains, RetinaNet's ResNet-50 + FPN + shared heads, and NASNet's
+//! wide many-branch cells. Tensor sizes are scaled down (the
+//! [`ModelConfig`] width/spatial knobs) so real execution is fast; all of
+//! the clustering results depend only on topology and the static cost
+//! model, which are preserved.
+
+pub mod bert;
+pub mod common;
+pub mod googlenet;
+pub mod inception;
+pub mod nasnet;
+pub mod retinanet;
+pub mod squeezenet;
+pub mod synthetic;
+pub mod yolo;
+
+use ramiel_ir::Graph;
+
+/// The eight evaluation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    Squeezenet,
+    Googlenet,
+    InceptionV3,
+    InceptionV4,
+    YoloV5,
+    Bert,
+    Retinanet,
+    NasNet,
+}
+
+impl ModelKind {
+    /// All models, in the paper's Table I order.
+    pub fn all() -> [ModelKind; 8] {
+        [
+            ModelKind::Squeezenet,
+            ModelKind::Googlenet,
+            ModelKind::InceptionV3,
+            ModelKind::InceptionV4,
+            ModelKind::YoloV5,
+            ModelKind::Retinanet,
+            ModelKind::Bert,
+            ModelKind::NasNet,
+        ]
+    }
+
+    /// Display name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Squeezenet => "Squeezenet",
+            ModelKind::Googlenet => "Googlenet",
+            ModelKind::InceptionV3 => "Inception V3",
+            ModelKind::InceptionV4 => "Inception V4",
+            ModelKind::YoloV5 => "Yolo V5",
+            ModelKind::Bert => "BERT",
+            ModelKind::Retinanet => "Retinanet",
+            ModelKind::NasNet => "NASNet",
+        }
+    }
+}
+
+/// Size knobs for model instantiation.
+///
+/// `width` scales channel counts and `spatial` the input resolution; both
+/// only affect tensor sizes, never graph topology, so the clustering tables
+/// are invariant to them. `full()` uses the paper-faithful block counts;
+/// `tiny()` shrinks *block counts* too, for fast unit tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Inference batch size (the hyperclustering experiments use 2–12).
+    pub batch: usize,
+    /// Base channel width for vision models.
+    pub width: usize,
+    /// Input spatial resolution (H = W) for vision models.
+    pub spatial: usize,
+    /// Transformer hidden size (BERT).
+    pub hidden: usize,
+    /// Transformer sequence length (BERT).
+    pub seq_len: usize,
+    /// Repeated-block count multiplier in percent (100 = paper-faithful).
+    pub depth_pct: usize,
+}
+
+impl ModelConfig {
+    /// Paper-faithful topology at benchmark-friendly tensor sizes.
+    pub fn full() -> Self {
+        ModelConfig {
+            batch: 1,
+            width: 8,
+            spatial: 32,
+            hidden: 64,
+            seq_len: 32,
+            depth_pct: 100,
+        }
+    }
+
+    /// Reduced block counts for fast unit tests.
+    pub fn tiny() -> Self {
+        ModelConfig {
+            batch: 1,
+            width: 4,
+            spatial: 16,
+            hidden: 16,
+            seq_len: 8,
+            depth_pct: 25,
+        }
+    }
+
+    /// Same topology with a different batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Scale a paper-faithful repeat count by `depth_pct` (min 1).
+    pub fn repeats(&self, paper_count: usize) -> usize {
+        ((paper_count * self.depth_pct) / 100).max(1)
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig::full()
+    }
+}
+
+/// Operator histogram of a graph: (op name, count), sorted by count.
+pub fn op_histogram(graph: &Graph) -> Vec<(&'static str, usize)> {
+    let mut counts: std::collections::HashMap<&'static str, usize> =
+        std::collections::HashMap::new();
+    for n in &graph.nodes {
+        *counts.entry(n.op.name()).or_default() += 1;
+    }
+    let mut out: Vec<(&'static str, usize)> = counts.into_iter().collect();
+    out.sort_by_key(|&(name, count)| (std::cmp::Reverse(count), name));
+    out
+}
+
+/// Build a model graph.
+pub fn build(kind: ModelKind, cfg: &ModelConfig) -> Graph {
+    match kind {
+        ModelKind::Squeezenet => squeezenet::build(cfg),
+        ModelKind::Googlenet => googlenet::build(cfg),
+        ModelKind::InceptionV3 => inception::build_v3(cfg),
+        ModelKind::InceptionV4 => inception::build_v4(cfg),
+        ModelKind::YoloV5 => yolo::build(cfg),
+        ModelKind::Bert => bert::build(cfg),
+        ModelKind::Retinanet => retinanet::build(cfg),
+        ModelKind::NasNet => nasnet::build(cfg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_ir::validate::validate;
+
+    #[test]
+    fn all_models_build_and_validate_at_tiny_scale() {
+        let cfg = ModelConfig::tiny();
+        for kind in ModelKind::all() {
+            let g = build(kind, &cfg);
+            validate(&g).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert!(g.num_nodes() > 3, "{} suspiciously small", kind.name());
+        }
+    }
+
+    #[test]
+    fn batch_size_propagates_to_inputs() {
+        let g1 = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let g4 = build(ModelKind::Squeezenet, &ModelConfig::tiny().with_batch(4));
+        assert_eq!(g1.inputs[0].shape[0], 1);
+        assert_eq!(g4.inputs[0].shape[0], 4);
+        // topology identical
+        assert_eq!(g1.num_nodes(), g4.num_nodes());
+    }
+
+    #[test]
+    fn op_histogram_counts_everything() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let hist = op_histogram(&g);
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, g.num_nodes());
+        // conv-dominated model: Conv or Relu leads the histogram
+        assert!(matches!(hist[0].0, "Conv" | "Relu"));
+        // sorted by descending count
+        assert!(hist.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn depth_scaling_keeps_min_one() {
+        let cfg = ModelConfig {
+            depth_pct: 1,
+            ..ModelConfig::tiny()
+        };
+        assert_eq!(cfg.repeats(8), 1);
+        assert_eq!(ModelConfig::full().repeats(8), 8);
+    }
+}

@@ -1,0 +1,148 @@
+//! NASNet: the biggest, most parallel graph in the evaluation (Fig. 4).
+//!
+//! Each cell combines its two input states through five independent branch
+//! pairs (separable convolutions, pools, identities) whose results are
+//! summed pairwise and concatenated — a huge fan-out that yields the 3.7×
+//! potential parallelism of Table I. Cells also carry the exporter's
+//! shape-computation chains (`Shape`/`Gather`/`Reshape`), the "simpler
+//! operations like slice, gather and reshape" the paper calls out, and the
+//! raw material for its NASNet constant-propagation win (67 → 9 clusters in
+//! Table III).
+//!
+//! Paper node count: 1426 (Table I).
+
+use crate::common::{avg_pool, classifier_head, concat_channels, exporter_reshape, max_pool};
+use crate::ModelConfig;
+use ramiel_ir::{DType, Graph, GraphBuilder, OpKind};
+
+/// Separable convolution: `Relu → depthwise Conv → pointwise Conv → BN`
+/// (4 nodes).
+fn sep_conv(b: &mut GraphBuilder, x: &str, c: usize, k: usize) -> String {
+    let r = b.op("sep_relu", OpKind::Relu, vec![x.to_string()]);
+    let dw = b.conv(&r, c, c, (k, k), (1, 1), (k / 2, k / 2), c);
+    let pw = b.conv(&dw, c, c, (1, 1), (1, 1), (0, 0), 1);
+    b.batch_norm(&pw, c)
+}
+
+/// One branch of a combination.
+#[derive(Clone, Copy)]
+enum Branch {
+    Sep3,
+    Sep5,
+    Avg3,
+    Max3,
+    Id,
+}
+
+fn apply(b: &mut GraphBuilder, branch: Branch, x: &str, c: usize) -> String {
+    match branch {
+        Branch::Sep3 => sep_conv(b, x, c, 3),
+        Branch::Sep5 => sep_conv(b, x, c, 5),
+        Branch::Avg3 => avg_pool(b, x, 3, 1, 1),
+        Branch::Max3 => max_pool(b, x, 3, 1, 1),
+        Branch::Id => b.op("id", OpKind::Identity, vec![x.to_string()]),
+    }
+}
+
+/// NASNet-A-style normal cell. Five branch pairs over (prev, cur), pairwise
+/// summed, concatenated; channel-adjusting 1×1 convs on both inputs; plus an
+/// exporter shape chain on the output.
+fn cell(
+    b: &mut GraphBuilder,
+    prev: &str,
+    prev_c: usize,
+    cur: &str,
+    cur_c: usize,
+    c: usize,
+) -> (String, usize) {
+    let p = b.conv_relu(prev, prev_c, c, 1, 1, 0);
+    let h = b.conv_relu(cur, cur_c, c, 1, 1, 0);
+    // (left branch, right branch, left input is prev?)
+    let combos: [(Branch, Branch, bool); 5] = [
+        (Branch::Sep3, Branch::Sep5, false),
+        (Branch::Sep5, Branch::Sep3, true),
+        (Branch::Sep3, Branch::Sep3, true),
+        (Branch::Avg3, Branch::Id, false),
+        (Branch::Max3, Branch::Sep5, true),
+    ];
+    let mut outs = Vec::with_capacity(5);
+    for (l, r, left_prev) in combos {
+        let li = if left_prev { &p } else { &h };
+        let lo = apply(b, l, li, c);
+        let ro = apply(b, r, &h, c);
+        outs.push(b.op("combine", OpKind::Add, vec![lo, ro]));
+    }
+    let cat = concat_channels(b, outs);
+    // exporter chain: identity reshape recomputing all four dims
+    let shaped = exporter_reshape(b, &cat, &[0, 0, 0, 0], &[0, 1, 2, 3]);
+    (shaped, 5 * c)
+}
+
+/// Build NASNet.
+pub fn build(cfg: &ModelConfig) -> Graph {
+    let c = cfg.width;
+    let mut b = GraphBuilder::new("NASNet");
+    // NASNet runs at reduced resolution to keep its 1400-node graph cheap.
+    let spatial = (cfg.spatial / 2).max(8);
+    let x = b.input("input", DType::F32, vec![cfg.batch, 3, spatial, spatial]);
+
+    let stem = b.conv_relu(&x, 3, c, 3, 1, 1);
+    let mut prev = stem.clone();
+    let mut prev_c = c;
+    let mut cur = stem;
+    let mut cur_c = c;
+
+    let cells = cfg.repeats(28);
+    let reduction_every = 8;
+    for i in 0..cells {
+        if i > 0 && i % reduction_every == 0 && spatial >> (i / reduction_every) >= 2 {
+            // reduction: halve both streams so they stay aligned
+            prev = max_pool(&mut b, &prev, 3, 2, 1);
+            cur = max_pool(&mut b, &cur, 3, 2, 1);
+        }
+        let (next, next_c) = cell(&mut b, &prev, prev_c, &cur, cur_c, c);
+        prev = cur;
+        prev_c = cur_c;
+        cur = next;
+        cur_c = next_c;
+    }
+
+    let out = classifier_head(&mut b, &cur, cur_c, 10);
+    b.output(&out);
+    b.finish().expect("NASNet must build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_matches_paper() {
+        let g = build(&ModelConfig::full());
+        assert!(
+            (1250..=1600).contains(&g.num_nodes()),
+            "NASNet has {} nodes, expected ≈1426",
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn wide_fanout_present() {
+        let g = build(&ModelConfig::tiny());
+        let adj = g.adjacency();
+        let max_fanout = adj.succs.iter().map(|s| s.len()).max().unwrap();
+        assert!(max_fanout >= 5, "cell inputs must feed ≥5 branches");
+    }
+
+    #[test]
+    fn shape_chains_per_cell() {
+        let cfg = ModelConfig::full();
+        let g = build(&cfg);
+        let shapes = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Shape))
+            .count();
+        assert_eq!(shapes, cfg.repeats(28), "one exporter chain per cell");
+    }
+}

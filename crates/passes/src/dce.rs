@@ -1,0 +1,105 @@
+//! Dead-code elimination: remove nodes whose outputs cannot reach any graph
+//! output.
+
+use crate::PassReport;
+use ramiel_ir::{Graph, Result};
+use std::collections::HashSet;
+
+/// Drop unreachable nodes (backwards reachability from the graph outputs).
+/// Unreferenced initializers and `value_info` entries are pruned too.
+pub fn dead_code_elimination(graph: &mut Graph) -> Result<PassReport> {
+    let adj = graph.adjacency();
+    let mut live: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<usize> = graph
+        .outputs
+        .iter()
+        .filter_map(|t| adj.producer_of.get(t).copied())
+        .collect();
+    while let Some(id) = stack.pop() {
+        if live.insert(id) {
+            stack.extend(adj.preds[id].iter().copied());
+        }
+    }
+    let before = graph.num_nodes();
+    if live.len() == before {
+        return Ok(PassReport::default());
+    }
+    graph.retain_nodes(|n| live.contains(&n.id));
+    ramiel_ir::shape::infer_shapes(graph)?;
+    Ok(PassReport {
+        nodes_removed: before - graph.num_nodes(),
+        nodes_added: 0,
+        changed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_ir::{DType, GraphBuilder, OpKind};
+
+    #[test]
+    fn removes_disconnected_branch() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![4]);
+        let live = b.op("live", OpKind::Relu, vec![x.clone()]);
+        let dead1 = b.op("dead1", OpKind::Sigmoid, vec![x]);
+        let _dead2 = b.op("dead2", OpKind::Tanh, vec![dead1]);
+        b.output(&live);
+        let mut g = b.finish().unwrap();
+        let rep = dead_code_elimination(&mut g).unwrap();
+        assert!(rep.changed);
+        assert_eq!(rep.nodes_removed, 2);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.nodes[0].name, "live_0");
+        ramiel_ir::validate::validate(&g).unwrap();
+    }
+
+    #[test]
+    fn keeps_everything_reachable() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![4]);
+        let a = b.op("a", OpKind::Relu, vec![x]);
+        let c = b.op("b", OpKind::Sigmoid, vec![a]);
+        b.output(&c);
+        let mut g = b.finish().unwrap();
+        let rep = dead_code_elimination(&mut g).unwrap();
+        assert!(!rep.changed);
+        assert_eq!(g.num_nodes(), 2);
+    }
+
+    #[test]
+    fn prunes_dead_initializers() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![4]);
+        let w = b.weight("w", vec![4], ramiel_ir::builder::Init::Const(1.0));
+        let dead = b.op("dead", OpKind::Mul, vec![x.clone(), w]);
+        let _ = dead;
+        let y = b.op("live", OpKind::Relu, vec![x]);
+        b.output(&y);
+        let mut g = b.finish().unwrap();
+        assert_eq!(g.initializers.len(), 1);
+        dead_code_elimination(&mut g).unwrap();
+        assert!(g.initializers.is_empty());
+    }
+
+    #[test]
+    fn multi_output_node_with_one_live_output_survives() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![1, 4]);
+        let parts = b.op_multi(
+            "split",
+            OpKind::Split {
+                axis: 1,
+                parts: vec![2, 2],
+            },
+            vec![x],
+        );
+        let y = b.op("relu", OpKind::Relu, vec![parts[0].clone()]);
+        b.output(&y);
+        let mut g = b.finish().unwrap();
+        let rep = dead_code_elimination(&mut g).unwrap();
+        assert!(!rep.changed, "split feeds a live output; must stay");
+        assert_eq!(g.num_nodes(), 2);
+    }
+}

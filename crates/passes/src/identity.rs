@@ -1,0 +1,111 @@
+//! Identity elimination: `Identity` and inference-mode `Dropout` nodes are
+//! pass-throughs; rewire their consumers to the original tensor and drop
+//! them.
+
+use crate::PassReport;
+use ramiel_ir::{Graph, OpKind, Result};
+use std::collections::HashMap;
+
+/// Remove identity-like nodes by tensor rewiring. Nodes whose output is a
+/// graph output are kept only if their input is another graph output
+/// (renaming would change the observable interface; instead the output list
+/// is rewritten to the producer tensor).
+pub fn eliminate_identities(graph: &mut Graph) -> Result<PassReport> {
+    // output name → replacement name, following chains.
+    let mut replace: HashMap<String, String> = HashMap::new();
+    let mut victims = Vec::new();
+    for node in &graph.nodes {
+        if matches!(node.op, OpKind::Identity | OpKind::Dropout) {
+            let src = node.inputs[0].clone();
+            let root = replace.get(&src).cloned().unwrap_or(src);
+            replace.insert(node.outputs[0].clone(), root);
+            victims.push(node.id);
+        }
+    }
+    if victims.is_empty() {
+        return Ok(PassReport::default());
+    }
+    let resolve = |name: &String| replace.get(name).cloned();
+    for node in &mut graph.nodes {
+        for inp in &mut node.inputs {
+            if let Some(r) = resolve(inp) {
+                *inp = r;
+            }
+        }
+    }
+    for out in &mut graph.outputs {
+        if let Some(r) = resolve(out) {
+            *out = r;
+        }
+    }
+    let removed = victims.len();
+    let victim_set: std::collections::HashSet<usize> = victims.into_iter().collect();
+    graph.retain_nodes(|n| !victim_set.contains(&n.id));
+    ramiel_ir::shape::infer_shapes(graph)?;
+    Ok(PassReport {
+        nodes_removed: removed,
+        nodes_added: 0,
+        changed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_ir::{DType, GraphBuilder};
+    use ramiel_runtime::{run_sequential, synth_inputs};
+    use ramiel_tensor::ExecCtx;
+
+    #[test]
+    fn removes_identity_chain_and_rewires() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![4]);
+        let a = b.op("relu", OpKind::Relu, vec![x]);
+        let i1 = b.op("id1", OpKind::Identity, vec![a]);
+        let i2 = b.op("drop", OpKind::Dropout, vec![i1]);
+        let y = b.op("sig", OpKind::Sigmoid, vec![i2]);
+        b.output(&y);
+        let g0 = b.finish().unwrap();
+        let mut g1 = g0.clone();
+        let rep = eliminate_identities(&mut g1).unwrap();
+        assert_eq!(rep.nodes_removed, 2);
+        assert_eq!(g1.num_nodes(), 2);
+        ramiel_ir::validate::validate(&g1).unwrap();
+
+        let inputs = synth_inputs(&g0, 1);
+        let ctx = ExecCtx::sequential();
+        let o0 = run_sequential(&g0, &inputs, &ctx).unwrap();
+        let o1 = run_sequential(&g1, &inputs, &ctx).unwrap();
+        // same value under (possibly) same name — identity output was not a
+        // graph output here, so names unchanged
+        assert_eq!(
+            o0.values().next().unwrap(),
+            o1.values().next().unwrap()
+        );
+    }
+
+    #[test]
+    fn identity_feeding_graph_output_rewrites_output_name() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![4]);
+        let a = b.op("relu", OpKind::Relu, vec![x]);
+        let i = b.op("id", OpKind::Identity, vec![a.clone()]);
+        b.output(&i);
+        let mut g = b.finish().unwrap();
+        eliminate_identities(&mut g).unwrap();
+        assert_eq!(g.outputs, vec![a]);
+        ramiel_ir::validate::validate(&g).unwrap();
+    }
+
+    #[test]
+    fn noop_without_identities() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![4]);
+        let y = b.op("relu", OpKind::Relu, vec![x]);
+        b.output(&y);
+        let mut g = b.finish().unwrap();
+        assert!(!eliminate_identities(&mut g).unwrap().changed);
+    }
+
+    use ramiel_ir::OpKind;
+}

@@ -1,0 +1,68 @@
+//! # ramiel-passes
+//!
+//! Graph transformation passes from the paper:
+//!
+//! - [`constfold`] — constant propagation & folding (the paper delegates
+//!   this to onnxruntime; we implement it directly so the whole pipeline is
+//!   self-contained). Folds `Shape`-of-static-tensor nodes and anything
+//!   whose operands are all compile-time constants — the "horizontal branch
+//!   reduction" of Section III-C.
+//! - [`dce`] — dead-code elimination: drops nodes that cannot reach a graph
+//!   output (mostly the husks const-folding leaves behind).
+//! - [`identity`] — removes `Identity`/`Dropout` pass-throughs by rewiring.
+//! - [`clone`] — task cloning (Section III-D): duplicates cheap fan-out
+//!   nodes so consumers stop sharing a producer, cutting cross-cluster
+//!   messages at the price of redundant compute.
+//!
+//! All passes preserve observable behaviour; the test-suite checks
+//! input/output equivalence by executing before/after graphs on random
+//! inputs.
+
+pub mod bn_fold;
+pub mod clone;
+pub mod constfold;
+pub mod dce;
+pub mod identity;
+
+pub use bn_fold::fold_batch_norms;
+pub use clone::{clone_nodes, CloneConfig};
+pub use constfold::constant_fold;
+pub use dce::dead_code_elimination;
+pub use identity::eliminate_identities;
+
+use ramiel_ir::Graph;
+
+/// What a pass did to the graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassReport {
+    pub nodes_removed: usize,
+    pub nodes_added: usize,
+    pub changed: bool,
+}
+
+impl PassReport {
+    pub fn merge(self, other: PassReport) -> PassReport {
+        PassReport {
+            nodes_removed: self.nodes_removed + other.nodes_removed,
+            nodes_added: self.nodes_added + other.nodes_added,
+            changed: self.changed || other.changed,
+        }
+    }
+}
+
+/// The paper's pruning pipeline: constant propagation followed by DCE and
+/// identity elimination, iterated to a fixed point (each fold can expose
+/// more folds, exactly like onnxruntime's graph-optimization loop).
+pub fn prune(graph: &mut Graph) -> ramiel_ir::Result<PassReport> {
+    let mut total = PassReport::default();
+    loop {
+        let mut round = PassReport::default();
+        round = round.merge(constant_fold(graph)?);
+        round = round.merge(dead_code_elimination(graph)?);
+        round = round.merge(eliminate_identities(graph)?);
+        total = total.merge(round);
+        if !round.changed {
+            return Ok(total);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Reference sequential executor.
+
+use crate::{Env, Result, RuntimeError};
+use ramiel_ir::topo::topo_sort;
+use ramiel_ir::{Graph, OpKind};
+use ramiel_tensor::{eval_op, ExecCtx, Value};
+use std::collections::HashMap;
+
+/// Execute the whole graph on the calling thread in topological order.
+/// Returns the graph outputs. This is the baseline every parallel schedule
+/// is validated against.
+pub fn run_sequential(graph: &Graph, inputs: &Env, ctx: &ExecCtx) -> Result<Env> {
+    let order = topo_sort(graph).map_err(|e| RuntimeError(e.to_string()))?;
+    let mut env: HashMap<&str, Value> = HashMap::with_capacity(graph.num_nodes() * 2);
+    for (name, v) in inputs {
+        env.insert(name.as_str(), v.clone());
+    }
+
+    let fetch = |env: &HashMap<&str, Value>, name: &str| -> Result<Value> {
+        if let Some(v) = env.get(name) {
+            return Ok(v.clone());
+        }
+        if let Some(td) = graph.initializers.get(name) {
+            return Ok(Value::from_tensor_data(td)?);
+        }
+        Err(RuntimeError(format!("tensor `{name}` unavailable")))
+    };
+
+    for &id in &order {
+        let node = &graph.nodes[id];
+        let outputs = if matches!(node.op, OpKind::Constant) {
+            let td = graph.initializers.get(&node.outputs[0]).ok_or_else(|| {
+                RuntimeError(format!("Constant `{}` missing payload", node.name))
+            })?;
+            vec![Value::from_tensor_data(td)?]
+        } else {
+            let ins: Result<Vec<Value>> =
+                node.inputs.iter().map(|t| fetch(&env, t)).collect();
+            eval_op(ctx, &node.op, &ins?)
+                .map_err(|e| RuntimeError(format!("{}: {}", node.name, e.0)))?
+        };
+        for (name, v) in node.outputs.iter().zip(outputs) {
+            env.insert(name.as_str(), v);
+        }
+    }
+
+    let mut out = Env::new();
+    for name in &graph.outputs {
+        out.insert(name.clone(), fetch(&env, name)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth_inputs;
+    use ramiel_ir::{DType, GraphBuilder};
+    use ramiel_models::{build, ModelConfig, ModelKind};
+
+    #[test]
+    fn tiny_conv_net_runs() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![1, 3, 8, 8]);
+        let y = b.conv_relu(&x, 3, 4, 3, 1, 1);
+        let z = b.op("gap", OpKind::GlobalAveragePool, vec![y]);
+        b.output(&z);
+        let g = b.finish().unwrap();
+        let out = run_sequential(&g, &synth_inputs(&g, 1), &ExecCtx::sequential()).unwrap();
+        let v = out[&z].f32().unwrap().clone();
+        assert_eq!(v.shape(), &[1, 4, 1, 1]);
+        // relu output means all GAP values are >= 0
+        assert!(v.data().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn outputs_match_inferred_shapes_for_every_model() {
+        let cfg = ModelConfig::tiny();
+        for kind in ModelKind::all() {
+            let g = build(kind, &cfg);
+            let out = run_sequential(&g, &synth_inputs(&g, 7), &ExecCtx::sequential())
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            for name in &g.outputs {
+                let expect = &g.value_info[name];
+                assert_eq!(
+                    out[name].shape(),
+                    &expect.shape[..],
+                    "{}: output {name} shape mismatch",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let inputs = synth_inputs(&g, 3);
+        let a = run_sequential(&g, &inputs, &ExecCtx::sequential()).unwrap();
+        let b = run_sequential(&g, &inputs, &ExecCtx::sequential()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", DType::F32, vec![2]);
+        let y = b.op("r", OpKind::Relu, vec![x]);
+        b.output(&y);
+        let g = b.finish().unwrap();
+        assert!(run_sequential(&g, &Env::new(), &ExecCtx::sequential()).is_err());
+    }
+}

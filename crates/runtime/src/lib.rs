@@ -1,0 +1,99 @@
+//! # ramiel-runtime
+//!
+//! Executes dataflow graphs — the stand-in for the paper's PyTorch + Python
+//! substrate.
+//!
+//! - [`exec`] — reference sequential executor (the paper's auto-generated
+//!   single-core code path).
+//! - [`parallel`] — one OS thread per cluster, crossbeam channels for every
+//!   cross-cluster tensor dependence (the paper's Python processes and
+//!   bidirectional queues). Also executes hyperclusters (batch > 1).
+//! - [`profile`] — the paper's profiling database: per-node times plus the
+//!   *slack* spent blocked in `queue.get()` that motivates hyperclustering.
+//! - [`sim`] — a deterministic discrete-event simulator over a cost model,
+//!   used to regenerate the paper's tables bit-for-bit without timing noise.
+
+pub mod exec;
+pub mod parallel;
+pub mod memory;
+pub mod pool;
+pub mod profile;
+pub mod sim;
+
+pub use exec::run_sequential;
+pub use parallel::{run_hyper, run_parallel};
+pub use pool::ClusterPool;
+pub use memory::{clustering_peak_memory, sequential_peak_memory, MemoryReport};
+pub use profile::{ProfileDb, SlackReport};
+pub use sim::{simulate_clustering, simulate_hyper, simulate_sequential, SimConfig, SimEvent, SimResult};
+
+use ramiel_tensor::Value;
+use std::collections::BTreeMap;
+
+/// Named tensor environment used for graph inputs and outputs.
+pub type Env = BTreeMap<String, Value>;
+
+/// Runtime error (wraps kernel and structural failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError(pub String);
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ramiel_tensor::ExecError> for RuntimeError {
+    fn from(e: ramiel_tensor::ExecError) -> Self {
+        RuntimeError(e.0)
+    }
+}
+
+/// Result alias for runtime operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Fabricate deterministic inputs for a graph (random f32 activations,
+/// small non-negative i64 ids) — used by tests, examples and benches.
+pub fn synth_inputs(graph: &ramiel_ir::Graph, seed: u64) -> Env {
+    use ramiel_ir::DType;
+    let mut env = Env::new();
+    for (i, inp) in graph.inputs.iter().enumerate() {
+        let s = seed.wrapping_add(i as u64 * 7919);
+        let v = match inp.dtype {
+            DType::F32 => Value::random_f32(inp.shape.clone(), s),
+            DType::I64 => {
+                // ids in [0, 64) so embedding gathers stay in range
+                let f = Value::random_f32(inp.shape.clone(), s);
+                let data: Vec<i64> = f
+                    .f32()
+                    .expect("random_f32 yields f32")
+                    .data()
+                    .iter()
+                    .map(|v| ((v.abs() * 1e4) as i64) % 64)
+                    .collect();
+                Value::I64(
+                    ramiel_tensor::Tensor::new(inp.shape.clone(), data)
+                        .expect("shape matches by construction"),
+                )
+            }
+            DType::Bool => {
+                let f = Value::random_f32(inp.shape.clone(), s);
+                let data: Vec<bool> = f
+                    .f32()
+                    .expect("random_f32 yields f32")
+                    .data()
+                    .iter()
+                    .map(|v| *v > 0.0)
+                    .collect();
+                Value::Bool(
+                    ramiel_tensor::Tensor::new(inp.shape.clone(), data)
+                        .expect("shape matches by construction"),
+                )
+            }
+        };
+        env.insert(inp.name.clone(), v);
+    }
+    env
+}

@@ -1,0 +1,496 @@
+//! Parallel cluster executor.
+//!
+//! One OS thread per (hyper)cluster — the paper forks one Python process per
+//! cluster; Rust threads give the same placement without the GIL dance.
+//! Every cross-cluster tensor dependence becomes a message on the consumer's
+//! inbox channel (the paper's `queue.put()` / `queue.get()` pairs).
+//!
+//! Workers execute their op list *first-ready-first*: they walk the list and
+//! run the earliest op whose operands have arrived, buffering out-of-order
+//! messages. For linear/merged clusters (ordered by decreasing
+//! `distance_to_end`) this degenerates to strict in-order execution; for
+//! *switched* hyperclusters it is load-bearing — a strict in-order worker
+//! can deadlock on cross-batch wait cycles, which is precisely why the paper
+//! calls automatic switched hyperclustering "complex" and hand-tunes it for
+//! larger models.
+
+use crate::profile::{OpRecord, ProfileDb};
+use crate::{Env, Result, RuntimeError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use ramiel_cluster::hyper::{HyperClustering, HyperOp};
+use ramiel_cluster::Clustering;
+use ramiel_ir::{Graph, OpKind};
+use ramiel_tensor::{eval_op, ExecCtx, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a worker may block on a message before declaring the schedule
+/// deadlocked (a schedule bug, not a transient condition). Overridable via
+/// `RAMIEL_RECV_TIMEOUT_MS` so tests can exercise the deadlock path quickly.
+fn recv_timeout() -> Duration {
+    static TIMEOUT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        std::env::var("RAMIEL_RECV_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_secs(30))
+    })
+}
+
+/// Key for a tensor instance: (tensor name, batch element).
+type Key = (String, usize);
+
+/// A message between cluster workers.
+type Msg = (Key, Value);
+
+/// Execute a batch-1 clustering in parallel. Returns the graph outputs.
+pub fn run_parallel(
+    graph: &Graph,
+    clustering: &Clustering,
+    inputs: &Env,
+    ctx: &ExecCtx,
+) -> Result<Env> {
+    let hc = ramiel_cluster::hypercluster(clustering, 1);
+    let mut outs = run_hyper(graph, &hc, std::slice::from_ref(inputs), ctx)?;
+    Ok(outs.pop().expect("batch 1 yields one output env"))
+}
+
+/// Same as [`run_parallel`] but also returns the profiling database
+/// (per-op times and communication slack).
+pub fn run_parallel_profiled(
+    graph: &Graph,
+    clustering: &Clustering,
+    inputs: &Env,
+    ctx: &ExecCtx,
+) -> Result<(Env, ProfileDb)> {
+    let hc = ramiel_cluster::hypercluster(clustering, 1);
+    let (mut outs, db) = run_hyper_profiled(graph, &hc, std::slice::from_ref(inputs), ctx)?;
+    Ok((outs.pop().expect("batch 1 yields one output env"), db))
+}
+
+/// Execute a hyperclustered schedule over `batch` independent input
+/// environments. Returns one output environment per batch element.
+pub fn run_hyper(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+) -> Result<Vec<Env>> {
+    run_hyper_profiled(graph, hc, inputs, ctx).map(|(outs, _)| outs)
+}
+
+/// [`run_hyper`] plus the profiling database.
+pub fn run_hyper_profiled(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+) -> Result<(Vec<Env>, ProfileDb)> {
+    if inputs.len() != hc.batch {
+        return Err(RuntimeError(format!(
+            "hypercluster expects {} input envs, got {}",
+            hc.batch,
+            inputs.len()
+        )));
+    }
+    let k = hc.num_hyperclusters();
+
+    // (batch, node) → owning worker.
+    let mut owner: HashMap<(usize, usize), usize> = HashMap::new();
+    for (w, ops) in hc.hyperclusters.iter().enumerate() {
+        for op in ops {
+            owner.insert((op.batch, op.node), w);
+        }
+    }
+
+    // For every produced tensor instance, the set of *remote* consumer
+    // workers it must be sent to.
+    let adj = graph.adjacency();
+    let mut consumers: HashMap<Key, Vec<usize>> = HashMap::new();
+    for (w, ops) in hc.hyperclusters.iter().enumerate() {
+        for op in ops {
+            let node = &graph.nodes[op.node];
+            for inp in &node.inputs {
+                if let Some(&p) = adj.producer_of.get(inp) {
+                    let pw = owner
+                        .get(&(op.batch, p))
+                        .ok_or_else(|| RuntimeError(format!("node {p} unassigned")))?;
+                    if *pw != w {
+                        let entry = consumers.entry((inp.clone(), op.batch)).or_default();
+                        if !entry.contains(&w) {
+                            entry.push(w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // One inbox per worker.
+    let channels: Vec<(Sender<Msg>, Receiver<Msg>)> = (0..k).map(|_| unbounded()).collect();
+    let senders: Vec<Sender<Msg>> = channels.iter().map(|(s, _)| s.clone()).collect();
+
+    // Shared read-only state.
+    let init_values: HashMap<String, Value> = graph
+        .initializers
+        .iter()
+        .map(|(name, td)| Ok((name.clone(), Value::from_tensor_data(td)?)))
+        .collect::<Result<_>>()?;
+    let init_values = Arc::new(init_values);
+    let graph_outputs: HashSet<&str> = graph.outputs.iter().map(String::as_str).collect();
+
+    let out_envs: Mutex<Vec<Env>> = Mutex::new(vec![Env::new(); hc.batch]);
+    let db: Mutex<ProfileDb> = Mutex::new(ProfileDb::new(k, hc.batch));
+    let epoch = Instant::now();
+
+    std::thread::scope(|scope| -> Result<()> {
+        let mut handles = Vec::with_capacity(k);
+        for (w, ops) in hc.hyperclusters.iter().enumerate() {
+            let rx = channels[w].1.clone();
+            let senders = senders.clone();
+            let consumers = &consumers;
+            let init_values = Arc::clone(&init_values);
+            let out_envs = &out_envs;
+            let db = &db;
+            let graph_outputs = &graph_outputs;
+            let ctx = ctx.clone();
+            handles.push(scope.spawn(move || -> Result<()> {
+                worker_loop(
+                    graph,
+                    w,
+                    ops,
+                    inputs,
+                    &init_values,
+                    rx,
+                    &senders,
+                    consumers,
+                    out_envs,
+                    graph_outputs,
+                    &ctx,
+                    db,
+                    epoch,
+                )
+            }));
+        }
+        let mut first_err = None;
+        for h in handles {
+            if let Err(e) = h.join().map_err(|_| RuntimeError("worker panicked".into()))? {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })?;
+
+    // Outputs that are direct inputs/initializers (degenerate but legal).
+    let mut outs = out_envs.into_inner();
+    for (b, env) in outs.iter_mut().enumerate() {
+        for name in &graph.outputs {
+            if !env.contains_key(name) {
+                if let Some(v) = inputs[b].get(name).or_else(|| init_values.get(name)) {
+                    env.insert(name.clone(), v.clone());
+                }
+            }
+        }
+    }
+    Ok((outs, db.into_inner()))
+}
+
+/// The body of one cluster worker: first-ready-first execution over its op
+/// list, draining the inbox while blocked.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    graph: &Graph,
+    me: usize,
+    ops: &[HyperOp],
+    inputs: &[Env],
+    init_values: &HashMap<String, Value>,
+    rx: Receiver<Msg>,
+    senders: &[Sender<Msg>],
+    consumers: &HashMap<Key, Vec<usize>>,
+    out_envs: &Mutex<Vec<Env>>,
+    graph_outputs: &HashSet<&str>,
+    ctx: &ExecCtx,
+    db: &Mutex<ProfileDb>,
+    epoch: Instant,
+) -> Result<()> {
+    // Local environment of tensor instances available to this worker.
+    let mut env: HashMap<Key, Value> = HashMap::new();
+    let mut remaining: Vec<bool> = vec![true; ops.len()];
+    let mut left = ops.len();
+    let mut records = Vec::with_capacity(ops.len());
+
+    let available = |env: &HashMap<Key, Value>, tensor: &str, batch: usize| -> bool {
+        env.contains_key(&(tensor.to_string(), batch))
+            || init_values.contains_key(tensor)
+            || inputs[batch].contains_key(tensor)
+    };
+    let fetch = |env: &HashMap<Key, Value>, tensor: &str, batch: usize| -> Result<Value> {
+        if let Some(v) = env.get(&(tensor.to_string(), batch)) {
+            return Ok(v.clone());
+        }
+        if let Some(v) = inputs[batch].get(tensor) {
+            return Ok(v.clone());
+        }
+        if let Some(v) = init_values.get(tensor) {
+            return Ok(v.clone());
+        }
+        Err(RuntimeError(format!(
+            "worker {me}: tensor `{tensor}` (batch {batch}) unavailable"
+        )))
+    };
+
+    while left > 0 {
+        // Drain any already-arrived messages without blocking.
+        while let Ok((key, v)) = rx.try_recv() {
+            env.insert(key, v);
+        }
+        // First op whose operands are all available.
+        let next = ops.iter().enumerate().position(|(i, op)| {
+            remaining[i]
+                && graph.nodes[op.node]
+                    .inputs
+                    .iter()
+                    .all(|t| available(&env, t, op.batch))
+        });
+        let Some(i) = next else {
+            // Block for the next message (bounded, so schedule bugs surface
+            // as errors instead of hangs).
+            let wait_start = Instant::now();
+            match rx.recv_timeout(recv_timeout()) {
+                Ok((key, v)) => {
+                    let waited = wait_start.elapsed();
+                    if let Some(last) = records.last_mut() {
+                        let r: &mut OpRecord = last;
+                        r.slack_after_ns += waited.as_nanos() as u64;
+                    }
+                    env.insert(key, v);
+                    continue;
+                }
+                Err(_) => {
+                    return Err(RuntimeError(format!(
+                        "worker {me}: deadlocked waiting for messages ({left} ops left)"
+                    )))
+                }
+            }
+        };
+
+        remaining[i] = false;
+        left -= 1;
+        let op = &ops[i];
+        let node = &graph.nodes[op.node];
+        let start = Instant::now();
+        let outputs = if matches!(node.op, OpKind::Constant) {
+            let td = graph.initializers.get(&node.outputs[0]).ok_or_else(|| {
+                RuntimeError(format!("Constant `{}` missing payload", node.name))
+            })?;
+            vec![Value::from_tensor_data(td)?]
+        } else {
+            let ins: Result<Vec<Value>> = node
+                .inputs
+                .iter()
+                .map(|t| fetch(&env, t, op.batch))
+                .collect();
+            eval_op(ctx, &node.op, &ins?)
+                .map_err(|e| RuntimeError(format!("{}: {}", node.name, e.0)))?
+        };
+        let end = Instant::now();
+        records.push(OpRecord {
+            worker: me,
+            batch: op.batch,
+            node: op.node,
+            start_ns: (start - epoch).as_nanos() as u64,
+            end_ns: (end - epoch).as_nanos() as u64,
+            slack_after_ns: 0,
+        });
+
+        for (name, v) in node.outputs.iter().zip(outputs) {
+            // Ship to remote consumers (one message per consumer worker).
+            if let Some(targets) = consumers.get(&(name.clone(), op.batch)) {
+                for &t in targets {
+                    senders[t]
+                        .send(((name.clone(), op.batch), v.clone()))
+                        .map_err(|_| RuntimeError("consumer hung up".into()))?;
+                }
+            }
+            if graph_outputs.contains(name.as_str()) {
+                out_envs.lock()[op.batch].insert(name.clone(), v.clone());
+            }
+            env.insert((name.clone(), op.batch), v);
+        }
+    }
+
+    db.lock().extend(records);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_sequential;
+    use crate::synth_inputs;
+    use ramiel_cluster::{cluster_graph, switched_hypercluster, StaticCost};
+    use ramiel_models::{build, synthetic, ModelConfig, ModelKind};
+
+    fn assert_close(a: &Env, b: &Env) {
+        assert_eq!(a.len(), b.len());
+        for (k, va) in a {
+            let vb = &b[k];
+            match (va, vb) {
+                (Value::F32(x), Value::F32(y)) => {
+                    assert_eq!(x.shape(), y.shape(), "{k} shape");
+                    for (p, q) in x.data().iter().zip(y.data()) {
+                        assert!((p - q).abs() <= 1e-4 * p.abs().max(1.0), "{k}: {p} vs {q}");
+                    }
+                }
+                _ => assert_eq!(va, vb, "{k}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_fork_join() {
+        let g = synthetic::fork_join(4, 3, 3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 11);
+        let ctx = ExecCtx::sequential();
+        let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+        let par = run_parallel(&g, &clustering, &inputs, &ctx).unwrap();
+        assert_close(&seq, &par);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_every_model() {
+        let cfg = ModelConfig::tiny();
+        let ctx = ExecCtx::sequential();
+        for kind in ModelKind::all() {
+            let g = build(kind, &cfg);
+            let clustering = cluster_graph(&g, &StaticCost);
+            let inputs = synth_inputs(&g, 5);
+            let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+            let par = run_parallel(&g, &clustering, &inputs, &ctx)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_close(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn hypercluster_matches_per_sample_sequential() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        for batch in [2usize, 4] {
+            let hc = ramiel_cluster::hypercluster(&clustering, batch);
+            let inputs: Vec<Env> = (0..batch).map(|b| synth_inputs(&g, b as u64)).collect();
+            let outs = run_hyper(&g, &hc, &inputs, &ctx).unwrap();
+            for (b, inp) in inputs.iter().enumerate() {
+                let seq = run_sequential(&g, inp, &ctx).unwrap();
+                assert_close(&seq, &outs[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn switched_hypercluster_executes_without_deadlock() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let hc = switched_hypercluster(&clustering, 3);
+        let inputs: Vec<Env> = (0..3).map(|b| synth_inputs(&g, 100 + b as u64)).collect();
+        let outs = run_hyper(&g, &hc, &inputs, &ctx).unwrap();
+        for (b, inp) in inputs.iter().enumerate() {
+            let seq = run_sequential(&g, inp, &ctx).unwrap();
+            assert_close(&seq, &outs[b]);
+        }
+    }
+
+    #[test]
+    fn profiler_records_every_op() {
+        let g = synthetic::fork_join(3, 2, 2);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 1);
+        let (_, db) =
+            run_parallel_profiled(&g, &clustering, &inputs, &ExecCtx::sequential()).unwrap();
+        assert_eq!(db.records().len(), g.num_nodes());
+        // end >= start for every record
+        assert!(db.records().iter().all(|r| r.end_ns >= r.start_ns));
+    }
+
+    #[test]
+    fn invalid_schedule_missing_producers_fails_fast() {
+        // A schedule that omits the producer ops entirely (check_coverage
+        // would reject it) must error at setup, not hang in recv. Note
+        // first-ready-first execution makes *covering* schedules
+        // deadlock-free by construction: the topologically-minimal
+        // unexecuted op always has its operands en route, so only broken
+        // schedules like this one can stall — and they are caught here.
+        use ramiel_cluster::hyper::{HyperClustering, HyperOp};
+        use ramiel_ir::{DType, GraphBuilder, OpKind};
+
+        let mut b = GraphBuilder::new("dl");
+        let x = b.input("x", DType::F32, vec![2]);
+        let a = b.op("a", OpKind::Relu, vec![x]);
+        let c = b.op("c", OpKind::Sigmoid, vec![a]);
+        b.output(&c);
+        let g = b.finish().unwrap();
+
+        let hc = HyperClustering {
+            batch: 2,
+            hyperclusters: vec![
+                vec![HyperOp { batch: 0, node: 1 }],
+                vec![HyperOp { batch: 1, node: 1 }],
+            ],
+            switched: true,
+        };
+        let inputs = vec![synth_inputs(&g, 0), synth_inputs(&g, 1)];
+        let err = run_hyper(&g, &hc, &inputs, &ExecCtx::sequential()).unwrap_err();
+        assert!(err.0.contains("unassigned"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn adversarial_cross_batch_order_still_completes() {
+        // The wait-cycle shape that deadlocks strict in-order workers:
+        // W0 = [c(b0), a(b1)], W1 = [c(b1), a(b0)]. First-ready-first
+        // execution reorders around the blocked head and completes.
+        use ramiel_cluster::hyper::{HyperClustering, HyperOp};
+        use ramiel_ir::{DType, GraphBuilder, OpKind};
+
+        let mut b = GraphBuilder::new("adv");
+        let x = b.input("x", DType::F32, vec![2]);
+        let a = b.op("a", OpKind::Relu, vec![x]);
+        let c = b.op("c", OpKind::Sigmoid, vec![a]);
+        b.output(&c);
+        let g = b.finish().unwrap();
+
+        let hc = HyperClustering {
+            batch: 2,
+            hyperclusters: vec![
+                vec![HyperOp { batch: 0, node: 1 }, HyperOp { batch: 1, node: 0 }],
+                vec![HyperOp { batch: 1, node: 1 }, HyperOp { batch: 0, node: 0 }],
+            ],
+            switched: true,
+        };
+        hc.check_coverage(2).unwrap();
+        let inputs = vec![synth_inputs(&g, 0), synth_inputs(&g, 1)];
+        let ctx = ExecCtx::sequential();
+        let outs = run_hyper(&g, &hc, &inputs, &ctx).unwrap();
+        for (b_i, inp) in inputs.iter().enumerate() {
+            let seq = crate::exec::run_sequential(&g, inp, &ctx).unwrap();
+            assert_eq!(seq, outs[b_i]);
+        }
+    }
+
+    #[test]
+    fn wrong_batch_count_rejected() {
+        let g = synthetic::chain(3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let hc = ramiel_cluster::hypercluster(&clustering, 2);
+        let inputs = vec![synth_inputs(&g, 0)]; // only 1 env for batch 2
+        assert!(run_hyper(&g, &hc, &inputs, &ExecCtx::sequential()).is_err());
+    }
+}

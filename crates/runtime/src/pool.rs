@@ -1,0 +1,364 @@
+//! Persistent cluster-worker pool.
+//!
+//! [`crate::run_parallel`] spawns one thread per cluster *per inference* —
+//! fine for measurement, wasteful for serving. The paper's generated code
+//! forks long-lived Python processes once and reuses them; [`ClusterPool`]
+//! is that shape: workers spawn once (weights pre-converted and shared),
+//! then every [`ClusterPool::run`] call streams one inference through the
+//! standing workers. Messages are tagged with a job id so back-to-back
+//! inferences cannot cross-talk.
+
+use crate::{Env, Result, RuntimeError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ramiel_cluster::Clustering;
+use ramiel_ir::{Graph, NodeId, OpKind};
+use ramiel_tensor::{eval_op, ExecCtx, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A tensor instance within one job.
+type Key = (u64, String);
+
+enum WorkerMsg {
+    Job { id: u64, inputs: Arc<Env> },
+    Tensor(Key, Value),
+    Stop,
+}
+
+/// What a worker reports back per job.
+struct WorkerDone {
+    job: u64,
+    outputs: Vec<(String, Value)>,
+    error: Option<String>,
+}
+
+/// A standing pool of cluster workers executing one clustering over and
+/// over. Create once, call [`run`](Self::run) per inference, drop to stop.
+pub struct ClusterPool {
+    worker_txs: Vec<Sender<WorkerMsg>>,
+    done_rx: Receiver<WorkerDone>,
+    handles: Vec<JoinHandle<()>>,
+    next_job: u64,
+    num_outputs: usize,
+    graph_outputs: Vec<String>,
+}
+
+impl ClusterPool {
+    /// Spawn one worker per cluster. The graph and clustering are cloned
+    /// into the pool (workers are long-lived, so they own their state).
+    pub fn new(graph: &Graph, clustering: &Clustering, ctx: &ExecCtx) -> Result<ClusterPool> {
+        let graph = Arc::new(graph.clone());
+        let assign = clustering.assignment();
+        let adj = graph.adjacency();
+
+        // initializer values converted once, shared by every worker
+        let init_values: HashMap<String, Value> = graph
+            .initializers
+            .iter()
+            .map(|(name, td)| Ok((name.clone(), Value::from_tensor_data(td)?)))
+            .collect::<Result<_>>()?;
+        let init_values = Arc::new(init_values);
+
+        // (tensor → remote consumer workers) routing table
+        let mut consumers: HashMap<String, Vec<usize>> = HashMap::new();
+        for node in &graph.nodes {
+            let me = assign[&node.id];
+            for inp in &node.inputs {
+                if let Some(&p) = adj.producer_of.get(inp) {
+                    if assign[&p] != me {
+                        let e = consumers.entry(inp.clone()).or_default();
+                        if !e.contains(&me) {
+                            e.push(me);
+                        }
+                    }
+                }
+            }
+        }
+        let consumers = Arc::new(consumers);
+        let graph_outputs: Vec<String> = graph.outputs.clone();
+
+        let k = clustering.num_clusters();
+        let channels: Vec<(Sender<WorkerMsg>, Receiver<WorkerMsg>)> =
+            (0..k).map(|_| unbounded()).collect();
+        let worker_txs: Vec<Sender<WorkerMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let (done_tx, done_rx) = unbounded::<WorkerDone>();
+
+        let mut handles = Vec::with_capacity(k);
+        for (w, cluster) in clustering.clusters.iter().enumerate() {
+            let rx = channels[w].1.clone();
+            let peer_txs = worker_txs.clone();
+            let graph = Arc::clone(&graph);
+            let init_values = Arc::clone(&init_values);
+            let consumers = Arc::clone(&consumers);
+            let nodes: Vec<NodeId> = cluster.nodes.clone();
+            let done_tx = done_tx.clone();
+            let ctx = ctx.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_main(
+                    &graph,
+                    w,
+                    &nodes,
+                    &init_values,
+                    rx,
+                    &peer_txs,
+                    &consumers,
+                    done_tx,
+                    &ctx,
+                );
+            }));
+        }
+
+        // how many (worker, job) done messages to expect per job
+        Ok(ClusterPool {
+            worker_txs,
+            done_rx,
+            handles,
+            next_job: 0,
+            num_outputs: k,
+            graph_outputs,
+        })
+    }
+
+    /// Run one inference through the standing workers.
+    pub fn run(&mut self, inputs: &Env) -> Result<Env> {
+        let id = self.next_job;
+        self.next_job += 1;
+        let shared = Arc::new(inputs.clone());
+        for tx in &self.worker_txs {
+            tx.send(WorkerMsg::Job {
+                id,
+                inputs: Arc::clone(&shared),
+            })
+            .map_err(|_| RuntimeError("pool worker hung up".into()))?;
+        }
+        let mut env = Env::new();
+        let mut first_err: Option<String> = None;
+        for _ in 0..self.num_outputs {
+            let done = self
+                .done_rx
+                .recv()
+                .map_err(|_| RuntimeError("pool collector hung up".into()))?;
+            debug_assert_eq!(done.job, id, "jobs complete in submission order");
+            if let Some(e) = done.error {
+                first_err.get_or_insert(e);
+            }
+            for (name, v) in done.outputs {
+                env.insert(name, v);
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(RuntimeError(e));
+        }
+        // outputs that are direct inputs/initializers
+        for name in &self.graph_outputs {
+            if !env.contains_key(name) {
+                if let Some(v) = inputs.get(name) {
+                    env.insert(name.clone(), v.clone());
+                }
+            }
+        }
+        Ok(env)
+    }
+}
+
+impl Drop for ClusterPool {
+    fn drop(&mut self) {
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMsg::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    graph: &Graph,
+    me: usize,
+    nodes: &[NodeId],
+    init_values: &HashMap<String, Value>,
+    rx: Receiver<WorkerMsg>,
+    peer_txs: &[Sender<WorkerMsg>],
+    consumers: &HashMap<String, Vec<usize>>,
+    done_tx: Sender<WorkerDone>,
+    ctx: &ExecCtx,
+) {
+    let graph_outputs: std::collections::HashSet<&str> =
+        graph.outputs.iter().map(String::as_str).collect();
+    // tensors that arrived before their job started
+    let mut stash: HashMap<Key, Value> = HashMap::new();
+
+    while let Ok(msg) = rx.recv() {
+        let (job, inputs) = match msg {
+            WorkerMsg::Stop => return,
+            WorkerMsg::Tensor(key, v) => {
+                stash.insert(key, v);
+                continue;
+            }
+            WorkerMsg::Job { id, inputs } => (id, inputs),
+        };
+
+        let mut env: HashMap<String, Value> = HashMap::new();
+        let mut outputs = Vec::new();
+        let mut error = None;
+
+        'ops: for &nid in nodes {
+            let node = &graph.nodes[nid];
+            // gather operands, draining the inbox while missing
+            let mut ins: Vec<Value> = Vec::with_capacity(node.inputs.len());
+            for t in &node.inputs {
+                loop {
+                    if let Some(v) = env
+                        .get(t.as_str())
+                        .cloned()
+                        .or_else(|| inputs.get(t).cloned())
+                        .or_else(|| init_values.get(t).cloned())
+                        .or_else(|| stash.remove(&(job, t.clone())))
+                    {
+                        ins.push(v);
+                        break;
+                    }
+                    match rx.recv() {
+                        Ok(WorkerMsg::Tensor((j, name), v)) => {
+                            if j == job && &name == t {
+                                ins.push(v);
+                                break;
+                            }
+                            stash.insert((j, name), v);
+                        }
+                        Ok(WorkerMsg::Stop) => return,
+                        Ok(WorkerMsg::Job { .. }) | Err(_) => {
+                            error = Some(format!(
+                                "worker {me}: protocol error waiting for `{t}`"
+                            ));
+                            break 'ops;
+                        }
+                    }
+                }
+            }
+            let result = if matches!(node.op, OpKind::Constant) {
+                graph
+                    .initializers
+                    .get(&node.outputs[0])
+                    .ok_or_else(|| {
+                        ramiel_tensor::ExecError(format!(
+                            "Constant `{}` missing payload",
+                            node.name
+                        ))
+                    })
+                    .and_then(|td| Value::from_tensor_data(td).map(|v| vec![v]))
+            } else {
+                eval_op(ctx, &node.op, &ins)
+            };
+            let outs = match result {
+                Ok(o) => o,
+                Err(e) => {
+                    error = Some(format!("{}: {}", node.name, e.0));
+                    break 'ops;
+                }
+            };
+            for (name, v) in node.outputs.iter().zip(outs) {
+                if let Some(targets) = consumers.get(name) {
+                    for &t in targets {
+                        if peer_txs[t]
+                            .send(WorkerMsg::Tensor((job, name.clone()), v.clone()))
+                            .is_err()
+                        {
+                            error = Some("peer worker hung up".into());
+                            break 'ops;
+                        }
+                    }
+                }
+                if graph_outputs.contains(name.as_str()) {
+                    outputs.push((name.clone(), v.clone()));
+                }
+                env.insert(name.clone(), v);
+            }
+        }
+
+        if done_tx
+            .send(WorkerDone {
+                job,
+                outputs,
+                error,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_sequential;
+    use crate::synth_inputs;
+    use ramiel_cluster::{cluster_graph, StaticCost};
+    use ramiel_models::{build, synthetic, ModelConfig, ModelKind};
+
+    #[test]
+    fn pool_matches_sequential_across_many_jobs() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let mut pool = ClusterPool::new(&g, &clustering, &ctx).unwrap();
+        for seed in 0..5u64 {
+            let inputs = synth_inputs(&g, seed);
+            let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+            let out = pool.run(&inputs).unwrap();
+            assert_eq!(seq, out, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_interleaved_graph_shapes() {
+        let g = synthetic::fork_join(4, 3, 2);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let mut pool = ClusterPool::new(&g, &clustering, &ctx).unwrap();
+        let seq_inputs: Vec<_> = (0..8).map(|s| synth_inputs(&g, s)).collect();
+        let expected: Vec<_> = seq_inputs
+            .iter()
+            .map(|i| run_sequential(&g, i, &ctx).unwrap())
+            .collect();
+        for (i, inputs) in seq_inputs.iter().enumerate() {
+            assert_eq!(pool.run(inputs).unwrap(), expected[i], "job {i}");
+        }
+    }
+
+    #[test]
+    fn pool_reports_kernel_errors() {
+        // graph whose Gather will go out of range at runtime
+        use ramiel_ir::{DType, GraphBuilder, OpKind};
+        let mut b = GraphBuilder::new("bad");
+        let x = b.input("x", DType::F32, vec![2, 2]);
+        let idx = b.init(
+            "idx",
+            ramiel_ir::TensorData::vec_i64(vec![5]), // out of range
+        );
+        let y = b.op("g", OpKind::Gather { axis: 0 }, vec![x, idx]);
+        b.output(&y);
+        // bypass shape checking by constructing without finish()'s checks:
+        // shape inference would catch this statically, so check the runtime
+        // path with a graph whose shapes are fine but data is not — Gather
+        // shape inference uses only the indices *shape*, so finish() passes.
+        let g = b.finish().unwrap();
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let mut pool = ClusterPool::new(&g, &clustering, &ctx).unwrap();
+        let err = pool.run(&synth_inputs(&g, 1)).unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+        drop(pool); // clean shutdown after an error
+    }
+
+    #[test]
+    fn dropping_pool_stops_workers() {
+        let g = synthetic::chain(4);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let pool = ClusterPool::new(&g, &clustering, &ExecCtx::sequential()).unwrap();
+        drop(pool); // must not hang
+    }
+}

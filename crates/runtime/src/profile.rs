@@ -1,0 +1,207 @@
+//! The profiling database (Fig. 10's "Profile DB").
+//!
+//! Records per-op execution windows and the *slack* each worker spends
+//! blocked on `recv` after an op — the imbalance signal the paper uses to
+//! motivate hyperclustering and to hand-tune switched hyperclusters.
+
+use serde::Serialize;
+
+/// One executed operation.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpRecord {
+    pub worker: usize,
+    pub batch: usize,
+    pub node: usize,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Time spent blocked waiting for messages immediately after this op.
+    pub slack_after_ns: u64,
+}
+
+/// Collected trace of a parallel run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileDb {
+    workers: usize,
+    batch: usize,
+    records: Vec<OpRecord>,
+}
+
+/// Per-worker slack aggregation.
+#[derive(Debug, Clone, Serialize)]
+pub struct SlackReport {
+    pub worker: usize,
+    pub busy_ns: u64,
+    pub slack_ns: u64,
+    /// slack / (busy + slack)
+    pub slack_fraction: f64,
+}
+
+impl ProfileDb {
+    pub fn new(workers: usize, batch: usize) -> Self {
+        ProfileDb {
+            workers,
+            batch,
+            records: Vec::new(),
+        }
+    }
+
+    pub fn extend(&mut self, records: Vec<OpRecord>) {
+        self.records.extend(records);
+    }
+
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Wall-clock span of the run (max end − min start).
+    pub fn makespan_ns(&self) -> u64 {
+        let start = self.records.iter().map(|r| r.start_ns).min().unwrap_or(0);
+        let end = self.records.iter().map(|r| r.end_ns).max().unwrap_or(0);
+        end.saturating_sub(start)
+    }
+
+    /// Aggregate busy/slack time per worker.
+    pub fn slack_report(&self) -> Vec<SlackReport> {
+        let mut busy = vec![0u64; self.workers];
+        let mut slack = vec![0u64; self.workers];
+        for r in &self.records {
+            busy[r.worker] += r.end_ns - r.start_ns;
+            slack[r.worker] += r.slack_after_ns;
+        }
+        (0..self.workers)
+            .map(|w| SlackReport {
+                worker: w,
+                busy_ns: busy[w],
+                slack_ns: slack[w],
+                slack_fraction: slack[w] as f64 / (busy[w] + slack[w]).max(1) as f64,
+            })
+            .collect()
+    }
+
+    /// Serialize to JSON for offline analysis.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serialization cannot fail")
+    }
+
+    /// Export as a Chrome trace (`chrome://tracing` / Perfetto) — one lane
+    /// per cluster worker, one slice per op, plus explicit slack slices so
+    /// the communication gaps that motivate hyperclustering are visible.
+    pub fn to_chrome_trace(&self, graph: &ramiel_ir::Graph) -> String {
+        let mut events = Vec::with_capacity(self.records.len() * 2);
+        for r in &self.records {
+            let name = graph
+                .nodes
+                .get(r.node)
+                .map(|n| format!("{} ({})", n.name, n.op.name()))
+                .unwrap_or_else(|| format!("node {}", r.node));
+            events.push(serde_json::json!({
+                "name": name,
+                "cat": "op",
+                "ph": "X",
+                "ts": r.start_ns as f64 / 1e3,
+                "dur": (r.end_ns - r.start_ns) as f64 / 1e3,
+                "pid": 0,
+                "tid": r.worker,
+                "args": {"batch": r.batch}
+            }));
+            if r.slack_after_ns > 0 {
+                events.push(serde_json::json!({
+                    "name": "slack (blocked on queue.get)",
+                    "cat": "slack",
+                    "ph": "X",
+                    "ts": r.end_ns as f64 / 1e3,
+                    "dur": r.slack_after_ns as f64 / 1e3,
+                    "pid": 0,
+                    "tid": r.worker,
+                }));
+            }
+        }
+        serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
+            .expect("trace serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_report_aggregates_per_worker() {
+        let mut db = ProfileDb::new(2, 1);
+        db.extend(vec![
+            OpRecord {
+                worker: 0,
+                batch: 0,
+                node: 0,
+                start_ns: 0,
+                end_ns: 100,
+                slack_after_ns: 50,
+            },
+            OpRecord {
+                worker: 0,
+                batch: 0,
+                node: 1,
+                start_ns: 150,
+                end_ns: 200,
+                slack_after_ns: 0,
+            },
+            OpRecord {
+                worker: 1,
+                batch: 0,
+                node: 2,
+                start_ns: 0,
+                end_ns: 300,
+                slack_after_ns: 0,
+            },
+        ]);
+        assert_eq!(db.makespan_ns(), 300);
+        let rep = db.slack_report();
+        assert_eq!(rep[0].busy_ns, 150);
+        assert_eq!(rep[0].slack_ns, 50);
+        assert!((rep[0].slack_fraction - 0.25).abs() < 1e-9);
+        assert_eq!(rep[1].slack_ns, 0);
+    }
+
+    #[test]
+    fn chrome_trace_has_op_and_slack_slices() {
+        let mut g = ramiel_ir::Graph::new("t");
+        g.push_node(
+            "relu0",
+            ramiel_ir::OpKind::Relu,
+            vec!["x".into()],
+            vec!["y".into()],
+        );
+        let mut db = ProfileDb::new(1, 1);
+        db.extend(vec![OpRecord {
+            worker: 0,
+            batch: 0,
+            node: 0,
+            start_ns: 1000,
+            end_ns: 3000,
+            slack_after_ns: 500,
+        }]);
+        let trace = db.to_chrome_trace(&g);
+        assert!(trace.contains("traceEvents"));
+        assert!(trace.contains("relu0 (Relu)"));
+        assert!(trace.contains("slack (blocked on queue.get)"));
+        // valid JSON
+        let parsed: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_db_is_sane() {
+        let db = ProfileDb::new(1, 1);
+        assert_eq!(db.makespan_ns(), 0);
+        assert_eq!(db.slack_report()[0].busy_ns, 0);
+        assert!(db.to_json().contains("records"));
+    }
+}

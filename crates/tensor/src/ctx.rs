@@ -1,0 +1,101 @@
+//! Execution context: the intra-op parallelism knob.
+//!
+//! The paper varies PyTorch's OpenMP thread count (`NUM_THREADS=2/4`) as a
+//! downstream optimization after Linear Clustering. Here the same knob is a
+//! rayon thread pool attached to the context; heavy kernels (`Conv`,
+//! `MatMul`, `Gemm`) split their outermost loop across it.
+
+use std::sync::Arc;
+
+/// Per-executor kernel context.
+#[derive(Clone, Default)]
+pub struct ExecCtx {
+    pool: Option<Arc<rayon::ThreadPool>>,
+}
+
+impl ExecCtx {
+    /// Fully sequential context (intra-op parallelism disabled). This is the
+    /// default inside cluster worker threads so inter-op and intra-op
+    /// parallelism do not multiply unintentionally.
+    pub fn sequential() -> Self {
+        ExecCtx { pool: None }
+    }
+
+    /// Context with an intra-op pool of `threads` workers. `threads <= 1`
+    /// yields a sequential context.
+    pub fn with_intra_op(threads: usize) -> Self {
+        if threads <= 1 {
+            return ExecCtx::sequential();
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("intra-op-{i}"))
+            .build()
+            .expect("failed to build intra-op thread pool");
+        ExecCtx {
+            pool: Some(Arc::new(pool)),
+        }
+    }
+
+    /// Share an existing pool (lets several cluster workers draw from one
+    /// bounded pool, mimicking a process-wide OpenMP runtime).
+    pub fn with_pool(pool: Arc<rayon::ThreadPool>) -> Self {
+        ExecCtx { pool: Some(pool) }
+    }
+
+    /// Number of intra-op threads (1 when sequential).
+    pub fn intra_op_threads(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.current_num_threads())
+    }
+
+    /// Run `f` inside the intra-op pool if one is attached, so rayon
+    /// parallel iterators inside kernels use it; otherwise run inline.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+
+    /// True if kernels should bother splitting work.
+    pub fn parallel(&self) -> bool {
+        self.pool.is_some()
+    }
+}
+
+impl std::fmt::Debug for ExecCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("intra_op_threads", &self.intra_op_threads())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_has_one_thread() {
+        let ctx = ExecCtx::sequential();
+        assert_eq!(ctx.intra_op_threads(), 1);
+        assert!(!ctx.parallel());
+        assert_eq!(ctx.install(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn pool_sizes_respected() {
+        let ctx = ExecCtx::with_intra_op(3);
+        assert_eq!(ctx.intra_op_threads(), 3);
+        assert!(ctx.parallel());
+        // installing runs on the pool
+        let n = ctx.install(rayon::current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn one_thread_degenerates_to_sequential() {
+        let ctx = ExecCtx::with_intra_op(1);
+        assert!(!ctx.parallel());
+    }
+}

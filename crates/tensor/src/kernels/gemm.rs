@@ -1,0 +1,207 @@
+//! Matrix-multiply kernels: `MatMul` (batched, broadcasting) and `Gemm`.
+
+use crate::ctx::ExecCtx;
+use crate::tensor::{strides_of, unravel, Tensor};
+use crate::{exec_err, Result};
+use ramiel_ir::shape::broadcast;
+use rayon::prelude::*;
+
+/// `out[m×n] += a[m×k] · b[k×n]`, row-major, ikj loop order.
+fn mm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Single 2-D matrix product, optionally row-parallel over the intra-op pool.
+pub fn mm(ctx: &ExecCtx, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if ctx.parallel() && m >= 2 && m * k * n >= 16_384 {
+        ctx.install(|| {
+            out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+                let arow = &a[i * k..(i + 1) * k];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            });
+        });
+    } else {
+        mm_accumulate(a, b, &mut out, m, k, n);
+    }
+    out
+}
+
+/// Batched matmul with numpy broadcasting over the leading axes.
+pub fn matmul(ctx: &ExecCtx, a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<f32>> {
+    let (ra, rb) = (a.rank(), b.rank());
+    if ra < 2 || rb < 2 {
+        return exec_err("MatMul operands must have rank >= 2");
+    }
+    let (m, k1) = (a.shape()[ra - 2], a.shape()[ra - 1]);
+    let (k2, n) = (b.shape()[rb - 2], b.shape()[rb - 1]);
+    if k1 != k2 {
+        return exec_err(format!("MatMul inner dims {k1} != {k2}"));
+    }
+    let batch = match broadcast(&a.shape()[..ra - 2], &b.shape()[..rb - 2]) {
+        Some(s) => s,
+        None => return exec_err("MatMul batch dims do not broadcast"),
+    };
+    let nb: usize = batch.iter().product();
+    let mut out_shape = batch.clone();
+    out_shape.push(m);
+    out_shape.push(n);
+    let mut out = vec![0.0f32; nb * m * n];
+
+    // Per-batch offsets honoring broadcast on the leading dims.
+    let a_batch_shape = &a.shape()[..ra - 2];
+    let b_batch_shape = &b.shape()[..rb - 2];
+    let sa = strides_of(a_batch_shape);
+    let sb = strides_of(b_batch_shape);
+    let mut coords = vec![0usize; batch.len()];
+    for bi in 0..nb {
+        unravel(bi, &batch, &mut coords);
+        let ao = crate::tensor::broadcast_offset(&coords, a_batch_shape, &sa) * m * k1;
+        let bo = crate::tensor::broadcast_offset(&coords, b_batch_shape, &sb) * k1 * n;
+        let res = mm(ctx, &a.data()[ao..ao + m * k1], &b.data()[bo..bo + k1 * n], m, k1, n);
+        out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&res);
+    }
+    Tensor::new(out_shape, out)
+}
+
+/// Fully-connected `y = x · Wᵀ + bias` (`transB=1` Gemm) or `x · W + bias`.
+pub fn gemm(
+    ctx: &ExecCtx,
+    x: &Tensor<f32>,
+    w: &Tensor<f32>,
+    bias: Option<&Tensor<f32>>,
+    trans_b: bool,
+) -> Result<Tensor<f32>> {
+    if x.rank() != 2 || w.rank() != 2 {
+        return exec_err("Gemm operands must be 2-D");
+    }
+    let (m, k) = (x.shape()[0], x.shape()[1]);
+    let (n, wk) = if trans_b {
+        (w.shape()[0], w.shape()[1])
+    } else {
+        (w.shape()[1], w.shape()[0])
+    };
+    if k != wk {
+        return exec_err(format!("Gemm inner dims {k} != {wk}"));
+    }
+    // Materialize W in [k, n] layout so mm can stream rows.
+    let wkn: Vec<f32> = if trans_b {
+        let mut t = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                t[kk * n + j] = w.data()[j * k + kk];
+            }
+        }
+        t
+    } else {
+        w.data().to_vec()
+    };
+    let mut out = mm(ctx, x.data(), &wkn, m, k, n);
+    if let Some(b) = bias {
+        if b.numel() != n {
+            return exec_err(format!("Gemm bias length {} != {n}", b.numel()));
+        }
+        for row in out.chunks_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(b.data()) {
+                *o += bv;
+            }
+        }
+    }
+    Tensor::new(vec![m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor<f32> {
+        Tensor::new(shape, data).unwrap()
+    }
+
+    #[test]
+    fn mm_2x2() {
+        let ctx = ExecCtx::sequential();
+        let a = t(vec![2, 2], vec![1., 2., 3., 4.]);
+        let b = t(vec![2, 2], vec![5., 6., 7., 8.]);
+        let y = matmul(&ctx, &a, &b).unwrap();
+        assert_eq!(y.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn batched_matmul_broadcasts_rhs() {
+        let ctx = ExecCtx::sequential();
+        // a: [2, 1, 2] batch of row vectors; b: [2, 3] shared
+        let a = t(vec![2, 1, 2], vec![1., 0., 0., 1.]);
+        let b = t(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let y = matmul(&ctx, &a, &b).unwrap();
+        assert_eq!(y.shape(), &[2, 1, 3]);
+        assert_eq!(y.data(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn gemm_trans_b_with_bias() {
+        let ctx = ExecCtx::sequential();
+        let x = t(vec![1, 3], vec![1., 2., 3.]);
+        // W [2,3] with transB: y = x·Wᵀ → [1,2]
+        let w = t(vec![2, 3], vec![1., 0., 0., 0., 1., 0.]);
+        let b = t(vec![2], vec![10., 20.]);
+        let y = gemm(&ctx, &x, &w, Some(&b), true).unwrap();
+        assert_eq!(y.data(), &[11., 22.]);
+    }
+
+    #[test]
+    fn gemm_untransposed() {
+        let ctx = ExecCtx::sequential();
+        let x = t(vec![1, 2], vec![1., 2.]);
+        let w = t(vec![2, 2], vec![1., 2., 3., 4.]);
+        let y = gemm(&ctx, &x, &w, None, false).unwrap();
+        assert_eq!(y.data(), &[7., 10.]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = ExecCtx::sequential();
+        let par = ExecCtx::with_intra_op(4);
+        let a = crate::value::Value::random_f32(vec![64, 96], 7);
+        let b = crate::value::Value::random_f32(vec![96, 48], 8);
+        let (a, b) = (a.f32().unwrap().clone(), b.f32().unwrap().clone());
+        let y1 = matmul(&seq, &a, &b).unwrap();
+        let y2 = matmul(&par, &a, &b).unwrap();
+        for (p, q) in y1.data().iter().zip(y2.data()) {
+            assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let ctx = ExecCtx::sequential();
+        let a = t(vec![2, 3], vec![0.; 6]);
+        let b = t(vec![2, 3], vec![0.; 6]);
+        assert!(matmul(&ctx, &a, &b).is_err());
+        let w = t(vec![4, 4], vec![0.; 16]);
+        assert!(gemm(&ctx, &a, &w, None, false).is_err());
+    }
+}

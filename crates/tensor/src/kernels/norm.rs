@@ -1,0 +1,157 @@
+//! Normalization and softmax kernels.
+
+use crate::tensor::Tensor;
+use crate::{exec_err, Result};
+use ramiel_ir::shape::norm_axis;
+
+/// Inference-mode batch normalization over NCHW (or NC) input:
+/// `y = scale · (x − mean) / √(var + ε) + bias`, per channel.
+pub fn batch_norm(
+    x: &Tensor<f32>,
+    scale: &Tensor<f32>,
+    bias: &Tensor<f32>,
+    mean: &Tensor<f32>,
+    var: &Tensor<f32>,
+    epsilon: f32,
+) -> Result<Tensor<f32>> {
+    if x.rank() < 2 {
+        return exec_err("BatchNorm expects rank >= 2 input");
+    }
+    let c = x.shape()[1];
+    for (name, t) in [("scale", scale), ("bias", bias), ("mean", mean), ("var", var)] {
+        if t.numel() != c {
+            return exec_err(format!("BatchNorm {name} length {} != channels {c}", t.numel()));
+        }
+    }
+    let spatial: usize = x.shape()[2..].iter().product();
+    let n = x.shape()[0];
+    let mut out = Vec::with_capacity(x.numel());
+    for ni in 0..n {
+        for ci in 0..c {
+            let a = scale.data()[ci] / (var.data()[ci] + epsilon).sqrt();
+            let b = bias.data()[ci] - mean.data()[ci] * a;
+            let base = (ni * c + ci) * spatial;
+            out.extend(x.data()[base..base + spatial].iter().map(|&v| a * v + b));
+        }
+    }
+    Tensor::new(x.shape().to_vec(), out)
+}
+
+/// Layer normalization over the trailing axis with learned scale/bias.
+pub fn layer_norm(
+    x: &Tensor<f32>,
+    scale: &Tensor<f32>,
+    bias: &Tensor<f32>,
+    epsilon: f32,
+) -> Result<Tensor<f32>> {
+    let d = *x
+        .shape()
+        .last()
+        .ok_or_else(|| crate::ExecError("LayerNorm on scalar".into()))?;
+    if scale.numel() != d || bias.numel() != d {
+        return exec_err("LayerNorm scale/bias length mismatch");
+    }
+    let mut out = Vec::with_capacity(x.numel());
+    for row in x.data().chunks(d) {
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let inv = 1.0 / (var + epsilon).sqrt();
+        out.extend(
+            row.iter()
+                .zip(scale.data())
+                .zip(bias.data())
+                .map(|((&v, &s), &b)| (v - mean) * inv * s + b),
+        );
+    }
+    Tensor::new(x.shape().to_vec(), out)
+}
+
+/// Numerically-stable softmax along `axis`.
+pub fn softmax(x: &Tensor<f32>, axis: isize) -> Result<Tensor<f32>> {
+    let rank = x.rank();
+    let ax = norm_axis(axis, rank).map_err(|e| crate::ExecError(e.to_string()))?;
+    let axis_len = x.shape()[ax];
+    let inner: usize = x.shape()[ax + 1..].iter().product();
+    let outer: usize = x.shape()[..ax].iter().product();
+    let mut out = x.data().to_vec();
+    for o in 0..outer {
+        for i in 0..inner {
+            let base = o * axis_len * inner + i;
+            let mut maxv = f32::NEG_INFINITY;
+            for j in 0..axis_len {
+                maxv = maxv.max(out[base + j * inner]);
+            }
+            let mut sum = 0.0;
+            for j in 0..axis_len {
+                let e = (out[base + j * inner] - maxv).exp();
+                out[base + j * inner] = e;
+                sum += e;
+            }
+            for j in 0..axis_len {
+                out[base + j * inner] /= sum;
+            }
+        }
+    }
+    Tensor::new(x.shape().to_vec(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor<f32> {
+        Tensor::new(shape, data).unwrap()
+    }
+
+    #[test]
+    fn batch_norm_identity_params() {
+        let x = t(vec![1, 2, 1, 2], vec![1., 2., 3., 4.]);
+        let ones = t(vec![2], vec![1., 1.]);
+        let zeros = t(vec![2], vec![0., 0.]);
+        let y = batch_norm(&x, &ones, &zeros, &zeros, &ones, 0.0).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn batch_norm_standardizes() {
+        let x = t(vec![1, 1, 1, 2], vec![10., 20.]);
+        let scale = t(vec![1], vec![2.0]);
+        let bias = t(vec![1], vec![1.0]);
+        let mean = t(vec![1], vec![10.0]);
+        let var = t(vec![1], vec![4.0]);
+        let y = batch_norm(&x, &scale, &bias, &mean, &var, 0.0).unwrap();
+        assert_eq!(y.data(), &[1.0, 11.0]);
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = t(vec![2, 4], vec![1., 2., 3., 4., 0., 0., 0., 0.]);
+        let ones = t(vec![4], vec![1.0; 4]);
+        let zeros = t(vec![4], vec![0.0; 4]);
+        let y = layer_norm(&x, &ones, &zeros, 1e-9).unwrap();
+        let row = &y.data()[..4];
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        // all-zero row stays zero
+        assert_eq!(&y.data()[4..], &[0.0; 4]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = t(vec![2, 3], vec![1., 2., 3., 1000., 1000., 1000.]);
+        let y = softmax(&x, -1).unwrap();
+        for row in y.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // huge equal logits don't overflow
+        assert!((y.data()[3] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_non_trailing_axis() {
+        let x = t(vec![2, 2], vec![0., 0., 0., 0.]);
+        let y = softmax(&x, 0).unwrap();
+        assert_eq!(y.data(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Spatial pooling kernels (NCHW).
+
+use crate::tensor::Tensor;
+use crate::{exec_err, Result};
+use ramiel_ir::PoolSpec;
+
+fn pool_generic(
+    x: &Tensor<f32>,
+    spec: &PoolSpec,
+    is_max: bool,
+) -> Result<Tensor<f32>> {
+    if x.rank() != 4 {
+        return exec_err("pooling expects NCHW input");
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let ho = spec.out_extent(h, 0);
+    let wo = spec.out_extent(w, 1);
+    if ho == 0 || wo == 0 {
+        return exec_err("pool kernel larger than padded input");
+    }
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.pads;
+    let mut out = vec![0.0f32; n * c * ho * wo];
+    for img in 0..n * c {
+        let xi = &x.data()[img * h * w..(img + 1) * h * w];
+        let oi = &mut out[img * ho * wo..(img + 1) * ho * wo];
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let iy0 = (oy * sh) as isize - ph as isize;
+                let ix0 = (ox * sw) as isize - pw as isize;
+                let mut acc = if is_max { f32::NEG_INFINITY } else { 0.0 };
+                let mut count = 0usize;
+                for ky in 0..kh {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        let v = xi[iy as usize * w + ix as usize];
+                        if is_max {
+                            acc = acc.max(v);
+                        } else {
+                            acc += v;
+                        }
+                        count += 1;
+                    }
+                }
+                oi[oy * wo + ox] = if is_max {
+                    if count == 0 {
+                        0.0
+                    } else {
+                        acc
+                    }
+                } else if count == 0 {
+                    0.0
+                } else {
+                    // ONNX count_include_pad=0 semantics: average over the
+                    // in-bounds window only.
+                    acc / count as f32
+                };
+            }
+        }
+    }
+    Tensor::new(vec![n, c, ho, wo], out)
+}
+
+/// Max pooling.
+pub fn max_pool(x: &Tensor<f32>, spec: &PoolSpec) -> Result<Tensor<f32>> {
+    pool_generic(x, spec, true)
+}
+
+/// Average pooling (padding excluded from the divisor).
+pub fn avg_pool(x: &Tensor<f32>, spec: &PoolSpec) -> Result<Tensor<f32>> {
+    pool_generic(x, spec, false)
+}
+
+/// Global average pooling: NCHW → NC11.
+pub fn global_avg_pool(x: &Tensor<f32>) -> Result<Tensor<f32>> {
+    if x.rank() != 4 {
+        return exec_err("GlobalAveragePool expects NCHW input");
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let hw = (h * w) as f32;
+    let mut out = Vec::with_capacity(n * c);
+    for img in 0..n * c {
+        let s: f32 = x.data()[img * h * w..(img + 1) * h * w].iter().sum();
+        out.push(s / hw);
+    }
+    Tensor::new(vec![n, c, 1, 1], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor<f32> {
+        Tensor::new(shape, data).unwrap()
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let x = t(vec![1, 1, 2, 2], vec![1., 5., 3., 2.]);
+        let spec = PoolSpec {
+            kernel: (2, 2),
+            stride: (2, 2),
+            pads: (0, 0),
+            ceil_mode: false,
+        };
+        let y = max_pool(&x, &spec).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[5.0]);
+    }
+
+    #[test]
+    fn avg_pool_excludes_padding() {
+        let x = t(vec![1, 1, 2, 2], vec![4., 4., 4., 4.]);
+        let spec = PoolSpec {
+            kernel: (3, 3),
+            stride: (1, 1),
+            pads: (1, 1),
+            ceil_mode: false,
+        };
+        let y = avg_pool(&x, &spec).unwrap();
+        // corner windows see 4 in-bounds values of 4.0 → average 4.0
+        assert_eq!(y.data(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn global_avg() {
+        let x = t(vec![1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn ceil_mode_adds_ragged_window() {
+        let x = t(vec![1, 1, 3, 3], (1..=9).map(|v| v as f32).collect());
+        let spec = PoolSpec {
+            kernel: (2, 2),
+            stride: (2, 2),
+            pads: (0, 0),
+            ceil_mode: true,
+        };
+        let y = max_pool(&x, &spec).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5., 6., 8., 9.]);
+    }
+}

@@ -1,0 +1,178 @@
+//! The dense row-major tensor type.
+
+use crate::{exec_err, Result};
+
+/// A dense, row-major (C-order) tensor over element type `T`.
+///
+/// A rank-0 tensor (empty shape) is a scalar holding exactly one element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T> {
+    shape: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Tensor<T> {
+    /// Build a tensor from shape and data; errors on a size mismatch.
+    pub fn new(shape: Vec<usize>, data: Vec<T>) -> Result<Self> {
+        let numel: usize = shape.iter().product();
+        if numel != data.len() {
+            return exec_err(format!(
+                "tensor shape {:?} wants {} elements, got {}",
+                shape,
+                numel,
+                data.len()
+            ));
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor filled with `T::default()` (zeros for numeric types).
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let numel = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![T::default(); numel],
+        }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: Vec<usize>, v: T) -> Self {
+        let numel = shape.iter().product();
+        Tensor {
+            shape,
+            data: vec![v; numel],
+        }
+    }
+
+    /// A rank-0 scalar.
+    pub fn scalar(v: T) -> Self {
+        Tensor {
+            shape: vec![],
+            data: vec![v],
+        }
+    }
+
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume into the raw parts.
+    pub fn into_parts(self) -> (Vec<usize>, Vec<T>) {
+        (self.shape, self.data)
+    }
+
+    /// Reinterpret with a new shape of equal element count.
+    pub fn reshaped(&self, shape: Vec<usize>) -> Result<Self> {
+        Tensor::new(shape, self.data.clone())
+    }
+
+    /// Row-major strides for the current shape.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_of(&self.shape)
+    }
+
+    /// The single element of a scalar / one-element tensor.
+    pub fn item(&self) -> Result<T> {
+        if self.data.len() != 1 {
+            return exec_err(format!(
+                "item() on tensor with {} elements",
+                self.data.len()
+            ));
+        }
+        Ok(self.data[0])
+    }
+}
+
+/// Row-major strides for a shape.
+pub fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Convert a linear index into per-axis coordinates for `shape`.
+pub fn unravel(mut idx: usize, shape: &[usize], coords: &mut [usize]) {
+    for i in (0..shape.len()).rev() {
+        coords[i] = idx % shape[i];
+        idx /= shape[i];
+    }
+}
+
+/// Linear offset of `coords` within a tensor of the given strides, where
+/// `coords` may be longer than `strides` (leading axes are broadcast away)
+/// and any axis with extent 1 contributes 0.
+pub fn broadcast_offset(coords: &[usize], shape: &[usize], strides: &[usize]) -> usize {
+    let lead = coords.len() - shape.len();
+    let mut off = 0;
+    for (i, (&s, &st)) in shape.iter().zip(strides).enumerate() {
+        let c = if s == 1 { 0 } else { coords[lead + i] };
+        off += c * st;
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape_checks() {
+        let t = Tensor::new(vec![2, 3], vec![1.0f32; 6]).unwrap();
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.strides(), vec![3, 1]);
+        assert!(Tensor::<f32>::new(vec![2, 3], vec![0.0; 5]).is_err());
+        let s = Tensor::scalar(7i64);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.item().unwrap(), 7);
+    }
+
+    #[test]
+    fn strides_and_unravel_roundtrip() {
+        let shape = [2usize, 3, 4];
+        let strides = strides_of(&shape);
+        assert_eq!(strides, vec![12, 4, 1]);
+        let mut coords = [0usize; 3];
+        for idx in 0..24 {
+            unravel(idx, &shape, &mut coords);
+            let lin: usize = coords.iter().zip(&strides).map(|(c, s)| c * s).sum();
+            assert_eq!(lin, idx);
+        }
+    }
+
+    #[test]
+    fn broadcast_offset_ignores_unit_axes() {
+        // tensor of shape [1, 3] broadcast over coords in [2, 3]
+        let shape = [1usize, 3];
+        let strides = strides_of(&shape);
+        assert_eq!(broadcast_offset(&[1, 2], &shape, &strides), 2);
+        // lower-rank tensor [3] against coords [2,3]
+        let shape2 = [3usize];
+        let st2 = strides_of(&shape2);
+        assert_eq!(broadcast_offset(&[1, 2], &shape2, &st2), 2);
+    }
+
+    #[test]
+    fn reshaped_checks_numel() {
+        let t = Tensor::new(vec![2, 3], vec![0i64; 6]).unwrap();
+        assert!(t.reshaped(vec![3, 2]).is_ok());
+        assert!(t.reshaped(vec![4, 2]).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end tests of the `ramiel` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ramiel_bin() -> PathBuf {
+    // target/<profile>/ramiel next to the test executable
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug|release/
+    path.push(format!("ramiel{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(ramiel_bin())
+        .args(args)
+        .output()
+        .expect("spawn ramiel binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn models_lists_all_eight() {
+    let (ok, stdout, _) = run(&["models"]);
+    assert!(ok);
+    for name in [
+        "Squeezenet",
+        "Googlenet",
+        "Inception V3",
+        "Inception V4",
+        "Yolo V5",
+        "BERT",
+        "Retinanet",
+        "NASNet",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn report_prints_table1_columns() {
+    let (ok, stdout, _) = run(&["report"]);
+    assert!(ok);
+    assert!(stdout.contains("Wt.NodeCost"));
+    assert!(stdout.contains("Parallelism"));
+    assert!(stdout.contains("NASNet"));
+}
+
+#[test]
+fn compile_writes_artifacts() {
+    let dir = std::env::temp_dir().join(format!("ramiel_cli_{}", std::process::id()));
+    let dir_s = dir.to_str().expect("utf8 temp dir");
+    let (ok, stdout, stderr) = run(&[
+        "compile",
+        "squeezenet",
+        "--tiny",
+        "--prune",
+        "--clone",
+        "--out",
+        dir_s,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("clusters:"));
+    for artifact in ["parallel.py", "sequential.py", "clusters.dot", "report.json"] {
+        assert!(dir.join(artifact).exists(), "missing {artifact}");
+    }
+    let report: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("report.json")).unwrap()).unwrap();
+    assert_eq!(report["model"], "Squeezenet");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_executes_both_modes() {
+    let (ok, stdout, stderr) = run(&["run", "squeezenet", "--tiny", "--iters", "1"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("sequential:"));
+    assert!(stdout.contains("parallel"));
+    assert!(stdout.contains("ms/iter"));
+}
+
+#[test]
+fn export_then_compile_from_file() {
+    let path = std::env::temp_dir().join(format!("ramiel_cli_model_{}.json", std::process::id()));
+    let path_s = path.to_str().expect("utf8 path");
+    let (ok, _, stderr) = run(&["export", "googlenet", path_s, "--tiny"]);
+    assert!(ok, "stderr: {stderr}");
+    let (ok, stdout, stderr) = run(&["compile", path_s]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Googlenet"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn simulate_prints_speedup() {
+    let (ok, stdout, stderr) = run(&["simulate", "googlenet", "--tiny"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("simulated speedup"));
+    assert!(stdout.contains("slack fraction"));
+}
+
+#[test]
+fn compile_with_batch_writes_hyper_module() {
+    let dir = std::env::temp_dir().join(format!("ramiel_cli_hyper_{}", std::process::id()));
+    let dir_s = dir.to_str().expect("utf8 temp dir");
+    let (ok, _, stderr) = run(&[
+        "compile",
+        "squeezenet",
+        "--tiny",
+        "--batch",
+        "4",
+        "--switched",
+        "--out",
+        dir_s,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let hyper = std::fs::read_to_string(dir.join("hyper.py")).expect("hyper.py written");
+    assert!(hyper.contains("SWITCHED"));
+    assert!(hyper.contains("def hypercluster_0("));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_args_fail_cleanly() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (ok, _, stderr) = run(&["compile", "squeezenet", "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("--bogus") || stderr.contains("unknown"));
+    let (ok, _, stderr) = run(&["compile", "not-a-model"]);
+    assert!(!ok);
+    assert!(stderr.contains("not a built-in model"));
+}

@@ -1,0 +1,259 @@
+//! Qualitative reproduction of the paper's headline claims, checked against
+//! the deterministic simulator so they hold on any machine.
+//!
+//! Absolute numbers differ from the paper's Xeon + PyTorch testbed; these
+//! tests pin the *shape* of every result: who wins, roughly by how much,
+//! and where the crossovers are.
+
+use ramiel::{compile, PipelineOptions};
+use ramiel_cluster::{parallelism_report, StaticCost};
+use ramiel_ios::{ios_makespan, ios_schedule, IosConfig};
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_passes::CloneConfig;
+use ramiel_runtime::{simulate_clustering, simulate_hyper, simulate_sequential, SimConfig};
+use std::time::Instant;
+
+/// Simulator knobs used for calibration: comm latency 8 models the paper's
+/// expensive Python-process queues relative to small ops.
+fn sim_cfg() -> SimConfig {
+    SimConfig {
+        comm_latency: 8,
+        dispatch_overhead: 0,
+    }
+}
+
+fn sim_speedup(c: &ramiel::CompiledModel) -> f64 {
+    let sim = simulate_clustering(&c.graph, &c.clustering, &StaticCost, &sim_cfg())
+        .expect("simulation");
+    simulate_sequential(&c.graph, &StaticCost, 1) as f64 / sim.makespan as f64
+}
+
+/// Speedup against a fixed (unoptimized-graph) sequential baseline, the way
+/// Tables VI/VII compare optimization variants.
+fn sim_speedup_vs(c: &ramiel::CompiledModel, baseline: u64) -> f64 {
+    let sim = simulate_clustering(&c.graph, &c.clustering, &StaticCost, &sim_cfg())
+        .expect("simulation");
+    baseline as f64 / sim.makespan as f64
+}
+
+/// Table I: SqueezeNet's potential parallelism is the lowest (< 1), NASNet's
+/// the highest (≫ others).
+#[test]
+fn table1_parallelism_ordering() {
+    let cfg = ModelConfig::full();
+    let get = |k: ModelKind| {
+        parallelism_report(&build(k, &cfg), &StaticCost).parallelism
+    };
+    let squeeze = get(ModelKind::Squeezenet);
+    let nasnet = get(ModelKind::NasNet);
+    let google = get(ModelKind::Googlenet);
+    let inception3 = get(ModelKind::InceptionV3);
+    let yolo = get(ModelKind::YoloV5);
+
+    assert!(squeeze < 1.0, "SqueezeNet must be < 1x (paper: 0.86x), got {squeeze:.2}");
+    assert!(nasnet > 2.0, "NASNet must dominate (paper: 3.7x), got {nasnet:.2}");
+    assert!(nasnet > google && nasnet > inception3 && nasnet > yolo);
+    assert!(google > 1.0 && inception3 > 1.0, "GoogleNet/Inception ≈ 1.3–1.4x");
+    assert!(squeeze < google && squeeze < inception3 && squeeze < nasnet);
+}
+
+/// Table IV: simulated LC speedup correlates with the potential-parallelism
+/// factor — SqueezeNet does not benefit, NASNet benefits the most.
+#[test]
+fn table4_lc_speedup_shape() {
+    let cfg = ModelConfig::full();
+    let sp = |k: ModelKind| {
+        sim_speedup(&compile(build(k, &cfg), &PipelineOptions::default()).unwrap())
+    };
+    let squeeze = sp(ModelKind::Squeezenet);
+    let inception4 = sp(ModelKind::InceptionV4);
+    let nasnet = sp(ModelKind::NasNet);
+
+    assert!(squeeze < 1.0, "SqueezeNet must lose, as in the paper (0.83x), got {squeeze:.2}");
+    assert!(inception4 > 1.1, "Inception V4 gains (paper 1.44x), got {inception4:.2}");
+    assert!(nasnet > inception4, "NASNet leads (paper 1.7x): {nasnet:.2} vs {inception4:.2}");
+    assert!(nasnet > 1.3);
+}
+
+/// Table VI: CP+DCE improves YOLO, BERT and NASNet — the three models whose
+/// exports carry constant shape chains.
+#[test]
+fn table6_pruning_helps_the_three_prunable_models() {
+    let cfg = ModelConfig::full();
+    for kind in [ModelKind::YoloV5, ModelKind::Bert, ModelKind::NasNet] {
+        let plain = compile(build(kind, &cfg), &PipelineOptions::default()).unwrap();
+        let pruned = compile(
+            build(kind, &cfg),
+            &PipelineOptions {
+                prune: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            pruned.graph.num_nodes() < plain.graph.num_nodes(),
+            "{}: pruning must remove nodes",
+            kind.name()
+        );
+        let baseline = simulate_sequential(&plain.graph, &StaticCost, 1);
+        let s_lc = sim_speedup_vs(&plain, baseline);
+        let s_dce = sim_speedup_vs(&pruned, baseline);
+        assert!(
+            s_dce >= s_lc,
+            "{}: S_LC+DCE ({s_dce:.3}) must improve on S_LC ({s_lc:.3})",
+            kind.name()
+        );
+    }
+    // and it does nothing for constant-free models (Table VI omits them)
+    for kind in [ModelKind::Squeezenet, ModelKind::Googlenet] {
+        let plain = compile(build(kind, &cfg), &PipelineOptions::default()).unwrap();
+        let pruned = compile(
+            build(kind, &cfg),
+            &PipelineOptions {
+                prune: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // only pass-throughs (the exported Dropout) may disappear — there
+        // are no constant subgraphs to fold
+        assert!(
+            plain.graph.num_nodes() - pruned.graph.num_nodes() <= 2,
+            "{}: no constants to fold ({} -> {})",
+            kind.name(),
+            plain.graph.num_nodes(),
+            pruned.graph.num_nodes()
+        );
+    }
+}
+
+/// Fig. 12 / Table VII: cloning improves (or at worst preserves) the
+/// simulated makespan of the vision models — the paper reports single-digit
+/// percent uplifts, with SqueezeNet gaining the most.
+#[test]
+fn fig12_cloning_improves_vision_models() {
+    let cfg = ModelConfig::full();
+    let mut squeeze_uplift = 0.0;
+    for kind in [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::InceptionV3,
+        ModelKind::InceptionV4,
+    ] {
+        let plain = compile(build(kind, &cfg), &PipelineOptions::default()).unwrap();
+        let baseline = simulate_sequential(&plain.graph, &StaticCost, 1);
+        let cloned = compile(
+            build(kind, &cfg),
+            &PipelineOptions {
+                cloning: Some(CloneConfig::default()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (p, c) = (
+            sim_speedup_vs(&plain, baseline),
+            sim_speedup_vs(&cloned, baseline),
+        );
+        assert!(
+            c >= p * 0.999,
+            "{}: cloning must not regress ({c:.3} vs {p:.3})",
+            kind.name()
+        );
+        if kind == ModelKind::Squeezenet {
+            squeeze_uplift = c / p - 1.0;
+        }
+    }
+    assert!(
+        squeeze_uplift > 0.03,
+        "SqueezeNet should gain several percent from cloning (paper: ~14%), got {:.1}%",
+        100.0 * squeeze_uplift
+    );
+}
+
+/// Fig. 13: hyperclustering amortizes slack — per-sample simulated makespan
+/// improves as the batch grows.
+#[test]
+fn fig13_hypercluster_speedup_grows_with_batch() {
+    let cfg = ModelConfig::full();
+    let c = compile(build(ModelKind::Googlenet, &cfg), &PipelineOptions::default()).unwrap();
+    let seq1 = simulate_sequential(&c.graph, &StaticCost, 1) as f64;
+    let mut last_per_sample = f64::MAX;
+    for batch in [1usize, 2, 4, 8] {
+        let hc = ramiel_cluster::hypercluster(&c.clustering, batch);
+        let sim = simulate_hyper(&c.graph, &hc, &StaticCost, &SimConfig::default()).unwrap();
+        let per_sample = sim.makespan as f64 / batch as f64;
+        assert!(
+            per_sample <= last_per_sample * 1.02,
+            "batch {batch}: per-sample makespan should not grow ({per_sample:.1} vs {last_per_sample:.1})"
+        );
+        last_per_sample = per_sample;
+    }
+    // and batching beats running the batch sequentially
+    assert!(last_per_sample < seq1);
+}
+
+/// Fig. 14: switched hyperclustering balances load at least as well as the
+/// plain variant on SqueezeNet.
+#[test]
+fn fig14_switched_balances_squeezenet() {
+    let cfg = ModelConfig::full();
+    let c = compile(build(ModelKind::Squeezenet, &cfg), &PipelineOptions::default()).unwrap();
+    let costs: Vec<u64> = c
+        .graph
+        .nodes
+        .iter()
+        .map(|n| ramiel_cluster::cost::CostModel::node_cost(&StaticCost, &c.graph, n))
+        .collect();
+    for batch in [2usize, 3, 4] {
+        let plain = ramiel_cluster::hypercluster(&c.clustering, batch);
+        let switched = ramiel_cluster::switched_hypercluster(&c.clustering, batch);
+        assert!(
+            switched.load_imbalance(&costs) <= plain.load_imbalance(&costs) + 1e-9,
+            "batch {batch}: switched must balance at least as well"
+        );
+    }
+}
+
+/// Table VIII: Ramiel's compile time is orders of magnitude below the IOS
+/// DP, while LC+opts reaches comparable simulated speedups.
+#[test]
+fn table8_compile_time_gap_vs_ios() {
+    let cfg = ModelConfig::full();
+    for kind in [ModelKind::Squeezenet, ModelKind::InceptionV3, ModelKind::NasNet] {
+        let g = build(kind, &cfg);
+
+        let t = Instant::now();
+        let c = compile(g.clone(), &PipelineOptions::all_optimizations()).unwrap();
+        let ramiel_ct = t.elapsed();
+
+        let (sched, stats) = ios_schedule(&g, &StaticCost, &IosConfig::default());
+        // The compile-time gap grows with graph size (ours linear, IOS's DP
+        // super-linear). SqueezeNet is too small for wall-clock to separate;
+        // the state-count evidence covers it.
+        if kind != ModelKind::Squeezenet {
+            assert!(
+                stats.compile_time > ramiel_ct,
+                "{}: IOS ({:?}) must exceed Ramiel ({:?})",
+                kind.name(),
+                stats.compile_time,
+                ramiel_ct
+            );
+        }
+        assert!(
+            stats.dp_states > g.num_nodes(),
+            "{}: the DP must explore far more states than LC touches nodes",
+            kind.name()
+        );
+
+        // speedups comparable: Ramiel within 2x of IOS's simulated speedup
+        let seq = simulate_sequential(&c.graph, &StaticCost, 1) as f64;
+        let ours = sim_speedup(&c);
+        let ios_mk = ios_makespan(&g, &sched, &StaticCost, &IosConfig::default()) as f64;
+        let ios_sp = simulate_sequential(&g, &StaticCost, 1) as f64 / ios_mk;
+        assert!(
+            ours > ios_sp * 0.5,
+            "{}: ours {ours:.2} vs IOS {ios_sp:.2} (seq {seq:.0})",
+            kind.name()
+        );
+    }
+}

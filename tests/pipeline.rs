@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: the full Ramiel pipeline on every model,
+//! checking structural invariants after each stage.
+
+use ramiel::{compile, HyperMode, PipelineOptions};
+use ramiel_cluster::StaticCost;
+use ramiel_ir::validate::validate;
+use ramiel_models::{build, ModelConfig, ModelKind};
+
+#[test]
+fn pipeline_invariants_hold_for_every_model() {
+    let cfg = ModelConfig::tiny();
+    for kind in ModelKind::all() {
+        let g = build(kind, &cfg);
+        let c = compile(g, &PipelineOptions::all_optimizations())
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        validate(&c.graph).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        c.clustering
+            .check_partition(&c.graph)
+            .unwrap_or_else(|e| panic!("{}: partition: {e}", kind.name()));
+        c.clustering
+            .check_internal_order(&c.graph)
+            .unwrap_or_else(|e| panic!("{}: order: {e}", kind.name()));
+        assert!(
+            c.report.clusters_after_merge <= c.report.clusters_before_merge,
+            "{}: merging must not increase cluster count",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn full_scale_pipeline_on_all_models() {
+    // Paper-faithful topology (full block counts); pipeline only, no
+    // execution, so this stays fast even for 1400-node NASNet.
+    let cfg = ModelConfig::full();
+    for kind in ModelKind::all() {
+        let g = build(kind, &cfg);
+        let nodes = g.num_nodes();
+        let c = compile(g, &PipelineOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert_eq!(c.report.nodes_before, nodes);
+        assert!(c.report.clusters_after_merge >= 1);
+        // generated code mentions every cluster
+        for ci in 0..c.report.clusters_after_merge {
+            assert!(
+                c.parallel_code.contains(&format!("def cluster_{ci}(")),
+                "{}: missing cluster {ci} in codegen",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_then_clustering_reduces_both_nodes_and_clusters_on_yolo() {
+    let cfg = ModelConfig::full();
+    let plain = compile(build(ModelKind::YoloV5, &cfg), &PipelineOptions::default()).unwrap();
+    let pruned = compile(
+        build(ModelKind::YoloV5, &cfg),
+        &PipelineOptions {
+            prune: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(pruned.graph.num_nodes() < plain.graph.num_nodes());
+    assert!(pruned.report.clusters_after_merge <= plain.report.clusters_after_merge);
+}
+
+#[test]
+fn hyperclustering_covers_all_batch_elements() {
+    let cfg = ModelConfig::tiny();
+    for batch in [2usize, 4, 8, 12] {
+        for mode in [HyperMode::Plain, HyperMode::Switched] {
+            let c = compile(
+                build(ModelKind::Squeezenet, &cfg),
+                &PipelineOptions {
+                    batch,
+                    hyper: mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let hc = c.hyper.expect("hyperclustering on");
+            hc.check_coverage(c.graph.num_nodes())
+                .unwrap_or_else(|e| panic!("batch {batch} {mode:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn model_roundtrip_through_model_file() {
+    let g = build(ModelKind::Googlenet, &ModelConfig::tiny());
+    let json = ramiel_ir::model_file::to_json(&g).unwrap();
+    let g2 = ramiel_ir::model_file::from_json(&json).unwrap();
+    assert_eq!(g, g2);
+    // compiled results identical
+    let c1 = compile(g, &PipelineOptions::default()).unwrap();
+    let c2 = compile(g2, &PipelineOptions::default()).unwrap();
+    assert_eq!(c1.clustering, c2.clustering);
+    assert_eq!(c1.parallel_code, c2.parallel_code);
+}
+
+#[test]
+fn dsc_scheduler_is_a_valid_alternative() {
+    use ramiel::Scheduler;
+    use ramiel_runtime::{run_parallel, run_sequential, synth_inputs};
+    use ramiel_tensor::ExecCtx;
+    let cfg = ModelConfig::tiny();
+    for kind in ModelKind::all() {
+        let c = compile(
+            build(kind, &cfg),
+            &PipelineOptions {
+                scheduler: Scheduler::Dsc,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        c.clustering
+            .check_partition(&c.graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        c.clustering
+            .check_internal_order(&c.graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+    }
+    // DSC schedules execute correctly too
+    let c = compile(
+        build(ModelKind::Googlenet, &cfg),
+        &PipelineOptions {
+            scheduler: Scheduler::Dsc,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let inputs = synth_inputs(&c.graph, 77);
+    let ctx = ExecCtx::sequential();
+    let seq = run_sequential(&c.graph, &inputs, &ctx).unwrap();
+    let par = run_parallel(&c.graph, &c.clustering, &inputs, &ctx).unwrap();
+    assert_eq!(seq.keys().collect::<Vec<_>>(), par.keys().collect::<Vec<_>>());
+}
+
+#[test]
+fn text_format_roundtrips_the_whole_zoo() {
+    let cfg = ModelConfig::tiny();
+    for kind in ModelKind::all() {
+        let g = build(kind, &cfg);
+        let text = ramiel_ir::text_format::to_text(&g);
+        let g2 = ramiel_ir::text_format::from_text(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert_eq!(g, g2, "{}", kind.name());
+    }
+}
+
+#[test]
+fn compile_is_deterministic() {
+    let cfg = ModelConfig::tiny();
+    for kind in [ModelKind::Squeezenet, ModelKind::NasNet, ModelKind::Bert] {
+        let c1 = compile(build(kind, &cfg), &PipelineOptions::all_optimizations()).unwrap();
+        let c2 = compile(build(kind, &cfg), &PipelineOptions::all_optimizations()).unwrap();
+        assert_eq!(c1.clustering, c2.clustering, "{}", kind.name());
+        assert_eq!(c1.parallel_code, c2.parallel_code, "{}", kind.name());
+        assert_eq!(c1.distances, c2.distances, "{}", kind.name());
+    }
+}
+
+#[test]
+fn cluster_counts_shrink_like_table_ii() {
+    // Table II: merging collapses cluster counts dramatically (9→2 for
+    // SqueezeNet, 30→4 GoogleNet, 76→5 BERT, 244→67 NASNet). Exact values
+    // depend on the export; we check the qualitative collapse (≥2x).
+    let cfg = ModelConfig::full();
+    for kind in [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::InceptionV3,
+        ModelKind::Bert,
+        ModelKind::NasNet,
+    ] {
+        let c = compile(build(kind, &cfg), &PipelineOptions::default()).unwrap();
+        assert!(
+            c.report.clusters_after_merge * 2 <= c.report.clusters_before_merge,
+            "{}: {} → {} is not a ≥2x reduction",
+            kind.name(),
+            c.report.clusters_before_merge,
+            c.report.clusters_after_merge
+        );
+    }
+}
+
+#[test]
+fn distance_strictly_decreases_along_edges_for_all_models() {
+    let cfg = ModelConfig::tiny();
+    for kind in ModelKind::all() {
+        let g = build(kind, &cfg);
+        let dist = ramiel_cluster::distance_to_end(&g, &StaticCost);
+        let adj = g.adjacency();
+        for u in 0..g.num_nodes() {
+            for &v in &adj.succs[u] {
+                assert!(dist[u] > dist[v], "{}: {u}->{v}", kind.name());
+            }
+        }
+    }
+}
