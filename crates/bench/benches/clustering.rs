@@ -7,8 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ramiel_cluster::{
-    cluster_graph, distance_to_end, linear_clustering, merge_clusters_fixpoint,
-    parallelism_report, StaticCost,
+    cluster_graph, distance_to_end, linear_clustering, merge_clusters_fixpoint, parallelism_report,
+    StaticCost,
 };
 use ramiel_models::{build, ModelConfig, ModelKind};
 use std::hint::black_box;

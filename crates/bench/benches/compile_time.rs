@@ -50,8 +50,11 @@ fn bench_codegen_only(c: &mut Criterion) {
     // auto-parallelizers: readable Python out)
     let mut group = c.benchmark_group("codegen");
     for kind in [ModelKind::Squeezenet, ModelKind::Bert] {
-        let compiled = compile(build(kind, &ModelConfig::full()), &PipelineOptions::default())
-            .expect("pipeline");
+        let compiled = compile(
+            build(kind, &ModelConfig::full()),
+            &PipelineOptions::default(),
+        )
+        .expect("pipeline");
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.name()),
             &compiled,
@@ -69,5 +72,10 @@ fn bench_codegen_only(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ramiel_compile, bench_ios_compile, bench_codegen_only);
+criterion_group!(
+    benches,
+    bench_ramiel_compile,
+    bench_ios_compile,
+    bench_codegen_only
+);
 criterion_main!(benches);

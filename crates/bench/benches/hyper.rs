@@ -81,13 +81,9 @@ fn bench_fig14_switched(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("plain", batch), &inputs, |b, inputs| {
             b.iter(|| run_hyper(&compiled.graph, &plain, inputs, &ctx).expect("hyper"));
         });
-        group.bench_with_input(
-            BenchmarkId::new("switched", batch),
-            &inputs,
-            |b, inputs| {
-                b.iter(|| run_hyper(&compiled.graph, &switched, inputs, &ctx).expect("hyper"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("switched", batch), &inputs, |b, inputs| {
+            b.iter(|| run_hyper(&compiled.graph, &switched, inputs, &ctx).expect("hyper"));
+        });
     }
     group.finish();
 }

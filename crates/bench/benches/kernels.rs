@@ -70,8 +70,12 @@ fn bench_eval_dispatch(c: &mut Criterion) {
     let x = Value::random_f32(vec![64], 8);
     c.bench_function("eval_op_relu_64", |b| {
         b.iter(|| {
-            ramiel_tensor::eval_op(&ctx, &ramiel_ir::OpKind::Relu, black_box(std::slice::from_ref(&x)))
-                .expect("relu")
+            ramiel_tensor::eval_op(
+                &ctx,
+                &ramiel_ir::OpKind::Relu,
+                black_box(std::slice::from_ref(&x)),
+            )
+            .expect("relu")
         });
     });
 }

@@ -11,9 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ramiel::{compile, PipelineOptions};
 use ramiel_cluster::StaticCost;
 use ramiel_models::{build, ModelConfig, ModelKind};
-use ramiel_runtime::{
-    run_parallel, run_sequential, simulate_clustering, synth_inputs, SimConfig,
-};
+use ramiel_runtime::{run_parallel, run_sequential, simulate_clustering, synth_inputs, SimConfig};
 use ramiel_tensor::ExecCtx;
 use std::hint::black_box;
 
@@ -30,8 +28,11 @@ fn bench_sequential_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4_sequential");
     group.sample_size(10);
     for kind in MODELS {
-        let compiled = compile(build(kind, &ModelConfig::full()), &PipelineOptions::default())
-            .expect("pipeline");
+        let compiled = compile(
+            build(kind, &ModelConfig::full()),
+            &PipelineOptions::default(),
+        )
+        .expect("pipeline");
         let inputs = synth_inputs(&compiled.graph, 42);
         let ctx = ExecCtx::sequential();
         group.bench_with_input(
@@ -49,8 +50,11 @@ fn bench_parallel_execution(c: &mut Criterion) {
     let mut group = c.benchmark_group("table4_parallel");
     group.sample_size(10);
     for kind in MODELS {
-        let compiled = compile(build(kind, &ModelConfig::full()), &PipelineOptions::default())
-            .expect("pipeline");
+        let compiled = compile(
+            build(kind, &ModelConfig::full()),
+            &PipelineOptions::default(),
+        )
+        .expect("pipeline");
         let inputs = synth_inputs(&compiled.graph, 42);
         let ctx = ExecCtx::sequential();
         group.bench_with_input(
@@ -78,13 +82,9 @@ fn bench_intra_op(c: &mut Criterion) {
     let inputs = synth_inputs(&compiled.graph, 42);
     for threads in [1usize, 2, 4] {
         let ctx = ExecCtx::with_intra_op(threads);
-        group.bench_with_input(
-            BenchmarkId::new("sequential", threads),
-            &threads,
-            |b, _| {
-                b.iter(|| run_sequential(&compiled.graph, &inputs, &ctx).expect("seq"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sequential", threads), &threads, |b, _| {
+            b.iter(|| run_sequential(&compiled.graph, &inputs, &ctx).expect("seq"));
+        });
     }
     group.finish();
 }
@@ -105,15 +105,9 @@ fn bench_pruned_execution(c: &mut Criterion) {
             .expect("pipeline");
             let inputs = synth_inputs(&compiled.graph, 42);
             let ctx = ExecCtx::sequential();
-            group.bench_with_input(
-                BenchmarkId::new(label, kind.name()),
-                &compiled,
-                |b, c| {
-                    b.iter(|| {
-                        run_parallel(&c.graph, &c.clustering, &inputs, &ctx).expect("par")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, kind.name()), &compiled, |b, c| {
+                b.iter(|| run_parallel(&c.graph, &c.clustering, &inputs, &ctx).expect("par"));
+            });
         }
     }
     group.finish();
@@ -123,8 +117,11 @@ fn bench_simulator(c: &mut Criterion) {
     // The simulator itself must stay cheap — it is run inside every table.
     let mut group = c.benchmark_group("simulator");
     for kind in [ModelKind::Squeezenet, ModelKind::NasNet] {
-        let compiled = compile(build(kind, &ModelConfig::full()), &PipelineOptions::default())
-            .expect("pipeline");
+        let compiled = compile(
+            build(kind, &ModelConfig::full()),
+            &PipelineOptions::default(),
+        )
+        .expect("pipeline");
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.name()),
             &compiled,

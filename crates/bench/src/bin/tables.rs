@@ -10,7 +10,10 @@ use std::process::ExitCode;
 
 fn table1() {
     println!("== Table I — potential parallelism of ML dataflow graphs ==");
-    println!("{:<14} {:>7} {:>13} {:>8} {:>12}", "Model", "#Nodes", "Wt.NodeCost", "Wt.CP", "Parallelism");
+    println!(
+        "{:<14} {:>7} {:>13} {:>8} {:>12}",
+        "Model", "#Nodes", "Wt.NodeCost", "Wt.CP", "Parallelism"
+    );
     for r in b::table1() {
         println!(
             "{:<14} {:>7} {:>13} {:>8} {:>11.2}x",
@@ -21,7 +24,10 @@ fn table1() {
 
 fn table2() {
     println!("== Table II — clusters before/after merging ==");
-    println!("{:<14} {:>15} {:>14}", "Model", "Before Merging", "After Merging");
+    println!(
+        "{:<14} {:>15} {:>14}",
+        "Model", "Before Merging", "After Merging"
+    );
     for r in b::table2() {
         println!("{:<14} {:>15} {:>14}", r.model, r.before, r.after);
     }
@@ -31,12 +37,24 @@ fn table3() {
     println!("== Table III — clusters after constant propagation + DCE ==");
     println!(
         "{:<14} {:>17} {:>16} {:>12} {:>12} {:>10} {:>10}",
-        "Model", "Before ConstProp", "After ConstProp", "Nodes before", "Nodes after", "LC before", "LC after"
+        "Model",
+        "Before ConstProp",
+        "After ConstProp",
+        "Nodes before",
+        "Nodes after",
+        "LC before",
+        "LC after"
     );
     for r in b::table3() {
         println!(
             "{:<14} {:>17} {:>16} {:>12} {:>12} {:>10} {:>10}",
-            r.model, r.before_cp, r.after_cp, r.nodes_before, r.nodes_after, r.lc_before_cp, r.lc_after_cp
+            r.model,
+            r.before_cp,
+            r.after_cp,
+            r.nodes_before,
+            r.nodes_after,
+            r.lc_before_cp,
+            r.lc_after_cp
         );
     }
 }
@@ -64,7 +82,14 @@ fn table5(iters: usize) {
     for r in b::table5(iters) {
         println!(
             "{:<14} {:>9.2} {:>9.2} {:>7.2}x {:>9.2} {:>9.2} {:>7.2}x {:>7.2}x",
-            r.model, r.par2_ms, r.seq2_ms, r.speedup2, r.par4_ms, r.seq4_ms, r.speedup4, r.best_overall
+            r.model,
+            r.par2_ms,
+            r.seq2_ms,
+            r.speedup2,
+            r.par4_ms,
+            r.seq4_ms,
+            r.speedup4,
+            r.best_overall
         );
     }
 }

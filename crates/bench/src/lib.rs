@@ -135,8 +135,8 @@ pub fn table2() -> Vec<Table2Row> {
     ModelKind::all()
         .into_iter()
         .map(|k| {
-            let c = compile(build(k, &model_config()), &PipelineOptions::default())
-                .expect("pipeline");
+            let c =
+                compile(build(k, &model_config()), &PipelineOptions::default()).expect("pipeline");
             Table2Row {
                 model: k.name().into(),
                 before: c.report.clusters_before_merge,
@@ -164,8 +164,8 @@ pub fn table3() -> Vec<Table3Row> {
     [ModelKind::YoloV5, ModelKind::NasNet, ModelKind::Bert]
         .into_iter()
         .map(|k| {
-            let plain = compile(build(k, &model_config()), &PipelineOptions::default())
-                .expect("pipeline");
+            let plain =
+                compile(build(k, &model_config()), &PipelineOptions::default()).expect("pipeline");
             let pruned = compile(
                 build(k, &model_config()),
                 &PipelineOptions {
@@ -205,8 +205,8 @@ pub fn table4(iters: usize) -> Vec<Table4Row> {
     ModelKind::all()
         .into_iter()
         .map(|k| {
-            let c = compile(build(k, &model_config()), &PipelineOptions::default())
-                .expect("pipeline");
+            let c =
+                compile(build(k, &model_config()), &PipelineOptions::default()).expect("pipeline");
             let (seq_ms, par_ms) = measured_times(&c, iters, 1);
             Table4Row {
                 model: k.name().into(),
@@ -248,8 +248,7 @@ pub fn table5(iters: usize) -> Vec<Table5Row> {
     ]
     .into_iter()
     .map(|k| {
-        let c = compile(build(k, &model_config()), &PipelineOptions::default())
-            .expect("pipeline");
+        let c = compile(build(k, &model_config()), &PipelineOptions::default()).expect("pipeline");
         let (seq2, par2) = measured_times(&c, iters, 2);
         let (seq4, par4) = measured_times(&c, iters, 4);
         Table5Row {
@@ -282,8 +281,8 @@ pub fn table6(iters: usize) -> Vec<Table6Row> {
     [ModelKind::YoloV5, ModelKind::Bert, ModelKind::NasNet]
         .into_iter()
         .map(|k| {
-            let plain = compile(build(k, &model_config()), &PipelineOptions::default())
-                .expect("pipeline");
+            let plain =
+                compile(build(k, &model_config()), &PipelineOptions::default()).expect("pipeline");
             let pruned = compile(
                 build(k, &model_config()),
                 &PipelineOptions {
@@ -341,8 +340,8 @@ pub fn table7() -> Vec<Table7Row> {
     ModelKind::all()
         .into_iter()
         .map(|k| {
-            let plain = compile(build(k, &model_config()), &PipelineOptions::default())
-                .expect("pipeline");
+            let plain =
+                compile(build(k, &model_config()), &PipelineOptions::default()).expect("pipeline");
             let baseline = simulate_sequential(&plain.graph, &StaticCost, 1);
             let s_lc = simulated_speedup_vs(&plain, baseline);
             let s_dce = prunable.contains(&k).then(|| {
@@ -396,28 +395,31 @@ pub struct Table8Row {
 }
 
 pub fn table8() -> Vec<Table8Row> {
-    [ModelKind::Squeezenet, ModelKind::InceptionV3, ModelKind::NasNet]
-        .into_iter()
-        .map(|k| {
-            let g = build(k, &model_config());
-            let baseline = simulate_sequential(&g, &StaticCost, 1);
-            let t = Instant::now();
-            let c = compile(g.clone(), &PipelineOptions::all_optimizations())
-                .expect("pipeline");
-            let ours_ct = t.elapsed();
-            let ios_cfg = IosConfig::default();
-            let (sched, stats) = ios_schedule(&g, &StaticCost, &ios_cfg);
-            let ios_mk = ios_makespan(&g, &sched, &StaticCost, &ios_cfg);
-            Table8Row {
-                model: k.name().into(),
-                ours_speedup: simulated_speedup_vs(&c, baseline),
-                ours_ct,
-                ios_speedup: baseline as f64 / ios_mk as f64,
-                ios_ct: stats.compile_time,
-                ios_dp_states: stats.dp_states,
-            }
-        })
-        .collect()
+    [
+        ModelKind::Squeezenet,
+        ModelKind::InceptionV3,
+        ModelKind::NasNet,
+    ]
+    .into_iter()
+    .map(|k| {
+        let g = build(k, &model_config());
+        let baseline = simulate_sequential(&g, &StaticCost, 1);
+        let t = Instant::now();
+        let c = compile(g.clone(), &PipelineOptions::all_optimizations()).expect("pipeline");
+        let ours_ct = t.elapsed();
+        let ios_cfg = IosConfig::default();
+        let (sched, stats) = ios_schedule(&g, &StaticCost, &ios_cfg);
+        let ios_mk = ios_makespan(&g, &sched, &StaticCost, &ios_cfg);
+        Table8Row {
+            model: k.name().into(),
+            ours_speedup: simulated_speedup_vs(&c, baseline),
+            ours_ct,
+            ios_speedup: baseline as f64 / ios_mk as f64,
+            ios_ct: stats.compile_time,
+            ios_dp_states: stats.dp_states,
+        }
+    })
+    .collect()
 }
 
 // --------------------------------------------------------------------------
@@ -443,8 +445,8 @@ pub fn fig12() -> Vec<Fig12Row> {
     ]
     .into_iter()
     .map(|k| {
-        let plain = compile(build(k, &model_config()), &PipelineOptions::default())
-            .expect("pipeline");
+        let plain =
+            compile(build(k, &model_config()), &PipelineOptions::default()).expect("pipeline");
         let baseline = simulate_sequential(&plain.graph, &StaticCost, 1);
         let cloned = compile(
             build(k, &model_config()),
@@ -481,9 +483,14 @@ pub struct HyperRow {
 
 /// One hyperclustering measurement: per-batch speedup vs running the batch
 /// through the sequential code sample by sample.
-pub fn hyper_row(kind: ModelKind, batch: usize, switched: bool, intra_op: usize, iters: usize) -> HyperRow {
-    let c = compile(build(kind, &model_config()), &PipelineOptions::default())
-        .expect("pipeline");
+pub fn hyper_row(
+    kind: ModelKind,
+    batch: usize,
+    switched: bool,
+    intra_op: usize,
+    iters: usize,
+) -> HyperRow {
+    let c = compile(build(kind, &model_config()), &PipelineOptions::default()).expect("pipeline");
     let hc = if switched {
         switched_hypercluster(&c.clustering, batch)
     } else {
@@ -516,7 +523,11 @@ pub fn hyper_row(kind: ModelKind, batch: usize, switched: bool, intra_op: usize,
 /// Fig. 13: plain hyperclustering across batch sizes, with/without intra-op.
 pub fn fig13(iters: usize) -> Vec<HyperRow> {
     let mut rows = Vec::new();
-    for kind in [ModelKind::Squeezenet, ModelKind::Googlenet, ModelKind::InceptionV3] {
+    for kind in [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::InceptionV3,
+    ] {
         for batch in [2usize, 4, 8, 12] {
             for intra in [1usize, 2] {
                 rows.push(hyper_row(kind, batch, false, intra, iters));
@@ -555,8 +566,8 @@ pub fn memory_table() -> Vec<MemoryRow> {
     ModelKind::all()
         .into_iter()
         .map(|k| {
-            let c = compile(build(k, &model_config()), &PipelineOptions::default())
-                .expect("pipeline");
+            let c =
+                compile(build(k, &model_config()), &PipelineOptions::default()).expect("pipeline");
             let seq = sequential_peak_memory(&c.graph);
             let par = clustering_peak_memory(&c.graph, &c.clustering, &StaticCost, &sim_config())
                 .expect("memory sim");

@@ -140,7 +140,9 @@ impl FlopCost {
 
 impl CostModel for FlopCost {
     fn node_cost(&self, graph: &Graph, node: &Node) -> u64 {
-        (self.flops(graph, node) / self.flops_per_unit).ceil().max(1.0) as u64
+        (self.flops(graph, node) / self.flops_per_unit)
+            .ceil()
+            .max(1.0) as u64
     }
 }
 

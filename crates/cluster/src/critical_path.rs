@@ -38,7 +38,10 @@ pub fn critical_path_from_distances(
             .copied()
             .max_by_key(|&v| (dist[v], std::cmp::Reverse(v)));
         match next {
-            Some(v) if dist[cur] == cost.node_cost(graph, &graph.nodes[cur]) + cost.edge_cost() + dist[v] => {
+            Some(v)
+                if dist[cur]
+                    == cost.node_cost(graph, &graph.nodes[cur]) + cost.edge_cost() + dist[v] =>
+            {
                 path.push(v);
                 cur = v;
             }

@@ -69,7 +69,11 @@ pub fn dsc_clustering(graph: &Graph, cost: &dyn CostModel) -> Clustering {
             let mut ready = cluster_finish[c]; // worker availability
             for &q in &adj.preds[u] {
                 let f = start_time[q] + node_cost[q];
-                let arrive = if cluster_of[q] == Some(c) { f } else { f + edge };
+                let arrive = if cluster_of[q] == Some(c) {
+                    f
+                } else {
+                    f + edge
+                };
                 ready = ready.max(arrive);
             }
             let priority = tlevel[p] + blevel[p];
@@ -174,7 +178,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = fork_join(3, 3);
-        assert_eq!(dsc_clustering(&g, &StaticCost), dsc_clustering(&g, &StaticCost));
+        assert_eq!(
+            dsc_clustering(&g, &StaticCost),
+            dsc_clustering(&g, &StaticCost)
+        );
     }
 
     #[test]

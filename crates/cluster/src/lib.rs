@@ -24,6 +24,7 @@ pub mod hyper;
 pub mod lc;
 pub mod merge;
 pub mod types;
+pub mod verify_view;
 
 pub use baselines::{level_clustering, round_robin, single_cluster};
 pub use cost::{CostModel, FlopCost, StaticCost};
@@ -34,12 +35,29 @@ pub use hyper::{hypercluster, switched_hypercluster, HyperClustering};
 pub use lc::linear_clustering;
 pub use merge::{merge_clusters_fixpoint, merge_clusters_once};
 pub use types::{Cluster, Clustering};
+pub use verify_view::{clustering_view, hyper_view};
 
 use ramiel_ir::Graph;
 
 /// Run the full batch-1 clustering pipeline: distances → LC → merge.
+///
+/// Debug builds re-verify the partition, ordering and deadlock-freedom
+/// invariants after each stage via `ramiel-verify`.
 pub fn cluster_graph(graph: &Graph, cost: &dyn CostModel) -> Clustering {
     let dist = distance_to_end(graph, cost);
     let lc = linear_clustering(graph, &dist);
-    merge_clusters_fixpoint(&lc, &dist)
+    #[cfg(debug_assertions)]
+    ramiel_verify::assert_schedule_invariants(
+        graph,
+        &clustering_view(&lc),
+        "after linear_clustering",
+    );
+    let merged = merge_clusters_fixpoint(&lc, &dist);
+    #[cfg(debug_assertions)]
+    ramiel_verify::assert_schedule_invariants(
+        graph,
+        &clustering_view(&merged),
+        "after merge_clusters_fixpoint",
+    );
+    merged
 }

@@ -140,10 +140,7 @@ mod tests {
     #[test]
     fn partition_check_accepts_valid() {
         let g = diamond();
-        let c = Clustering::new(vec![
-            Cluster::new(vec![0, 1, 3]),
-            Cluster::new(vec![2]),
-        ]);
+        let c = Clustering::new(vec![Cluster::new(vec![0, 1, 3]), Cluster::new(vec![2])]);
         c.check_partition(&g).unwrap();
         c.check_internal_order(&g).unwrap();
         assert_eq!(c.cross_cluster_edges(&g), 2); // a→q and q→j
@@ -152,10 +149,7 @@ mod tests {
     #[test]
     fn partition_check_rejects_duplicates_and_missing() {
         let g = diamond();
-        let dup = Clustering::new(vec![
-            Cluster::new(vec![0, 1, 3]),
-            Cluster::new(vec![1, 2]),
-        ]);
+        let dup = Clustering::new(vec![Cluster::new(vec![0, 1, 3]), Cluster::new(vec![1, 2])]);
         assert!(dup.check_partition(&g).is_err());
         let missing = Clustering::new(vec![Cluster::new(vec![0, 1, 3])]);
         assert!(missing.check_partition(&g).is_err());

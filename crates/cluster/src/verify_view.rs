@@ -1,0 +1,84 @@
+//! Conversions from this crate's clustering types to the verifier's
+//! [`ScheduleView`]. They live here (not in `ramiel-verify`) so the verifier
+//! can stay a leaf crate that this one is allowed to call back into as a
+//! debug-assertion harness.
+//!
+//! Policy mapping:
+//! - [`Clustering`] and *plain* [`HyperClustering`] replay strictly in
+//!   order (clusters are kept in decreasing distance-to-end order, and the
+//!   plain batch interleave preserves that monotonicity), so they get
+//!   [`ExecPolicy::InOrder`] — the stricter check.
+//! - *Switched* hyperclusters interleave ops from different source clusters,
+//!   whose positions are not distance-monotone across batches; the runtime
+//!   replays them with its message-driven first-ready loop, so they are
+//!   verified under [`ExecPolicy::FirstReady`].
+
+use crate::hyper::HyperClustering;
+use crate::types::Clustering;
+use ramiel_verify::{ExecPolicy, Op, ScheduleView};
+
+/// Batch-1 in-order view of a clustering.
+pub fn clustering_view(c: &Clustering) -> ScheduleView {
+    ScheduleView::single_batch(
+        c.clusters.iter().map(|cl| cl.nodes.clone()).collect(),
+        ExecPolicy::InOrder,
+    )
+}
+
+/// View of a hyperclustering under the policy the runtime will use.
+pub fn hyper_view(hc: &HyperClustering) -> ScheduleView {
+    ScheduleView {
+        batch: hc.batch.max(1),
+        workers: hc
+            .hyperclusters
+            .iter()
+            .map(|h| {
+                h.iter()
+                    .map(|op| Op {
+                        batch: op.batch,
+                        node: op.node,
+                    })
+                    .collect()
+            })
+            .collect(),
+        policy: if hc.switched && hc.batch > 1 {
+            ExecPolicy::FirstReady
+        } else {
+            ExecPolicy::InOrder
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyper::{hypercluster, switched_hypercluster};
+    use crate::types::Cluster;
+
+    fn clustering() -> Clustering {
+        Clustering::new(vec![Cluster::new(vec![0, 1, 2]), Cluster::new(vec![3])])
+    }
+
+    #[test]
+    fn clustering_view_is_in_order_batch1() {
+        let v = clustering_view(&clustering());
+        assert_eq!(v.batch, 1);
+        assert_eq!(v.policy, ExecPolicy::InOrder);
+        assert_eq!(v.workers[0].len(), 3);
+        assert_eq!(v.workers[1][0], Op { batch: 0, node: 3 });
+    }
+
+    #[test]
+    fn hyper_views_pick_the_runtime_policy() {
+        let c = clustering();
+        let plain = hyper_view(&hypercluster(&c, 4));
+        assert_eq!(plain.policy, ExecPolicy::InOrder);
+        assert_eq!(plain.batch, 4);
+        assert_eq!(plain.num_ops(), 16);
+        let switched = hyper_view(&switched_hypercluster(&c, 4));
+        assert_eq!(switched.policy, ExecPolicy::FirstReady);
+        // switched with batch 1 degenerates to the plain clustering
+        let s1 = hyper_view(&switched_hypercluster(&c, 1));
+        assert_eq!(s1.policy, ExecPolicy::InOrder);
+    }
+}

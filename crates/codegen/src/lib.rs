@@ -17,8 +17,8 @@
 //! non-parallel version of the code is also generated").
 
 pub mod hyper;
-mod python;
 mod pyop;
+mod python;
 
 pub use hyper::generate_hyper_parallel;
 pub use python::{generate_parallel, generate_sequential, CodegenOptions};

@@ -245,10 +245,11 @@ mod tests {
 
     #[test]
     fn gemm_transposes_when_needed() {
-        assert!(torch_expr(&OpKind::Gemm { trans_b: true }, &[s("x"), s("w"), s("b")])
-            .contains("F.linear(x, w, b)"));
-        assert!(torch_expr(&OpKind::Gemm { trans_b: false }, &[s("x"), s("w")])
-            .contains("w.t()"));
+        assert!(
+            torch_expr(&OpKind::Gemm { trans_b: true }, &[s("x"), s("w"), s("b")])
+                .contains("F.linear(x, w, b)")
+        );
+        assert!(torch_expr(&OpKind::Gemm { trans_b: false }, &[s("x"), s("w")]).contains("w.t()"));
     }
 
     #[test]

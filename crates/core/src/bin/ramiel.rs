@@ -5,6 +5,7 @@
 //! ramiel report                          Table-I-style parallelism metrics
 //! ramiel compile <model> [flags]         run the pipeline, emit Python code
 //! ramiel run <model> [flags]             execute seq/parallel and time it
+//! ramiel check <model|all> [flags]       statically verify the schedule
 //! ramiel export <model> <path>           save a model as .rmodel.json
 //! ```
 //!
@@ -14,7 +15,16 @@
 //!
 //! Flags: `--prune` (const-prop + DCE), `--clone` (task cloning),
 //! `--batch N` + `--switched` (hyperclustering), `--intra-op N` (rayon
-//! intra-op threads), `--iters N`, `--out DIR`, `--tiny` (reduced model).
+//! intra-op threads), `--iters N`, `--out DIR`, `--tiny` (reduced model),
+//! `--deny-warnings` (`check`: warnings also fail the run).
+//!
+//! `ramiel check` runs the pipeline, then statically verifies the resulting
+//! `(graph, schedule)` pair with `ramiel-verify`: partition coverage, cycle
+//! analysis, in-order soundness, channel deadlock-freedom, shape honesty,
+//! plus advisory lints. Exit code is non-zero on any error (and on warnings
+//! under `--deny-warnings`); advice never fails the run. `check all` sweeps
+//! every built-in model through batch-1, plain batch-4 and switched batch-4
+//! pipelines.
 
 use ramiel::{compile, CompiledModel, HyperMode, PipelineOptions, Scheduler};
 use ramiel_models::{build, ModelConfig, ModelKind};
@@ -53,6 +63,7 @@ struct Flags {
     tiny: bool,
     mode: String,
     scheduler: Scheduler,
+    deny_warnings: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -67,6 +78,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         tiny: false,
         mode: "both".into(),
         scheduler: Scheduler::LcMerge,
+        deny_warnings: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -77,14 +89,25 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         };
         match a.as_str() {
             "--prune" => f.prune = true,
+            "--deny-warnings" => f.deny_warnings = true,
             "--clone" => f.clone = true,
             "--switched" => f.switched = true,
             "--tiny" => f.tiny = true,
-            "--batch" => f.batch = value("--batch")?.parse().map_err(|e| format!("--batch: {e}"))?,
-            "--intra-op" => {
-                f.intra_op = value("--intra-op")?.parse().map_err(|e| format!("--intra-op: {e}"))?
+            "--batch" => {
+                f.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
             }
-            "--iters" => f.iters = value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--intra-op" => {
+                f.intra_op = value("--intra-op")?
+                    .parse()
+                    .map_err(|e| format!("--intra-op: {e}"))?
+            }
+            "--iters" => {
+                f.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
             "--out" => f.out = Some(value("--out")?),
             "--mode" => f.mode = value("--mode")?,
             "--scheduler" => {
@@ -154,15 +177,28 @@ fn cmd_report() {
 
 fn summarize(c: &CompiledModel) {
     println!("model:                 {}", c.report.model);
-    println!("nodes:                 {} → prune {} → clone {}", c.report.nodes_before, c.report.nodes_after_prune, c.report.nodes_after_cloning);
-    println!("clusters:              {} → merged {}", c.report.clusters_before_merge, c.report.clusters_after_merge);
+    println!(
+        "nodes:                 {} → prune {} → clone {}",
+        c.report.nodes_before, c.report.nodes_after_prune, c.report.nodes_after_cloning
+    );
+    println!(
+        "clusters:              {} → merged {}",
+        c.report.clusters_before_merge, c.report.clusters_after_merge
+    );
     println!("cross-cluster edges:   {}", c.report.cross_cluster_edges);
-    println!("potential parallelism: {:.2}x", c.report.parallelism.parallelism);
+    println!(
+        "potential parallelism: {:.2}x",
+        c.report.parallelism.parallelism
+    );
     println!("compile time:          {:.2?}", c.compile_time);
 }
 
 fn cmd_compile(model: &str, f: &Flags) -> Result<(), String> {
-    let cfg = if f.tiny { ModelConfig::tiny() } else { ModelConfig::full() };
+    let cfg = if f.tiny {
+        ModelConfig::tiny()
+    } else {
+        ModelConfig::full()
+    };
     let g = parse_model(model, &cfg)?;
     let c = compile(g, &options(f)).map_err(|e| e.to_string())?;
     summarize(&c);
@@ -192,7 +228,11 @@ fn cmd_compile(model: &str, f: &Flags) -> Result<(), String> {
 }
 
 fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
-    let cfg = if f.tiny { ModelConfig::tiny() } else { ModelConfig::full() };
+    let cfg = if f.tiny {
+        ModelConfig::tiny()
+    } else {
+        ModelConfig::full()
+    };
     let g = parse_model(model, &cfg)?;
     let c = compile(g, &options(f)).map_err(|e| e.to_string())?;
     summarize(&c);
@@ -232,7 +272,11 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
 
 fn cmd_simulate(model: &str, f: &Flags) -> Result<(), String> {
     use ramiel_runtime::{simulate_clustering, simulate_hyper, simulate_sequential, SimConfig};
-    let cfg = if f.tiny { ModelConfig::tiny() } else { ModelConfig::full() };
+    let cfg = if f.tiny {
+        ModelConfig::tiny()
+    } else {
+        ModelConfig::full()
+    };
     let g = parse_model(model, &cfg)?;
     let c = compile(g, &options(f)).map_err(|e| e.to_string())?;
     summarize(&c);
@@ -247,11 +291,20 @@ fn cmd_simulate(model: &str, f: &Flags) -> Result<(), String> {
         None => simulate_clustering(&c.graph, &c.clustering, &cost, &sim_cfg),
     }
     .map_err(|e| e.to_string())?;
-    println!("simulated sequential:  {seq} units (batch {})", f.batch.max(1));
+    println!(
+        "simulated sequential:  {seq} units (batch {})",
+        f.batch.max(1)
+    );
     println!("simulated parallel:    {} units", sim.makespan);
-    println!("simulated speedup:     {:.2}x", seq as f64 / sim.makespan as f64);
+    println!(
+        "simulated speedup:     {:.2}x",
+        seq as f64 / sim.makespan as f64
+    );
     println!("per-worker busy:       {:?}", sim.busy);
-    println!("slack fraction:        {:.0}%", 100.0 * sim.slack_fraction());
+    println!(
+        "slack fraction:        {:.0}%",
+        100.0 * sim.slack_fraction()
+    );
     Ok(())
 }
 
@@ -287,12 +340,97 @@ fn cmd_fuzz(f: &Flags) -> Result<(), String> {
             }
         }
     }
-    println!("fuzzed {graphs} random graphs (largest {max_nodes} nodes): all differential checks passed");
+    println!(
+        "fuzzed {graphs} random graphs (largest {max_nodes} nodes): all differential checks passed"
+    );
     Ok(())
 }
 
+/// Verify one compiled pipeline; returns true if the check failed.
+fn check_one(
+    label: &str,
+    g: ramiel_ir::Graph,
+    opts: &PipelineOptions,
+    deny: bool,
+) -> Result<bool, String> {
+    let c = compile(g, opts).map_err(|e| e.to_string())?;
+    let view = match &c.hyper {
+        Some(hc) => ramiel_cluster::hyper_view(hc),
+        None => ramiel_cluster::clustering_view(&c.clustering),
+    };
+    let report = ramiel::verify::verify(&c.graph, Some(&view));
+    use ramiel::verify::Severity;
+    let (e, w, a) = (
+        report.count(Severity::Error),
+        report.count(Severity::Warning),
+        report.count(Severity::Advice),
+    );
+    let failed = report.fails(deny);
+    println!(
+        "check {label:<40} {} ({e} errors, {w} warnings, {a} advice)",
+        if failed { "FAIL" } else { "ok" }
+    );
+    if failed || e + w + a > 0 {
+        for line in report.render().lines() {
+            println!("    {line}");
+        }
+    }
+    Ok(failed)
+}
+
+fn cmd_check(model: &str, f: &Flags) -> Result<(), String> {
+    let cfg = if f.tiny {
+        ModelConfig::tiny()
+    } else {
+        ModelConfig::full()
+    };
+    let mut failed = false;
+    if model == "all" {
+        // Sweep every generator through the default pipeline at batch 1 and
+        // both hypercluster variants at batch 4.
+        let configs: [(&str, PipelineOptions); 3] = [
+            ("batch=1", PipelineOptions::default()),
+            (
+                "batch=4 hyper",
+                PipelineOptions {
+                    batch: 4,
+                    hyper: HyperMode::Plain,
+                    ..Default::default()
+                },
+            ),
+            (
+                "batch=4 switched",
+                PipelineOptions {
+                    batch: 4,
+                    hyper: HyperMode::Switched,
+                    ..Default::default()
+                },
+            ),
+        ];
+        for k in ModelKind::all() {
+            for (tag, opts) in &configs {
+                let label = format!("{} [{tag}]", k.name());
+                failed |= check_one(&label, build(k, &cfg), opts, f.deny_warnings)?;
+            }
+        }
+    } else {
+        let g = parse_model(model, &cfg)?;
+        let label = format!("{model} [batch={}]", f.batch);
+        failed = check_one(&label, g, &options(f), f.deny_warnings)?;
+    }
+    if failed {
+        Err("check found problems (see diagnostics above)".into())
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
-    let cfg = if f.tiny { ModelConfig::tiny() } else { ModelConfig::full() };
+    let cfg = if f.tiny {
+        ModelConfig::tiny()
+    } else {
+        ModelConfig::full()
+    };
     let g = parse_model(model, &cfg)?;
     ramiel_ir::model_file::save(&g, path).map_err(|e| e.to_string())?;
     println!("wrote {} ({} nodes)", path, g.num_nodes());
@@ -301,7 +439,8 @@ fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: ramiel <models|report|compile|run|simulate|fuzz|export> [model] [flags]";
+    let usage =
+        "usage: ramiel <models|report|compile|run|simulate|check|fuzz|export> [model] [flags]";
     let result = match args.first().map(String::as_str) {
         Some("models") => {
             cmd_models(args.iter().any(|a| a == "--detail"));
@@ -319,6 +458,9 @@ fn main() -> ExitCode {
         }
         Some("simulate") if args.len() >= 2 => {
             parse_flags(&args[2..]).and_then(|f| cmd_simulate(&args[1], &f))
+        }
+        Some("check") if args.len() >= 2 => {
+            parse_flags(&args[2..]).and_then(|f| cmd_check(&args[1], &f))
         }
         Some("fuzz") => parse_flags(&args[1..]).and_then(|f| cmd_fuzz(&f)),
         Some("export") if args.len() >= 3 => {

@@ -32,6 +32,7 @@ pub use ramiel_models as models;
 pub use ramiel_passes as passes;
 pub use ramiel_runtime as runtime;
 pub use ramiel_tensor as tensor;
+pub use ramiel_verify as verify;
 
 use ramiel_cluster::cost::{CostModel, FlopCost, StaticCost};
 use ramiel_cluster::hyper::HyperClustering;
@@ -200,11 +201,26 @@ pub fn compile(mut graph: Graph, opts: &PipelineOptions) -> Result<CompiledModel
         }
     };
 
+    #[cfg(debug_assertions)]
+    ramiel_verify::assert_schedule_invariants(
+        &graph,
+        &ramiel_cluster::clustering_view(&clustering),
+        "after clustering",
+    );
+
     let hyper = match (opts.hyper, opts.batch) {
         (HyperMode::Off, _) | (_, 0..=1) => None,
         (HyperMode::Plain, b) => Some(hypercluster(&clustering, b)),
         (HyperMode::Switched, b) => Some(switched_hypercluster(&clustering, b)),
     };
+    #[cfg(debug_assertions)]
+    if let Some(hc) = &hyper {
+        ramiel_verify::assert_schedule_invariants(
+            &graph,
+            &ramiel_cluster::hyper_view(hc),
+            "after hyperclustering",
+        );
+    }
 
     let cg = CodegenOptions::default();
     let parallel_code = ramiel_codegen::generate_parallel(&graph, &clustering, &cg);

@@ -216,7 +216,11 @@ fn dp_block(
 }
 
 /// Run the IOS scheduler over a whole graph.
-pub fn ios_schedule(graph: &Graph, cost: &dyn CostModel, cfg: &IosConfig) -> (IosSchedule, IosStats) {
+pub fn ios_schedule(
+    graph: &Graph,
+    cost: &dyn CostModel,
+    cfg: &IosConfig,
+) -> (IosSchedule, IosStats) {
     let start = Instant::now();
     let _ = topo_sort(graph).expect("acyclic graph required");
     let blocks = blocks(graph, cfg.dp_node_limit.min(64));
@@ -238,7 +242,12 @@ pub fn ios_schedule(graph: &Graph, cost: &dyn CostModel, cfg: &IosConfig) -> (Io
 }
 
 /// Simulated makespan of an IOS schedule under the cost model.
-pub fn ios_makespan(graph: &Graph, sched: &IosSchedule, cost: &dyn CostModel, cfg: &IosConfig) -> u64 {
+pub fn ios_makespan(
+    graph: &Graph,
+    sched: &IosSchedule,
+    cost: &dyn CostModel,
+    cfg: &IosConfig,
+) -> u64 {
     sched
         .stages
         .iter()
@@ -321,14 +330,7 @@ mod tests {
     fn stage_latency_is_lpt_makespan() {
         let mut costs = vec![4, 3, 3, 2];
         // 2 cores: lanes {4,2}, {3,3} → 6; +1 overhead
-        assert_eq!(
-            stage_latency(
-                &mut costs,
-                2,
-                1
-            ),
-            7
-        );
+        assert_eq!(stage_latency(&mut costs, 2, 1), 7);
         let mut single = vec![5];
         assert_eq!(stage_latency(&mut single, 8, 0), 5);
     }

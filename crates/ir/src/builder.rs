@@ -64,9 +64,7 @@ impl GraphBuilder {
 
     /// Declare a runtime graph input and return its tensor name.
     pub fn input(&mut self, name: &str, dtype: DType, shape: Vec<usize>) -> String {
-        self.graph
-            .inputs
-            .push(TensorInfo::new(name, dtype, shape));
+        self.graph.inputs.push(TensorInfo::new(name, dtype, shape));
         name.to_string()
     }
 

@@ -15,7 +15,10 @@ const PALETTE: &[&str] = &[
 pub fn to_dot(graph: &Graph, cluster_of: Option<&HashMap<NodeId, usize>>) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "digraph \"{}\" {{", graph.name);
-    let _ = writeln!(s, "  rankdir=TB; node [shape=box, style=filled, fontname=\"Helvetica\"];");
+    let _ = writeln!(
+        s,
+        "  rankdir=TB; node [shape=box, style=filled, fontname=\"Helvetica\"];"
+    );
     for n in &graph.nodes {
         let color = cluster_of
             .and_then(|m| m.get(&n.id))

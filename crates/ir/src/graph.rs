@@ -122,7 +122,13 @@ impl Graph {
 
     /// Append a node, assigning it the next id. Low-level; prefer
     /// [`crate::GraphBuilder`] for construction.
-    pub fn push_node(&mut self, name: impl Into<String>, op: OpKind, inputs: Vec<String>, outputs: Vec<String>) -> NodeId {
+    pub fn push_node(
+        &mut self,
+        name: impl Into<String>,
+        op: OpKind,
+        inputs: Vec<String>,
+        outputs: Vec<String>,
+    ) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(Node {
             id,

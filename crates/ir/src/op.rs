@@ -333,6 +333,36 @@ impl OpKind {
             _ => 1,
         }
     }
+
+    /// Permitted number of runtime inputs as `(min, max)`; `max == None`
+    /// means variadic with no upper bound (`Concat`). Enforced by
+    /// [`crate::validate::validate`], and kept in sync with what
+    /// `shape::infer_node` and the tensor evaluator actually consume.
+    pub fn input_arity(&self) -> (usize, Option<usize>) {
+        match self {
+            // optional trailing bias operand
+            OpKind::Conv { .. } | OpKind::Gemm { .. } => (2, Some(3)),
+            OpKind::MatMul
+            | OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Pow
+            | OpKind::Equal
+            | OpKind::Gather { .. }
+            | OpKind::Reshape
+            | OpKind::Expand => (2, Some(2)),
+            OpKind::Where => (3, Some(3)),
+            // `[x, scale, bias, mean, var]`
+            OpKind::BatchNorm { .. } => (5, Some(5)),
+            // `[x, scale, bias]`
+            OpKind::LayerNorm { .. } => (3, Some(3)),
+            OpKind::Concat { .. } => (1, None),
+            OpKind::Constant => (0, Some(0)),
+            // every remaining operator is strictly unary
+            _ => (1, Some(1)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -348,10 +378,16 @@ mod tests {
             ceil_mode: false,
         };
         assert_eq!(p.out_extent(7, 0), 3);
-        let c = PoolSpec { ceil_mode: true, ..p };
+        let c = PoolSpec {
+            ceil_mode: true,
+            ..p
+        };
         assert_eq!(c.out_extent(7, 0), 3);
         assert_eq!(c.out_extent(8, 0), 4); // ceil rounds the ragged tail up
-        let f = PoolSpec { ceil_mode: false, ..p };
+        let f = PoolSpec {
+            ceil_mode: false,
+            ..p
+        };
         assert_eq!(f.out_extent(8, 0), 3);
     }
 
@@ -390,7 +426,10 @@ mod tests {
 
     #[test]
     fn names_are_onnx_style() {
-        assert_eq!(OpKind::BatchNorm { epsilon: 1e-5 }.name(), "BatchNormalization");
+        assert_eq!(
+            OpKind::BatchNorm { epsilon: 1e-5 }.name(),
+            "BatchNormalization"
+        );
         assert_eq!(OpKind::GlobalAveragePool.name(), "GlobalAveragePool");
     }
 }

@@ -17,8 +17,16 @@ pub fn broadcast(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let rank = a.len().max(b.len());
     let mut out = vec![0usize; rank];
     for i in 0..rank {
-        let da = if i < rank - a.len() { 1 } else { a[i - (rank - a.len())] };
-        let db = if i < rank - b.len() { 1 } else { b[i - (rank - b.len())] };
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
         out[i] = if da == db {
             da
         } else if da == 1 {
@@ -75,14 +83,11 @@ pub fn infer_shapes(graph: &mut Graph) -> Result<()> {
 
 /// Look up the info of one node input.
 fn input_info(graph: &Graph, node: &Node, idx: usize) -> Result<TensorInfo> {
-    let name = node
-        .inputs
-        .get(idx)
-        .ok_or_else(|| IrError::Arity {
-            node: node.name.clone(),
-            expected: idx + 1,
-            got: node.inputs.len(),
-        })?;
+    let name = node.inputs.get(idx).ok_or_else(|| IrError::Arity {
+        node: node.name.clone(),
+        expected: idx + 1,
+        got: node.inputs.len(),
+    })?;
     graph
         .tensor_info(name)
         .ok_or_else(|| IrError::UnknownTensor(name.clone()))
@@ -99,8 +104,12 @@ fn const_i64_operand(graph: &Graph, node: &Node, idx: usize) -> Result<Vec<i64>>
         expected: idx + 1,
         got: node.inputs.len(),
     })?;
-    const_eval_i64(graph, name, 64)
-        .ok_or_else(|| err(node, format!("operand `{name}` must be a constant i64 tensor")))
+    const_eval_i64(graph, name, 64).ok_or_else(|| {
+        err(
+            node,
+            format!("operand `{name}` must be a constant i64 tensor"),
+        )
+    })
 }
 
 /// Best-effort compile-time evaluation of an i64 tensor expression.
@@ -212,8 +221,12 @@ pub fn infer_node(graph: &Graph, node: &Node) -> Result<Vec<TensorInfo>> {
     let binary_bcast = |graph: &Graph, dtype: Option<DType>| -> Result<Vec<TensorInfo>> {
         let a = input_info(graph, node, 0)?;
         let b = input_info(graph, node, 1)?;
-        let shape = broadcast(&a.shape, &b.shape)
-            .ok_or_else(|| err(node, format!("cannot broadcast {:?} with {:?}", a.shape, b.shape)))?;
+        let shape = broadcast(&a.shape, &b.shape).ok_or_else(|| {
+            err(
+                node,
+                format!("cannot broadcast {:?} with {:?}", a.shape, b.shape),
+            )
+        })?;
         Ok(vec![TensorInfo::new("", dtype.unwrap_or(a.dtype), shape)])
     };
 
@@ -238,12 +251,21 @@ pub fn infer_node(graph: &Graph, node: &Node) -> Result<Vec<TensorInfo>> {
                 ));
             }
             if (w.shape[2], w.shape[3]) != *kernel {
-                return Err(err(node, "Conv kernel attribute disagrees with weight shape"));
+                return Err(err(
+                    node,
+                    "Conv kernel attribute disagrees with weight shape",
+                ));
             }
-            let ho = (h + 2 * pads.0).checked_sub(kernel.0).map(|v| v / stride.0 + 1);
-            let wo = (wd + 2 * pads.1).checked_sub(kernel.1).map(|v| v / stride.1 + 1);
+            let ho = (h + 2 * pads.0)
+                .checked_sub(kernel.0)
+                .map(|v| v / stride.0 + 1);
+            let wo = (wd + 2 * pads.1)
+                .checked_sub(kernel.1)
+                .map(|v| v / stride.1 + 1);
             match (ho, wo) {
-                (Some(ho), Some(wo)) => Ok(vec![TensorInfo::new("", DType::F32, vec![n, m, ho, wo])]),
+                (Some(ho), Some(wo)) => {
+                    Ok(vec![TensorInfo::new("", DType::F32, vec![n, m, ho, wo])])
+                }
                 _ => Err(err(node, "Conv kernel larger than padded input")),
             }
         }
@@ -258,11 +280,8 @@ pub fn infer_node(graph: &Graph, node: &Node) -> Result<Vec<TensorInfo>> {
             if k1 != k2 {
                 return Err(err(node, format!("MatMul inner dims {k1} != {k2}")));
             }
-            let batch = broadcast(
-                &a.shape[..a.shape.len() - 2],
-                &b.shape[..b.shape.len() - 2],
-            )
-            .ok_or_else(|| err(node, "MatMul batch dims do not broadcast"))?;
+            let batch = broadcast(&a.shape[..a.shape.len() - 2], &b.shape[..b.shape.len() - 2])
+                .ok_or_else(|| err(node, "MatMul batch dims do not broadcast"))?;
             let mut shape = batch;
             shape.push(m);
             shape.push(n);
@@ -415,9 +434,7 @@ pub fn infer_node(graph: &Graph, node: &Node) -> Result<Vec<TensorInfo>> {
             {
                 return Err(err(node, "Slice attribute lengths disagree"));
             }
-            for (((&axis, &start), &end), &step) in
-                axes.iter().zip(starts).zip(ends).zip(steps)
-            {
+            for (((&axis, &start), &end), &step) in axes.iter().zip(starts).zip(ends).zip(steps) {
                 let ax = norm_axis(axis, x.shape.len())?;
                 let dim = x.shape[ax] as i64;
                 if step <= 0 {
@@ -458,9 +475,11 @@ pub fn infer_node(graph: &Graph, node: &Node) -> Result<Vec<TensorInfo>> {
                         infer_at = Some(i);
                         shape.push(1);
                     }
-                    0 => shape.push(*x.shape.get(i).ok_or_else(|| {
-                        err(node, "Reshape 0-dim copies past input rank")
-                    })?),
+                    0 => shape.push(
+                        *x.shape
+                            .get(i)
+                            .ok_or_else(|| err(node, "Reshape 0-dim copies past input rank"))?,
+                    ),
                     d if d > 0 => shape.push(d as usize),
                     _ => return Err(err(node, "Reshape dims must be -1, 0 or positive")),
                 }
@@ -638,11 +657,7 @@ mod tests {
         let a = b.input("a", DType::F32, vec![2, 4, 8, 16]);
         let w = b.weight("w", vec![16, 32], crate::builder::Init::Const(0.0));
         let y = b.op("mm", OpKind::MatMul, vec![a, w]);
-        let f = b.op(
-            "fl",
-            OpKind::Flatten { axis: 1 },
-            vec![y.clone()],
-        );
+        let f = b.op("fl", OpKind::Flatten { axis: 1 }, vec![y.clone()]);
         b.output(&f);
         let g = b.finish().unwrap();
         assert_eq!(g.value_info[&y].shape, vec![2, 4, 8, 32]);
@@ -828,11 +843,7 @@ mod tests {
     fn unsqueeze_squeeze_roundtrip() {
         let mut b = GraphBuilder::new("t");
         let x = b.input("x", DType::F32, vec![3, 4]);
-        let u = b.op(
-            "u",
-            OpKind::Unsqueeze { axes: vec![0, 3] },
-            vec![x],
-        );
+        let u = b.op("u", OpKind::Unsqueeze { axes: vec![0, 3] }, vec![x]);
         let s = b.op("s", OpKind::Squeeze { axes: vec![0, -1] }, vec![u.clone()]);
         b.output(&s);
         let g = b.finish().unwrap();

@@ -116,10 +116,7 @@ fn op_attrs(op: &OpKind) -> String {
         OpKind::Unsqueeze { axes } => format!("axes={}", islist(axes)),
         OpKind::Squeeze { axes } => format!("axes={}", islist(axes)),
         OpKind::Resize { scale } => format!("scale={}", pair(*scale)),
-        OpKind::Pad { pads } => format!(
-            "pads={}x{}x{}x{}",
-            pads.0, pads.1, pads.2, pads.3
-        ),
+        OpKind::Pad { pads } => format!("pads={}x{}x{}x{}", pads.0, pads.1, pads.2, pads.3),
         OpKind::Cast { to } => format!("to={}", to.name()),
         OpKind::ConstantOfShape { value } => format!("value={value}"),
         _ => String::new(),
@@ -131,7 +128,13 @@ pub fn to_text(graph: &Graph) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "model \"{}\"", graph.name);
     for inp in &graph.inputs {
-        let _ = writeln!(out, "input {} {} {}", inp.name, inp.dtype.name(), dims(&inp.shape));
+        let _ = writeln!(
+            out,
+            "input {} {} {}",
+            inp.name,
+            inp.dtype.name(),
+            dims(&inp.shape)
+        );
     }
     for (name, td) in &graph.initializers {
         let payload = match &td.payload {
@@ -144,8 +147,10 @@ pub fn to_text(graph: &Graph) -> String {
                 format!("data {}", items.join(" "))
             }
             crate::tensor_data::Payload::Bool(v) => {
-                let items: Vec<String> =
-                    v.iter().map(|x| if *x { "1" } else { "0" }.into()).collect();
+                let items: Vec<String> = v
+                    .iter()
+                    .map(|x| if *x { "1" } else { "0" }.into())
+                    .collect();
                 format!("data {}", items.join(" "))
             }
         };
@@ -249,8 +254,10 @@ impl<'a> Attrs<'a> {
             .split_once('x')
             .ok_or_else(|| err(self.ln, format!("attribute `{key}` must be AxB")))?;
         Ok((
-            a.parse().map_err(|e| err(self.ln, format!("`{key}`: {e}")))?,
-            b.parse().map_err(|e| err(self.ln, format!("`{key}`: {e}")))?,
+            a.parse()
+                .map_err(|e| err(self.ln, format!("`{key}`: {e}")))?,
+            b.parse()
+                .map_err(|e| err(self.ln, format!("`{key}`: {e}")))?,
         ))
     }
 
@@ -439,14 +446,16 @@ pub fn from_text(text: &str) -> Result<Graph> {
             "input" => {
                 let mut it = rest.split_whitespace();
                 let name = it.next().ok_or_else(|| err(ln, "input wants a name"))?;
-                let dtype = parse_dtype(it.next().ok_or_else(|| err(ln, "input wants a dtype"))?, ln)?;
+                let dtype =
+                    parse_dtype(it.next().ok_or_else(|| err(ln, "input wants a dtype"))?, ln)?;
                 let shape = parse_shape(&it.collect::<Vec<_>>().join(" "), ln)?;
                 graph.inputs.push(TensorInfo::new(name, dtype, shape));
             }
             "init" => {
                 let mut it = rest.splitn(4, char::is_whitespace);
                 let name = it.next().ok_or_else(|| err(ln, "init wants a name"))?;
-                let dtype = parse_dtype(it.next().ok_or_else(|| err(ln, "init wants a dtype"))?, ln)?;
+                let dtype =
+                    parse_dtype(it.next().ok_or_else(|| err(ln, "init wants a dtype"))?, ln)?;
                 let tail = it.collect::<Vec<_>>().join(" ");
                 let close = tail
                     .find(']')

@@ -16,9 +16,12 @@ use std::collections::HashSet;
 ///    initializer);
 /// 2. every node input and every graph output refers to a defined tensor;
 /// 3. node ids match their position;
-/// 4. node names are unique (codegen requires this);
+/// 4. node names are unique (codegen requires this) and non-empty
+///    (diagnostics and generated code would otherwise be unreadable);
 /// 5. the graph is acyclic;
-/// 6. every node has the right number of outputs for its operator.
+/// 6. every node has the right number of outputs for its operator;
+/// 7. every node has an input count its operator accepts
+///    ([`crate::op::OpKind::input_arity`]).
 pub fn validate(graph: &Graph) -> Result<()> {
     let mut defined: HashSet<&str> = HashSet::new();
     for inp in &graph.inputs {
@@ -39,11 +42,43 @@ pub fn validate(graph: &Graph) -> Result<()> {
                 node.name, node.id
             )));
         }
+        if node.name.is_empty() {
+            return Err(IrError::Invalid(format!(
+                "node at index {i} ({}) has an empty name",
+                node.op.name()
+            )));
+        }
         if !names.insert(&node.name) {
             return Err(IrError::Invalid(format!(
                 "duplicate node name `{}`",
                 node.name
             )));
+        }
+        let got = node.inputs.len();
+        match node.op.input_arity() {
+            (min, Some(max)) if got < min || got > max => {
+                return Err(if min == max {
+                    IrError::Arity {
+                        node: node.name.clone(),
+                        expected: min,
+                        got,
+                    }
+                } else {
+                    IrError::Invalid(format!(
+                        "node `{}` ({}) takes {min}..={max} inputs, has {got}",
+                        node.name,
+                        node.op.name()
+                    ))
+                });
+            }
+            (min, None) if got < min => {
+                return Err(IrError::Invalid(format!(
+                    "node `{}` ({}) takes at least {min} input(s), has {got}",
+                    node.name,
+                    node.op.name()
+                )));
+            }
+            _ => {}
         }
         if node.outputs.len() != node.op.num_outputs() {
             return Err(IrError::Invalid(format!(
@@ -133,6 +168,55 @@ mod tests {
         let mut g = ok_graph();
         g.nodes[0].id = 7;
         assert!(matches!(validate(&g), Err(IrError::Invalid(_))));
+    }
+
+    #[test]
+    fn empty_node_name_rejected() {
+        let mut g = ok_graph();
+        g.nodes[0].name = String::new();
+        assert!(matches!(validate(&g), Err(IrError::Invalid(m)) if m.contains("empty name")));
+    }
+
+    #[test]
+    fn fixed_input_arity_enforced() {
+        let mut g = ok_graph();
+        // Relu is strictly unary; feed it two inputs.
+        g.nodes[0].inputs.push("x".into());
+        assert!(matches!(
+            validate(&g),
+            Err(IrError::Arity {
+                expected: 1,
+                got: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn ranged_input_arity_enforced() {
+        let mut g = ok_graph();
+        // Conv without a weight operand: below the 2..=3 range.
+        g.push_node(
+            "c",
+            OpKind::Conv {
+                kernel: (1, 1),
+                stride: (1, 1),
+                pads: (0, 0),
+                groups: 1,
+            },
+            vec!["y".into()],
+            vec!["z".into()],
+        );
+        g.outputs.push("z".into());
+        assert!(matches!(validate(&g), Err(IrError::Invalid(m)) if m.contains("2..=3")));
+    }
+
+    #[test]
+    fn variadic_minimum_enforced() {
+        let mut g = ok_graph();
+        g.push_node("cc", OpKind::Concat { axis: 0 }, vec![], vec!["z".into()]);
+        g.outputs.push("z".into());
+        assert!(matches!(validate(&g), Err(IrError::Invalid(m)) if m.contains("at least 1")));
     }
 
     #[test]

@@ -25,7 +25,11 @@ fn layer_norm_decomposed(b: &mut GraphBuilder, x: &str, hidden: usize) -> String
         vec![x.to_string()],
     );
     let centered = b.op("ln_sub", OpKind::Sub, vec![x.to_string(), mean]);
-    let sq = b.op("ln_sq", OpKind::Mul, vec![centered.clone(), centered.clone()]);
+    let sq = b.op(
+        "ln_sq",
+        OpKind::Mul,
+        vec![centered.clone(), centered.clone()],
+    );
     let var = b.op(
         "ln_var",
         OpKind::ReduceMean {
@@ -58,7 +62,11 @@ fn gelu_decomposed(b: &mut GraphBuilder, x: &str) -> String {
 
 /// Dense projection: `MatMul(x, W) + bias` (2 nodes).
 fn dense(b: &mut GraphBuilder, x: &str, din: usize, dout: usize) -> String {
-    let w = b.weight("w", vec![din, dout], ramiel_ir::builder::Init::Uniform(0.05));
+    let w = b.weight(
+        "w",
+        vec![din, dout],
+        ramiel_ir::builder::Init::Uniform(0.05),
+    );
     let mm = b.op("mm", OpKind::MatMul, vec![x.to_string(), w]);
     let bias = b.weight("bias", vec![dout], ramiel_ir::builder::Init::Uniform(0.05));
     b.op("badd", OpKind::Add, vec![mm, bias])
@@ -153,11 +161,7 @@ pub fn build(cfg: &ModelConfig) -> Graph {
     let mut t = layer_norm_decomposed(&mut b, &emb, hidden);
 
     // attention-mask bias: (1 − mask) · −10000, broadcast over heads
-    let m1 = b.op(
-        "mask_u",
-        OpKind::Unsqueeze { axes: vec![1, 2] },
-        vec![mask],
-    );
+    let m1 = b.op("mask_u", OpKind::Unsqueeze { axes: vec![1, 2] }, vec![mask]);
     let one = b.const_scalar("one", 1.0);
     let inv = b.op("mask_inv", OpKind::Sub, vec![one, m1]);
     let neg = b.const_scalar("neg", -10000.0);

@@ -93,7 +93,11 @@ pub fn exporter_reshape(
     for (i, &d) in target.iter().enumerate() {
         if dynamic_axes.contains(&i) {
             let idx = b.const_i64("sidx", vec![i as i64]);
-            let g = b.op("gather", OpKind::Gather { axis: 0 }, vec![shape.clone(), idx]);
+            let g = b.op(
+                "gather",
+                OpKind::Gather { axis: 0 },
+                vec![shape.clone(), idx],
+            );
             parts.push(g);
         } else {
             let name = b.fresh("sdim");
@@ -142,7 +146,10 @@ mod tests {
         assert_eq!(g.value_info[&y].shape, vec![2, 16]);
         // the chain really exists (Shape + Gather + Concat + Reshape)
         assert!(g.nodes.iter().any(|n| matches!(n.op, OpKind::Shape)));
-        assert!(g.nodes.iter().any(|n| matches!(n.op, OpKind::Gather { .. })));
+        assert!(g
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, OpKind::Gather { .. })));
     }
 
     #[test]

@@ -32,7 +32,11 @@ fn inception(b: &mut GraphBuilder, x: &str, cin: usize, out: usize) -> (String, 
 pub fn build(cfg: &ModelConfig) -> Graph {
     let w = cfg.width;
     let mut b = GraphBuilder::new("Googlenet");
-    let x = b.input("input", DType::F32, vec![cfg.batch, 3, cfg.spatial, cfg.spatial]);
+    let x = b.input(
+        "input",
+        DType::F32,
+        vec![cfg.batch, 3, cfg.spatial, cfg.spatial],
+    );
 
     // stem: conv7x7/s2 + pool + LRN-slot (bn) + conv1 + conv3 + bn + pool
     let mut t = b.conv_relu(&x, 3, 2 * w, 7, 2, 3);

@@ -8,7 +8,7 @@
 //! few percent (the zoo exports include a handful of auxiliary nodes we
 //! omit).
 
-use crate::common::{avg_pool, concat_channels, classifier_head, max_pool};
+use crate::common::{avg_pool, classifier_head, concat_channels, max_pool};
 use crate::ModelConfig;
 use ramiel_ir::{DType, Graph, GraphBuilder};
 
@@ -121,7 +121,11 @@ pub fn build_v4(cfg: &ModelConfig) -> Graph {
 fn build_inception(cfg: &ModelConfig, name: &str, blocks: [usize; 3]) -> Graph {
     let w = cfg.width;
     let mut b = GraphBuilder::new(name);
-    let x = b.input("input", DType::F32, vec![cfg.batch, 3, cfg.spatial, cfg.spatial]);
+    let x = b.input(
+        "input",
+        DType::F32,
+        vec![cfg.batch, 3, cfg.spatial, cfg.spatial],
+    );
     let (mut t, mut cin) = stem(&mut b, &x, w);
     for _ in 0..cfg.repeats(blocks[0]) {
         let (o, c) = block_a(&mut b, &t, cin, w);
@@ -177,12 +181,14 @@ mod tests {
     #[test]
     fn factorized_convs_present() {
         let g = build_v3(&ModelConfig::full());
-        let has_1x7 = g.nodes.iter().any(|n| {
-            matches!(n.op, ramiel_ir::OpKind::Conv { kernel: (1, 7), .. })
-        });
-        let has_7x1 = g.nodes.iter().any(|n| {
-            matches!(n.op, ramiel_ir::OpKind::Conv { kernel: (7, 1), .. })
-        });
+        let has_1x7 = g
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, ramiel_ir::OpKind::Conv { kernel: (1, 7), .. }));
+        let has_7x1 = g
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, ramiel_ir::OpKind::Conv { kernel: (7, 1), .. }));
         assert!(has_1x7 && has_7x1);
     }
 }

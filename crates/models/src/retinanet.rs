@@ -37,13 +37,7 @@ fn bottleneck(
 }
 
 /// One head subnet (4 conv+relu, then a final conv) + exporter reshape.
-fn head(
-    b: &mut GraphBuilder,
-    x: &str,
-    cin: usize,
-    out_ch: usize,
-    sigmoid: bool,
-) -> String {
+fn head(b: &mut GraphBuilder, x: &str, cin: usize, out_ch: usize, sigmoid: bool) -> String {
     let mut t = x.to_string();
     for _ in 0..4 {
         t = b.conv_relu(&t, cin, cin, 3, 1, 1);

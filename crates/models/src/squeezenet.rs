@@ -24,7 +24,11 @@ fn fire(b: &mut GraphBuilder, x: &str, cin: usize, squeeze: usize, expand: usize
 pub fn build(cfg: &ModelConfig) -> Graph {
     let w = cfg.width; // expand width unit
     let mut b = GraphBuilder::new("Squeezenet");
-    let x = b.input("input", DType::F32, vec![cfg.batch, 3, cfg.spatial, cfg.spatial]);
+    let x = b.input(
+        "input",
+        DType::F32,
+        vec![cfg.batch, 3, cfg.spatial, cfg.spatial],
+    );
 
     // stem: conv3x3/s2 + relu + maxpool
     let mut t = b.conv_relu(&x, 3, 2 * w, 3, 2, 1);

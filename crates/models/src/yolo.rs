@@ -52,7 +52,13 @@ fn sppf(b: &mut GraphBuilder, x: &str, cin: usize, cout: usize) -> String {
 /// One detection head: 1×1 conv to anchor channels, exporter reshape to
 /// `[N, A, -1]`, sigmoid, grid decode (`2·σ − 0.5`-style mul/sub arithmetic
 /// on a slice) — most of it dead weight that CP+DCE shrinks.
-fn detect_head(b: &mut GraphBuilder, x: &str, cin: usize, anchors: usize, classes: usize) -> String {
+fn detect_head(
+    b: &mut GraphBuilder,
+    x: &str,
+    cin: usize,
+    anchors: usize,
+    classes: usize,
+) -> String {
     let ch = anchors * (classes + 5);
     let conv = b.conv(x, cin, ch, (1, 1), (1, 1), (0, 0), 1);
     let rs = exporter_reshape(b, &conv, &[0, anchors as i64, -1], &[0]);
@@ -81,7 +87,11 @@ fn detect_head(b: &mut GraphBuilder, x: &str, cin: usize, anchors: usize, classe
     let centered = b.op("sub", OpKind::Sub, vec![scaled, goffset]);
     // anchor scaling on the wh slice, with the exporter's constant anchor
     // arithmetic (also foldable)
-    let anchor = b.weight("anchors", vec![1, anchors, 1], ramiel_ir::builder::Init::Const(1.0));
+    let anchor = b.weight(
+        "anchors",
+        vec![1, anchors, 1],
+        ramiel_ir::builder::Init::Const(1.0),
+    );
     let atwo = b.const_scalar("atwo", 2.0);
     let anchor2 = b.op("amul", OpKind::Mul, vec![anchor, atwo]);
     let wh = b.op(

@@ -162,7 +162,11 @@ mod tests {
     fn conv_bn_graph(with_bias: bool) -> Graph {
         let mut b = GraphBuilder::new("t");
         let x = b.input("x", DType::F32, vec![1, 3, 8, 8]);
-        let w = b.weight("w", vec![4, 3, 3, 3], ramiel_ir::builder::Init::Uniform(0.1));
+        let w = b.weight(
+            "w",
+            vec![4, 3, 3, 3],
+            ramiel_ir::builder::Init::Uniform(0.1),
+        );
         let mut inputs = vec![x, w];
         if with_bias {
             inputs.push(b.weight("b", vec![4], ramiel_ir::builder::Init::Uniform(0.1)));
@@ -204,7 +208,10 @@ mod tests {
         let mut g1 = g0.clone();
         let rep = fold_batch_norms(&mut g1).unwrap();
         assert_eq!(rep.nodes_removed, 1);
-        assert!(!g1.nodes.iter().any(|n| matches!(n.op, OpKind::BatchNorm { .. })));
+        assert!(!g1
+            .nodes
+            .iter()
+            .any(|n| matches!(n.op, OpKind::BatchNorm { .. })));
         ramiel_ir::validate::validate(&g1).unwrap();
         outputs_match(&g0, &g1);
     }

@@ -46,7 +46,12 @@ impl Default for CloneConfig {
 /// Clone fan-out nodes within the configured budget (running up to
 /// `cfg.rounds` sweeps). Each extra consumer of a cloned node gets a private
 /// duplicate (same op, same inputs, fresh output names).
-pub fn clone_nodes(graph: &mut Graph, cost: &dyn CostModel, cfg: &CloneConfig) -> Result<PassReport> {
+pub fn clone_nodes(
+    graph: &mut Graph,
+    cost: &dyn CostModel,
+    cfg: &CloneConfig,
+) -> Result<PassReport> {
+    crate::debug_verify(graph, "before clone_nodes");
     let budget = ((graph.num_nodes() as f64) * (cfg.max_growth - 1.0)).floor() as usize;
     let mut total = PassReport::default();
     for _ in 0..cfg.rounds.max(1) {
@@ -64,6 +69,7 @@ pub fn clone_nodes(graph: &mut Graph, cost: &dyn CostModel, cfg: &CloneConfig) -
     if total.changed {
         ramiel_ir::shape::infer_shapes(graph)?;
     }
+    crate::debug_verify(graph, "after clone_nodes");
     Ok(total)
 }
 

@@ -58,9 +58,7 @@ pub fn constant_fold(graph: &mut Graph) -> Result<PassReport> {
                 })
             }
             _ => {
-                if !node.inputs.is_empty()
-                    && node.inputs.iter().all(|t| graph.is_initializer(t))
-                {
+                if !node.inputs.is_empty() && node.inputs.iter().all(|t| graph.is_initializer(t)) {
                     let inputs: Vec<Value> = node
                         .inputs
                         .iter()
@@ -68,9 +66,7 @@ pub fn constant_fold(graph: &mut Graph) -> Result<PassReport> {
                         .collect::<std::result::Result<_, _>>()
                         .map_err(|e| IrError::Invalid(e.to_string()))?;
                     match eval_op(&ctx, &node.op, &inputs) {
-                        Ok(outs) if outs.iter().all(|v| v.numel() <= FOLD_SIZE_LIMIT) => {
-                            Some(outs)
-                        }
+                        Ok(outs) if outs.iter().all(|v| v.numel() <= FOLD_SIZE_LIMIT) => Some(outs),
                         _ => None,
                     }
                 } else {
@@ -80,9 +76,7 @@ pub fn constant_fold(graph: &mut Graph) -> Result<PassReport> {
         };
         if let Some(outs) = new_outputs {
             for (name, v) in node.outputs.iter().zip(&outs) {
-                graph
-                    .initializers
-                    .insert(name.clone(), v.to_tensor_data());
+                graph.initializers.insert(name.clone(), v.to_tensor_data());
             }
             folded.push(id);
         }
@@ -124,8 +118,10 @@ mod tests {
         assert!(rep.changed);
         assert_eq!(g.num_nodes(), before - 1);
         // the folded tensor became an initializer feeding add_x
-        assert!(g.nodes.iter().any(|n| n.name == "add_x_3"
-            || n.name.starts_with("add_x")));
+        assert!(g
+            .nodes
+            .iter()
+            .any(|n| n.name == "add_x_3" || n.name.starts_with("add_x")));
         ramiel_ir::validate::validate(&g).unwrap();
     }
 

@@ -78,10 +78,7 @@ mod tests {
         let o1 = run_sequential(&g1, &inputs, &ctx).unwrap();
         // same value under (possibly) same name — identity output was not a
         // graph output here, so names unchanged
-        assert_eq!(
-            o0.values().next().unwrap(),
-            o1.values().next().unwrap()
-        );
+        assert_eq!(o0.values().next().unwrap(), o1.values().next().unwrap());
     }
 
     #[test]

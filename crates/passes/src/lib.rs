@@ -50,16 +50,36 @@ impl PassReport {
     }
 }
 
+/// Debug-build harness: re-verify graph invariants (`ir::validate`, shape
+/// metadata honesty) at a pipeline point; release builds compile it away.
+#[inline]
+pub(crate) fn debug_verify(graph: &Graph, stage: &str) {
+    #[cfg(debug_assertions)]
+    ramiel_verify::assert_graph_invariants(graph, stage);
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (graph, stage);
+    }
+}
+
 /// The paper's pruning pipeline: constant propagation followed by DCE and
 /// identity elimination, iterated to a fixed point (each fold can expose
 /// more folds, exactly like onnxruntime's graph-optimization loop).
+///
+/// Debug builds re-verify graph invariants before the loop and after every
+/// sub-pass, so a pass that corrupts the graph panics at the stage that
+/// broke it instead of failing far downstream.
 pub fn prune(graph: &mut Graph) -> ramiel_ir::Result<PassReport> {
+    debug_verify(graph, "before prune");
     let mut total = PassReport::default();
     loop {
         let mut round = PassReport::default();
         round = round.merge(constant_fold(graph)?);
+        debug_verify(graph, "after constant_fold");
         round = round.merge(dead_code_elimination(graph)?);
+        debug_verify(graph, "after dead_code_elimination");
         round = round.merge(eliminate_identities(graph)?);
+        debug_verify(graph, "after eliminate_identities");
         total = total.merge(round);
         if !round.changed {
             return Ok(total);

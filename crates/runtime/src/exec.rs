@@ -29,13 +29,13 @@ pub fn run_sequential(graph: &Graph, inputs: &Env, ctx: &ExecCtx) -> Result<Env>
     for &id in &order {
         let node = &graph.nodes[id];
         let outputs = if matches!(node.op, OpKind::Constant) {
-            let td = graph.initializers.get(&node.outputs[0]).ok_or_else(|| {
-                RuntimeError(format!("Constant `{}` missing payload", node.name))
-            })?;
+            let td = graph
+                .initializers
+                .get(&node.outputs[0])
+                .ok_or_else(|| RuntimeError(format!("Constant `{}` missing payload", node.name)))?;
             vec![Value::from_tensor_data(td)?]
         } else {
-            let ins: Result<Vec<Value>> =
-                node.inputs.iter().map(|t| fetch(&env, t)).collect();
+            let ins: Result<Vec<Value>> = node.inputs.iter().map(|t| fetch(&env, t)).collect();
             eval_op(ctx, &node.op, &ins?)
                 .map_err(|e| RuntimeError(format!("{}: {}", node.name, e.0)))?
         };

@@ -14,18 +14,20 @@
 //!   used to regenerate the paper's tables bit-for-bit without timing noise.
 
 pub mod exec;
-pub mod parallel;
 pub mod memory;
+pub mod parallel;
 pub mod pool;
 pub mod profile;
 pub mod sim;
 
 pub use exec::run_sequential;
+pub use memory::{clustering_peak_memory, sequential_peak_memory, MemoryReport};
 pub use parallel::{run_hyper, run_parallel};
 pub use pool::ClusterPool;
-pub use memory::{clustering_peak_memory, sequential_peak_memory, MemoryReport};
 pub use profile::{ProfileDb, SlackReport};
-pub use sim::{simulate_clustering, simulate_hyper, simulate_sequential, SimConfig, SimEvent, SimResult};
+pub use sim::{
+    simulate_clustering, simulate_hyper, simulate_sequential, SimConfig, SimEvent, SimResult,
+};
 
 use ramiel_tensor::Value;
 use std::collections::BTreeMap;

@@ -249,9 +249,7 @@ pub fn hyper_peak_memory(
                 let mut per_cluster: HashMap<usize, u64> = HashMap::new();
                 if let Some(cons) = consumers {
                     for &c in cons {
-                        if let (Some(&wk), Some(&f)) =
-                            (assign.get(&(b, c)), finish.get(&(b, c)))
-                        {
+                        if let (Some(&wk), Some(&f)) = (assign.get(&(b, c)), finish.get(&(b, c))) {
                             if Some(wk) != home {
                                 let e = per_cluster.entry(wk).or_insert(0);
                                 *e = (*e).max(f);
@@ -284,8 +282,8 @@ pub fn hyper_peak_memory(
 mod tests {
     use super::*;
     use ramiel_cluster::{cluster_graph, StaticCost};
-    use ramiel_models::synthetic;
     use ramiel_ir::{DType, GraphBuilder, OpKind};
+    use ramiel_models::synthetic;
 
     #[test]
     fn chain_peak_is_two_tensors() {
@@ -324,9 +322,8 @@ mod tests {
             let g = synthetic::layered_random(seed, 6, 4, 2);
             let clustering = cluster_graph(&g, &StaticCost);
             let seq = sequential_peak_memory(&g);
-            let par =
-                clustering_peak_memory(&g, &clustering, &StaticCost, &SimConfig::default())
-                    .unwrap();
+            let par = clustering_peak_memory(&g, &clustering, &StaticCost, &SimConfig::default())
+                .unwrap();
             assert!(
                 par.peak_activation_bytes + 64 * 4 >= seq.peak_activation_bytes,
                 "seed {seed}: par {} vs seq {}",

@@ -32,11 +32,21 @@ use std::time::{Duration, Instant};
 fn recv_timeout() -> Duration {
     static TIMEOUT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
     *TIMEOUT.get_or_init(|| {
-        std::env::var("RAMIEL_RECV_TIMEOUT_MS")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .map(Duration::from_millis)
-            .unwrap_or(Duration::from_secs(30))
+        let default = Duration::from_secs(30);
+        match std::env::var("RAMIEL_RECV_TIMEOUT_MS") {
+            Ok(v) => v
+                .parse::<u64>()
+                .map(Duration::from_millis)
+                .unwrap_or_else(|_| {
+                    eprintln!(
+                        "warning: ignoring unparsable RAMIEL_RECV_TIMEOUT_MS=`{v}` \
+                     (want milliseconds as an integer); using {}s",
+                        default.as_secs()
+                    );
+                    default
+                }),
+            Err(_) => default,
+        }
     })
 }
 
@@ -177,7 +187,10 @@ pub fn run_hyper_profiled(
         }
         let mut first_err = None;
         for h in handles {
-            if let Err(e) = h.join().map_err(|_| RuntimeError("worker panicked".into()))? {
+            if let Err(e) = h
+                .join()
+                .map_err(|_| RuntimeError("worker panicked".into()))?
+            {
                 first_err.get_or_insert(e);
             }
         }
@@ -274,7 +287,8 @@ fn worker_loop(
                 }
                 Err(_) => {
                     return Err(RuntimeError(format!(
-                        "worker {me}: deadlocked waiting for messages ({left} ops left)"
+                        "worker {me}: deadlocked waiting for messages ({left} ops left); \
+                         run `ramiel check <model>` to statically diagnose the schedule"
                     )))
                 }
             }
@@ -286,9 +300,10 @@ fn worker_loop(
         let node = &graph.nodes[op.node];
         let start = Instant::now();
         let outputs = if matches!(node.op, OpKind::Constant) {
-            let td = graph.initializers.get(&node.outputs[0]).ok_or_else(|| {
-                RuntimeError(format!("Constant `{}` missing payload", node.name))
-            })?;
+            let td = graph
+                .initializers
+                .get(&node.outputs[0])
+                .ok_or_else(|| RuntimeError(format!("Constant `{}` missing payload", node.name)))?;
             vec![Value::from_tensor_data(td)?]
         } else {
             let ins: Result<Vec<Value>> = node

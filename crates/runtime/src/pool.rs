@@ -230,9 +230,7 @@ fn worker_main(
                         }
                         Ok(WorkerMsg::Stop) => return,
                         Ok(WorkerMsg::Job { .. }) | Err(_) => {
-                            error = Some(format!(
-                                "worker {me}: protocol error waiting for `{t}`"
-                            ));
+                            error = Some(format!("worker {me}: protocol error waiting for `{t}`"));
                             break 'ops;
                         }
                     }

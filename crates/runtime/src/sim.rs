@@ -172,10 +172,7 @@ pub fn simulate_hyper(
     }
 
     let makespan = *worker_time.iter().max().unwrap_or(&0);
-    let slack = busy
-        .iter()
-        .map(|&b| makespan.saturating_sub(b))
-        .collect();
+    let slack = busy.iter().map(|&b| makespan.saturating_sub(b)).collect();
     timeline.sort_by_key(|e| (e.start, e.worker));
     Ok(SimResult {
         makespan,
@@ -268,8 +265,7 @@ mod tests {
         let g = synthetic::fork_join(2, 8, 1);
         let clustering = cluster_graph(&g, &StaticCost);
         let cfg = SimConfig::default();
-        let plain = simulate_hyper(&g, &hypercluster(&clustering, 4), &StaticCost, &cfg)
-            .unwrap();
+        let plain = simulate_hyper(&g, &hypercluster(&clustering, 4), &StaticCost, &cfg).unwrap();
         let switched = simulate_hyper(
             &g,
             &switched_hypercluster(&clustering, 4),

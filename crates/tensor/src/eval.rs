@@ -330,7 +330,9 @@ pub fn resolve_reshape(spec: &[i64], in_shape: &[usize], numel: usize) -> Result
         }
         shape[i] = numel / partial;
     } else if partial != numel {
-        return exec_err(format!("Reshape element count mismatch: {numel} -> {partial}"));
+        return exec_err(format!(
+            "Reshape element count mismatch: {numel} -> {partial}"
+        ));
     }
     Ok(shape)
 }
@@ -391,7 +393,9 @@ mod tests {
     fn shape_then_gather_then_reshape() {
         let ctx = ExecCtx::sequential();
         let x = f(vec![2, 6], vec![0.0; 12]);
-        let s = eval_op(&ctx, &OpKind::Shape, std::slice::from_ref(&x)).unwrap().remove(0);
+        let s = eval_op(&ctx, &OpKind::Shape, std::slice::from_ref(&x))
+            .unwrap()
+            .remove(0);
         assert_eq!(s.i64().unwrap().data(), &[2, 6]);
         let idx = Value::I64(Tensor::new(vec![1], vec![1]).unwrap());
         let d = eval_op(&ctx, &OpKind::Gather { axis: 0 }, &[s, idx])
@@ -399,7 +403,9 @@ mod tests {
             .remove(0);
         assert_eq!(d.i64().unwrap().data(), &[6]);
         let spec = Value::I64(Tensor::new(vec![2], vec![3, -1]).unwrap());
-        let r = eval_op(&ctx, &OpKind::Reshape, &[x, spec]).unwrap().remove(0);
+        let r = eval_op(&ctx, &OpKind::Reshape, &[x, spec])
+            .unwrap()
+            .remove(0);
         assert_eq!(r.shape(), &[3, 4]);
     }
 
@@ -413,7 +419,9 @@ mod tests {
     fn dropout_is_identity_at_inference() {
         let ctx = ExecCtx::sequential();
         let x = f(vec![2], vec![3., 4.]);
-        let y = eval_op(&ctx, &OpKind::Dropout, std::slice::from_ref(&x)).unwrap().remove(0);
+        let y = eval_op(&ctx, &OpKind::Dropout, std::slice::from_ref(&x))
+            .unwrap()
+            .remove(0);
         assert_eq!(x, y);
     }
 
@@ -449,7 +457,9 @@ mod tests {
     fn flatten_matches_ir_shape_inference() {
         let ctx = ExecCtx::sequential();
         let x = f(vec![2, 3, 4], vec![0.0; 24]);
-        let y = eval_op(&ctx, &OpKind::Flatten { axis: 1 }, &[x]).unwrap().remove(0);
+        let y = eval_op(&ctx, &OpKind::Flatten { axis: 1 }, &[x])
+            .unwrap()
+            .remove(0);
         assert_eq!(y.shape(), &[2, 12]);
     }
 

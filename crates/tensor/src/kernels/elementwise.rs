@@ -101,12 +101,8 @@ fn binary_generic<T: Copy + Default, R: Copy + Default>(
 /// Elementwise equality producing a bool tensor.
 pub fn equal(a: &Value, b: &Value) -> Result<Value> {
     match (a, b) {
-        (Value::F32(x), Value::F32(y)) => {
-            Ok(Value::Bool(binary_generic(x, y, |p, q| p == q)?))
-        }
-        (Value::I64(x), Value::I64(y)) => {
-            Ok(Value::Bool(binary_generic(x, y, |p, q| p == q)?))
-        }
+        (Value::F32(x), Value::F32(y)) => Ok(Value::Bool(binary_generic(x, y, |p, q| p == q)?)),
+        (Value::I64(x), Value::I64(y)) => Ok(Value::Bool(binary_generic(x, y, |p, q| p == q)?)),
         _ => exec_err("Equal requires two tensors of the same dtype"),
     }
 }

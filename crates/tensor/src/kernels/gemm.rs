@@ -81,7 +81,14 @@ pub fn matmul(ctx: &ExecCtx, a: &Tensor<f32>, b: &Tensor<f32>) -> Result<Tensor<
         unravel(bi, &batch, &mut coords);
         let ao = crate::tensor::broadcast_offset(&coords, a_batch_shape, &sa) * m * k1;
         let bo = crate::tensor::broadcast_offset(&coords, b_batch_shape, &sb) * k1 * n;
-        let res = mm(ctx, &a.data()[ao..ao + m * k1], &b.data()[bo..bo + k1 * n], m, k1, n);
+        let res = mm(
+            ctx,
+            &a.data()[ao..ao + m * k1],
+            &b.data()[bo..bo + k1 * n],
+            m,
+            k1,
+            n,
+        );
         out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&res);
     }
     Tensor::new(out_shape, out)

@@ -230,15 +230,20 @@ pub fn cast(x: &Value, to: DType) -> Result<Value> {
         (Value::F32(t), DType::F32) => Value::F32(t.clone()),
         (Value::I64(t), DType::I64) => Value::I64(t.clone()),
         (Value::Bool(t), DType::Bool) => Value::Bool(t.clone()),
-        (Value::F32(t), DType::I64) => {
-            Value::I64(Tensor::new(shape, t.data().iter().map(|&v| v as i64).collect())?)
-        }
-        (Value::I64(t), DType::F32) => {
-            Value::F32(Tensor::new(shape, t.data().iter().map(|&v| v as f32).collect())?)
-        }
+        (Value::F32(t), DType::I64) => Value::I64(Tensor::new(
+            shape,
+            t.data().iter().map(|&v| v as i64).collect(),
+        )?),
+        (Value::I64(t), DType::F32) => Value::F32(Tensor::new(
+            shape,
+            t.data().iter().map(|&v| v as f32).collect(),
+        )?),
         (Value::Bool(t), DType::F32) => Value::F32(Tensor::new(
             shape,
-            t.data().iter().map(|&v| if v { 1.0 } else { 0.0 }).collect(),
+            t.data()
+                .iter()
+                .map(|&v| if v { 1.0 } else { 0.0 })
+                .collect(),
         )?),
         (Value::Bool(t), DType::I64) => Value::I64(Tensor::new(
             shape,

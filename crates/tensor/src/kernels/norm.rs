@@ -18,9 +18,17 @@ pub fn batch_norm(
         return exec_err("BatchNorm expects rank >= 2 input");
     }
     let c = x.shape()[1];
-    for (name, t) in [("scale", scale), ("bias", bias), ("mean", mean), ("var", var)] {
+    for (name, t) in [
+        ("scale", scale),
+        ("bias", bias),
+        ("mean", mean),
+        ("var", var),
+    ] {
         if t.numel() != c {
-            return exec_err(format!("BatchNorm {name} length {} != channels {c}", t.numel()));
+            return exec_err(format!(
+                "BatchNorm {name} length {} != channels {c}",
+                t.numel()
+            ));
         }
     }
     let spatial: usize = x.shape()[2..].iter().product();

@@ -4,11 +4,7 @@ use crate::tensor::Tensor;
 use crate::{exec_err, Result};
 use ramiel_ir::PoolSpec;
 
-fn pool_generic(
-    x: &Tensor<f32>,
-    spec: &PoolSpec,
-    is_max: bool,
-) -> Result<Tensor<f32>> {
+fn pool_generic(x: &Tensor<f32>, spec: &PoolSpec, is_max: bool) -> Result<Tensor<f32>> {
     if x.rank() != 4 {
         return exec_err("pooling expects NCHW input");
     }

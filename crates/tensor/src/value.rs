@@ -2,8 +2,8 @@
 
 use crate::tensor::Tensor;
 use crate::{exec_err, Result};
-use ramiel_ir::{DType, TensorData};
 use ramiel_ir::tensor_data::Payload;
+use ramiel_ir::{DType, TensorData};
 
 /// A runtime tensor value of any supported dtype.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,136 @@
+//! Partition / coverage checks (RV0101–RV0104): every `(batch, node)`
+//! instance must be scheduled exactly once, on exactly one worker.
+
+use crate::diag::{codes, Diagnostic, Span};
+use crate::schedule::ScheduleView;
+use ramiel_ir::Graph;
+
+pub fn check_coverage(graph: &Graph, view: &ScheduleView) -> Vec<Diagnostic> {
+    let n = graph.num_nodes();
+    let mut diags = Vec::new();
+    // first owner of each in-range instance, for duplicate reporting
+    let mut owner: Vec<Option<usize>> = vec![None; n * view.batch];
+
+    for (w, ops) in view.workers.iter().enumerate() {
+        if ops.is_empty() {
+            diags.push(Diagnostic::warning(
+                codes::WORKER_EMPTY,
+                Span::Worker { worker: w },
+                "worker has no scheduled ops",
+            ));
+            continue;
+        }
+        for op in ops {
+            if op.node >= n || op.batch >= view.batch {
+                diags.push(Diagnostic::error(
+                    codes::OP_UNKNOWN,
+                    Span::Worker { worker: w },
+                    format!(
+                        "schedule entry (batch {}, node {}) is out of range: graph has {} nodes, schedule covers batch {}",
+                        op.batch, op.node, n, view.batch
+                    ),
+                ));
+                continue;
+            }
+            let key = op.batch * n + op.node;
+            let name = &graph.nodes[op.node].name;
+            match owner[key] {
+                Some(prev) => diags.push(Diagnostic::error(
+                    codes::OP_DUPLICATE,
+                    Span::Op {
+                        worker: w,
+                        batch: op.batch,
+                        node: op.node,
+                        name: name.clone(),
+                    },
+                    format!("instance already scheduled on worker {prev}"),
+                )),
+                None => owner[key] = Some(w),
+            }
+        }
+    }
+
+    for (key, o) in owner.iter().enumerate() {
+        if o.is_none() {
+            let (batch, node) = (key / n, key % n);
+            diags.push(Diagnostic::error(
+                codes::OP_MISSING,
+                Span::Node {
+                    id: node,
+                    name: graph.nodes[node].name.clone(),
+                },
+                format!("instance for batch {batch} is missing from every worker"),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{ExecPolicy, Op};
+    use ramiel_ir::{DType, GraphBuilder, OpKind};
+
+    fn chain3() -> Graph {
+        let mut b = GraphBuilder::new("chain");
+        let x = b.input("x", DType::F32, vec![2]);
+        let a = b.op("a", OpKind::Relu, vec![x]);
+        let c = b.op("c", OpKind::Relu, vec![a.clone()]);
+        let d = b.op("d", OpKind::Relu, vec![c]);
+        b.output(&d);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn complete_schedule_is_clean() {
+        let g = chain3();
+        let v = ScheduleView::single_batch(vec![vec![0, 1, 2]], ExecPolicy::InOrder);
+        assert!(check_coverage(&g, &v).is_empty());
+    }
+
+    #[test]
+    fn missing_duplicate_unknown_and_empty() {
+        let g = chain3();
+        let v = ScheduleView {
+            batch: 1,
+            workers: vec![
+                vec![Op { batch: 0, node: 0 }, Op { batch: 0, node: 0 }],
+                vec![Op { batch: 0, node: 9 }, Op { batch: 2, node: 1 }],
+                vec![],
+            ],
+            policy: ExecPolicy::InOrder,
+        };
+        let diags = check_coverage(&g, &v);
+        let codes_seen: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes_seen.contains(&codes::OP_DUPLICATE));
+        assert!(codes_seen.contains(&codes::OP_UNKNOWN));
+        assert!(codes_seen.contains(&codes::WORKER_EMPTY));
+        // nodes 1 and 2 (batch 0) never scheduled in-range
+        assert_eq!(
+            diags.iter().filter(|d| d.code == codes::OP_MISSING).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn multi_batch_missing_instance() {
+        let g = chain3();
+        let mut workers = vec![Vec::new()];
+        for node in 0..3 {
+            for batch in 0..2 {
+                workers[0].push(Op { batch, node });
+            }
+        }
+        workers[0].pop(); // drop (batch 1, node 2)
+        let v = ScheduleView {
+            batch: 2,
+            workers,
+            policy: ExecPolicy::FirstReady,
+        };
+        let diags = check_coverage(&g, &v);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::OP_MISSING);
+        assert!(diags[0].message.contains("batch 1"));
+    }
+}

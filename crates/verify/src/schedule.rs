@@ -1,0 +1,96 @@
+//! The verifier's neutral view of a parallel schedule.
+//!
+//! `ramiel-verify` deliberately depends only on `ramiel-ir`, so it cannot
+//! name the clustering types from `ramiel-cluster`. Instead the verifier
+//! checks a [`ScheduleView`] — an ordered op list per worker plus the
+//! execution policy the runtime will use to replay it. `ramiel-cluster`
+//! provides the conversions from `Clustering` / `HyperClustering`.
+
+use ramiel_ir::NodeId;
+
+/// One schedule entry: run `node` for batch element `batch`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Op {
+    pub batch: usize,
+    pub node: NodeId,
+}
+
+/// How a worker walks its op list at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Strict program order: the worker blocks on the next op's inputs
+    /// before looking at anything later (generated sequential code, plain
+    /// cluster replay). Ordering mistakes deadlock.
+    InOrder,
+    /// The worker runs any op in its list whose inputs have arrived
+    /// (the runtime's message-driven hypercluster loop). Ordering mistakes
+    /// cost performance, not progress.
+    FirstReady,
+}
+
+/// A complete parallel schedule: `workers[w]` is worker `w`'s ordered op
+/// list over `(batch, node)` instances, replayed under `policy`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleView {
+    /// Number of batch elements the schedule covers (≥ 1).
+    pub batch: usize,
+    pub workers: Vec<Vec<Op>>,
+    pub policy: ExecPolicy,
+}
+
+impl ScheduleView {
+    /// Batch-1 view from plain per-worker node lists.
+    pub fn single_batch(workers: Vec<Vec<NodeId>>, policy: ExecPolicy) -> Self {
+        ScheduleView {
+            batch: 1,
+            workers: workers
+                .into_iter()
+                .map(|ns| ns.into_iter().map(|node| Op { batch: 0, node }).collect())
+                .collect(),
+            policy,
+        }
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub fn num_ops(&self) -> usize {
+        self.workers.iter().map(Vec::len).sum()
+    }
+
+    /// worker index of every scheduled instance, or `None` where the lookup
+    /// table cannot be built (out-of-range entries — coverage reports those).
+    pub(crate) fn worker_of(&self, num_nodes: usize) -> Vec<Option<usize>> {
+        let mut table = vec![None; num_nodes * self.batch];
+        for (w, ops) in self.workers.iter().enumerate() {
+            for op in ops {
+                if op.node < num_nodes && op.batch < self.batch {
+                    table[op.batch * num_nodes + op.node] = Some(w);
+                }
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_batch_builds_batch0_ops() {
+        let v = ScheduleView::single_batch(vec![vec![0, 2], vec![1]], ExecPolicy::InOrder);
+        assert_eq!(v.batch, 1);
+        assert_eq!(v.num_workers(), 2);
+        assert_eq!(v.num_ops(), 3);
+        assert_eq!(v.workers[0][1], Op { batch: 0, node: 2 });
+    }
+
+    #[test]
+    fn worker_lookup_table() {
+        let v = ScheduleView::single_batch(vec![vec![0, 2], vec![1]], ExecPolicy::FirstReady);
+        let t = v.worker_of(3);
+        assert_eq!(t, vec![Some(0), Some(1), Some(0)]);
+    }
+}

@@ -50,7 +50,11 @@ fn main() {
     let fewer_edges = cloned.report.cross_cluster_edges <= baseline.report.cross_cluster_edges;
     println!(
         "\ncloning {} cross-cluster messages ({} → {})",
-        if fewer_edges { "reduced" } else { "did not reduce" },
+        if fewer_edges {
+            "reduced"
+        } else {
+            "did not reduce"
+        },
         baseline.report.cross_cluster_edges,
         cloned.report.cross_cluster_edges
     );

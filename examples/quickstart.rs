@@ -42,11 +42,14 @@ fn main() {
     let seq_ms = t.elapsed().as_secs_f64() * 1e3;
 
     let t = Instant::now();
-    let par = run_parallel(&compiled.graph, &compiled.clustering, &inputs, &ctx)
-        .expect("parallel run");
+    let par =
+        run_parallel(&compiled.graph, &compiled.clustering, &inputs, &ctx).expect("parallel run");
     let par_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    assert_eq!(seq.keys().collect::<Vec<_>>(), par.keys().collect::<Vec<_>>());
+    assert_eq!(
+        seq.keys().collect::<Vec<_>>(),
+        par.keys().collect::<Vec<_>>()
+    );
     println!("sequential: {seq_ms:.2} ms   parallel: {par_ms:.2} ms");
 
     // 4. The generated, readable PyTorch+Python module:

@@ -12,8 +12,8 @@
 //! ```
 
 use ramiel::{compile, PipelineOptions};
-use ramiel_runtime::{run_parallel, run_sequential, synth_inputs, ClusterPool};
 use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_runtime::{run_parallel, run_sequential, synth_inputs, ClusterPool};
 use ramiel_tensor::ExecCtx;
 use std::time::Instant;
 
@@ -30,7 +30,9 @@ fn main() {
     );
 
     let ctx = ExecCtx::sequential();
-    let requests: Vec<_> = (0..16u64).map(|s| synth_inputs(&compiled.graph, s)).collect();
+    let requests: Vec<_> = (0..16u64)
+        .map(|s| synth_inputs(&compiled.graph, s))
+        .collect();
 
     // golden responses from the reference interpreter
     let golden: Vec<_> = requests
@@ -57,7 +59,9 @@ fn main() {
     let pool_ms = t.elapsed().as_secs_f64() * 1e3 / requests.len() as f64;
 
     println!("spawn-per-request: {spawn_ms:.2} ms/request");
-    println!("standing pool:     {pool_ms:.2} ms/request ({:.0}% of spawn cost)",
-        100.0 * pool_ms / spawn_ms);
+    println!(
+        "standing pool:     {pool_ms:.2} ms/request ({:.0}% of spawn cost)",
+        100.0 * pool_ms / spawn_ms
+    );
     println!("all {} responses matched the reference ✓", requests.len());
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the full test suite.
+#
+# Everything runs --offline against the vendored dependency stubs in
+# vendor/ — CI hosts need no network and no crates.io index.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test --offline
+
+echo "CI green."

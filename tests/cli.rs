@@ -66,7 +66,12 @@ fn compile_writes_artifacts() {
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("clusters:"));
-    for artifact in ["parallel.py", "sequential.py", "clusters.dot", "report.json"] {
+    for artifact in [
+        "parallel.py",
+        "sequential.py",
+        "clusters.dot",
+        "report.json",
+    ] {
         assert!(dir.join(artifact).exists(), "missing {artifact}");
     }
     let report: serde_json::Value =
@@ -123,6 +128,38 @@ fn compile_with_batch_writes_hyper_module() {
     assert!(hyper.contains("SWITCHED"));
     assert!(hyper.contains("def hypercluster_0("));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_verifies_compiled_schedules() {
+    let (ok, stdout, stderr) = run(&["check", "squeezenet", "--tiny"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("ok ("), "unexpected output:\n{stdout}");
+    assert!(stdout.contains("0 errors"), "unexpected output:\n{stdout}");
+
+    // Batched switched hyperclustering goes through the first-ready policy.
+    let (ok, stdout, stderr) = run(&[
+        "check",
+        "squeezenet",
+        "--tiny",
+        "--batch",
+        "4",
+        "--switched",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("0 errors"), "unexpected output:\n{stdout}");
+}
+
+#[test]
+fn check_deny_warnings_fails_on_findings() {
+    // The default LC+merge clustering of googlenet produces a benign
+    // quotient-cycle warning (RV0202); --deny-warnings must promote it to a
+    // failing exit code while the default mode tolerates it.
+    let (ok, _, _) = run(&["check", "googlenet", "--tiny"]);
+    assert!(ok);
+    let (ok, stdout, _) = run(&["check", "googlenet", "--tiny", "--deny-warnings"]);
+    assert!(!ok);
+    assert!(stdout.contains("RV0202"), "expected RV0202 in:\n{stdout}");
 }
 
 #[test]

@@ -79,12 +79,17 @@ fn intra_op_parallelism_does_not_change_results() {
 fn hyperclustering_matches_per_sample_baseline_on_models() {
     let cfg = ModelConfig::tiny();
     let ctx = ExecCtx::sequential();
-    for kind in [ModelKind::Squeezenet, ModelKind::Googlenet, ModelKind::YoloV5] {
+    for kind in [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::YoloV5,
+    ] {
         let g = build(kind, &cfg);
         let clustering = cluster_graph(&g, &StaticCost);
         for batch in [2usize, 3] {
-            let inputs: Vec<Env> =
-                (0..batch).map(|b| synth_inputs(&g, 7 * b as u64 + 1)).collect();
+            let inputs: Vec<Env> = (0..batch)
+                .map(|b| synth_inputs(&g, 7 * b as u64 + 1))
+                .collect();
             for (label, hc) in [
                 ("plain", hypercluster(&clustering, batch)),
                 ("switched", switched_hypercluster(&clustering, batch)),

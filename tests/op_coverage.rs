@@ -91,7 +91,11 @@ fn kitchen_sink() -> Graph {
         },
         vec![cat.clone()],
     );
-    let sm = b.op("softmax", OpKind::Softmax { axis: 1 }, vec![parts[0].clone()]);
+    let sm = b.op(
+        "softmax",
+        OpKind::Softmax { axis: 1 },
+        vec![parts[0].clone()],
+    );
     let rm = b.op(
         "rmean",
         OpKind::ReduceMean {
@@ -144,19 +148,9 @@ fn kitchen_sink() -> Graph {
     let emb = b.weight("emb", vec![64, 3], ramiel_ir::builder::Init::Uniform(0.1));
     let ga = b.op("gather", OpKind::Gather { axis: 0 }, vec![emb, ids]);
     let cshape = b.init("cshape", TensorData::vec_i64(vec![1, 4, 3]));
-    let cos = b.op(
-        "cos",
-        OpKind::ConstantOfShape { value: 0.25 },
-        vec![cshape],
-    );
+    let cos = b.op("cos", OpKind::ConstantOfShape { value: 0.25 }, vec![cshape]);
     let gsum = b.op("gadd", OpKind::Add, vec![ga, cos]);
-    let pad = b.op(
-        "pad",
-        OpKind::Pad {
-            pads: (1, 1, 0, 0),
-        },
-        vec![cat.clone()],
-    );
+    let pad = b.op("pad", OpKind::Pad { pads: (1, 1, 0, 0) }, vec![cat.clone()]);
     let rz = b.op("resize", OpKind::Resize { scale: (2, 2) }, vec![pad]);
     let rz_gap = b.op("rz_gap", OpKind::GlobalAveragePool, vec![rz]);
 
@@ -187,12 +181,51 @@ fn kitchen_sink_covers_every_operator() {
     let used = used_ops(&g);
     // every OpKind variant name must appear
     let all = [
-        "Conv", "MatMul", "Gemm", "Relu", "LeakyRelu", "Sigmoid", "Tanh", "Gelu", "Erf", "Sqrt",
-        "Exp", "Neg", "Clip", "Dropout", "Identity", "Add", "Sub", "Mul", "Div", "Pow", "Equal",
-        "Where", "Softmax", "BatchNormalization", "LayerNormalization", "ReduceMean", "MaxPool",
-        "AveragePool", "GlobalAveragePool", "Concat", "Split", "Slice", "Gather", "Reshape",
-        "Transpose", "Flatten", "Unsqueeze", "Squeeze", "Expand", "Resize", "Pad", "Cast",
-        "Constant", "Shape", "ConstantOfShape",
+        "Conv",
+        "MatMul",
+        "Gemm",
+        "Relu",
+        "LeakyRelu",
+        "Sigmoid",
+        "Tanh",
+        "Gelu",
+        "Erf",
+        "Sqrt",
+        "Exp",
+        "Neg",
+        "Clip",
+        "Dropout",
+        "Identity",
+        "Add",
+        "Sub",
+        "Mul",
+        "Div",
+        "Pow",
+        "Equal",
+        "Where",
+        "Softmax",
+        "BatchNormalization",
+        "LayerNormalization",
+        "ReduceMean",
+        "MaxPool",
+        "AveragePool",
+        "GlobalAveragePool",
+        "Concat",
+        "Split",
+        "Slice",
+        "Gather",
+        "Reshape",
+        "Transpose",
+        "Flatten",
+        "Unsqueeze",
+        "Squeeze",
+        "Expand",
+        "Resize",
+        "Pad",
+        "Cast",
+        "Constant",
+        "Shape",
+        "ConstantOfShape",
     ];
     for op in all {
         assert!(used.contains(op), "kitchen sink is missing {op}");

@@ -23,16 +23,16 @@ fn sim_cfg() -> SimConfig {
 }
 
 fn sim_speedup(c: &ramiel::CompiledModel) -> f64 {
-    let sim = simulate_clustering(&c.graph, &c.clustering, &StaticCost, &sim_cfg())
-        .expect("simulation");
+    let sim =
+        simulate_clustering(&c.graph, &c.clustering, &StaticCost, &sim_cfg()).expect("simulation");
     simulate_sequential(&c.graph, &StaticCost, 1) as f64 / sim.makespan as f64
 }
 
 /// Speedup against a fixed (unoptimized-graph) sequential baseline, the way
 /// Tables VI/VII compare optimization variants.
 fn sim_speedup_vs(c: &ramiel::CompiledModel, baseline: u64) -> f64 {
-    let sim = simulate_clustering(&c.graph, &c.clustering, &StaticCost, &sim_cfg())
-        .expect("simulation");
+    let sim =
+        simulate_clustering(&c.graph, &c.clustering, &StaticCost, &sim_cfg()).expect("simulation");
     baseline as f64 / sim.makespan as f64
 }
 
@@ -41,19 +41,26 @@ fn sim_speedup_vs(c: &ramiel::CompiledModel, baseline: u64) -> f64 {
 #[test]
 fn table1_parallelism_ordering() {
     let cfg = ModelConfig::full();
-    let get = |k: ModelKind| {
-        parallelism_report(&build(k, &cfg), &StaticCost).parallelism
-    };
+    let get = |k: ModelKind| parallelism_report(&build(k, &cfg), &StaticCost).parallelism;
     let squeeze = get(ModelKind::Squeezenet);
     let nasnet = get(ModelKind::NasNet);
     let google = get(ModelKind::Googlenet);
     let inception3 = get(ModelKind::InceptionV3);
     let yolo = get(ModelKind::YoloV5);
 
-    assert!(squeeze < 1.0, "SqueezeNet must be < 1x (paper: 0.86x), got {squeeze:.2}");
-    assert!(nasnet > 2.0, "NASNet must dominate (paper: 3.7x), got {nasnet:.2}");
+    assert!(
+        squeeze < 1.0,
+        "SqueezeNet must be < 1x (paper: 0.86x), got {squeeze:.2}"
+    );
+    assert!(
+        nasnet > 2.0,
+        "NASNet must dominate (paper: 3.7x), got {nasnet:.2}"
+    );
     assert!(nasnet > google && nasnet > inception3 && nasnet > yolo);
-    assert!(google > 1.0 && inception3 > 1.0, "GoogleNet/Inception ≈ 1.3–1.4x");
+    assert!(
+        google > 1.0 && inception3 > 1.0,
+        "GoogleNet/Inception ≈ 1.3–1.4x"
+    );
     assert!(squeeze < google && squeeze < inception3 && squeeze < nasnet);
 }
 
@@ -62,16 +69,24 @@ fn table1_parallelism_ordering() {
 #[test]
 fn table4_lc_speedup_shape() {
     let cfg = ModelConfig::full();
-    let sp = |k: ModelKind| {
-        sim_speedup(&compile(build(k, &cfg), &PipelineOptions::default()).unwrap())
-    };
+    let sp =
+        |k: ModelKind| sim_speedup(&compile(build(k, &cfg), &PipelineOptions::default()).unwrap());
     let squeeze = sp(ModelKind::Squeezenet);
     let inception4 = sp(ModelKind::InceptionV4);
     let nasnet = sp(ModelKind::NasNet);
 
-    assert!(squeeze < 1.0, "SqueezeNet must lose, as in the paper (0.83x), got {squeeze:.2}");
-    assert!(inception4 > 1.1, "Inception V4 gains (paper 1.44x), got {inception4:.2}");
-    assert!(nasnet > inception4, "NASNet leads (paper 1.7x): {nasnet:.2} vs {inception4:.2}");
+    assert!(
+        squeeze < 1.0,
+        "SqueezeNet must lose, as in the paper (0.83x), got {squeeze:.2}"
+    );
+    assert!(
+        inception4 > 1.1,
+        "Inception V4 gains (paper 1.44x), got {inception4:.2}"
+    );
+    assert!(
+        nasnet > inception4,
+        "NASNet leads (paper 1.7x): {nasnet:.2} vs {inception4:.2}"
+    );
     assert!(nasnet > 1.3);
 }
 
@@ -175,7 +190,11 @@ fn fig12_cloning_improves_vision_models() {
 #[test]
 fn fig13_hypercluster_speedup_grows_with_batch() {
     let cfg = ModelConfig::full();
-    let c = compile(build(ModelKind::Googlenet, &cfg), &PipelineOptions::default()).unwrap();
+    let c = compile(
+        build(ModelKind::Googlenet, &cfg),
+        &PipelineOptions::default(),
+    )
+    .unwrap();
     let seq1 = simulate_sequential(&c.graph, &StaticCost, 1) as f64;
     let mut last_per_sample = f64::MAX;
     for batch in [1usize, 2, 4, 8] {
@@ -197,7 +216,11 @@ fn fig13_hypercluster_speedup_grows_with_batch() {
 #[test]
 fn fig14_switched_balances_squeezenet() {
     let cfg = ModelConfig::full();
-    let c = compile(build(ModelKind::Squeezenet, &cfg), &PipelineOptions::default()).unwrap();
+    let c = compile(
+        build(ModelKind::Squeezenet, &cfg),
+        &PipelineOptions::default(),
+    )
+    .unwrap();
     let costs: Vec<u64> = c
         .graph
         .nodes
@@ -219,7 +242,11 @@ fn fig14_switched_balances_squeezenet() {
 #[test]
 fn table8_compile_time_gap_vs_ios() {
     let cfg = ModelConfig::full();
-    for kind in [ModelKind::Squeezenet, ModelKind::InceptionV3, ModelKind::NasNet] {
+    for kind in [
+        ModelKind::Squeezenet,
+        ModelKind::InceptionV3,
+        ModelKind::NasNet,
+    ] {
         let g = build(kind, &cfg);
 
         let t = Instant::now();

@@ -136,7 +136,10 @@ fn dsc_scheduler_is_a_valid_alternative() {
     let ctx = ExecCtx::sequential();
     let seq = run_sequential(&c.graph, &inputs, &ctx).unwrap();
     let par = run_parallel(&c.graph, &c.clustering, &inputs, &ctx).unwrap();
-    assert_eq!(seq.keys().collect::<Vec<_>>(), par.keys().collect::<Vec<_>>());
+    assert_eq!(
+        seq.keys().collect::<Vec<_>>(),
+        par.keys().collect::<Vec<_>>()
+    );
 }
 
 #[test]

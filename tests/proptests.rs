@@ -9,16 +9,14 @@ use ramiel_cluster::{
 };
 use ramiel_models::synthetic;
 use ramiel_runtime::{
-    run_parallel, run_sequential, simulate_clustering, simulate_sequential, synth_inputs,
-    SimConfig,
+    run_parallel, run_sequential, simulate_clustering, simulate_sequential, synth_inputs, SimConfig,
 };
 use ramiel_tensor::{ExecCtx, Value};
 
 fn graph_strategy() -> impl Strategy<Value = ramiel_ir::Graph> {
-    (any::<u64>(), 1usize..8, 1usize..6, 1usize..4)
-        .prop_map(|(seed, layers, width, lookback)| {
-            synthetic::layered_random(seed, layers, width, lookback)
-        })
+    (any::<u64>(), 1usize..8, 1usize..6, 1usize..4).prop_map(|(seed, layers, width, lookback)| {
+        synthetic::layered_random(seed, layers, width, lookback)
+    })
 }
 
 proptest! {

@@ -1,0 +1,180 @@
+//! Offline vendored criterion subset.
+//!
+//! Mirrors the API the bench targets use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_with_input`,
+//! `bench_function`, `BenchmarkId`, `Bencher::iter`) but replaces the
+//! statistical engine with a single timed pass per benchmark: one warm-up
+//! call, then a handful of measured iterations whose mean wall-clock time is
+//! printed. Good enough to smoke-test the benches and get rough numbers;
+//! not a statistics suite.
+
+use std::time::Instant;
+
+/// Measured iterations per benchmark (after one warm-up call).
+const MEASURED_ITERS: u32 = 3;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, f);
+        self
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always runs a fixed small
+    /// number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().0, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().0, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
+    let mut b = Bencher { total_ns: 0 };
+    f(&mut b); // warm-up (also the measurement pass; see Bencher::iter)
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mean_ns = b.total_ns / u128::from(MEASURED_ITERS);
+    println!("bench {label}: {:.3} ms/iter", mean_ns as f64 / 1e6);
+}
+
+pub struct Bencher {
+    total_ns: u128,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            std::hint::black_box(f());
+        }
+        self.total_ns = start.elapsed().as_nanos();
+    }
+}
+
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Re-exported for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs harness-less bench binaries with `--test`;
+            // a full timing pass there would be slow and pointless, so only
+            // smoke-run when asked to actually bench.
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("id", 1), &2u32, |b, &two| {
+                b.iter(|| {
+                    calls += two;
+                    two
+                });
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 2 * (1 + MEASURED_ITERS));
+    }
+}

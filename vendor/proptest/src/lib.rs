@@ -1,0 +1,343 @@
+//! Offline vendored proptest subset.
+//!
+//! Supports the surface this workspace's property tests use:
+//! `proptest! { #![proptest_config(ProptestConfig::with_cases(n))] #[test]
+//! fn prop(arg in strategy, ...) { ... } }`, integer range strategies,
+//! `any::<T>()` for primitives, tuple strategies, `.prop_map`,
+//! `prop::sample::select`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: sampling is a deterministic
+//! xorshift sequence seeded from the test name (fully reproducible runs),
+//! and there is no shrinking — on failure the offending inputs are printed
+//! verbatim before the panic is re-raised.
+
+use std::ops::Range;
+
+// ---- deterministic rng -----------------------------------------------------
+
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name so each test gets its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+// ---- strategies ------------------------------------------------------------
+
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(usize, u8, u16, u32, u64);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + rng.below(span) as i64) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+/// Types with a full-domain `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Uniformly pick one of the given values.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select requires at least one value");
+        Select(values)
+    }
+}
+
+// ---- config + runner -------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---- macros ----------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __case_desc = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(&::std::format!(
+                                "  {} = {:?}\n", stringify!($arg), &$arg
+                            ));
+                        )+
+                        __s
+                    };
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let ::std::result::Result::Err(__panic) = __result {
+                        ::std::eprintln!(
+                            "proptest {}: case {}/{} failed with inputs:\n{}",
+                            stringify!($name), __case + 1, __cfg.cases, __case_desc
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::std::assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::std::assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { ::std::assert_ne!($($args)*) };
+}
+
+// ---- tests -----------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("same");
+        let mut b = crate::TestRng::deterministic("same");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_generates_cases(x in 1usize..5, y in any::<u64>(), pick in prop::sample::select(vec![10u8, 20])) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!(pick == 10 || pick == 20);
+            let _ = y;
+        }
+
+        #[test]
+        fn tuples_and_map_work(v in (1usize..4, 1usize..4).prop_map(|(a, b)| a * 10 + b)) {
+            prop_assert!((11..=33).contains(&v));
+            prop_assert_eq!(v, v);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline vendored rayon subset.
+//!
+//! Implements the pieces the tensor kernels use: `ThreadPoolBuilder` /
+//! `ThreadPool::install`, `current_num_threads`, and
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)`. Parallelism is real —
+//! chunks are distributed over `std::thread::scope` workers — but there is
+//! no work stealing: chunks are split eagerly into one contiguous run per
+//! worker, which matches the kernels' uniform-cost outer loops well enough.
+//!
+//! `install` does not move the closure onto pool threads; it runs it on the
+//! caller while setting a thread-local thread count that `par_chunks_mut`
+//! and `current_num_threads` observe. That preserves rayon's observable
+//! semantics for this workspace (pool-scoped parallelism degree) without a
+//! persistent worker pool.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Number of threads in the active pool scope (1 outside any `install`).
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS.with(|c| c.get().max(1))
+}
+
+// ---- thread pool -----------------------------------------------------------
+
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with this pool's thread count active for nested parallel
+    /// iterators (restored on exit, panic-safe).
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            Restore(prev)
+        });
+        f()
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { threads: 0 }
+    }
+
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim spawns unnamed scoped
+    /// threads per parallel call instead of persistent named workers.
+    pub fn thread_name(self, _name: impl FnMut(usize) -> String) -> Self {
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+// ---- parallel slice iterators ----------------------------------------------
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct ParChunksMut<'a, T: Send> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            data: self.data,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+pub struct ParChunksMutEnumerate<'a, T: Send> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let threads = current_num_threads();
+        let num_chunks = self.data.len().div_ceil(self.chunk_size);
+        if threads <= 1 || num_chunks <= 1 {
+            for pair in self.data.chunks_mut(self.chunk_size).enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        // Split the chunk index space into one contiguous run per worker.
+        let workers = threads.min(num_chunks);
+        let per_worker = num_chunks.div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut rest = self.data;
+            let mut next_index = 0usize;
+            for _ in 0..workers {
+                if rest.is_empty() {
+                    break;
+                }
+                let take = (per_worker * self.chunk_size).min(rest.len());
+                let (run, remainder) = rest.split_at_mut(take);
+                rest = remainder;
+                let base = next_index;
+                next_index += per_worker;
+                let chunk_size = self.chunk_size;
+                scope.spawn(move || {
+                    for (i, chunk) in run.chunks_mut(chunk_size).enumerate() {
+                        f((base + i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        assert_eq!(current_num_threads(), 1);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let n = pool.install(current_num_threads);
+        assert_eq!(n, 3);
+        assert_eq!(current_num_threads(), 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_chunks() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data = vec![0usize; 103]; // deliberately not a multiple of 10
+        pool.install(|| {
+            data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+                for v in chunk {
+                    *v = i + 1;
+                }
+            });
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, j / 10 + 1, "element {j}");
+        }
+    }
+
+    #[test]
+    fn sequential_outside_install() {
+        let mut data = vec![0u32; 8];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2]);
+    }
+}

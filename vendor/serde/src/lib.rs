@@ -1,0 +1,445 @@
+//! Offline vendored mini-serde.
+//!
+//! The build environment has no network access and an empty crates.io
+//! registry, so the real `serde` cannot be fetched. This crate provides the
+//! subset the workspace actually uses: `#[derive(Serialize, Deserialize)]`
+//! on concrete (non-generic) structs and enums, routed through a small
+//! JSON-shaped data model ([`Content`]). `serde_json` (also vendored) walks
+//! the same model to print and parse JSON text.
+//!
+//! The derive macros generate implementations of the two traits below. The
+//! wire format matches real serde's JSON defaults for the shapes used here:
+//! structs as objects, unit enum variants as strings, data-carrying variants
+//! as externally tagged single-key objects, tuples as arrays.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The self-describing data model every `Serialize` impl lowers to and every
+/// `Deserialize` impl reads from. Mirrors the JSON value space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    /// All integers are widened to i64/u64; negative values use `Int`.
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Insertion-ordered map (field order is preserved in output).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Widening numeric read: any numeric variant as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::Int(v) => Some(v as f64),
+            Content::UInt(v) => Some(v as f64),
+            Content::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::UInt(v) => Some(v),
+            Content::Int(v) if v >= 0 => Some(v as u64),
+            Content::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::Int(v) => Some(v),
+            Content::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::Float(v)
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+            {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Map lookup by key (linear scan; maps here are tiny).
+    pub fn get_key(&self, key: &str) -> Option<&Content> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Int(_) | Content::UInt(_) => "integer",
+            Content::Float(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Serialization: lower a value into the [`Content`] data model.
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization: rebuild a value from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn from_content(c: &Content) -> Result<Self, String>;
+}
+
+fn expected<T>(what: &str, got: &Content) -> Result<T, String> {
+    Err(format!("expected {what}, found {}", got.kind()))
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = c.as_i64().ok_or_else(|| format!("expected integer, found {}", c.kind()))?;
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let v = c.as_u64().ok_or_else(|| format!("expected unsigned integer, found {}", c.kind()))?;
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        // null round-trips non-finite floats (JSON has no NaN/Inf literals)
+        if matches!(c, Content::Null) {
+            return Ok(f32::NAN);
+        }
+        c.as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| format!("expected number, found {}", c.kind()))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        if matches!(c, Content::Null) {
+            return Ok(f64::NAN);
+        }
+        c.as_f64()
+            .ok_or_else(|| format!("expected number, found {}", c.kind()))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        c.as_bool()
+            .ok_or_else(|| format!("expected bool, found {}", c.kind()))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => expected("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => expected("array", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+/// Map keys: types that print/parse as JSON object keys.
+pub trait MapKey: Ord {
+    fn to_key(&self) -> String;
+    fn from_key(key: &str) -> Result<Self, String>
+    where
+        Self: Sized;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, String> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(key: &str) -> Result<Self, String> {
+                key.parse().map_err(|_| format!("invalid integer key `{key}`"))
+            }
+        }
+    )*};
+}
+impl_int_key!(usize, u64, u32, isize, i64, i32);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            other => expected("object", other),
+        }
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        // sort for deterministic output
+        let mut entries: Vec<_> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Content::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            other => expected("object", other),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, String> {
+                let seq = c.as_seq().ok_or_else(|| format!("expected array, found {}", c.kind()))?;
+                let expected_len = [$(stringify!($idx)),+].len();
+                if seq.len() != expected_len {
+                    return Err(format!("expected array of length {expected_len}, found {}", seq.len()));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f32::from_content(&1.5f32.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<bool>::from_content(&vec![true, false].to_content()).unwrap(),
+            vec![true, false]
+        );
+        assert_eq!(
+            <(usize, usize)>::from_content(&(3usize, 4usize).to_content()).unwrap(),
+            (3, 4)
+        );
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::UInt(3)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn maps_keep_typed_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(7usize, "x".to_string());
+        let c = m.to_content();
+        assert_eq!(c.get_key("7").and_then(Content::as_str), Some("x"));
+        let back = BTreeMap::<usize, String>::from_content(&c).unwrap();
+        assert_eq!(back, m);
+    }
+}

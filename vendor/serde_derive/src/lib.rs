@@ -1,0 +1,409 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! mini-serde.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the offline build has
+//! no syn/quote). Supports the shapes this workspace uses: non-generic
+//! structs with named fields, unit/tuple structs, and enums with unit,
+//! tuple, and struct variants. `#[serde(...)]` attributes are not supported
+//! and rejected loudly so silent divergence from real serde cannot happen.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model ------------------------------------------------------------
+
+enum Body {
+    /// Named-field struct; the Vec holds field names.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    /// Struct variant; field names.
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---- token helpers ---------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; error on `#[serde(...)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> Result<usize, String> {
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    return Err(
+                        "vendored serde_derive does not support #[serde(...)] attributes".into(),
+                    );
+                }
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    Ok(i)
+}
+
+/// Skip a `pub` / `pub(...)` visibility prefix.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advance past a type (or any token run) to the next top-level comma,
+/// tracking `<`/`>` nesting so generic arguments don't split early.
+fn skip_to_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the `{ name: Type, ... }` body of a struct or struct variant into
+/// field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        if !matches!(tokens.get(i), Some(tt) if is_punct(tt, ':')) {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i = skip_to_comma(&tokens, i + 1);
+        i += 1; // past the comma (or end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple struct / tuple variant `( Type, Type )`.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_to_comma(&tokens, i);
+        count += 1;
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip an optional `= discriminant` and advance past the comma
+        i = skip_to_comma(&tokens, i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0)?;
+    i = skip_vis(&tokens, i);
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(tt) if is_punct(tt, '<')) {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    let body = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g))
+            }
+            Some(tt) if is_punct(tt, ';') => Body::Unit,
+            other => return Err(format!("unsupported struct body: `{other:?}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g)?)
+            }
+            other => return Err(format!("unsupported enum body: `{other:?}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, body })
+}
+
+// ---- code generation -------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Content::Map(::std::vec![])".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(::std::string::String::from({vn:?})),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Content::Seq(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("(::std::string::String::from({f:?}), ::serde::Serialize::to_content({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binders} }} => ::serde::Content::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Content::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_content(&self) -> ::serde::Content {{ {body} }}\n}}"
+    )
+}
+
+/// Expression deserializing named fields from the Content expr `$src` into a
+/// `Name { ... }` / `Name::Variant { ... }` literal.
+fn named_fields_expr(ctor: &str, type_label: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content({src}.get_key({f:?}).unwrap_or(&::serde::Content::Null)).map_err(|e| ::std::format!(\"{type_label}.{f}: {{}}\", e))?"
+            )
+        })
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let expr = named_fields_expr(name, name, fields, "c");
+            format!(
+                "if c.as_map().is_none() {{ return ::std::result::Result::Err(::std::format!(\"{name}: expected object, found {{}}\", c.kind())); }}\n::std::result::Result::Ok({expr})"
+            )
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = c.as_seq().ok_or_else(|| ::std::format!(\"{name}: expected array, found {{}}\", c.kind()))?;\nif __seq.len() != {n} {{ return ::std::result::Result::Err(::std::format!(\"{name}: expected {n} elements, found {{}}\", __seq.len())); }}\n::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok({name}::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_content(__value).map_err(|e| ::std::format!(\"{name}::{vn}: {{}}\", e))?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let __seq = __value.as_seq().ok_or_else(|| ::std::format!(\"{name}::{vn}: expected array, found {{}}\", __value.kind()))?; if __seq.len() != {n} {{ return ::std::result::Result::Err(::std::format!(\"{name}::{vn}: expected {n} elements, found {{}}\", __seq.len())); }} ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let expr = named_fields_expr(
+                                &format!("{name}::{vn}"),
+                                &format!("{name}::{vn}"),
+                                fields,
+                                "__value",
+                            );
+                            Some(format!(
+                                "{vn:?} => {{ if __value.as_map().is_none() {{ return ::std::result::Result::Err(::std::format!(\"{name}::{vn}: expected object, found {{}}\", __value.kind())); }} ::std::result::Result::Ok({expr}) }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit}\n__other => ::std::result::Result::Err(::std::format!(\"{name}: unknown unit variant `{{}}`\", __other)), }},\n\
+                 ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __value) = &__entries[0];\n\
+                     let _ = __value;\n\
+                     match __tag.as_str() {{\n{tagged}\n__other => ::std::result::Result::Err(::std::format!(\"{name}: unknown variant `{{}}`\", __other)), }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::std::format!(\"{name}: expected variant string or single-key object, found {{}}\", __other.kind())),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::std::string::String> {{\n{body}\n    }}\n}}"
+    )
+}
+
+// ---- entry points ----------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive internal error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive internal error: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}

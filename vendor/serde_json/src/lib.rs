@@ -1,0 +1,751 @@
+//! Offline vendored mini `serde_json`.
+//!
+//! Prints and parses JSON text over the vendored serde [`Content`] data
+//! model. Covers the subset the workspace uses: `to_string`,
+//! `to_string_pretty`, `from_str`, a dynamically-typed [`Value`], and the
+//! [`json!`] macro (object/array literals with expression values).
+
+use serde::{Content, Deserialize, Serialize};
+
+// ---- error -----------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---- public API ------------------------------------------------------------
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let content = parse(text)?;
+    T::from_content(&content).map_err(Error)
+}
+
+// ---- Value -----------------------------------------------------------------
+
+/// Dynamically typed JSON value (mirrors [`Content`], which lives in the
+/// vendored `serde` crate and therefore cannot carry `Index` impls here).
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    pub fn from_content(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::Int(v) => Value::Int(*v),
+            Content::UInt(v) => Value::UInt(*v),
+            Content::Float(v) => Value::Float(*v),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Map(entries) => Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    pub fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Int(v) => Content::Int(*v),
+            Value::UInt(v) => Content::UInt(*v),
+            Value::Float(v) => Content::Float(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Value::to_content).collect()),
+            Value::Object(entries) => Content::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Lower any serializable value into a [`Value`] (used by [`json!`]).
+    pub fn from_serialize<T: Serialize + ?Sized>(value: &T) -> Value {
+        Value::from_content(&value.to_content())
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) if v <= i64::MAX as u64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) if v >= 0 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            // integers compare by value across signedness (like serde_json's
+            // Number); floats only equal other floats
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::UInt(a), Value::UInt(b)) => a == b,
+            (Value::Int(a), Value::UInt(b)) | (Value::UInt(b), Value::Int(a)) => {
+                *a >= 0 && *a as u64 == *b
+            }
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        Value::to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Self, String> {
+        Ok(Value::from_content(c))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array()
+            .and_then(|items| items.get(idx))
+            .unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        write_content(&self.to_content(), &mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// ---- json! macro -----------------------------------------------------------
+
+/// Support fn for [`json!`]: an empty accumulator, behind a call so the
+/// expansion does not literally pair `Vec::new()` with `push` (which would
+/// trip `clippy::vec_init_then_push` at every use site).
+#[doc(hidden)]
+pub fn __empty_vec<T>() -> Vec<T> {
+    Vec::new()
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($body:tt)+ }) => {{
+        #[allow(unused_mut)]
+        let mut __obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            $crate::__empty_vec();
+        $crate::json_object_entries!(__obj, $($body)+);
+        $crate::Value::Object(__obj)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($body:tt)+ ]) => {{
+        #[allow(unused_mut)]
+        let mut __arr: ::std::vec::Vec<$crate::Value> = $crate::__empty_vec();
+        $crate::json_array_elems!(__arr, $($body)+);
+        $crate::Value::Array(__arr)
+    }};
+    ($other:expr) => { $crate::Value::from_serialize(&$other) };
+}
+
+/// Internal tt-muncher for [`json!`] array bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_elems {
+    ($arr:ident, { $($inner:tt)* } , $($rest:tt)*) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_array_elems!($arr, $($rest)*);
+    };
+    ($arr:ident, { $($inner:tt)* } $(,)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+    };
+    ($arr:ident, [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_elems!($arr, $($rest)*);
+    };
+    ($arr:ident, [ $($inner:tt)* ] $(,)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+    };
+    ($arr:ident, null , $($rest:tt)*) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_array_elems!($arr, $($rest)*);
+    };
+    ($arr:ident, null $(,)?) => {
+        $arr.push($crate::Value::Null);
+    };
+    ($arr:ident, $elem:expr , $($rest:tt)*) => {
+        $arr.push($crate::json!($elem));
+        $crate::json_array_elems!($arr, $($rest)*);
+    };
+    ($arr:ident, $elem:expr) => {
+        $arr.push($crate::json!($elem));
+    };
+    ($arr:ident,) => {};
+    ($arr:ident) => {};
+}
+
+/// Internal tt-muncher for [`json!`] object bodies; handles nested
+/// `{...}`/`[...]` literals (which are not plain Rust expressions) as well as
+/// ordinary expression values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entries {
+    ($obj:ident, $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $obj.push((::std::string::String::from($key), $crate::json!({ $($inner)* })));
+        $crate::json_object_entries!($obj, $($rest)*);
+    };
+    ($obj:ident, $key:literal : { $($inner:tt)* } $(,)?) => {
+        $obj.push((::std::string::String::from($key), $crate::json!({ $($inner)* })));
+    };
+    ($obj:ident, $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $obj.push((::std::string::String::from($key), $crate::json!([ $($inner)* ])));
+        $crate::json_object_entries!($obj, $($rest)*);
+    };
+    ($obj:ident, $key:literal : [ $($inner:tt)* ] $(,)?) => {
+        $obj.push((::std::string::String::from($key), $crate::json!([ $($inner)* ])));
+    };
+    ($obj:ident, $key:literal : null , $($rest:tt)*) => {
+        $obj.push((::std::string::String::from($key), $crate::Value::Null));
+        $crate::json_object_entries!($obj, $($rest)*);
+    };
+    ($obj:ident, $key:literal : null $(,)?) => {
+        $obj.push((::std::string::String::from($key), $crate::Value::Null));
+    };
+    ($obj:ident, $key:literal : $value:expr , $($rest:tt)*) => {
+        $obj.push((::std::string::String::from($key), $crate::json!($value)));
+        $crate::json_object_entries!($obj, $($rest)*);
+    };
+    ($obj:ident, $key:literal : $value:expr) => {
+        $obj.push((::std::string::String::from($key), $crate::json!($value)));
+    };
+    ($obj:ident,) => {};
+    ($obj:ident) => {};
+}
+
+// ---- writer ----------------------------------------------------------------
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, level: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::Int(v) => out.push_str(&v.to_string()),
+        Content::UInt(v) => out.push_str(&v.to_string()),
+        Content::Float(v) => {
+            if v.is_finite() {
+                // {:?} gives the shortest representation that round-trips,
+                // and keeps a `.0` on integral floats like real serde_json.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_content(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Content, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Content::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Content::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Content::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(&format!("unexpected character `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let ch = if (0xd800..0xdc00).contains(&first) {
+                                // high surrogate: expect \uXXXX low surrogate
+                                if !(self.peek() == Some(b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u'))
+                                {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let second = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(ch);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one full UTF-8 scalar
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Content::Int(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ---- tests -----------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value() {
+        let text = r#"{"a": [1, -2, 3.5, true, null], "b": {"c": "hi\n\"there\""}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"].as_array().unwrap().len(), 5);
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_i64(), Some(-2));
+        assert_eq!(v["a"][2].as_f64(), Some(3.5));
+        assert_eq!(v["b"]["c"], "hi\n\"there\"");
+        let text2 = to_string(&v).unwrap();
+        let v2: Value = from_str(&text2).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn json_macro_nested() {
+        let name = "op0";
+        let v = json!({
+            "name": name,
+            "ts": 1.5,
+            "pid": 0,
+            "args": {"batch": 3},
+            "tags": [1, 2],
+        });
+        assert_eq!(v["name"], "op0");
+        assert_eq!(v["args"]["batch"].as_u64(), Some(3));
+        assert_eq!(v["tags"].as_array().unwrap().len(), 2);
+        assert_eq!(v["ts"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"k": [1, {"x": null}]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_keep_a_dot() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""aé😀b""#).unwrap();
+        assert_eq!(v, "aé😀b");
+    }
+}
