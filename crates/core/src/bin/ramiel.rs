@@ -18,6 +18,12 @@
 //! intra-op threads), `--iters N`, `--out DIR`, `--tiny` (reduced model),
 //! `--deny-warnings` (`check`: warnings also fail the run).
 //!
+//! Chaos flags (`run` only): `--chaos-seed N` derives a deterministic
+//! fault plan and executes under the supervisor, `--chaos-faults N` sets
+//! how many faults the plan holds (default 3), `--max-retries N` bounds
+//! supervised retries (default 2), `--fallback` re-runs sequentially once
+//! retries are exhausted.
+//!
 //! `ramiel check` runs the pipeline, then statically verifies the resulting
 //! `(graph, schedule)` pair with `ramiel-verify`: partition coverage, cycle
 //! analysis, in-order soundness, channel deadlock-freedom, shape honesty,
@@ -64,6 +70,10 @@ struct Flags {
     mode: String,
     scheduler: Scheduler,
     deny_warnings: bool,
+    chaos_seed: Option<u64>,
+    chaos_faults: usize,
+    max_retries: u32,
+    fallback: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -79,6 +89,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         mode: "both".into(),
         scheduler: Scheduler::LcMerge,
         deny_warnings: false,
+        chaos_seed: None,
+        chaos_faults: 3,
+        max_retries: 2,
+        fallback: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -107,6 +121,24 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 f.iters = value("--iters")?
                     .parse()
                     .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--fallback" => f.fallback = true,
+            "--chaos-seed" => {
+                f.chaos_seed = Some(
+                    value("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?,
+                )
+            }
+            "--chaos-faults" => {
+                f.chaos_faults = value("--chaos-faults")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-faults: {e}"))?
+            }
+            "--max-retries" => {
+                f.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?
             }
             "--out" => f.out = Some(value("--out")?),
             "--mode" => f.mode = value("--mode")?,
@@ -239,6 +271,10 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
     let inputs = synth_inputs(&c.graph, 42);
     let ctx = ExecCtx::with_intra_op(f.intra_op);
 
+    if let Some(seed) = f.chaos_seed {
+        return cmd_run_chaos(&c, &inputs, &ctx, seed, f);
+    }
+
     let time_it = |label: &str, body: &dyn Fn() -> Result<(), String>| -> Result<(), String> {
         body()?; // warm-up
         let start = Instant::now();
@@ -268,6 +304,53 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
         })?;
     }
     Ok(())
+}
+
+/// `ramiel run --chaos-seed N`: execute one supervised parallel inference
+/// under a deterministic fault plan and report what the supervisor did.
+fn cmd_run_chaos(
+    c: &CompiledModel,
+    inputs: &ramiel_runtime::Env,
+    ctx: &ExecCtx,
+    seed: u64,
+    f: &Flags,
+) -> Result<(), String> {
+    use ramiel_runtime::{run_supervised, FaultInjector, FaultPlan, SupervisorConfig};
+    let plan = FaultPlan::random(seed, c.graph.num_nodes(), 1, f.chaos_faults);
+    println!("chaos plan (seed {seed}):");
+    for fault in &plan.faults {
+        println!(
+            "    node {:4} exec {:2}: {}",
+            fault.node, fault.exec_index, fault.kind
+        );
+    }
+    let injector = FaultInjector::new(plan);
+    let cfg = SupervisorConfig {
+        max_retries: f.max_retries,
+        fallback: f.fallback,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let (res, report) = run_supervised(&c.graph, &c.clustering, inputs, ctx, Some(injector), &cfg);
+    let elapsed = start.elapsed();
+    println!("attempts:              {}", report.attempts);
+    println!("fell back:             {}", report.fell_back);
+    println!("faults fired:          {}", report.faults_fired.len());
+    for e in &report.errors {
+        println!("    [{}] {e}", e.code());
+    }
+    match res {
+        Ok(out) => {
+            let baseline = run_sequential(&c.graph, inputs, ctx).map_err(|e| e.to_string())?;
+            if baseline == out {
+                println!("outcome:               ok in {elapsed:.2?} (matches sequential)");
+                Ok(())
+            } else {
+                Err("supervised run diverged from the sequential baseline".into())
+            }
+        }
+        Err(e) => Err(format!("[{}] {e}", e.code())),
+    }
 }
 
 fn cmd_simulate(model: &str, f: &Flags) -> Result<(), String> {

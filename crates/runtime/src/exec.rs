@@ -1,5 +1,7 @@
 //! Reference sequential executor.
 
+use crate::fault::{FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
+use crate::parallel::RunOptions;
 use crate::{Env, Result, RuntimeError};
 use ramiel_ir::topo::topo_sort;
 use ramiel_ir::{Graph, OpKind};
@@ -10,7 +12,21 @@ use std::collections::HashMap;
 /// Returns the graph outputs. This is the baseline every parallel schedule
 /// is validated against.
 pub fn run_sequential(graph: &Graph, inputs: &Env, ctx: &ExecCtx) -> Result<Env> {
-    let order = topo_sort(graph).map_err(|e| RuntimeError(e.to_string()))?;
+    run_sequential_opts(graph, inputs, ctx, &RunOptions::default())
+}
+
+/// [`run_sequential`] with [`RunOptions`] — the fault injector applies its
+/// node-keyed faults here too (kernel errors via the kernel hook, delays as
+/// sleeps, panics via [`InjectedPanic`]); channel faults (`DropMessage`)
+/// have no transport to act on and are no-ops. This is what lets the
+/// supervisor's sequential fallback stay subject to the same fault plan.
+pub fn run_sequential_opts(
+    graph: &Graph,
+    inputs: &Env,
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<Env> {
+    let order = topo_sort(graph).map_err(|e| RuntimeError::Setup(e.to_string()))?;
     let mut env: HashMap<&str, Value> = HashMap::with_capacity(graph.num_nodes() * 2);
     for (name, v) in inputs {
         env.insert(name.as_str(), v.clone());
@@ -23,21 +39,65 @@ pub fn run_sequential(graph: &Graph, inputs: &Env, ctx: &ExecCtx) -> Result<Env>
         if let Some(td) = graph.initializers.get(name) {
             return Ok(Value::from_tensor_data(td)?);
         }
-        Err(RuntimeError(format!("tensor `{name}` unavailable")))
+        Err(RuntimeError::Setup(format!("tensor `{name}` unavailable")))
     };
 
     for &id in &order {
         let node = &graph.nodes[id];
+        let armed = match &opts.injector {
+            Some(inj) => inj.begin_node(id, 0),
+            None => Vec::new(),
+        };
+        let mut kernel_fault = false;
+        for kind in &armed {
+            match kind {
+                FaultKind::KernelError => kernel_fault = true,
+                FaultKind::WorkerPanic => std::panic::panic_any(InjectedPanic {
+                    node: id,
+                    cluster: None,
+                }),
+                FaultKind::SendDelay { millis } | FaultKind::RecvDelay { millis } => {
+                    std::thread::sleep(std::time::Duration::from_millis(*millis))
+                }
+                FaultKind::DropMessage => {} // no channels to drop from
+            }
+        }
         let outputs = if matches!(node.op, OpKind::Constant) {
-            let td = graph
-                .initializers
-                .get(&node.outputs[0])
-                .ok_or_else(|| RuntimeError(format!("Constant `{}` missing payload", node.name)))?;
+            if kernel_fault {
+                return Err(RuntimeError::Injected {
+                    cluster: None,
+                    node: id,
+                    kind: FaultKind::KernelError,
+                });
+            }
+            let td = graph.initializers.get(&node.outputs[0]).ok_or_else(|| {
+                RuntimeError::Setup(format!("Constant `{}` missing payload", node.name))
+            })?;
             vec![Value::from_tensor_data(td)?]
         } else {
             let ins: Result<Vec<Value>> = node.inputs.iter().map(|t| fetch(&env, t)).collect();
-            eval_op(ctx, &node.op, &ins?)
-                .map_err(|e| RuntimeError(format!("{}: {}", node.name, e.0)))?
+            let hooked;
+            let eval_ctx = if kernel_fault {
+                hooked = FaultInjector::kernel_fault_ctx(ctx, None, id);
+                &hooked
+            } else {
+                ctx
+            };
+            eval_op(eval_ctx, &node.op, &ins?).map_err(|e| {
+                if e.0.starts_with(INJECT_MARKER) {
+                    RuntimeError::Injected {
+                        cluster: None,
+                        node: id,
+                        kind: FaultKind::KernelError,
+                    }
+                } else {
+                    RuntimeError::Kernel {
+                        cluster: None,
+                        node: Some(id),
+                        msg: format!("{}: {}", node.name, e.0),
+                    }
+                }
+            })?
         };
         for (name, v) in node.outputs.iter().zip(outputs) {
             env.insert(name.as_str(), v);
@@ -54,6 +114,7 @@ pub fn run_sequential(graph: &Graph, inputs: &Env, ctx: &ExecCtx) -> Result<Env>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultPlan};
     use crate::synth_inputs;
     use ramiel_ir::{DType, GraphBuilder};
     use ramiel_models::{build, ModelConfig, ModelKind};
@@ -108,6 +169,29 @@ mod tests {
         let y = b.op("r", OpKind::Relu, vec![x]);
         b.output(&y);
         let g = b.finish().unwrap();
-        assert!(run_sequential(&g, &Env::new(), &ExecCtx::sequential()).is_err());
+        let err = run_sequential(&g, &Env::new(), &ExecCtx::sequential()).unwrap_err();
+        assert_eq!(err.code(), "RT-SETUP");
+    }
+
+    #[test]
+    fn sequential_injection_fires_kernel_fault() {
+        let g = ramiel_models::synthetic::chain(4);
+        let inputs = synth_inputs(&g, 1);
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                node: 2,
+                batch: 0,
+                exec_index: 0,
+                kind: FaultKind::KernelError,
+            }],
+        });
+        let opts = RunOptions::with_injector(inj);
+        let err = run_sequential_opts(&g, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+        assert_eq!(err.code(), "RT-INJECT");
+        assert!(
+            matches!(err, RuntimeError::Injected { node: 2, .. }),
+            "{err}"
+        );
     }
 }

@@ -14,20 +14,24 @@
 //!   used to regenerate the paper's tables bit-for-bit without timing noise.
 
 pub mod exec;
+pub mod fault;
 pub mod memory;
 pub mod parallel;
 pub mod pool;
 pub mod profile;
 pub mod sim;
+pub mod supervisor;
 
-pub use exec::run_sequential;
+pub use exec::{run_sequential, run_sequential_opts};
+pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan};
 pub use memory::{clustering_peak_memory, sequential_peak_memory, MemoryReport};
-pub use parallel::{run_hyper, run_parallel};
+pub use parallel::{run_hyper, run_hyper_opts, run_parallel, run_parallel_opts, RunOptions};
 pub use pool::ClusterPool;
 pub use profile::{ProfileDb, SlackReport};
 pub use sim::{
     simulate_clustering, simulate_hyper, simulate_sequential, SimConfig, SimEvent, SimResult,
 };
+pub use supervisor::{run_hyper_supervised, run_supervised, RunReport, SupervisorConfig};
 
 use ramiel_tensor::Value;
 use std::collections::BTreeMap;
@@ -35,13 +39,150 @@ use std::collections::BTreeMap;
 /// Named tensor environment used for graph inputs and outputs.
 pub type Env = BTreeMap<String, Value>;
 
-/// Runtime error (wraps kernel and structural failures).
+/// Structured runtime error. Every variant names where the failure happened
+/// (`cluster` is the worker/hypercluster index where applicable) so chaos
+/// tests and supervisors can act on the *kind* of failure instead of parsing
+/// strings. `Display` output keeps the historical `runtime error: …` prefix.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RuntimeError(pub String);
+pub enum RuntimeError {
+    /// Kernel or data failure while evaluating a node. `msg` carries the
+    /// node-name-prefixed kernel message (the pre-enum format string).
+    Kernel {
+        cluster: Option<usize>,
+        node: Option<usize>,
+        msg: String,
+    },
+    /// A channel endpoint disappeared: a peer hung up mid-send, or the run
+    /// was aborted after a failure in another worker.
+    ChannelClosed {
+        cluster: Option<usize>,
+        detail: String,
+    },
+    /// A worker thread panicked (payload captured by the supervisor).
+    WorkerPanic {
+        cluster: Option<usize>,
+        node: Option<usize>,
+        detail: String,
+    },
+    /// A worker (or the pool's result collector, `cluster: None`) gave up
+    /// waiting for messages: deadlocked schedule, dropped message, or a peer
+    /// too slow for the configured recv timeout.
+    Timeout {
+        cluster: Option<usize>,
+        pending_ops: usize,
+        detail: String,
+    },
+    /// A deliberately injected fault surfaced as this run's failure.
+    Injected {
+        cluster: Option<usize>,
+        node: usize,
+        kind: fault::FaultKind,
+    },
+    /// Setup/schedule-level failure before execution started (bad batch
+    /// count, uncovered node, topology error, …).
+    Setup(String),
+}
+
+/// Detail string marking secondary abort errors (peers torn down after the
+/// first failure); the join path ranks these below the root cause.
+pub(crate) const ABORT_DETAIL: &str = "aborted after failure in another worker";
+
+impl RuntimeError {
+    /// Stable machine-readable code, mirroring ramiel-verify's RV-codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuntimeError::Kernel { .. } => "RT-KERNEL",
+            RuntimeError::ChannelClosed { .. } => "RT-CHANNEL",
+            RuntimeError::WorkerPanic { .. } => "RT-PANIC",
+            RuntimeError::Timeout { .. } => "RT-TIMEOUT",
+            RuntimeError::Injected { .. } => "RT-INJECT",
+            RuntimeError::Setup(_) => "RT-SETUP",
+        }
+    }
+
+    /// Whether a supervised retry can plausibly succeed. Genuine kernel
+    /// errors and setup errors are deterministic, so retrying is futile —
+    /// transient-shaped failures (timeouts, panics, closed channels) and
+    /// injected faults (which are keyed to an execution index and thus
+    /// don't re-fire) are retryable.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, RuntimeError::Kernel { .. } | RuntimeError::Setup(_))
+    }
+
+    /// True for the secondary errors peers report after another worker
+    /// already failed; the join path prefers the root cause over these.
+    pub fn is_abort(&self) -> bool {
+        matches!(self, RuntimeError::ChannelClosed { detail, .. } if detail == ABORT_DETAIL)
+    }
+
+    /// Ranking used when several workers fail in one run: lower is closer
+    /// to the root cause.
+    pub(crate) fn severity_rank(&self) -> u8 {
+        if self.is_abort() {
+            return 3;
+        }
+        match self {
+            RuntimeError::Kernel { .. }
+            | RuntimeError::WorkerPanic { .. }
+            | RuntimeError::Injected { .. }
+            | RuntimeError::Setup(_) => 0,
+            RuntimeError::Timeout { .. } => 1,
+            RuntimeError::ChannelClosed { .. } => 2,
+        }
+    }
+}
 
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "runtime error: {}", self.0)
+        write!(f, "runtime error: ")?;
+        match self {
+            RuntimeError::Kernel { cluster, msg, .. } => match cluster {
+                Some(c) => write!(f, "{msg} (cluster {c})"),
+                None => write!(f, "{msg}"),
+            },
+            RuntimeError::ChannelClosed { cluster, detail } => match cluster {
+                Some(c) => write!(f, "{detail} (cluster {c})"),
+                None => write!(f, "{detail}"),
+            },
+            RuntimeError::WorkerPanic {
+                cluster,
+                node,
+                detail,
+            } => {
+                write!(f, "worker panicked")?;
+                if let Some(c) = cluster {
+                    write!(f, " (cluster {c}")?;
+                    if let Some(n) = node {
+                        write!(f, ", node {n}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                if !detail.is_empty() {
+                    write!(f, ": {detail}")?;
+                }
+                Ok(())
+            }
+            RuntimeError::Timeout {
+                cluster,
+                pending_ops,
+                detail,
+            } => match cluster {
+                Some(c) => write!(f, "{detail} (cluster {c}, {pending_ops} ops left)"),
+                None => write!(f, "{detail} ({pending_ops} ops left)"),
+            },
+            RuntimeError::Injected {
+                cluster,
+                node,
+                kind,
+            } => {
+                write!(f, "injected {kind} at node {node}")?;
+                if let Some(c) = cluster {
+                    write!(f, " (cluster {c})")?;
+                }
+                Ok(())
+            }
+            RuntimeError::Setup(msg) => write!(f, "{msg}"),
+        }
     }
 }
 
@@ -49,7 +190,11 @@ impl std::error::Error for RuntimeError {}
 
 impl From<ramiel_tensor::ExecError> for RuntimeError {
     fn from(e: ramiel_tensor::ExecError) -> Self {
-        RuntimeError(e.0)
+        RuntimeError::Kernel {
+            cluster: None,
+            node: None,
+            msg: e.0,
+        }
     }
 }
 

@@ -13,9 +13,21 @@
 //! can deadlock on cross-batch wait cycles, which is precisely why the paper
 //! calls automatic switched hyperclustering "complex" and hand-tunes it for
 //! larger models.
+//!
+//! ## Failure semantics
+//!
+//! Worker panics are caught per-thread and surfaced as structured
+//! [`RuntimeError`]s. The first failing worker raises a shared abort flag
+//! and broadcasts [`Msg::Abort`] to every peer inbox, so workers blocked in
+//! `recv` wake immediately instead of burning the full recv timeout. The
+//! join path then reports the *root cause* (kernel error, panic, injected
+//! fault, timeout) rather than the secondary teardown errors. Fault
+//! injection ([`crate::fault`]) and the recv timeout are threaded through
+//! [`RunOptions`].
 
+use crate::fault::{panic_to_error, FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
 use crate::profile::{OpRecord, ProfileDb};
-use crate::{Env, Result, RuntimeError};
+use crate::{Env, Result, RuntimeError, ABORT_DETAIL};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use ramiel_cluster::hyper::{HyperClustering, HyperOp};
@@ -23,13 +35,15 @@ use ramiel_cluster::Clustering;
 use ramiel_ir::{Graph, OpKind};
 use ramiel_tensor::{eval_op, ExecCtx, Value};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long a worker may block on a message before declaring the schedule
 /// deadlocked (a schedule bug, not a transient condition). Overridable via
-/// `RAMIEL_RECV_TIMEOUT_MS` so tests can exercise the deadlock path quickly.
-fn recv_timeout() -> Duration {
+/// `RAMIEL_RECV_TIMEOUT_MS` so tests can exercise the deadlock path quickly,
+/// or per-run via [`RunOptions::recv_timeout`].
+pub(crate) fn default_recv_timeout() -> Duration {
     static TIMEOUT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
     *TIMEOUT.get_or_init(|| {
         let default = Duration::from_secs(30);
@@ -50,11 +64,38 @@ fn recv_timeout() -> Duration {
     })
 }
 
+/// Per-run execution options: fault injection and failure-detection knobs.
+#[derive(Clone, Default)]
+pub struct RunOptions {
+    /// Fault injector shared across workers (and across supervised retries).
+    pub injector: Option<Arc<FaultInjector>>,
+    /// Worker recv timeout; `None` uses `RAMIEL_RECV_TIMEOUT_MS` or 30s.
+    pub recv_timeout: Option<Duration>,
+}
+
+impl RunOptions {
+    pub fn with_injector(injector: Arc<FaultInjector>) -> Self {
+        RunOptions {
+            injector: Some(injector),
+            recv_timeout: None,
+        }
+    }
+
+    pub fn recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = Some(timeout);
+        self
+    }
+}
+
 /// Key for a tensor instance: (tensor name, batch element).
 type Key = (String, usize);
 
 /// A message between cluster workers.
-type Msg = (Key, Value);
+enum Msg {
+    Tensor(Key, Value),
+    /// A peer failed; unwind without waiting for more tensors.
+    Abort,
+}
 
 /// Execute a batch-1 clustering in parallel. Returns the graph outputs.
 pub fn run_parallel(
@@ -63,8 +104,19 @@ pub fn run_parallel(
     inputs: &Env,
     ctx: &ExecCtx,
 ) -> Result<Env> {
+    run_parallel_opts(graph, clustering, inputs, ctx, &RunOptions::default())
+}
+
+/// [`run_parallel`] with explicit [`RunOptions`].
+pub fn run_parallel_opts(
+    graph: &Graph,
+    clustering: &Clustering,
+    inputs: &Env,
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<Env> {
     let hc = ramiel_cluster::hypercluster(clustering, 1);
-    let mut outs = run_hyper(graph, &hc, std::slice::from_ref(inputs), ctx)?;
+    let mut outs = run_hyper_opts(graph, &hc, std::slice::from_ref(inputs), ctx, opts)?;
     Ok(outs.pop().expect("batch 1 yields one output env"))
 }
 
@@ -89,7 +141,18 @@ pub fn run_hyper(
     inputs: &[Env],
     ctx: &ExecCtx,
 ) -> Result<Vec<Env>> {
-    run_hyper_profiled(graph, hc, inputs, ctx).map(|(outs, _)| outs)
+    run_hyper_opts(graph, hc, inputs, ctx, &RunOptions::default())
+}
+
+/// [`run_hyper`] with explicit [`RunOptions`].
+pub fn run_hyper_opts(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<Vec<Env>> {
+    run_hyper_inner(graph, hc, inputs, ctx, opts).map(|(outs, _)| outs)
 }
 
 /// [`run_hyper`] plus the profiling database.
@@ -99,8 +162,35 @@ pub fn run_hyper_profiled(
     inputs: &[Env],
     ctx: &ExecCtx,
 ) -> Result<(Vec<Env>, ProfileDb)> {
+    run_hyper_inner(graph, hc, inputs, ctx, &RunOptions::default())
+}
+
+/// Shared read-only worker state (one instance per run, borrowed by every
+/// worker thread in the scope).
+struct Shared<'a> {
+    graph: &'a Graph,
+    inputs: &'a [Env],
+    init_values: &'a HashMap<String, Value>,
+    senders: &'a [Sender<Msg>],
+    consumers: &'a HashMap<Key, Vec<usize>>,
+    out_envs: &'a Mutex<Vec<Env>>,
+    graph_outputs: &'a HashSet<&'a str>,
+    db: &'a Mutex<ProfileDb>,
+    epoch: Instant,
+    abort: &'a AtomicBool,
+    recv_timeout: Duration,
+    injector: Option<&'a Arc<FaultInjector>>,
+}
+
+fn run_hyper_inner(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<(Vec<Env>, ProfileDb)> {
     if inputs.len() != hc.batch {
-        return Err(RuntimeError(format!(
+        return Err(RuntimeError::Setup(format!(
             "hypercluster expects {} input envs, got {}",
             hc.batch,
             inputs.len()
@@ -127,7 +217,7 @@ pub fn run_hyper_profiled(
                 if let Some(&p) = adj.producer_of.get(inp) {
                     let pw = owner
                         .get(&(op.batch, p))
-                        .ok_or_else(|| RuntimeError(format!("node {p} unassigned")))?;
+                        .ok_or_else(|| RuntimeError::Setup(format!("node {p} unassigned")))?;
                     if *pw != w {
                         let entry = consumers.entry((inp.clone(), op.batch)).or_default();
                         if !entry.contains(&w) {
@@ -149,52 +239,63 @@ pub fn run_hyper_profiled(
         .iter()
         .map(|(name, td)| Ok((name.clone(), Value::from_tensor_data(td)?)))
         .collect::<Result<_>>()?;
-    let init_values = Arc::new(init_values);
     let graph_outputs: HashSet<&str> = graph.outputs.iter().map(String::as_str).collect();
 
     let out_envs: Mutex<Vec<Env>> = Mutex::new(vec![Env::new(); hc.batch]);
     let db: Mutex<ProfileDb> = Mutex::new(ProfileDb::new(k, hc.batch));
-    let epoch = Instant::now();
+    let abort = AtomicBool::new(false);
+    let shared = Shared {
+        graph,
+        inputs,
+        init_values: &init_values,
+        senders: &senders,
+        consumers: &consumers,
+        out_envs: &out_envs,
+        graph_outputs: &graph_outputs,
+        db: &db,
+        epoch: Instant::now(),
+        abort: &abort,
+        recv_timeout: opts.recv_timeout.unwrap_or_else(default_recv_timeout),
+        injector: opts.injector.as_ref(),
+    };
 
     std::thread::scope(|scope| -> Result<()> {
         let mut handles = Vec::with_capacity(k);
         for (w, ops) in hc.hyperclusters.iter().enumerate() {
             let rx = channels[w].1.clone();
-            let senders = senders.clone();
-            let consumers = &consumers;
-            let init_values = Arc::clone(&init_values);
-            let out_envs = &out_envs;
-            let db = &db;
-            let graph_outputs = &graph_outputs;
             let ctx = ctx.clone();
+            let sh = &shared;
             handles.push(scope.spawn(move || -> Result<()> {
-                worker_loop(
-                    graph,
-                    w,
-                    ops,
-                    inputs,
-                    &init_values,
-                    rx,
-                    &senders,
-                    consumers,
-                    out_envs,
-                    graph_outputs,
-                    &ctx,
-                    db,
-                    epoch,
-                )
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    worker_loop(sh, w, ops, rx, &ctx)
+                }))
+                .unwrap_or_else(|payload| Err(panic_to_error(Some(w), payload)));
+                if let Err(e) = &r {
+                    // First failure: raise the abort flag and wake every
+                    // peer so nobody waits out the full recv timeout.
+                    if !e.is_abort() {
+                        sh.abort.store(true, Ordering::Relaxed);
+                        for (t, s) in sh.senders.iter().enumerate() {
+                            if t != w {
+                                let _ = s.send(Msg::Abort);
+                            }
+                        }
+                    }
+                }
+                r
             }));
         }
-        let mut first_err = None;
-        for h in handles {
-            if let Err(e) = h
-                .join()
-                .map_err(|_| RuntimeError("worker panicked".into()))?
-            {
-                first_err.get_or_insert(e);
+        let mut errors: Vec<RuntimeError> = Vec::new();
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => errors.push(e),
+                // Unreachable in practice (panics are caught inside the
+                // closure), but never let a panic escape the join path.
+                Err(payload) => errors.push(panic_to_error(Some(w), payload)),
             }
         }
-        match first_err {
+        match root_cause(errors) {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -214,23 +315,32 @@ pub fn run_hyper_profiled(
     Ok((outs, db.into_inner()))
 }
 
+/// Pick the most root-cause-like error from a failed run: injected faults,
+/// kernel errors and panics outrank timeouts, which outrank closed
+/// channels, which outrank the secondary post-abort teardown errors.
+fn root_cause(errors: Vec<RuntimeError>) -> Option<RuntimeError> {
+    errors
+        .into_iter()
+        .enumerate()
+        .min_by_key(|(i, e)| (e.severity_rank(), *i))
+        .map(|(_, e)| e)
+}
+
+fn abort_error(me: usize) -> RuntimeError {
+    RuntimeError::ChannelClosed {
+        cluster: Some(me),
+        detail: ABORT_DETAIL.into(),
+    }
+}
+
 /// The body of one cluster worker: first-ready-first execution over its op
 /// list, draining the inbox while blocked.
-#[allow(clippy::too_many_arguments)]
 fn worker_loop(
-    graph: &Graph,
+    sh: &Shared<'_>,
     me: usize,
     ops: &[HyperOp],
-    inputs: &[Env],
-    init_values: &HashMap<String, Value>,
     rx: Receiver<Msg>,
-    senders: &[Sender<Msg>],
-    consumers: &HashMap<Key, Vec<usize>>,
-    out_envs: &Mutex<Vec<Env>>,
-    graph_outputs: &HashSet<&str>,
     ctx: &ExecCtx,
-    db: &Mutex<ProfileDb>,
-    epoch: Instant,
 ) -> Result<()> {
     // Local environment of tensor instances available to this worker.
     let mut env: HashMap<Key, Value> = HashMap::new();
@@ -240,33 +350,41 @@ fn worker_loop(
 
     let available = |env: &HashMap<Key, Value>, tensor: &str, batch: usize| -> bool {
         env.contains_key(&(tensor.to_string(), batch))
-            || init_values.contains_key(tensor)
-            || inputs[batch].contains_key(tensor)
+            || sh.init_values.contains_key(tensor)
+            || sh.inputs[batch].contains_key(tensor)
     };
     let fetch = |env: &HashMap<Key, Value>, tensor: &str, batch: usize| -> Result<Value> {
         if let Some(v) = env.get(&(tensor.to_string(), batch)) {
             return Ok(v.clone());
         }
-        if let Some(v) = inputs[batch].get(tensor) {
+        if let Some(v) = sh.inputs[batch].get(tensor) {
             return Ok(v.clone());
         }
-        if let Some(v) = init_values.get(tensor) {
+        if let Some(v) = sh.init_values.get(tensor) {
             return Ok(v.clone());
         }
-        Err(RuntimeError(format!(
+        Err(RuntimeError::Setup(format!(
             "worker {me}: tensor `{tensor}` (batch {batch}) unavailable"
         )))
     };
 
     while left > 0 {
+        if sh.abort.load(Ordering::Relaxed) {
+            return Err(abort_error(me));
+        }
         // Drain any already-arrived messages without blocking.
-        while let Ok((key, v)) = rx.try_recv() {
-            env.insert(key, v);
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                Msg::Tensor(key, v) => {
+                    env.insert(key, v);
+                }
+                Msg::Abort => return Err(abort_error(me)),
+            }
         }
         // First op whose operands are all available.
         let next = ops.iter().enumerate().position(|(i, op)| {
             remaining[i]
-                && graph.nodes[op.node]
+                && sh.graph.nodes[op.node]
                     .inputs
                     .iter()
                     .all(|t| available(&env, t, op.batch))
@@ -275,8 +393,8 @@ fn worker_loop(
             // Block for the next message (bounded, so schedule bugs surface
             // as errors instead of hangs).
             let wait_start = Instant::now();
-            match rx.recv_timeout(recv_timeout()) {
-                Ok((key, v)) => {
+            match rx.recv_timeout(sh.recv_timeout) {
+                Ok(Msg::Tensor(key, v)) => {
                     let waited = wait_start.elapsed();
                     if let Some(last) = records.last_mut() {
                         let r: &mut OpRecord = last;
@@ -285,11 +403,16 @@ fn worker_loop(
                     env.insert(key, v);
                     continue;
                 }
+                Ok(Msg::Abort) => return Err(abort_error(me)),
                 Err(_) => {
-                    return Err(RuntimeError(format!(
-                        "worker {me}: deadlocked waiting for messages ({left} ops left); \
-                         run `ramiel check <model>` to statically diagnose the schedule"
-                    )))
+                    return Err(RuntimeError::Timeout {
+                        cluster: Some(me),
+                        pending_ops: left,
+                        detail: format!(
+                            "worker {me}: deadlocked waiting for messages; \
+                             run `ramiel check <model>` to statically diagnose the schedule"
+                        ),
+                    })
                 }
             }
         };
@@ -297,13 +420,45 @@ fn worker_loop(
         remaining[i] = false;
         left -= 1;
         let op = &ops[i];
-        let node = &graph.nodes[op.node];
+        let node = &sh.graph.nodes[op.node];
+
+        // Fault injection: arm this execution's faults, if any.
+        let armed = match sh.injector {
+            Some(inj) => inj.begin_node(op.node, op.batch),
+            None => Vec::new(),
+        };
+        let mut kernel_fault = false;
+        let mut drop_msgs = false;
+        let mut send_delay = None;
+        for kind in &armed {
+            match kind {
+                FaultKind::KernelError => kernel_fault = true,
+                FaultKind::WorkerPanic => std::panic::panic_any(InjectedPanic {
+                    node: op.node,
+                    cluster: Some(me),
+                }),
+                FaultKind::SendDelay { millis } => {
+                    send_delay = Some(Duration::from_millis(*millis))
+                }
+                FaultKind::RecvDelay { millis } => {
+                    std::thread::sleep(Duration::from_millis(*millis))
+                }
+                FaultKind::DropMessage => drop_msgs = true,
+            }
+        }
+
         let start = Instant::now();
         let outputs = if matches!(node.op, OpKind::Constant) {
-            let td = graph
-                .initializers
-                .get(&node.outputs[0])
-                .ok_or_else(|| RuntimeError(format!("Constant `{}` missing payload", node.name)))?;
+            if kernel_fault {
+                return Err(RuntimeError::Injected {
+                    cluster: Some(me),
+                    node: op.node,
+                    kind: FaultKind::KernelError,
+                });
+            }
+            let td = sh.graph.initializers.get(&node.outputs[0]).ok_or_else(|| {
+                RuntimeError::Setup(format!("Constant `{}` missing payload", node.name))
+            })?;
             vec![Value::from_tensor_data(td)?]
         } else {
             let ins: Result<Vec<Value>> = node
@@ -311,36 +466,65 @@ fn worker_loop(
                 .iter()
                 .map(|t| fetch(&env, t, op.batch))
                 .collect();
-            eval_op(ctx, &node.op, &ins?)
-                .map_err(|e| RuntimeError(format!("{}: {}", node.name, e.0)))?
+            let hooked;
+            let eval_ctx = if kernel_fault {
+                hooked = FaultInjector::kernel_fault_ctx(ctx, Some(me), op.node);
+                &hooked
+            } else {
+                ctx
+            };
+            eval_op(eval_ctx, &node.op, &ins?).map_err(|e| {
+                if e.0.starts_with(INJECT_MARKER) {
+                    RuntimeError::Injected {
+                        cluster: Some(me),
+                        node: op.node,
+                        kind: FaultKind::KernelError,
+                    }
+                } else {
+                    RuntimeError::Kernel {
+                        cluster: Some(me),
+                        node: Some(op.node),
+                        msg: format!("{}: {}", node.name, e.0),
+                    }
+                }
+            })?
         };
         let end = Instant::now();
         records.push(OpRecord {
             worker: me,
             batch: op.batch,
             node: op.node,
-            start_ns: (start - epoch).as_nanos() as u64,
-            end_ns: (end - epoch).as_nanos() as u64,
+            start_ns: (start - sh.epoch).as_nanos() as u64,
+            end_ns: (end - sh.epoch).as_nanos() as u64,
             slack_after_ns: 0,
         });
 
+        if let Some(d) = send_delay {
+            std::thread::sleep(d);
+        }
         for (name, v) in node.outputs.iter().zip(outputs) {
-            // Ship to remote consumers (one message per consumer worker).
-            if let Some(targets) = consumers.get(&(name.clone(), op.batch)) {
-                for &t in targets {
-                    senders[t]
-                        .send(((name.clone(), op.batch), v.clone()))
-                        .map_err(|_| RuntimeError("consumer hung up".into()))?;
+            // Ship to remote consumers (one message per consumer worker) —
+            // unless an injected DropMessage fault loses them in transit.
+            if !drop_msgs {
+                if let Some(targets) = sh.consumers.get(&(name.clone(), op.batch)) {
+                    for &t in targets {
+                        sh.senders[t]
+                            .send(Msg::Tensor((name.clone(), op.batch), v.clone()))
+                            .map_err(|_| RuntimeError::ChannelClosed {
+                                cluster: Some(me),
+                                detail: "consumer hung up".into(),
+                            })?;
+                    }
                 }
             }
-            if graph_outputs.contains(name.as_str()) {
-                out_envs.lock()[op.batch].insert(name.clone(), v.clone());
+            if sh.graph_outputs.contains(name.as_str()) {
+                sh.out_envs.lock()[op.batch].insert(name.clone(), v.clone());
             }
             env.insert((name.clone(), op.batch), v);
         }
     }
 
-    db.lock().extend(records);
+    sh.db.lock().extend(records);
     Ok(())
 }
 
@@ -348,6 +532,7 @@ fn worker_loop(
 mod tests {
     use super::*;
     use crate::exec::run_sequential;
+    use crate::fault::{Fault, FaultPlan};
     use crate::synth_inputs;
     use ramiel_cluster::{cluster_graph, switched_hypercluster, StaticCost};
     use ramiel_models::{build, synthetic, ModelConfig, ModelKind};
@@ -464,7 +649,8 @@ mod tests {
         };
         let inputs = vec![synth_inputs(&g, 0), synth_inputs(&g, 1)];
         let err = run_hyper(&g, &hc, &inputs, &ExecCtx::sequential()).unwrap_err();
-        assert!(err.0.contains("unassigned"), "unexpected error: {err}");
+        assert_eq!(err.code(), "RT-SETUP");
+        assert!(err.to_string().contains("unassigned"), "unexpected: {err}");
     }
 
     #[test]
@@ -506,6 +692,152 @@ mod tests {
         let clustering = cluster_graph(&g, &StaticCost);
         let hc = ramiel_cluster::hypercluster(&clustering, 2);
         let inputs = vec![synth_inputs(&g, 0)]; // only 1 env for batch 2
-        assert!(run_hyper(&g, &hc, &inputs, &ExecCtx::sequential()).is_err());
+        let err = run_hyper(&g, &hc, &inputs, &ExecCtx::sequential()).unwrap_err();
+        assert_eq!(err.code(), "RT-SETUP");
+    }
+
+    /// Find a node whose output crosses clusters (so dropping its message
+    /// actually starves a consumer).
+    fn cross_cluster_producer(g: &Graph, clustering: &Clustering) -> usize {
+        let assign = clustering.assignment();
+        let adj = g.adjacency();
+        for node in &g.nodes {
+            for inp in &node.inputs {
+                if let Some(&p) = adj.producer_of.get(inp) {
+                    if assign[&p] != assign[&node.id] {
+                        return p;
+                    }
+                }
+            }
+        }
+        panic!("graph has no cross-cluster edge");
+    }
+
+    #[test]
+    fn injected_kernel_fault_is_structured_and_aborts_peers() {
+        let g = synthetic::fork_join(4, 3, 3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 11);
+        let node = cross_cluster_producer(&g, &clustering);
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                node,
+                batch: 0,
+                exec_index: 0,
+                kind: FaultKind::KernelError,
+            }],
+        });
+        let opts = RunOptions::with_injector(inj.clone()).recv_timeout(Duration::from_secs(5));
+        let start = Instant::now();
+        let err =
+            run_parallel_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+        assert_eq!(err.code(), "RT-INJECT", "got {err}");
+        assert!(
+            matches!(err, RuntimeError::Injected { node: n, .. } if n == node),
+            "{err}"
+        );
+        assert_eq!(inj.fired().len(), 1);
+        // abort broadcast must beat the 5s recv timeout by a wide margin
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "peers waited out the timeout"
+        );
+    }
+
+    #[test]
+    fn injected_worker_panic_is_captured_not_propagated() {
+        let g = synthetic::fork_join(4, 3, 3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 3);
+        let node = cross_cluster_producer(&g, &clustering);
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                node,
+                batch: 0,
+                exec_index: 0,
+                kind: FaultKind::WorkerPanic,
+            }],
+        });
+        let opts = RunOptions::with_injector(inj).recv_timeout(Duration::from_secs(5));
+        let err =
+            run_parallel_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+        assert_eq!(err.code(), "RT-INJECT", "got {err}");
+        assert!(
+            matches!(
+                err,
+                RuntimeError::Injected {
+                    kind: FaultKind::WorkerPanic,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dropped_message_surfaces_as_timeout() {
+        let g = synthetic::fork_join(4, 3, 3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 7);
+        let node = cross_cluster_producer(&g, &clustering);
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                node,
+                batch: 0,
+                exec_index: 0,
+                kind: FaultKind::DropMessage,
+            }],
+        });
+        let opts = RunOptions::with_injector(inj).recv_timeout(Duration::from_millis(200));
+        let err =
+            run_parallel_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+        assert_eq!(err.code(), "RT-TIMEOUT", "got {err}");
+    }
+
+    #[test]
+    fn delays_do_not_change_outputs() {
+        let g = synthetic::fork_join(3, 2, 2);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 9);
+        let ctx = ExecCtx::sequential();
+        let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![
+                Fault {
+                    node: 0,
+                    batch: 0,
+                    exec_index: 0,
+                    kind: FaultKind::SendDelay { millis: 10 },
+                },
+                Fault {
+                    node: 1,
+                    batch: 0,
+                    exec_index: 0,
+                    kind: FaultKind::RecvDelay { millis: 10 },
+                },
+            ],
+        });
+        let opts = RunOptions::with_injector(inj.clone());
+        let par = run_parallel_opts(&g, &clustering, &inputs, &ctx, &opts).unwrap();
+        assert_close(&seq, &par);
+        assert_eq!(inj.fired().len(), 2);
+    }
+
+    #[test]
+    fn empty_plan_injector_changes_nothing() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 5);
+        let ctx = ExecCtx::sequential();
+        let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+        let inj = FaultInjector::new(FaultPlan::none());
+        let opts = RunOptions::with_injector(inj.clone());
+        let par = run_parallel_opts(&g, &clustering, &inputs, &ctx, &opts).unwrap();
+        assert_close(&seq, &par);
+        assert!(inj.fired().is_empty());
     }
 }

@@ -7,22 +7,38 @@
 //! then every [`ClusterPool::run`] call streams one inference through the
 //! standing workers. Messages are tagged with a job id so back-to-back
 //! inferences cannot cross-talk.
+//!
+//! ## Failure semantics
+//!
+//! A failing or panicking job must not kill the pool: workers catch panics
+//! per job, report a structured [`RuntimeError`] through the done channel,
+//! and broadcast `JobAbort` so peers blocked on that job's tensors give up
+//! immediately instead of waiting out the recv timeout. The pool stays
+//! serviceable — the next [`ClusterPool::run`] gets fresh workers' attention.
 
+use crate::fault::{panic_to_error, FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
+use crate::parallel::{default_recv_timeout, RunOptions};
 use crate::{Env, Result, RuntimeError};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ramiel_cluster::Clustering;
 use ramiel_ir::{Graph, NodeId, OpKind};
 use ramiel_tensor::{eval_op, ExecCtx, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A tensor instance within one job.
 type Key = (u64, String);
 
 enum WorkerMsg {
-    Job { id: u64, inputs: Arc<Env> },
+    Job {
+        id: u64,
+        inputs: Arc<Env>,
+    },
     Tensor(Key, Value),
+    /// A peer failed this job: stop waiting for its tensors.
+    JobAbort(u64),
     Stop,
 }
 
@@ -30,7 +46,7 @@ enum WorkerMsg {
 struct WorkerDone {
     job: u64,
     outputs: Vec<(String, Value)>,
-    error: Option<String>,
+    error: Option<RuntimeError>,
 }
 
 /// A standing pool of cluster workers executing one clustering over and
@@ -42,15 +58,28 @@ pub struct ClusterPool {
     next_job: u64,
     num_outputs: usize,
     graph_outputs: Vec<String>,
+    recv_timeout: Duration,
 }
 
 impl ClusterPool {
     /// Spawn one worker per cluster. The graph and clustering are cloned
     /// into the pool (workers are long-lived, so they own their state).
     pub fn new(graph: &Graph, clustering: &Clustering, ctx: &ExecCtx) -> Result<ClusterPool> {
+        ClusterPool::with_options(graph, clustering, ctx, &RunOptions::default())
+    }
+
+    /// [`ClusterPool::new`] with explicit [`RunOptions`] (fault injection
+    /// and recv timeout).
+    pub fn with_options(
+        graph: &Graph,
+        clustering: &Clustering,
+        ctx: &ExecCtx,
+        opts: &RunOptions,
+    ) -> Result<ClusterPool> {
         let graph = Arc::new(graph.clone());
         let assign = clustering.assignment();
         let adj = graph.adjacency();
+        let recv_timeout = opts.recv_timeout.unwrap_or_else(default_recv_timeout);
 
         // initializer values converted once, shared by every worker
         let init_values: HashMap<String, Value> = graph
@@ -94,18 +123,21 @@ impl ClusterPool {
             let nodes: Vec<NodeId> = cluster.nodes.clone();
             let done_tx = done_tx.clone();
             let ctx = ctx.clone();
+            let injector = opts.injector.clone();
             handles.push(std::thread::spawn(move || {
-                worker_main(
-                    &graph,
-                    w,
-                    &nodes,
-                    &init_values,
+                worker_main(WorkerState {
+                    graph: &graph,
+                    me: w,
+                    nodes: &nodes,
+                    init_values: &init_values,
                     rx,
-                    &peer_txs,
-                    &consumers,
+                    peer_txs: &peer_txs,
+                    consumers: &consumers,
                     done_tx,
-                    &ctx,
-                );
+                    ctx: &ctx,
+                    injector: injector.as_ref(),
+                    recv_timeout,
+                });
             }));
         }
 
@@ -117,6 +149,7 @@ impl ClusterPool {
             next_job: 0,
             num_outputs: k,
             graph_outputs,
+            recv_timeout,
         })
     }
 
@@ -130,25 +163,39 @@ impl ClusterPool {
                 id,
                 inputs: Arc::clone(&shared),
             })
-            .map_err(|_| RuntimeError("pool worker hung up".into()))?;
+            .map_err(|_| RuntimeError::ChannelClosed {
+                cluster: None,
+                detail: "pool worker hung up".into(),
+            })?;
         }
         let mut env = Env::new();
-        let mut first_err: Option<String> = None;
-        for _ in 0..self.num_outputs {
-            let done = self
-                .done_rx
-                .recv()
-                .map_err(|_| RuntimeError("pool collector hung up".into()))?;
+        let mut errors: Vec<RuntimeError> = Vec::new();
+        for received in 0..self.num_outputs {
+            // Bounded wait: a wedged worker yields a structured timeout, not
+            // a pool that hangs its caller forever.
+            let done = self.done_rx.recv_timeout(self.recv_timeout).map_err(|_| {
+                RuntimeError::Timeout {
+                    cluster: None,
+                    pending_ops: self.num_outputs - received,
+                    detail: format!("pool collector timed out waiting for job {id} results"),
+                }
+            })?;
             debug_assert_eq!(done.job, id, "jobs complete in submission order");
             if let Some(e) = done.error {
-                first_err.get_or_insert(e);
+                errors.push(e);
             }
             for (name, v) in done.outputs {
                 env.insert(name, v);
             }
         }
-        if let Some(e) = first_err {
-            return Err(RuntimeError(e));
+        // Report the root cause, not a peer's secondary abort error.
+        if let Some(e) = errors
+            .into_iter()
+            .enumerate()
+            .min_by_key(|(i, e)| (e.severity_rank(), *i))
+            .map(|(_, e)| e)
+        {
+            return Err(e);
         }
         // outputs that are direct inputs/initializers
         for name in &self.graph_outputs {
@@ -173,110 +220,70 @@ impl Drop for ClusterPool {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_main(
-    graph: &Graph,
+struct WorkerState<'a> {
+    graph: &'a Graph,
     me: usize,
-    nodes: &[NodeId],
-    init_values: &HashMap<String, Value>,
+    nodes: &'a [NodeId],
+    init_values: &'a HashMap<String, Value>,
     rx: Receiver<WorkerMsg>,
-    peer_txs: &[Sender<WorkerMsg>],
-    consumers: &HashMap<String, Vec<usize>>,
+    peer_txs: &'a [Sender<WorkerMsg>],
+    consumers: &'a HashMap<String, Vec<usize>>,
     done_tx: Sender<WorkerDone>,
-    ctx: &ExecCtx,
-) {
-    let graph_outputs: std::collections::HashSet<&str> =
-        graph.outputs.iter().map(String::as_str).collect();
+    ctx: &'a ExecCtx,
+    injector: Option<&'a Arc<FaultInjector>>,
+    recv_timeout: Duration,
+}
+
+fn worker_main(st: WorkerState<'_>) {
+    let graph_outputs: HashSet<&str> = st.graph.outputs.iter().map(String::as_str).collect();
     // tensors that arrived before their job started
     let mut stash: HashMap<Key, Value> = HashMap::new();
+    // jobs a peer aborted before we started (or finished) them
+    let mut aborted: HashSet<u64> = HashSet::new();
 
-    while let Ok(msg) = rx.recv() {
+    while let Ok(msg) = st.rx.recv() {
         let (job, inputs) = match msg {
             WorkerMsg::Stop => return,
             WorkerMsg::Tensor(key, v) => {
                 stash.insert(key, v);
                 continue;
             }
+            WorkerMsg::JobAbort(j) => {
+                aborted.insert(j);
+                continue;
+            }
             WorkerMsg::Job { id, inputs } => (id, inputs),
         };
 
-        let mut env: HashMap<String, Value> = HashMap::new();
-        let mut outputs = Vec::new();
-        let mut error = None;
-
-        'ops: for &nid in nodes {
-            let node = &graph.nodes[nid];
-            // gather operands, draining the inbox while missing
-            let mut ins: Vec<Value> = Vec::with_capacity(node.inputs.len());
-            for t in &node.inputs {
-                loop {
-                    if let Some(v) = env
-                        .get(t.as_str())
-                        .cloned()
-                        .or_else(|| inputs.get(t).cloned())
-                        .or_else(|| init_values.get(t).cloned())
-                        .or_else(|| stash.remove(&(job, t.clone())))
-                    {
-                        ins.push(v);
-                        break;
-                    }
-                    match rx.recv() {
-                        Ok(WorkerMsg::Tensor((j, name), v)) => {
-                            if j == job && &name == t {
-                                ins.push(v);
-                                break;
-                            }
-                            stash.insert((j, name), v);
-                        }
-                        Ok(WorkerMsg::Stop) => return,
-                        Ok(WorkerMsg::Job { .. }) | Err(_) => {
-                            error = Some(format!("worker {me}: protocol error waiting for `{t}`"));
-                            break 'ops;
-                        }
-                    }
-                }
+        let (outputs, error) = if aborted.contains(&job) {
+            (Vec::new(), Some(job_abort_error(st.me)))
+        } else {
+            // Panics must not kill the pool thread: catch per job, report
+            // as a structured error, keep serving.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(&st, &graph_outputs, &mut stash, &mut aborted, job, &inputs)
+            }));
+            match r {
+                Ok(pair) => pair,
+                Err(payload) => (Vec::new(), Some(panic_to_error(Some(st.me), payload))),
             }
-            let result = if matches!(node.op, OpKind::Constant) {
-                graph
-                    .initializers
-                    .get(&node.outputs[0])
-                    .ok_or_else(|| {
-                        ramiel_tensor::ExecError(format!(
-                            "Constant `{}` missing payload",
-                            node.name
-                        ))
-                    })
-                    .and_then(|td| Value::from_tensor_data(td).map(|v| vec![v]))
-            } else {
-                eval_op(ctx, &node.op, &ins)
-            };
-            let outs = match result {
-                Ok(o) => o,
-                Err(e) => {
-                    error = Some(format!("{}: {}", node.name, e.0));
-                    break 'ops;
+        };
+
+        if error.is_some() {
+            // Unblock peers waiting on this job's tensors.
+            for (t, tx) in st.peer_txs.iter().enumerate() {
+                if t != st.me {
+                    let _ = tx.send(WorkerMsg::JobAbort(job));
                 }
-            };
-            for (name, v) in node.outputs.iter().zip(outs) {
-                if let Some(targets) = consumers.get(name) {
-                    for &t in targets {
-                        if peer_txs[t]
-                            .send(WorkerMsg::Tensor((job, name.clone()), v.clone()))
-                            .is_err()
-                        {
-                            error = Some("peer worker hung up".into());
-                            break 'ops;
-                        }
-                    }
-                }
-                if graph_outputs.contains(name.as_str()) {
-                    outputs.push((name.clone(), v.clone()));
-                }
-                env.insert(name.clone(), v);
             }
         }
+        // Jobs finish in submission order: stale stash/abort entries for
+        // this or earlier jobs can never be read again.
+        stash.retain(|(j, _), _| *j > job);
+        aborted.retain(|j| *j > job);
 
-        if done_tx
+        if st
+            .done_tx
             .send(WorkerDone {
                 job,
                 outputs,
@@ -289,10 +296,188 @@ fn worker_main(
     }
 }
 
+fn job_abort_error(me: usize) -> RuntimeError {
+    RuntimeError::ChannelClosed {
+        cluster: Some(me),
+        detail: crate::ABORT_DETAIL.into(),
+    }
+}
+
+/// Execute one job's ops on this worker. Returns the graph outputs this
+/// worker produced plus the first error, if any.
+fn run_job(
+    st: &WorkerState<'_>,
+    graph_outputs: &HashSet<&str>,
+    stash: &mut HashMap<Key, Value>,
+    aborted: &mut HashSet<u64>,
+    job: u64,
+    inputs: &Env,
+) -> (Vec<(String, Value)>, Option<RuntimeError>) {
+    let me = st.me;
+    let mut env: HashMap<String, Value> = HashMap::new();
+    let mut outputs = Vec::new();
+    let mut error = None;
+
+    'ops: for &nid in st.nodes {
+        let node = &st.graph.nodes[nid];
+
+        // Fault injection (jobs execute each node once, so the injector's
+        // exec_index distinguishes successive jobs).
+        let armed = match st.injector {
+            Some(inj) => inj.begin_node(nid, 0),
+            None => Vec::new(),
+        };
+        let mut kernel_fault = false;
+        let mut drop_msgs = false;
+        let mut send_delay = None;
+        for kind in &armed {
+            match kind {
+                FaultKind::KernelError => kernel_fault = true,
+                FaultKind::WorkerPanic => std::panic::panic_any(InjectedPanic {
+                    node: nid,
+                    cluster: Some(me),
+                }),
+                FaultKind::SendDelay { millis } => {
+                    send_delay = Some(Duration::from_millis(*millis))
+                }
+                FaultKind::RecvDelay { millis } => {
+                    std::thread::sleep(Duration::from_millis(*millis))
+                }
+                FaultKind::DropMessage => drop_msgs = true,
+            }
+        }
+
+        // Gather operands, draining the inbox while missing. Remote tensors
+        // land in `env` (not a one-shot slot) because several nodes of this
+        // cluster may consume the same cross-cluster tensor, which the
+        // producer sends only once per consumer cluster.
+        let mut ins: Vec<Value> = Vec::with_capacity(node.inputs.len());
+        for t in &node.inputs {
+            loop {
+                if let Some(v) = stash.remove(&(job, t.clone())) {
+                    env.insert(t.clone(), v);
+                }
+                if let Some(v) = env
+                    .get(t.as_str())
+                    .cloned()
+                    .or_else(|| inputs.get(t).cloned())
+                    .or_else(|| st.init_values.get(t).cloned())
+                {
+                    ins.push(v);
+                    break;
+                }
+                match st.rx.recv_timeout(st.recv_timeout) {
+                    Ok(WorkerMsg::Tensor((j, name), v)) => {
+                        if j == job {
+                            env.insert(name, v);
+                        } else {
+                            stash.insert((j, name), v);
+                        }
+                    }
+                    Ok(WorkerMsg::JobAbort(j)) => {
+                        if j == job {
+                            error = Some(job_abort_error(me));
+                            break 'ops;
+                        }
+                        aborted.insert(j);
+                    }
+                    Ok(WorkerMsg::Stop) | Ok(WorkerMsg::Job { .. }) => {
+                        error = Some(RuntimeError::Setup(format!(
+                            "worker {me}: protocol error waiting for `{t}`"
+                        )));
+                        break 'ops;
+                    }
+                    Err(_) => {
+                        error = Some(RuntimeError::Timeout {
+                            cluster: Some(me),
+                            pending_ops: st.nodes.len(),
+                            detail: format!("worker {me}: timed out waiting for `{t}` (job {job})"),
+                        });
+                        break 'ops;
+                    }
+                }
+            }
+        }
+        let result = if matches!(node.op, OpKind::Constant) {
+            if kernel_fault {
+                error = Some(RuntimeError::Injected {
+                    cluster: Some(me),
+                    node: nid,
+                    kind: FaultKind::KernelError,
+                });
+                break 'ops;
+            }
+            st.graph
+                .initializers
+                .get(&node.outputs[0])
+                .ok_or_else(|| {
+                    ramiel_tensor::ExecError(format!("Constant `{}` missing payload", node.name))
+                })
+                .and_then(|td| Value::from_tensor_data(td).map(|v| vec![v]))
+        } else {
+            let hooked;
+            let eval_ctx = if kernel_fault {
+                hooked = FaultInjector::kernel_fault_ctx(st.ctx, Some(me), nid);
+                &hooked
+            } else {
+                st.ctx
+            };
+            eval_op(eval_ctx, &node.op, &ins)
+        };
+        let outs = match result {
+            Ok(o) => o,
+            Err(e) => {
+                error = Some(if e.0.starts_with(INJECT_MARKER) {
+                    RuntimeError::Injected {
+                        cluster: Some(me),
+                        node: nid,
+                        kind: FaultKind::KernelError,
+                    }
+                } else {
+                    RuntimeError::Kernel {
+                        cluster: Some(me),
+                        node: Some(nid),
+                        msg: format!("{}: {}", node.name, e.0),
+                    }
+                });
+                break 'ops;
+            }
+        };
+        if let Some(d) = send_delay {
+            std::thread::sleep(d);
+        }
+        for (name, v) in node.outputs.iter().zip(outs) {
+            if !drop_msgs {
+                if let Some(targets) = st.consumers.get(name) {
+                    for &t in targets {
+                        if st.peer_txs[t]
+                            .send(WorkerMsg::Tensor((job, name.clone()), v.clone()))
+                            .is_err()
+                        {
+                            error = Some(RuntimeError::ChannelClosed {
+                                cluster: Some(me),
+                                detail: "peer worker hung up".into(),
+                            });
+                            break 'ops;
+                        }
+                    }
+                }
+            }
+            if graph_outputs.contains(name.as_str()) {
+                outputs.push((name.clone(), v.clone()));
+            }
+            env.insert(name.clone(), v);
+        }
+    }
+
+    (outputs, error)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::run_sequential;
+    use crate::fault::{Fault, FaultPlan};
     use crate::synth_inputs;
     use ramiel_cluster::{cluster_graph, StaticCost};
     use ramiel_models::{build, synthetic, ModelConfig, ModelKind};
@@ -328,6 +513,32 @@ mod tests {
     }
 
     #[test]
+    fn shared_remote_tensor_reaches_every_consumer() {
+        // One producer cluster, one consumer cluster where TWO nodes read
+        // the producer's tensor: it crosses the boundary once (the routing
+        // table dedups per cluster), so the worker must keep it available
+        // after the first consumer — regression test for the starvation
+        // this caused on multi-head models.
+        use ramiel_cluster::Cluster;
+        use ramiel_ir::{DType, GraphBuilder};
+        let mut b = GraphBuilder::new("shared");
+        let x = b.input("x", DType::F32, vec![4]);
+        let p = b.op("p", OpKind::Relu, vec![x]);
+        let u = b.op("u", OpKind::Relu, vec![p.clone()]);
+        let v = b.op("v", OpKind::Neg, vec![p]);
+        let w = b.op("w", OpKind::Add, vec![u, v]);
+        b.output(&w);
+        let g = b.finish().unwrap();
+        let clustering = Clustering::new(vec![Cluster::new(vec![0]), Cluster::new(vec![1, 2, 3])]);
+        let ctx = ExecCtx::sequential();
+        let inputs = synth_inputs(&g, 9);
+        let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+        let opts = RunOptions::default().recv_timeout(Duration::from_secs(5));
+        let mut pool = ClusterPool::with_options(&g, &clustering, &ctx, &opts).unwrap();
+        assert_eq!(pool.run(&inputs).unwrap(), seq);
+    }
+
+    #[test]
     fn pool_reports_kernel_errors() {
         // graph whose Gather will go out of range at runtime
         use ramiel_ir::{DType, GraphBuilder, OpKind};
@@ -348,7 +559,8 @@ mod tests {
         let ctx = ExecCtx::sequential();
         let mut pool = ClusterPool::new(&g, &clustering, &ctx).unwrap();
         let err = pool.run(&synth_inputs(&g, 1)).unwrap_err();
-        assert!(err.0.contains("out of range"), "{err}");
+        assert_eq!(err.code(), "RT-KERNEL");
+        assert!(err.to_string().contains("out of range"), "{err}");
         drop(pool); // clean shutdown after an error
     }
 
@@ -358,5 +570,69 @@ mod tests {
         let clustering = cluster_graph(&g, &StaticCost);
         let pool = ClusterPool::new(&g, &clustering, &ExecCtx::sequential()).unwrap();
         drop(pool); // must not hang
+    }
+
+    fn quiet_injected_panics() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<InjectedPanic>().is_some() {
+                    return;
+                }
+                prev(info);
+            }));
+        });
+    }
+
+    #[test]
+    fn pool_survives_injected_worker_panic_and_keeps_serving() {
+        quiet_injected_panics();
+        let g = synthetic::fork_join(4, 3, 2);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        // panic on the first job's execution of node 1, then behave
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                node: 1,
+                batch: 0,
+                exec_index: 0,
+                kind: FaultKind::WorkerPanic,
+            }],
+        });
+        let opts = RunOptions::with_injector(inj).recv_timeout(Duration::from_secs(5));
+        let mut pool = ClusterPool::with_options(&g, &clustering, &ctx, &opts).unwrap();
+        let inputs = synth_inputs(&g, 3);
+        let err = pool.run(&inputs).unwrap_err();
+        assert_eq!(err.code(), "RT-INJECT", "got {err}");
+        // the pool must still be alive and produce correct results
+        let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+        let out = pool.run(&inputs).unwrap();
+        assert_eq!(seq, out);
+    }
+
+    #[test]
+    fn pool_reports_injected_kernel_fault_with_node() {
+        let g = synthetic::fork_join(3, 2, 2);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                node: 2,
+                batch: 0,
+                exec_index: 0,
+                kind: FaultKind::KernelError,
+            }],
+        });
+        let opts = RunOptions::with_injector(inj).recv_timeout(Duration::from_secs(5));
+        let mut pool = ClusterPool::with_options(&g, &clustering, &ctx, &opts).unwrap();
+        let err = pool.run(&synth_inputs(&g, 1)).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::Injected { node: 2, .. }),
+            "{err}"
+        );
     }
 }

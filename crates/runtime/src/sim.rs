@@ -151,7 +151,7 @@ pub fn simulate_hyper(
             }
         }
         let Some((start, w, i)) = best else {
-            return Err(RuntimeError(
+            return Err(RuntimeError::Setup(
                 "simulated schedule deadlocked (no executable op)".into(),
             ));
         };

@@ -5,12 +5,20 @@
 //! rayon thread pool attached to the context; heavy kernels (`Conv`,
 //! `MatMul`, `Gemm`) split their outermost loop across it.
 
+use ramiel_ir::OpKind;
 use std::sync::Arc;
+
+/// Pre-kernel hook: consulted by [`crate::eval_op`] before dispatching a
+/// kernel. Returning `Some(msg)` fails the evaluation with that message —
+/// this is how the runtime's fault injector makes an *injected* kernel error
+/// travel the exact path a real kernel failure takes.
+pub type KernelHook = Arc<dyn Fn(&OpKind) -> Option<String> + Send + Sync>;
 
 /// Per-executor kernel context.
 #[derive(Clone, Default)]
 pub struct ExecCtx {
     pool: Option<Arc<rayon::ThreadPool>>,
+    kernel_hook: Option<KernelHook>,
 }
 
 impl ExecCtx {
@@ -18,7 +26,10 @@ impl ExecCtx {
     /// default inside cluster worker threads so inter-op and intra-op
     /// parallelism do not multiply unintentionally.
     pub fn sequential() -> Self {
-        ExecCtx { pool: None }
+        ExecCtx {
+            pool: None,
+            kernel_hook: None,
+        }
     }
 
     /// Context with an intra-op pool of `threads` workers. `threads <= 1`
@@ -34,13 +45,32 @@ impl ExecCtx {
             .expect("failed to build intra-op thread pool");
         ExecCtx {
             pool: Some(Arc::new(pool)),
+            kernel_hook: None,
         }
     }
 
     /// Share an existing pool (lets several cluster workers draw from one
     /// bounded pool, mimicking a process-wide OpenMP runtime).
     pub fn with_pool(pool: Arc<rayon::ThreadPool>) -> Self {
-        ExecCtx { pool: Some(pool) }
+        ExecCtx {
+            pool: Some(pool),
+            kernel_hook: None,
+        }
+    }
+
+    /// Same context with a pre-kernel hook attached (fault injection).
+    pub fn with_kernel_hook(&self, hook: KernelHook) -> Self {
+        ExecCtx {
+            pool: self.pool.clone(),
+            kernel_hook: Some(hook),
+        }
+    }
+
+    /// Consult the kernel hook, if any. `Some(msg)` means the kernel layer
+    /// must fail this evaluation with `msg`.
+    #[inline]
+    pub fn kernel_fault(&self, op: &OpKind) -> Option<String> {
+        self.kernel_hook.as_ref().and_then(|h| h(op))
     }
 
     /// Number of intra-op threads (1 when sequential).

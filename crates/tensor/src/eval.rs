@@ -47,6 +47,12 @@ macro_rules! movement {
 /// caller (the payload lives in the graph initializer table, not in the
 /// inputs), so they are rejected here.
 pub fn eval_op(ctx: &ExecCtx, op: &OpKind, inputs: &[Value]) -> Result<Vec<Value>> {
+    // Fault-injection hook: an armed hook fails the evaluation here, at the
+    // kernel boundary, so injected kernel errors exercise the same error
+    // path as real ones.
+    if let Some(msg) = ctx.kernel_fault(op) {
+        return exec_err(msg);
+    }
     let one = |v: Value| -> Result<Vec<Value>> { Ok(vec![v]) };
     match op {
         OpKind::Conv {

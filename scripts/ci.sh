@@ -15,4 +15,13 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --offline
 
+# Liveness gate: the differential + chaos suites exercise every executor's
+# failure paths (worker panics, dropped messages, timeouts). Their contract
+# is bounded termination, so a hang IS the regression — run them again
+# standalone under a hard wall-clock limit that turns a wedge into a
+# failing exit code instead of a stuck CI job.
+echo "==> chaos + differential suites (10 min wall-clock cap)"
+timeout --kill-after=30s 600s \
+    cargo test --offline -p ramiel --test differential --test chaos
+
 echo "CI green."

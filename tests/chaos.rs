@@ -1,0 +1,248 @@
+//! Chaos suite: deterministic fault injection against the supervised
+//! runtime.
+//!
+//! The liveness/correctness contract under test: for *any* seeded
+//! [`FaultPlan`], a supervised run **terminates** (bounded recv timeouts,
+//! no hangs) and either returns outputs identical to the fault-free
+//! sequential baseline or a structured [`RuntimeError`] — never a bare
+//! panic escaping to the caller. Golden scenarios then pin the exact error
+//! code each fault kind surfaces as.
+
+use proptest::prelude::*;
+use ramiel_cluster::{cluster_graph, Clustering, StaticCost};
+use ramiel_models::synthetic;
+use ramiel_runtime::{
+    run_parallel_opts, run_sequential, run_supervised, synth_inputs, FaultInjector, FaultKind,
+    FaultPlan, RunOptions, RuntimeError, SupervisorConfig,
+};
+use ramiel_tensor::ExecCtx;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Suppress backtrace spam from *expected* injected panics (they are caught
+/// and converted to errors; the default hook would still print them).
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info
+                .payload()
+                .downcast_ref::<ramiel_runtime::fault::InjectedPanic>()
+                .is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn one_fault(node: usize, exec_index: u32, kind: FaultKind) -> Arc<FaultInjector> {
+    FaultInjector::new(FaultPlan {
+        seed: 0,
+        faults: vec![ramiel_runtime::Fault {
+            node,
+            batch: 0,
+            exec_index,
+            kind,
+        }],
+    })
+}
+
+/// A node whose output crosses a cluster boundary (so dropping its message
+/// starves a peer), if the clustering has one.
+fn cross_cluster_producer(g: &ramiel_ir::Graph, clustering: &Clustering) -> Option<usize> {
+    let assign = clustering.assignment();
+    let adj = g.adjacency();
+    for node in &g.nodes {
+        let me = assign[&node.id];
+        for inp in &node.inputs {
+            if let Some(&p) = adj.producer_of.get(inp) {
+                if assign[&p] != me {
+                    return Some(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded fault plan, on any small graph: the supervised run
+    /// terminates with either the correct answer or a structured error.
+    #[test]
+    fn supervised_runs_terminate_correct_or_structured(
+        gseed in any::<u64>(),
+        fseed in any::<u64>(),
+        layers in 2usize..6,
+        width in 1usize..5,
+        nfaults in 0usize..5,
+    ) {
+        quiet_injected_panics();
+        let g = synthetic::layered_random(gseed, layers, width, 2);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let inputs = synth_inputs(&g, gseed ^ 0x9e37);
+        let baseline = run_sequential(&g, &inputs, &ctx).unwrap();
+
+        let plan = FaultPlan::random(fseed, g.num_nodes(), 1, nfaults);
+        let inj = FaultInjector::new(plan);
+        let cfg = SupervisorConfig {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            fallback: true,
+            // Short enough that dropped messages resolve quickly, long
+            // enough that injected delays (≤ ~30ms) never false-positive.
+            recv_timeout: Some(Duration::from_secs(2)),
+            ..Default::default()
+        };
+        let (res, report) = run_supervised(&g, &clustering, &inputs, &ctx, Some(inj), &cfg);
+        prop_assert!(report.attempts >= 1);
+        match res {
+            Ok(out) => prop_assert_eq!(out, baseline, "fault-free result must match baseline"),
+            Err(e) => {
+                // structured, attributable failure — never a bare panic
+                let code = e.code();
+                prop_assert!(
+                    ["RT-KERNEL", "RT-CHANNEL", "RT-PANIC", "RT-TIMEOUT", "RT-INJECT", "RT-SETUP"]
+                        .contains(&code),
+                    "unknown error code {code}: {e}"
+                );
+            }
+        }
+    }
+
+    /// The injector itself is deterministic: the same plan fires the same
+    /// faults (same nodes, same kinds, same order) on repeated runs.
+    #[test]
+    fn fault_plans_fire_deterministically(fseed in any::<u64>(), nfaults in 1usize..5) {
+        quiet_injected_panics();
+        let g = synthetic::layered_random(7, 4, 3, 2);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let inputs = synth_inputs(&g, 1);
+        let cfg = SupervisorConfig {
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            fallback: true,
+            recv_timeout: Some(Duration::from_secs(2)),
+            ..Default::default()
+        };
+        let run = || {
+            let inj = FaultInjector::new(FaultPlan::random(fseed, g.num_nodes(), 1, nfaults));
+            let (_, report) = run_supervised(&g, &clustering, &inputs, &ctx, Some(inj), &cfg);
+            report.faults_fired
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a, b, "same plan must fire identically");
+    }
+}
+
+// ---- golden scenarios: exact code per fault kind --------------------------
+
+#[test]
+fn golden_injected_kernel_error_is_rt_inject_with_node() {
+    let g = synthetic::fork_join(3, 2, 2);
+    let clustering = cluster_graph(&g, &StaticCost);
+    let inputs = synth_inputs(&g, 2);
+    let opts = RunOptions::with_injector(one_fault(2, 0, FaultKind::KernelError))
+        .recv_timeout(Duration::from_secs(5));
+    let err =
+        run_parallel_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+    assert_eq!(err.code(), "RT-INJECT");
+    assert!(
+        matches!(
+            err,
+            RuntimeError::Injected {
+                node: 2,
+                kind: FaultKind::KernelError,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn golden_injected_panic_is_rt_inject_not_a_crash() {
+    quiet_injected_panics();
+    let g = synthetic::fork_join(3, 2, 2);
+    let clustering = cluster_graph(&g, &StaticCost);
+    let inputs = synth_inputs(&g, 3);
+    let opts = RunOptions::with_injector(one_fault(1, 0, FaultKind::WorkerPanic))
+        .recv_timeout(Duration::from_secs(5));
+    let err =
+        run_parallel_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+    assert_eq!(err.code(), "RT-INJECT");
+    assert!(
+        matches!(
+            err,
+            RuntimeError::Injected {
+                node: 1,
+                kind: FaultKind::WorkerPanic,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn golden_dropped_cross_cluster_message_is_rt_timeout() {
+    // Find a producer whose tensor crosses clusters; dropping its sends
+    // starves the consumer, which must surface a bounded RT-TIMEOUT (not a
+    // hang).
+    let g = synthetic::fork_join(4, 3, 2);
+    let clustering = cluster_graph(&g, &StaticCost);
+    let producer = cross_cluster_producer(&g, &clustering)
+        .expect("fork-join clustering has cross-cluster edges");
+    let inputs = synth_inputs(&g, 4);
+    let opts = RunOptions::with_injector(one_fault(producer, 0, FaultKind::DropMessage))
+        .recv_timeout(Duration::from_millis(200));
+    let start = std::time::Instant::now();
+    let err =
+        run_parallel_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+    assert_eq!(err.code(), "RT-TIMEOUT", "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "timeout must be bounded, took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn golden_supervised_retry_then_success() {
+    // Fault keyed to the first execution only: the supervised retry must
+    // converge to the correct answer on attempt 2 without falling back.
+    let g = synthetic::fork_join(4, 3, 2);
+    let clustering = cluster_graph(&g, &StaticCost);
+    let ctx = ExecCtx::sequential();
+    let inputs = synth_inputs(&g, 5);
+    let expect = run_sequential(&g, &inputs, &ctx).unwrap();
+    let cfg = SupervisorConfig {
+        max_retries: 2,
+        backoff_base: Duration::from_millis(1),
+        fallback: false,
+        recv_timeout: Some(Duration::from_secs(5)),
+        ..Default::default()
+    };
+    let (res, report) = run_supervised(
+        &g,
+        &clustering,
+        &inputs,
+        &ctx,
+        Some(one_fault(0, 0, FaultKind::KernelError)),
+        &cfg,
+    );
+    assert_eq!(res.unwrap(), expect);
+    assert_eq!(report.attempts, 2);
+    assert!(!report.fell_back);
+    assert_eq!(report.errors.len(), 1);
+    assert_eq!(report.errors[0].code(), "RT-INJECT");
+    assert_eq!(report.faults_fired.len(), 1);
+}
