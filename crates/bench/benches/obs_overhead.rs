@@ -1,0 +1,123 @@
+//! Criterion bench: cost of the observability plumbing when it is OFF.
+//!
+//! Every executor and the compile pipeline now carry a `ramiel_obs::Obs`
+//! handle. The contract (ISSUE: disabled-instrumentation overhead guard) is
+//! that the disabled handle — the default for every non-`profile` code path
+//! — costs one branch per call site: `disabled` must be indistinguishable
+//! from `baseline`, and `enabled` shows what full tracing costs. The last
+//! group prices the raw API (span/instant) per call on both handles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ramiel::obs::Obs;
+use ramiel::{compile, compile_with_obs, PipelineOptions};
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_runtime::{
+    run_parallel, run_parallel_opts, run_parallel_profiled_opts, synth_inputs, RunOptions,
+};
+use ramiel_tensor::ExecCtx;
+use std::hint::black_box;
+
+fn bench_parallel_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead_parallel");
+    group.sample_size(20);
+    let compiled = compile(
+        build(ModelKind::Squeezenet, &ModelConfig::full()),
+        &PipelineOptions::default(),
+    )
+    .expect("pipeline");
+    let inputs = synth_inputs(&compiled.graph, 42);
+    let ctx = ExecCtx::sequential();
+    group.bench_function(BenchmarkId::from_parameter("baseline"), |b| {
+        b.iter(|| {
+            run_parallel(
+                black_box(&compiled.graph),
+                &compiled.clustering,
+                &inputs,
+                &ctx,
+            )
+            .expect("par")
+        });
+    });
+    // disabled handle threaded through RunOptions: the production default
+    let disabled = RunOptions::default().obs(Obs::disabled());
+    group.bench_function(BenchmarkId::from_parameter("disabled"), |b| {
+        b.iter(|| {
+            run_parallel_opts(
+                black_box(&compiled.graph),
+                &compiled.clustering,
+                &inputs,
+                &ctx,
+                &disabled,
+            )
+            .expect("par")
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("enabled_profiled"), |b| {
+        b.iter(|| {
+            let obs = Obs::enabled();
+            let opts = RunOptions::default().obs(obs.clone());
+            let (out, db) = run_parallel_profiled_opts(
+                black_box(&compiled.graph),
+                &compiled.clustering,
+                &inputs,
+                &ctx,
+                &opts,
+            )
+            .expect("par");
+            db.export_to_obs(&obs, &compiled.graph);
+            assert!(!obs.is_empty());
+            out
+        });
+    });
+    group.finish();
+}
+
+fn bench_compile_obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead_compile");
+    group.sample_size(20);
+    let g = build(ModelKind::Googlenet, &ModelConfig::full());
+    let opts = PipelineOptions::all_optimizations();
+    group.bench_function(BenchmarkId::from_parameter("baseline"), |b| {
+        b.iter(|| compile(black_box(g.clone()), &opts).expect("compile"));
+    });
+    let disabled = Obs::disabled();
+    group.bench_function(BenchmarkId::from_parameter("disabled"), |b| {
+        b.iter(|| compile_with_obs(black_box(g.clone()), &opts, &disabled).expect("compile"));
+    });
+    group.bench_function(BenchmarkId::from_parameter("enabled"), |b| {
+        b.iter(|| {
+            let obs = Obs::enabled();
+            compile_with_obs(black_box(g.clone()), &opts, &obs).expect("compile")
+        });
+    });
+    group.finish();
+}
+
+fn bench_raw_api(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_api_per_call");
+    let disabled = Obs::disabled();
+    group.bench_function(BenchmarkId::from_parameter("span_disabled"), |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _span = black_box(&disabled).span(0, "x", "bench");
+            }
+        });
+    });
+    let enabled = Obs::enabled();
+    group.bench_function(BenchmarkId::from_parameter("span_enabled"), |b| {
+        b.iter(|| {
+            for _ in 0..1000 {
+                let _span = black_box(&enabled).span(0, "x", "bench");
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_obs_overhead,
+    bench_compile_obs_overhead,
+    bench_raw_api
+);
+criterion_main!(benches);

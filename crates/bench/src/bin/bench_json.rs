@@ -1,0 +1,176 @@
+//! `bench_json` — machine-readable benchmark summary.
+//!
+//! Runs a quick sequential-vs-parallel timing sweep, the disabled-obs
+//! overhead guard, and one profile-guided reclustering comparison, then
+//! writes the lot as JSON. `scripts/bench.sh` calls this and drops the
+//! result at the repo root as `BENCH_<date>.json`.
+//!
+//! ```sh
+//! cargo run --release -p ramiel-bench --bin bench_json -- out.json [--full] [--iters N]
+//! ```
+
+use ramiel::obs::Obs;
+use ramiel::{compile, PipelineOptions};
+use ramiel_cluster::{distance_to_end, linear_clustering, merge_clusters_fixpoint};
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_runtime::{
+    run_parallel, run_parallel_opts, run_parallel_profiled, run_sequential, simulate_clustering,
+    synth_inputs, RunOptions, SimConfig,
+};
+use ramiel_tensor::ExecCtx;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ModelRow {
+    model: String,
+    nodes: usize,
+    clusters: usize,
+    seq_ms: f64,
+    par_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ObsOverhead {
+    model: String,
+    baseline_ms: f64,
+    disabled_obs_ms: f64,
+    enabled_obs_ms: f64,
+    /// disabled / baseline — the guard: must stay ≈ 1.0.
+    disabled_over_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct ProfileFeedback {
+    model: String,
+    sampled_nodes: usize,
+    ns_per_unit: u64,
+    static_clusters: usize,
+    measured_clusters: usize,
+    /// Simulated makespans under the measured cost model (units).
+    static_makespan: u64,
+    measured_makespan: u64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    config: String,
+    iters: usize,
+    models: Vec<ModelRow>,
+    obs_overhead: ObsOverhead,
+    profile_feedback: ProfileFeedback,
+}
+
+fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args.first().cloned();
+    let full = args.iter().any(|a| a == "--full");
+    let iters = args
+        .iter()
+        .position(|a| a == "--iters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3usize)
+        .max(1);
+    let cfg = if full {
+        ModelConfig::full()
+    } else {
+        ModelConfig::tiny()
+    };
+    let ctx = ExecCtx::sequential();
+
+    let mut models = Vec::new();
+    for kind in [ModelKind::Squeezenet, ModelKind::Googlenet, ModelKind::Bert] {
+        let c = compile(build(kind, &cfg), &PipelineOptions::default()).expect("pipeline");
+        let inputs = synth_inputs(&c.graph, 42);
+        let seq_ms = time_ms(iters, || {
+            run_sequential(&c.graph, &inputs, &ctx).expect("seq");
+        });
+        let par_ms = time_ms(iters, || {
+            run_parallel(&c.graph, &c.clustering, &inputs, &ctx).expect("par");
+        });
+        models.push(ModelRow {
+            model: kind.name().to_string(),
+            nodes: c.graph.num_nodes(),
+            clusters: c.clustering.num_clusters(),
+            seq_ms,
+            par_ms,
+            speedup: seq_ms / par_ms.max(1e-9),
+        });
+    }
+
+    // Overhead guard: a disabled Obs handle must cost nothing measurable.
+    let c = compile(
+        build(ModelKind::Squeezenet, &cfg),
+        &PipelineOptions::default(),
+    )
+    .expect("pipeline");
+    let inputs = synth_inputs(&c.graph, 42);
+    let baseline_ms = time_ms(iters, || {
+        run_parallel(&c.graph, &c.clustering, &inputs, &ctx).expect("par");
+    });
+    let disabled = RunOptions::default().obs(Obs::disabled());
+    let disabled_obs_ms = time_ms(iters, || {
+        run_parallel_opts(&c.graph, &c.clustering, &inputs, &ctx, &disabled).expect("par");
+    });
+    let enabled_obs_ms = time_ms(iters, || {
+        let obs = Obs::enabled();
+        let opts = RunOptions::default().obs(obs.clone());
+        ramiel_runtime::run_parallel_profiled_opts(&c.graph, &c.clustering, &inputs, &ctx, &opts)
+            .expect("par");
+    });
+    let obs_overhead = ObsOverhead {
+        model: "Squeezenet".to_string(),
+        baseline_ms,
+        disabled_obs_ms,
+        enabled_obs_ms,
+        disabled_over_baseline: disabled_obs_ms / baseline_ms.max(1e-9),
+    };
+
+    // Fig. 10 feedback loop: measured profile → MeasuredCost → recluster.
+    let (_, db) = run_parallel_profiled(&c.graph, &c.clustering, &inputs, &ctx).expect("profiled");
+    let measured = db.measured_cost(&c.graph);
+    let dist = distance_to_end(&c.graph, &measured);
+    let tuned = merge_clusters_fixpoint(&linear_clustering(&c.graph, &dist), &dist);
+    let sim_cfg = SimConfig {
+        comm_latency: 8,
+        dispatch_overhead: 0,
+    };
+    let base_sim = simulate_clustering(&c.graph, &c.clustering, &measured, &sim_cfg).expect("sim");
+    let tuned_sim = simulate_clustering(&c.graph, &tuned, &measured, &sim_cfg).expect("sim");
+    let profile_feedback = ProfileFeedback {
+        model: "Squeezenet".to_string(),
+        sampled_nodes: measured.sampled_nodes(),
+        ns_per_unit: measured.ns_per_unit(),
+        static_clusters: c.clustering.num_clusters(),
+        measured_clusters: tuned.num_clusters(),
+        static_makespan: base_sim.makespan,
+        measured_makespan: tuned_sim.makespan,
+    };
+
+    let summary = Summary {
+        config: if full { "full" } else { "tiny" }.to_string(),
+        iters,
+        models,
+        obs_overhead,
+        profile_feedback,
+    };
+    let json = serde_json::to_string_pretty(&summary).expect("serialize");
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &json).expect("write summary");
+            eprintln!("wrote {p}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -13,6 +13,7 @@
 //! populated by shape inference.
 
 use ramiel_ir::{Graph, Node, OpKind};
+use std::collections::HashMap;
 
 /// Prices a node and an edge. Costs are `u64` "work units".
 pub trait CostModel: Sync {
@@ -146,6 +147,85 @@ impl CostModel for FlopCost {
     }
 }
 
+/// Profile-guided cost model: prices nodes by *measured* execution time
+/// instead of static weights or FLOP estimates, closing the paper's Fig. 10
+/// loop (run → Profile DB → recluster). Built from per-node nanosecond
+/// samples (see `ProfileDb::measured_cost` in ramiel-runtime); nodes the
+/// profile never executed fall back to the mean of their op kind, then to
+/// [`StaticCost`].
+///
+/// Nanoseconds are rescaled so the median sampled node costs ~8 units —
+/// the same magnitude [`StaticCost`] gives a 3×3 conv — keeping edge costs
+/// and merge thresholds meaningful without retuning.
+#[derive(Debug, Clone)]
+pub struct MeasuredCost {
+    /// Cost units per node id; `None` where the profile has no sample.
+    per_node: Vec<Option<u64>>,
+    /// Mean cost units per op kind, for unsampled nodes.
+    per_kind: HashMap<String, u64>,
+    /// Nanoseconds represented by one cost unit.
+    ns_per_unit: u64,
+    fallback: StaticCost,
+}
+
+/// Median sampled node is pinned to this many units (≈ StaticCost's 3×3
+/// conv), fixing the ns→unit exchange rate.
+const MEASURED_MEDIAN_UNITS: u64 = 8;
+
+impl MeasuredCost {
+    /// Build from `(node id, mean busy nanoseconds)` samples over `graph`.
+    pub fn from_node_ns(graph: &Graph, samples: &[(usize, u64)]) -> MeasuredCost {
+        let mut ns_sorted: Vec<u64> = samples.iter().map(|&(_, ns)| ns).collect();
+        ns_sorted.sort_unstable();
+        let median_ns = ns_sorted.get(ns_sorted.len() / 2).copied().unwrap_or(0);
+        let ns_per_unit = (median_ns / MEASURED_MEDIAN_UNITS).max(1);
+
+        let to_units = |ns: u64| -> u64 { (ns / ns_per_unit).max(1) };
+        let mut per_node: Vec<Option<u64>> = vec![None; graph.num_nodes()];
+        let mut kind_sum: HashMap<String, (u64, u64)> = HashMap::new();
+        for &(node, ns) in samples {
+            if let Some(n) = graph.nodes.get(node) {
+                per_node[node] = Some(to_units(ns));
+                let e = kind_sum.entry(n.op.name().to_string()).or_insert((0, 0));
+                e.0 += ns;
+                e.1 += 1;
+            }
+        }
+        let per_kind = kind_sum
+            .into_iter()
+            .map(|(k, (sum, cnt))| (k, to_units(sum / cnt.max(1))))
+            .collect();
+        MeasuredCost {
+            per_node,
+            per_kind,
+            ns_per_unit,
+            fallback: StaticCost,
+        }
+    }
+
+    /// Nanoseconds represented by one cost unit.
+    pub fn ns_per_unit(&self) -> u64 {
+        self.ns_per_unit
+    }
+
+    /// How many nodes carry a direct measurement.
+    pub fn sampled_nodes(&self) -> usize {
+        self.per_node.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl CostModel for MeasuredCost {
+    fn node_cost(&self, graph: &Graph, node: &Node) -> u64 {
+        if let Some(Some(units)) = self.per_node.get(node.id) {
+            return *units;
+        }
+        if let Some(units) = self.per_kind.get(node.op.name()) {
+            return *units;
+        }
+        self.fallback.node_cost(graph, node)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +263,38 @@ mod tests {
         assert!(costs[2] > costs[1]);
         assert!(costs[3] > costs[2]);
         assert!(costs[4] >= 1); // elementwise floors at 1
+    }
+
+    #[test]
+    fn measured_cost_prefers_samples_then_kind_then_static() {
+        // nodes: [matmul, matmul, relu, softmax]; sample the first matmul
+        // (expensive in this fiction) and the relu.
+        let mut b = GraphBuilder::new("mm");
+        let x = b.input("x", DType::F32, vec![2, 2]);
+        let m1 = b.op("m1", ramiel_ir::OpKind::MatMul, vec![x.clone(), x.clone()]);
+        let m2 = b.op("m2", ramiel_ir::OpKind::MatMul, vec![m1, x]);
+        let r = b.op("r", ramiel_ir::OpKind::Relu, vec![m2]);
+        let s = b.op("s", ramiel_ir::OpKind::Softmax { axis: -1 }, vec![r]);
+        b.output(&s);
+        let g = b.finish().unwrap();
+        let mc = MeasuredCost::from_node_ns(&g, &[(0, 8_000), (2, 1_000)]);
+        assert_eq!(mc.ns_per_unit(), 1_000); // median 8000ns pinned to 8 units
+        assert_eq!(mc.sampled_nodes(), 2);
+        assert_eq!(mc.node_cost(&g, &g.nodes[0]), 8); // direct sample
+        assert_eq!(mc.node_cost(&g, &g.nodes[2]), 1); // direct sample
+                                                      // unsampled matmul falls back to the MatMul-kind mean (8000ns → 8)
+        assert_eq!(mc.node_cost(&g, &g.nodes[1]), 8);
+        // a kind the profile never saw falls back to StaticCost
+        assert_eq!(mc.node_cost(&g, &g.nodes[3]), 2);
+    }
+
+    #[test]
+    fn measured_cost_empty_profile_is_static() {
+        let g = conv_graph();
+        let mc = MeasuredCost::from_node_ns(&g, &[]);
+        for n in &g.nodes {
+            assert_eq!(mc.node_cost(&g, n), StaticCost.node_cost(&g, n));
+        }
     }
 
     #[test]

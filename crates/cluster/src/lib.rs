@@ -27,7 +27,7 @@ pub mod types;
 pub mod verify_view;
 
 pub use baselines::{level_clustering, round_robin, single_cluster};
-pub use cost::{CostModel, FlopCost, StaticCost};
+pub use cost::{CostModel, FlopCost, MeasuredCost, StaticCost};
 pub use critical_path::{critical_path, parallelism_report, ParallelismReport};
 pub use distance::distance_to_end;
 pub use dsc::dsc_clustering;

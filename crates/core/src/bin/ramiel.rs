@@ -5,6 +5,9 @@
 //! ramiel report                          Table-I-style parallelism metrics
 //! ramiel compile <model> [flags]         run the pipeline, emit Python code
 //! ramiel run <model> [flags]             execute seq/parallel and time it
+//! ramiel profile <model> [flags]         profiled run on all four executors,
+//!                                        emits a Chrome/Perfetto trace plus
+//!                                        cost-model accuracy + reclustering
 //! ramiel check <model|all> [flags]       statically verify the schedule
 //! ramiel export <model> <path>           save a model as .rmodel.json
 //! ```
@@ -353,6 +356,140 @@ fn cmd_run_chaos(
     }
 }
 
+/// `ramiel profile <model>`: compile with stage tracing, run the model on
+/// all four executors with profiling on, merge everything onto one
+/// Chrome/Perfetto trace, and print a cost-model prediction-accuracy table
+/// plus a profile-guided reclustering comparison.
+fn cmd_profile(model: &str, f: &Flags) -> Result<(), String> {
+    use ramiel::obs::{validate_chrome_trace, Obs};
+    use ramiel_cluster::{distance_to_end, linear_clustering, merge_clusters_fixpoint};
+    use ramiel_runtime::{
+        predict_report, run_hyper_profiled_opts, run_parallel_profiled_opts,
+        run_sequential_profiled, simulate_clustering, ClusterPool, RunOptions, SimConfig,
+    };
+
+    let cfg = if f.tiny {
+        ModelConfig::tiny()
+    } else {
+        ModelConfig::full()
+    };
+    let g = parse_model(model, &cfg)?;
+
+    // One shared timeline; pids keep the stories apart in the trace UI.
+    let obs = Obs::enabled();
+    obs.with_pid(0).name_process("diagnostics");
+    obs.with_pid(1).name_process("compile pipeline");
+    obs.with_pid(2).name_process("sequential executor");
+    obs.with_pid(3).name_process("parallel executor");
+    obs.with_pid(4).name_process("hypercluster executor");
+    obs.with_pid(5).name_process("cluster pool");
+
+    let c =
+        ramiel::compile_with_obs(g, &options(f), &obs.with_pid(1)).map_err(|e| e.to_string())?;
+    summarize(&c);
+    println!();
+
+    let ctx = ExecCtx::with_intra_op(f.intra_op);
+    let inputs = synth_inputs(&c.graph, 42);
+
+    let seq_opts = RunOptions::default().obs(obs.with_pid(2));
+    let (seq_out, seq_db) = run_sequential_profiled(&c.graph, &inputs, &ctx, &seq_opts)
+        .map_err(|e| format!("sequential: {e}"))?;
+    seq_db.export_to_obs(&obs.with_pid(2), &c.graph);
+
+    let par_opts = RunOptions::default().obs(obs.with_pid(3));
+    let (par_out, par_db) =
+        run_parallel_profiled_opts(&c.graph, &c.clustering, &inputs, &ctx, &par_opts)
+            .map_err(|e| format!("parallel: {e}"))?;
+    par_db.export_to_obs(&obs.with_pid(3), &c.graph);
+    if par_out != seq_out {
+        return Err("parallel output diverged from sequential".into());
+    }
+
+    let hc = match &c.hyper {
+        Some(hc) => hc.clone(),
+        None => ramiel_cluster::hypercluster(&c.clustering, 1),
+    };
+    let batch_inputs: Vec<_> = (0..hc.batch)
+        .map(|b| synth_inputs(&c.graph, 42 + b as u64))
+        .collect();
+    let hyper_opts = RunOptions::default().obs(obs.with_pid(4));
+    let (_, hyper_db) = run_hyper_profiled_opts(&c.graph, &hc, &batch_inputs, &ctx, &hyper_opts)
+        .map_err(|e| format!("hyper: {e}"))?;
+    hyper_db.export_to_obs(&obs.with_pid(4), &c.graph);
+
+    let pool_opts = RunOptions::default().obs(obs.with_pid(5));
+    let mut pool = ClusterPool::with_options(&c.graph, &c.clustering, &ctx, &pool_opts)
+        .map_err(|e| format!("pool: {e}"))?;
+    let (pool_out, pool_db) = pool
+        .run_profiled(&inputs)
+        .map_err(|e| format!("pool: {e}"))?;
+    pool_db.export_to_obs(&obs.with_pid(5), &c.graph);
+    if pool_out != seq_out {
+        return Err("pool output diverged from sequential".into());
+    }
+    drop(pool);
+
+    // Prediction accuracy: the cost model that drove clustering vs what the
+    // parallel run actually measured.
+    let cost = options(f).cost.model();
+    print!(
+        "{}",
+        predict_report(&c.graph, cost.as_ref(), &par_db).render()
+    );
+    println!();
+
+    // Profile-guided feedback: replay the measured per-node times into LC
+    // and compare both clusterings under the measured cost model.
+    let measured = par_db.measured_cost(&c.graph);
+    let dist = distance_to_end(&c.graph, &measured);
+    let reclustered = merge_clusters_fixpoint(&linear_clustering(&c.graph, &dist), &dist);
+    let sim_cfg = SimConfig {
+        comm_latency: 8,
+        dispatch_overhead: 0,
+    };
+    let base = simulate_clustering(&c.graph, &c.clustering, &measured, &sim_cfg)
+        .map_err(|e| e.to_string())?;
+    let tuned = simulate_clustering(&c.graph, &reclustered, &measured, &sim_cfg)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "profile-guided reclustering ({} of {} nodes sampled, {} ns/unit):",
+        measured.sampled_nodes(),
+        c.graph.num_nodes(),
+        measured.ns_per_unit()
+    );
+    println!(
+        "  original clustering:   {:3} clusters, makespan {:>8} measured units",
+        c.clustering.num_clusters(),
+        base.makespan
+    );
+    println!(
+        "  measured reclustering: {:3} clusters, makespan {:>8} measured units",
+        reclustered.num_clusters(),
+        tuned.makespan
+    );
+
+    // Export, validating before we claim success (the CI smoke gate).
+    let trace = obs.to_chrome_trace();
+    let stats = validate_chrome_trace(&trace).map_err(|e| format!("malformed trace: {e}"))?;
+    let path = match &f.out {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            format!("{dir}/{model}-trace.json")
+        }
+        None => format!("{model}-trace.json"),
+    };
+    std::fs::write(&path, &trace).map_err(|e| e.to_string())?;
+    println!();
+    print!("{}", obs.text_report());
+    println!(
+        "trace: {} events ({} spans, {} instants, {} counters) -> {path}",
+        stats.total_events, stats.complete_spans, stats.instants, stats.counters
+    );
+    println!("open it at https://ui.perfetto.dev (Open trace file) or chrome://tracing");
+    Ok(())
+}
+
 fn cmd_simulate(model: &str, f: &Flags) -> Result<(), String> {
     use ramiel_runtime::{simulate_clustering, simulate_hyper, simulate_sequential, SimConfig};
     let cfg = if f.tiny {
@@ -523,7 +660,7 @@ fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage =
-        "usage: ramiel <models|report|compile|run|simulate|check|fuzz|export> [model] [flags]";
+        "usage: ramiel <models|report|compile|run|profile|simulate|check|fuzz|export> [model] [flags]";
     let result = match args.first().map(String::as_str) {
         Some("models") => {
             cmd_models(args.iter().any(|a| a == "--detail"));
@@ -538,6 +675,9 @@ fn main() -> ExitCode {
         }
         Some("run") if args.len() >= 2 => {
             parse_flags(&args[2..]).and_then(|f| cmd_run(&args[1], &f))
+        }
+        Some("profile") if args.len() >= 2 => {
+            parse_flags(&args[2..]).and_then(|f| cmd_profile(&args[1], &f))
         }
         Some("simulate") if args.len() >= 2 => {
             parse_flags(&args[2..]).and_then(|f| cmd_simulate(&args[1], &f))

@@ -29,6 +29,7 @@ pub use ramiel_codegen as codegen;
 pub use ramiel_ios as ios;
 pub use ramiel_ir as ir;
 pub use ramiel_models as models;
+pub use ramiel_obs as obs;
 pub use ramiel_passes as passes;
 pub use ramiel_runtime as runtime;
 pub use ramiel_tensor as tensor;
@@ -173,30 +174,68 @@ impl From<ramiel_ir::IrError> for CompileError {
 }
 
 /// Run the full Ramiel pipeline on a graph.
-pub fn compile(mut graph: Graph, opts: &PipelineOptions) -> Result<CompiledModel, CompileError> {
+pub fn compile(graph: Graph, opts: &PipelineOptions) -> Result<CompiledModel, CompileError> {
+    compile_with_obs(graph, opts, &ramiel_obs::Obs::disabled())
+}
+
+/// [`compile`] with an observability sink: every pipeline stage (prune,
+/// cloning, distances, clustering, merging, hyperclustering, codegen) is
+/// wrapped in a trace span carrying graph-size/cluster-count deltas in its
+/// args. A disabled [`ramiel_obs::Obs`] (the [`compile`] path) costs one
+/// branch per stage.
+pub fn compile_with_obs(
+    mut graph: Graph,
+    opts: &PipelineOptions,
+    obs: &ramiel_obs::Obs,
+) -> Result<CompiledModel, CompileError> {
     let start = Instant::now();
+    obs.name_thread(0, "pipeline");
     let cost = opts.cost.model();
     let nodes_before = graph.num_nodes();
 
     if opts.prune {
+        let mut span = obs.span(0, "prune (const-prop + DCE)", "compile");
         ramiel_passes::prune(&mut graph)?;
+        span.set_args(serde_json::json!({
+            "nodes_before": nodes_before,
+            "nodes_after": graph.num_nodes(),
+        }));
     }
     let nodes_after_prune = graph.num_nodes();
 
     if let Some(clone_cfg) = &opts.cloning {
+        let mut span = obs.span(0, "task cloning", "compile");
         ramiel_passes::clone_nodes(&mut graph, cost.as_ref(), clone_cfg)?;
+        span.set_args(serde_json::json!({
+            "nodes_before": nodes_after_prune,
+            "nodes_after": graph.num_nodes(),
+        }));
     }
     let nodes_after_cloning = graph.num_nodes();
 
-    let distances = distance_to_end(&graph, cost.as_ref());
+    let distances = {
+        let _span = obs.span(0, "distance-to-end pass", "compile");
+        distance_to_end(&graph, cost.as_ref())
+    };
     let (clusters_before_merge, clustering) = match opts.scheduler {
         Scheduler::LcMerge => {
+            let mut span = obs.span(0, "linear clustering", "compile");
             let lc = linear_clustering(&graph, &distances);
             let before = lc.num_clusters();
-            (before, merge_clusters_fixpoint(&lc, &distances))
+            span.set_args(serde_json::json!({ "clusters": before }));
+            span.finish();
+            let mut span = obs.span(0, "cluster merging", "compile");
+            let merged = merge_clusters_fixpoint(&lc, &distances);
+            span.set_args(serde_json::json!({
+                "clusters_before": before,
+                "clusters_after": merged.num_clusters(),
+            }));
+            (before, merged)
         }
         Scheduler::Dsc => {
+            let mut span = obs.span(0, "DSC clustering", "compile");
             let c = ramiel_cluster::dsc_clustering(&graph, cost.as_ref());
+            span.set_args(serde_json::json!({ "clusters": c.num_clusters() }));
             (c.num_clusters(), c)
         }
     };
@@ -210,8 +249,14 @@ pub fn compile(mut graph: Graph, opts: &PipelineOptions) -> Result<CompiledModel
 
     let hyper = match (opts.hyper, opts.batch) {
         (HyperMode::Off, _) | (_, 0..=1) => None,
-        (HyperMode::Plain, b) => Some(hypercluster(&clustering, b)),
-        (HyperMode::Switched, b) => Some(switched_hypercluster(&clustering, b)),
+        (HyperMode::Plain, b) => {
+            let _span = obs.span(0, "hyperclustering (plain)", "compile");
+            Some(hypercluster(&clustering, b))
+        }
+        (HyperMode::Switched, b) => {
+            let _span = obs.span(0, "hyperclustering (switched)", "compile");
+            Some(switched_hypercluster(&clustering, b))
+        }
     };
     #[cfg(debug_assertions)]
     if let Some(hc) = &hyper {
@@ -223,11 +268,19 @@ pub fn compile(mut graph: Graph, opts: &PipelineOptions) -> Result<CompiledModel
     }
 
     let cg = CodegenOptions::default();
-    let parallel_code = ramiel_codegen::generate_parallel(&graph, &clustering, &cg);
-    let sequential_code = ramiel_codegen::generate_sequential(&graph, &cg);
-    let hyper_code = hyper
-        .as_ref()
-        .map(|hc| ramiel_codegen::generate_hyper_parallel(&graph, hc, &cg));
+    let (parallel_code, sequential_code, hyper_code) = {
+        let mut span = obs.span(0, "codegen", "compile");
+        let parallel_code = ramiel_codegen::generate_parallel(&graph, &clustering, &cg);
+        let sequential_code = ramiel_codegen::generate_sequential(&graph, &cg);
+        let hyper_code = hyper
+            .as_ref()
+            .map(|hc| ramiel_codegen::generate_hyper_parallel(&graph, hc, &cg));
+        span.set_args(serde_json::json!({
+            "parallel_bytes": parallel_code.len(),
+            "sequential_bytes": sequential_code.len(),
+        }));
+        (parallel_code, sequential_code, hyper_code)
+    };
 
     let report = PipelineReport {
         model: graph.name.clone(),

@@ -1,0 +1,59 @@
+//! Structured warnings: one call both prints to stderr and records the
+//! warning in a process-global log, so the text a user sees and the events
+//! a trace carries can never drift apart.
+//!
+//! The log is global (not per-[`crate::Obs`]) because warnings often fire
+//! from code that has no sink handy — env-var parsing, one-time config
+//! checks — and because a warning is worth keeping even when tracing is
+//! off. Exporters fold [`warnings_snapshot`] into their output.
+
+use parking_lot::Mutex;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// One recorded warning.
+#[derive(Debug, Clone)]
+pub struct WarnEvent {
+    /// Stable machine-readable code, e.g. `OBS-ENV`.
+    pub code: &'static str,
+    pub message: String,
+    /// When the warning fired (process time; exporters translate onto the
+    /// trace epoch).
+    pub at: Instant,
+}
+
+fn log() -> &'static Mutex<Vec<WarnEvent>> {
+    static LOG: OnceLock<Mutex<Vec<WarnEvent>>> = OnceLock::new();
+    LOG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Emit a structured warning: prints `warning[CODE]: message` to stderr and
+/// appends to the global warning log.
+pub fn warn(code: &'static str, message: impl Into<String>) {
+    let message = message.into();
+    eprintln!("warning[{code}]: {message}");
+    log().lock().push(WarnEvent {
+        code,
+        message,
+        at: Instant::now(),
+    });
+}
+
+/// Snapshot of every warning emitted so far in this process.
+pub fn warnings_snapshot() -> Vec<WarnEvent> {
+    log().lock().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warn_records_into_global_log() {
+        warn("OBS-TEST", "hello from the test");
+        let snap = warnings_snapshot();
+        assert!(snap
+            .iter()
+            .any(|w| w.code == "OBS-TEST" && w.message.contains("hello")));
+    }
+}

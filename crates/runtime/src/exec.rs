@@ -2,11 +2,13 @@
 
 use crate::fault::{FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
 use crate::parallel::RunOptions;
+use crate::profile::{OpRecord, ProfileDb, WorkerSpan};
 use crate::{Env, Result, RuntimeError};
 use ramiel_ir::topo::topo_sort;
 use ramiel_ir::{Graph, OpKind};
 use ramiel_tensor::{eval_op, ExecCtx, Value};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Execute the whole graph on the calling thread in topological order.
 /// Returns the graph outputs. This is the baseline every parallel schedule
@@ -26,6 +28,33 @@ pub fn run_sequential_opts(
     ctx: &ExecCtx,
     opts: &RunOptions,
 ) -> Result<Env> {
+    run_sequential_inner(graph, inputs, ctx, opts, None)
+}
+
+/// [`run_sequential`] plus a single-worker [`ProfileDb`] — the same timeline
+/// shape the parallel executors produce (one op record per node, a worker
+/// span, zero slack and no channels), so executors can be compared like for
+/// like.
+pub fn run_sequential_profiled(
+    graph: &Graph,
+    inputs: &Env,
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<(Env, ProfileDb)> {
+    let mut db = ProfileDb::new(1, 1);
+    db.set_epoch_offset_ns(opts.obs.now_ns());
+    let out = run_sequential_inner(graph, inputs, ctx, opts, Some(&mut db))?;
+    Ok((out, db))
+}
+
+fn run_sequential_inner(
+    graph: &Graph,
+    inputs: &Env,
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+    mut profile: Option<&mut ProfileDb>,
+) -> Result<Env> {
+    let epoch = Instant::now();
     let order = topo_sort(graph).map_err(|e| RuntimeError::Setup(e.to_string()))?;
     let mut env: HashMap<&str, Value> = HashMap::with_capacity(graph.num_nodes() * 2);
     for (name, v) in inputs {
@@ -50,6 +79,12 @@ pub fn run_sequential_opts(
         };
         let mut kernel_fault = false;
         for kind in &armed {
+            opts.obs.instant(
+                0,
+                format!("fault:{}", kind.name()),
+                "fault",
+                serde_json::json!({ "node": id }),
+            );
             match kind {
                 FaultKind::KernelError => kernel_fault = true,
                 FaultKind::WorkerPanic => std::panic::panic_any(InjectedPanic {
@@ -62,6 +97,7 @@ pub fn run_sequential_opts(
                 FaultKind::DropMessage => {} // no channels to drop from
             }
         }
+        let op_start = profile.is_some().then(Instant::now);
         let outputs = if matches!(node.op, OpKind::Constant) {
             if kernel_fault {
                 return Err(RuntimeError::Injected {
@@ -99,9 +135,27 @@ pub fn run_sequential_opts(
                 }
             })?
         };
+        if let Some(db) = profile.as_deref_mut() {
+            let start = op_start.expect("op_start is set whenever profiling");
+            db.extend(vec![OpRecord {
+                worker: 0,
+                batch: 0,
+                node: id,
+                start_ns: (start - epoch).as_nanos() as u64,
+                end_ns: epoch.elapsed().as_nanos() as u64,
+                slack_after_ns: 0,
+            }]);
+        }
         for (name, v) in node.outputs.iter().zip(outputs) {
             env.insert(name.as_str(), v);
         }
+    }
+    if let Some(db) = profile {
+        db.push_worker_span(WorkerSpan {
+            worker: 0,
+            start_ns: 0,
+            end_ns: epoch.elapsed().as_nanos() as u64,
+        });
     }
 
     let mut out = Env::new();

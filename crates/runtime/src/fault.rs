@@ -221,9 +221,15 @@ impl FaultInjector {
         armed
     }
 
-    /// Every fault that has actually fired so far (across retries).
+    /// Every fault that has actually fired so far (across retries), in
+    /// canonical `(node, batch, exec_index, kind)` order. Faults on
+    /// *different* workers reach the log in scheduling order, so the raw
+    /// append order is not reproducible across runs — the sort is what makes
+    /// the report deterministic for a given plan.
     pub fn fired(&self) -> Vec<Fault> {
-        self.fired.lock().clone()
+        let mut fired = self.fired.lock().clone();
+        fired.sort_by_key(|f| (f.node, f.batch, f.exec_index, f.kind.name()));
+        fired
     }
 
     /// Build an [`ExecCtx`] whose kernel hook fails the next evaluation with

@@ -18,16 +18,21 @@ pub mod fault;
 pub mod memory;
 pub mod parallel;
 pub mod pool;
+pub mod predict;
 pub mod profile;
 pub mod sim;
 pub mod supervisor;
 
-pub use exec::{run_sequential, run_sequential_opts};
+pub use exec::{run_sequential, run_sequential_opts, run_sequential_profiled};
 pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan};
 pub use memory::{clustering_peak_memory, sequential_peak_memory, MemoryReport};
-pub use parallel::{run_hyper, run_hyper_opts, run_parallel, run_parallel_opts, RunOptions};
+pub use parallel::{
+    run_hyper, run_hyper_opts, run_hyper_profiled, run_hyper_profiled_opts, run_parallel,
+    run_parallel_opts, run_parallel_profiled, run_parallel_profiled_opts, RunOptions,
+};
 pub use pool::ClusterPool;
-pub use profile::{ProfileDb, SlackReport};
+pub use predict::{predict_report, ClusterPrediction, KindPrediction, PredictionReport};
+pub use profile::{OpRecord, ProfileDb, SlackReport, WorkerSpan};
 pub use sim::{
     simulate_clustering, simulate_hyper, simulate_sequential, SimConfig, SimEvent, SimResult,
 };
@@ -38,6 +43,16 @@ use std::collections::BTreeMap;
 
 /// Named tensor environment used for graph inputs and outputs.
 pub type Env = BTreeMap<String, Value>;
+
+/// Payload size of a tensor value in bytes (used by channel metering).
+pub(crate) fn value_bytes(v: &Value) -> u64 {
+    let elem = match v.dtype() {
+        ramiel_ir::DType::F32 => 4,
+        ramiel_ir::DType::I64 => 8,
+        ramiel_ir::DType::Bool => 1,
+    };
+    v.numel() as u64 * elem
+}
 
 /// Structured runtime error. Every variant names where the failure happened
 /// (`cluster` is the worker/hypercluster index where applicable) so chaos

@@ -26,13 +26,14 @@
 //! [`RunOptions`].
 
 use crate::fault::{panic_to_error, FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
-use crate::profile::{OpRecord, ProfileDb};
-use crate::{Env, Result, RuntimeError, ABORT_DETAIL};
+use crate::profile::{OpRecord, ProfileDb, WorkerSpan};
+use crate::{value_bytes, Env, Result, RuntimeError, ABORT_DETAIL};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use ramiel_cluster::hyper::{HyperClustering, HyperOp};
 use ramiel_cluster::Clustering;
 use ramiel_ir::{Graph, OpKind};
+use ramiel_obs::{ChannelMeter, Obs};
 use ramiel_tensor::{eval_op, ExecCtx, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,10 +53,13 @@ pub(crate) fn default_recv_timeout() -> Duration {
                 .parse::<u64>()
                 .map(Duration::from_millis)
                 .unwrap_or_else(|_| {
-                    eprintln!(
-                        "warning: ignoring unparsable RAMIEL_RECV_TIMEOUT_MS=`{v}` \
-                     (want milliseconds as an integer); using {}s",
-                        default.as_secs()
+                    ramiel_obs::warn(
+                        "RT-ENV",
+                        format!(
+                            "ignoring unparsable RAMIEL_RECV_TIMEOUT_MS=`{v}` \
+                             (want milliseconds as an integer); using {}s",
+                            default.as_secs()
+                        ),
                     );
                     default
                 }),
@@ -64,20 +68,24 @@ pub(crate) fn default_recv_timeout() -> Duration {
     })
 }
 
-/// Per-run execution options: fault injection and failure-detection knobs.
+/// Per-run execution options: fault injection, failure-detection knobs, and
+/// the observability sink.
 #[derive(Clone, Default)]
 pub struct RunOptions {
     /// Fault injector shared across workers (and across supervised retries).
     pub injector: Option<Arc<FaultInjector>>,
     /// Worker recv timeout; `None` uses `RAMIEL_RECV_TIMEOUT_MS` or 30s.
     pub recv_timeout: Option<Duration>,
+    /// Observability sink for structured fault/abort events; disabled by
+    /// default (one null check per event).
+    pub obs: Obs,
 }
 
 impl RunOptions {
     pub fn with_injector(injector: Arc<FaultInjector>) -> Self {
         RunOptions {
             injector: Some(injector),
-            recv_timeout: None,
+            ..RunOptions::default()
         }
     }
 
@@ -85,14 +93,20 @@ impl RunOptions {
         self.recv_timeout = Some(timeout);
         self
     }
+
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 /// Key for a tensor instance: (tensor name, batch element).
 type Key = (String, usize);
 
-/// A message between cluster workers.
+/// A message between cluster workers. Tensors carry the sending worker so
+/// receivers can attribute blocked time to the right channel edge.
 enum Msg {
-    Tensor(Key, Value),
+    Tensor(Key, Value, usize),
     /// A peer failed; unwind without waiting for more tensors.
     Abort,
 }
@@ -128,8 +142,20 @@ pub fn run_parallel_profiled(
     inputs: &Env,
     ctx: &ExecCtx,
 ) -> Result<(Env, ProfileDb)> {
+    run_parallel_profiled_opts(graph, clustering, inputs, ctx, &RunOptions::default())
+}
+
+/// [`run_parallel_profiled`] with explicit [`RunOptions`].
+pub fn run_parallel_profiled_opts(
+    graph: &Graph,
+    clustering: &Clustering,
+    inputs: &Env,
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<(Env, ProfileDb)> {
     let hc = ramiel_cluster::hypercluster(clustering, 1);
-    let (mut outs, db) = run_hyper_profiled(graph, &hc, std::slice::from_ref(inputs), ctx)?;
+    let (mut outs, db) =
+        run_hyper_profiled_opts(graph, &hc, std::slice::from_ref(inputs), ctx, opts)?;
     Ok((outs.pop().expect("batch 1 yields one output env"), db))
 }
 
@@ -165,6 +191,17 @@ pub fn run_hyper_profiled(
     run_hyper_inner(graph, hc, inputs, ctx, &RunOptions::default())
 }
 
+/// [`run_hyper_profiled`] with explicit [`RunOptions`].
+pub fn run_hyper_profiled_opts(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<(Vec<Env>, ProfileDb)> {
+    run_hyper_inner(graph, hc, inputs, ctx, opts)
+}
+
 /// Shared read-only worker state (one instance per run, borrowed by every
 /// worker thread in the scope).
 struct Shared<'a> {
@@ -176,6 +213,8 @@ struct Shared<'a> {
     out_envs: &'a Mutex<Vec<Env>>,
     graph_outputs: &'a HashSet<&'a str>,
     db: &'a Mutex<ProfileDb>,
+    meter: &'a ChannelMeter,
+    obs: &'a Obs,
     epoch: Instant,
     abort: &'a AtomicBool,
     recv_timeout: Duration,
@@ -242,7 +281,12 @@ fn run_hyper_inner(
     let graph_outputs: HashSet<&str> = graph.outputs.iter().map(String::as_str).collect();
 
     let out_envs: Mutex<Vec<Env>> = Mutex::new(vec![Env::new(); hc.batch]);
-    let db: Mutex<ProfileDb> = Mutex::new(ProfileDb::new(k, hc.batch));
+    let mut db0 = ProfileDb::new(k, hc.batch);
+    // Anchor this run on the sink's timeline so executor slices line up
+    // with compile spans captured earlier on the same sink.
+    db0.set_epoch_offset_ns(opts.obs.now_ns());
+    let db: Mutex<ProfileDb> = Mutex::new(db0);
+    let meter = ChannelMeter::new(k);
     let abort = AtomicBool::new(false);
     let shared = Shared {
         graph,
@@ -253,6 +297,8 @@ fn run_hyper_inner(
         out_envs: &out_envs,
         graph_outputs: &graph_outputs,
         db: &db,
+        meter: &meter,
+        obs: &opts.obs,
         epoch: Instant::now(),
         abort: &abort,
         recv_timeout: opts.recv_timeout.unwrap_or_else(default_recv_timeout),
@@ -301,6 +347,8 @@ fn run_hyper_inner(
         }
     })?;
 
+    db.lock().set_channels(meter.stats());
+
     // Outputs that are direct inputs/initializers (degenerate but legal).
     let mut outs = out_envs.into_inner();
     for (b, env) in outs.iter_mut().enumerate() {
@@ -347,6 +395,7 @@ fn worker_loop(
     let mut remaining: Vec<bool> = vec![true; ops.len()];
     let mut left = ops.len();
     let mut records = Vec::with_capacity(ops.len());
+    let loop_start_ns = (Instant::now() - sh.epoch).as_nanos() as u64;
 
     let available = |env: &HashMap<Key, Value>, tensor: &str, batch: usize| -> bool {
         env.contains_key(&(tensor.to_string(), batch))
@@ -375,7 +424,8 @@ fn worker_loop(
         // Drain any already-arrived messages without blocking.
         while let Ok(msg) = rx.try_recv() {
             match msg {
-                Msg::Tensor(key, v) => {
+                Msg::Tensor(key, v, from) => {
+                    sh.meter.on_recv(from, me, 0);
                     env.insert(key, v);
                 }
                 Msg::Abort => return Err(abort_error(me)),
@@ -394,11 +444,12 @@ fn worker_loop(
             // as errors instead of hangs).
             let wait_start = Instant::now();
             match rx.recv_timeout(sh.recv_timeout) {
-                Ok(Msg::Tensor(key, v)) => {
-                    let waited = wait_start.elapsed();
+                Ok(Msg::Tensor(key, v, from)) => {
+                    let waited = wait_start.elapsed().as_nanos() as u64;
+                    sh.meter.on_recv(from, me, waited);
                     if let Some(last) = records.last_mut() {
                         let r: &mut OpRecord = last;
-                        r.slack_after_ns += waited.as_nanos() as u64;
+                        r.slack_after_ns += waited;
                     }
                     env.insert(key, v);
                     continue;
@@ -431,6 +482,12 @@ fn worker_loop(
         let mut drop_msgs = false;
         let mut send_delay = None;
         for kind in &armed {
+            sh.obs.instant(
+                me as u32,
+                format!("fault:{}", kind.name()),
+                "fault",
+                serde_json::json!({ "node": op.node, "batch": op.batch }),
+            );
             match kind {
                 FaultKind::KernelError => kernel_fault = true,
                 FaultKind::WorkerPanic => std::panic::panic_any(InjectedPanic {
@@ -508,8 +565,9 @@ fn worker_loop(
             if !drop_msgs {
                 if let Some(targets) = sh.consumers.get(&(name.clone(), op.batch)) {
                     for &t in targets {
+                        sh.meter.on_send(me, t, value_bytes(&v));
                         sh.senders[t]
-                            .send(Msg::Tensor((name.clone(), op.batch), v.clone()))
+                            .send(Msg::Tensor((name.clone(), op.batch), v.clone(), me))
                             .map_err(|_| RuntimeError::ChannelClosed {
                                 cluster: Some(me),
                                 detail: "consumer hung up".into(),
@@ -524,7 +582,14 @@ fn worker_loop(
         }
     }
 
-    sh.db.lock().extend(records);
+    let loop_end_ns = (Instant::now() - sh.epoch).as_nanos() as u64;
+    let mut db = sh.db.lock();
+    db.extend(records);
+    db.push_worker_span(WorkerSpan {
+        worker: me,
+        start_ns: loop_start_ns,
+        end_ns: loop_end_ns,
+    });
     Ok(())
 }
 

@@ -18,15 +18,17 @@
 
 use crate::fault::{panic_to_error, FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
 use crate::parallel::{default_recv_timeout, RunOptions};
-use crate::{Env, Result, RuntimeError};
+use crate::profile::{OpRecord, ProfileDb, WorkerSpan};
+use crate::{value_bytes, Env, Result, RuntimeError};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ramiel_cluster::Clustering;
 use ramiel_ir::{Graph, NodeId, OpKind};
+use ramiel_obs::{ChannelMeter, Obs};
 use ramiel_tensor::{eval_op, ExecCtx, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A tensor instance within one job.
 type Key = (u64, String);
@@ -35,8 +37,11 @@ enum WorkerMsg {
     Job {
         id: u64,
         inputs: Arc<Env>,
+        /// Collect per-op records for this job.
+        profile: bool,
     },
-    Tensor(Key, Value),
+    /// Tensor plus the sending worker (for per-edge channel metrics).
+    Tensor(Key, Value, usize),
     /// A peer failed this job: stop waiting for its tensors.
     JobAbort(u64),
     Stop,
@@ -47,6 +52,10 @@ struct WorkerDone {
     job: u64,
     outputs: Vec<(String, Value)>,
     error: Option<RuntimeError>,
+    /// Per-op records (profiled jobs only).
+    records: Vec<OpRecord>,
+    /// This worker's wall window over the job (profiled jobs only).
+    span: Option<WorkerSpan>,
 }
 
 /// A standing pool of cluster workers executing one clustering over and
@@ -59,6 +68,10 @@ pub struct ClusterPool {
     num_outputs: usize,
     graph_outputs: Vec<String>,
     recv_timeout: Duration,
+    meter: Arc<ChannelMeter>,
+    obs: Obs,
+    /// Shared timebase for worker-side profiling records.
+    epoch: Instant,
 }
 
 impl ClusterPool {
@@ -112,6 +125,8 @@ impl ClusterPool {
             (0..k).map(|_| unbounded()).collect();
         let worker_txs: Vec<Sender<WorkerMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let (done_tx, done_rx) = unbounded::<WorkerDone>();
+        let meter = Arc::new(ChannelMeter::new(k));
+        let epoch = Instant::now();
 
         let mut handles = Vec::with_capacity(k);
         for (w, cluster) in clustering.clusters.iter().enumerate() {
@@ -124,6 +139,8 @@ impl ClusterPool {
             let done_tx = done_tx.clone();
             let ctx = ctx.clone();
             let injector = opts.injector.clone();
+            let meter = Arc::clone(&meter);
+            let obs = opts.obs.clone();
             handles.push(std::thread::spawn(move || {
                 worker_main(WorkerState {
                     graph: &graph,
@@ -137,6 +154,9 @@ impl ClusterPool {
                     ctx: &ctx,
                     injector: injector.as_ref(),
                     recv_timeout,
+                    meter: &meter,
+                    obs,
+                    epoch,
                 });
             }));
         }
@@ -150,11 +170,26 @@ impl ClusterPool {
             num_outputs: k,
             graph_outputs,
             recv_timeout,
+            meter,
+            obs: opts.obs.clone(),
+            epoch,
         })
     }
 
     /// Run one inference through the standing workers.
     pub fn run(&mut self, inputs: &Env) -> Result<Env> {
+        self.run_inner(inputs, false).map(|(env, _)| env)
+    }
+
+    /// Run one inference and collect a [`ProfileDb`] for it: per-op records
+    /// from every worker plus the pool's cumulative channel statistics
+    /// (sends/bytes/blocked time since the pool was created).
+    pub fn run_profiled(&mut self, inputs: &Env) -> Result<(Env, ProfileDb)> {
+        let (env, db) = self.run_inner(inputs, true)?;
+        Ok((env, db.expect("profiled run always builds a db")))
+    }
+
+    fn run_inner(&mut self, inputs: &Env, profile: bool) -> Result<(Env, Option<ProfileDb>)> {
         let id = self.next_job;
         self.next_job += 1;
         let shared = Arc::new(inputs.clone());
@@ -162,12 +197,23 @@ impl ClusterPool {
             tx.send(WorkerMsg::Job {
                 id,
                 inputs: Arc::clone(&shared),
+                profile,
             })
             .map_err(|_| RuntimeError::ChannelClosed {
                 cluster: None,
                 detail: "pool worker hung up".into(),
             })?;
         }
+        let mut db = profile.then(|| {
+            let mut db = ProfileDb::new(self.num_outputs, 1);
+            // obs-timeline position of the pool epoch all records count from
+            db.set_epoch_offset_ns(
+                self.obs
+                    .now_ns()
+                    .saturating_sub(self.epoch.elapsed().as_nanos() as u64),
+            );
+            db
+        });
         let mut env = Env::new();
         let mut errors: Vec<RuntimeError> = Vec::new();
         for received in 0..self.num_outputs {
@@ -184,9 +230,18 @@ impl ClusterPool {
             if let Some(e) = done.error {
                 errors.push(e);
             }
+            if let Some(db) = db.as_mut() {
+                db.extend(done.records);
+                if let Some(span) = done.span {
+                    db.push_worker_span(span);
+                }
+            }
             for (name, v) in done.outputs {
                 env.insert(name, v);
             }
+        }
+        if let Some(db) = db.as_mut() {
+            db.set_channels(self.meter.stats());
         }
         // Report the root cause, not a peer's secondary abort error.
         if let Some(e) = errors
@@ -205,7 +260,7 @@ impl ClusterPool {
                 }
             }
         }
-        Ok(env)
+        Ok((env, db))
     }
 }
 
@@ -232,6 +287,9 @@ struct WorkerState<'a> {
     ctx: &'a ExecCtx,
     injector: Option<&'a Arc<FaultInjector>>,
     recv_timeout: Duration,
+    meter: &'a ChannelMeter,
+    obs: Obs,
+    epoch: Instant,
 }
 
 fn worker_main(st: WorkerState<'_>) {
@@ -242,9 +300,10 @@ fn worker_main(st: WorkerState<'_>) {
     let mut aborted: HashSet<u64> = HashSet::new();
 
     while let Ok(msg) = st.rx.recv() {
-        let (job, inputs) = match msg {
+        let (job, inputs, profile) = match msg {
             WorkerMsg::Stop => return,
-            WorkerMsg::Tensor(key, v) => {
+            WorkerMsg::Tensor(key, v, from) => {
+                st.meter.on_recv(from, st.me, 0);
                 stash.insert(key, v);
                 continue;
             }
@@ -252,22 +311,44 @@ fn worker_main(st: WorkerState<'_>) {
                 aborted.insert(j);
                 continue;
             }
-            WorkerMsg::Job { id, inputs } => (id, inputs),
+            WorkerMsg::Job {
+                id,
+                inputs,
+                profile,
+            } => (id, inputs, profile),
         };
 
-        let (outputs, error) = if aborted.contains(&job) {
-            (Vec::new(), Some(job_abort_error(st.me)))
+        let job_start_ns = st.epoch.elapsed().as_nanos() as u64;
+        let (outputs, error, records) = if aborted.contains(&job) {
+            (Vec::new(), Some(job_abort_error(st.me)), Vec::new())
         } else {
             // Panics must not kill the pool thread: catch per job, report
             // as a structured error, keep serving.
             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_job(&st, &graph_outputs, &mut stash, &mut aborted, job, &inputs)
+                run_job(
+                    &st,
+                    &graph_outputs,
+                    &mut stash,
+                    &mut aborted,
+                    job,
+                    &inputs,
+                    profile,
+                )
             }));
             match r {
-                Ok(pair) => pair,
-                Err(payload) => (Vec::new(), Some(panic_to_error(Some(st.me), payload))),
+                Ok(triple) => triple,
+                Err(payload) => (
+                    Vec::new(),
+                    Some(panic_to_error(Some(st.me), payload)),
+                    Vec::new(),
+                ),
             }
         };
+        let span = profile.then(|| WorkerSpan {
+            worker: st.me,
+            start_ns: job_start_ns,
+            end_ns: st.epoch.elapsed().as_nanos() as u64,
+        });
 
         if error.is_some() {
             // Unblock peers waiting on this job's tensors.
@@ -288,6 +369,8 @@ fn worker_main(st: WorkerState<'_>) {
                 job,
                 outputs,
                 error,
+                records,
+                span,
             })
             .is_err()
         {
@@ -304,7 +387,8 @@ fn job_abort_error(me: usize) -> RuntimeError {
 }
 
 /// Execute one job's ops on this worker. Returns the graph outputs this
-/// worker produced plus the first error, if any.
+/// worker produced, the first error (if any), and per-op records when
+/// `profile` is set.
 fn run_job(
     st: &WorkerState<'_>,
     graph_outputs: &HashSet<&str>,
@@ -312,11 +396,13 @@ fn run_job(
     aborted: &mut HashSet<u64>,
     job: u64,
     inputs: &Env,
-) -> (Vec<(String, Value)>, Option<RuntimeError>) {
+    profile: bool,
+) -> (Vec<(String, Value)>, Option<RuntimeError>, Vec<OpRecord>) {
     let me = st.me;
     let mut env: HashMap<String, Value> = HashMap::new();
     let mut outputs = Vec::new();
     let mut error = None;
+    let mut records: Vec<OpRecord> = Vec::new();
 
     'ops: for &nid in st.nodes {
         let node = &st.graph.nodes[nid];
@@ -331,6 +417,12 @@ fn run_job(
         let mut drop_msgs = false;
         let mut send_delay = None;
         for kind in &armed {
+            st.obs.instant(
+                me as u32,
+                format!("fault:{}", kind.name()),
+                "fault",
+                serde_json::json!({ "node": nid, "job": job }),
+            );
             match kind {
                 FaultKind::KernelError => kernel_fault = true,
                 FaultKind::WorkerPanic => std::panic::panic_any(InjectedPanic {
@@ -351,6 +443,7 @@ fn run_job(
         // land in `env` (not a one-shot slot) because several nodes of this
         // cluster may consume the same cross-cluster tensor, which the
         // producer sends only once per consumer cluster.
+        let mut blocked_ns: u64 = 0;
         let mut ins: Vec<Value> = Vec::with_capacity(node.inputs.len());
         for t in &node.inputs {
             loop {
@@ -366,8 +459,12 @@ fn run_job(
                     ins.push(v);
                     break;
                 }
+                let wait_start = Instant::now();
                 match st.rx.recv_timeout(st.recv_timeout) {
-                    Ok(WorkerMsg::Tensor((j, name), v)) => {
+                    Ok(WorkerMsg::Tensor((j, name), v, from)) => {
+                        let waited = wait_start.elapsed().as_nanos() as u64;
+                        blocked_ns += waited;
+                        st.meter.on_recv(from, me, waited);
                         if j == job {
                             env.insert(name, v);
                         } else {
@@ -398,6 +495,7 @@ fn run_job(
                 }
             }
         }
+        let op_start = profile.then(Instant::now);
         let result = if matches!(node.op, OpKind::Constant) {
             if kernel_fault {
                 error = Some(RuntimeError::Injected {
@@ -443,6 +541,21 @@ fn run_job(
                 break 'ops;
             }
         };
+        if let Some(start) = op_start {
+            // Operand-wait time belongs to the gap *after* the previous op
+            // (same attribution the per-run parallel executor uses).
+            if let Some(prev) = records.last_mut() {
+                prev.slack_after_ns += blocked_ns;
+            }
+            records.push(OpRecord {
+                worker: me,
+                batch: 0,
+                node: nid,
+                start_ns: (start - st.epoch).as_nanos() as u64,
+                end_ns: st.epoch.elapsed().as_nanos() as u64,
+                slack_after_ns: 0,
+            });
+        }
         if let Some(d) = send_delay {
             std::thread::sleep(d);
         }
@@ -450,8 +563,9 @@ fn run_job(
             if !drop_msgs {
                 if let Some(targets) = st.consumers.get(name) {
                     for &t in targets {
+                        st.meter.on_send(me, t, value_bytes(&v));
                         if st.peer_txs[t]
-                            .send(WorkerMsg::Tensor((job, name.clone()), v.clone()))
+                            .send(WorkerMsg::Tensor((job, name.clone()), v.clone(), me))
                             .is_err()
                         {
                             error = Some(RuntimeError::ChannelClosed {
@@ -470,7 +584,7 @@ fn run_job(
         }
     }
 
-    (outputs, error)
+    (outputs, error, records)
 }
 
 #[cfg(test)]

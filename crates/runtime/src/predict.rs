@@ -1,0 +1,247 @@
+//! Cost-model prediction accuracy: does the cost model's view of the
+//! schedule match what actually ran?
+//!
+//! The LC/merge pipeline balances clusters by *predicted* work units; the
+//! Profile DB records what each worker actually spent. This module joins the
+//! two: per-cluster predicted share of total work vs measured share of total
+//! busy time (plus measured slack), and the same comparison per op kind.
+//! Large per-cluster errors mean the cost model is steering LC toward the
+//! wrong split — exactly the situation `MeasuredCost` reclustering fixes.
+
+use crate::profile::ProfileDb;
+use ramiel_cluster::CostModel;
+use ramiel_ir::Graph;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One cluster/worker row: predicted vs measured share of the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterPrediction {
+    pub cluster: usize,
+    /// Cost-model units for the ops this worker executed.
+    pub predicted_units: u64,
+    /// Share of all predicted units (0..1).
+    pub predicted_share: f64,
+    pub measured_busy_ns: u64,
+    pub measured_slack_ns: u64,
+    /// Share of all measured busy time (0..1).
+    pub measured_share: f64,
+    /// |predicted − measured| share, in percentage points.
+    pub error_pp: f64,
+}
+
+/// Aggregate row per op kind.
+#[derive(Debug, Clone, Serialize)]
+pub struct KindPrediction {
+    pub kind: String,
+    /// Executed op instances of this kind (across batches).
+    pub count: usize,
+    pub predicted_units: u64,
+    pub measured_ns: u64,
+    pub predicted_share: f64,
+    pub measured_share: f64,
+    pub error_pp: f64,
+}
+
+/// Full prediction-accuracy report for one profiled run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredictionReport {
+    pub clusters: Vec<ClusterPrediction>,
+    pub kinds: Vec<KindPrediction>,
+    /// Mean |predicted − measured| share over clusters, percentage points.
+    pub mean_abs_error_pp: f64,
+}
+
+fn share(part: u64, total: u64) -> f64 {
+    part as f64 / total.max(1) as f64
+}
+
+/// Join a cost model's per-node estimates against a [`ProfileDb`]. Worker
+/// assignment is read from the profile itself, so the report works for any
+/// executor that produced the DB.
+pub fn predict_report(graph: &Graph, cost: &dyn CostModel, db: &ProfileDb) -> PredictionReport {
+    let node_units: Vec<u64> = graph
+        .nodes
+        .iter()
+        .map(|n| cost.node_cost(graph, n))
+        .collect();
+
+    let k = db.workers();
+    let mut pred_w = vec![0u64; k];
+    let mut busy_w = vec![0u64; k];
+    let mut slack_w = vec![0u64; k];
+    // kind → (count, predicted units, measured ns)
+    let mut by_kind: BTreeMap<&str, (usize, u64, u64)> = BTreeMap::new();
+    for r in db.records() {
+        let busy = r.end_ns.saturating_sub(r.start_ns);
+        let units = node_units.get(r.node).copied().unwrap_or(1);
+        if r.worker < k {
+            pred_w[r.worker] += units;
+            busy_w[r.worker] += busy;
+            slack_w[r.worker] += r.slack_after_ns;
+        }
+        if let Some(n) = graph.nodes.get(r.node) {
+            let e = by_kind.entry(n.op.name()).or_default();
+            e.0 += 1;
+            e.1 += units;
+            e.2 += busy;
+        }
+    }
+
+    let total_pred: u64 = pred_w.iter().sum();
+    let total_busy: u64 = busy_w.iter().sum();
+    let clusters: Vec<ClusterPrediction> = (0..k)
+        .map(|w| {
+            let ps = share(pred_w[w], total_pred);
+            let ms = share(busy_w[w], total_busy);
+            ClusterPrediction {
+                cluster: w,
+                predicted_units: pred_w[w],
+                predicted_share: ps,
+                measured_busy_ns: busy_w[w],
+                measured_slack_ns: slack_w[w],
+                measured_share: ms,
+                error_pp: (ps - ms).abs() * 100.0,
+            }
+        })
+        .collect();
+    let mean_abs_error_pp = if clusters.is_empty() {
+        0.0
+    } else {
+        clusters.iter().map(|c| c.error_pp).sum::<f64>() / clusters.len() as f64
+    };
+    let kinds: Vec<KindPrediction> = by_kind
+        .into_iter()
+        .map(|(kind, (count, units, ns))| {
+            let ps = share(units, total_pred);
+            let ms = share(ns, total_busy);
+            KindPrediction {
+                kind: kind.to_string(),
+                count,
+                predicted_units: units,
+                measured_ns: ns,
+                predicted_share: ps,
+                measured_share: ms,
+                error_pp: (ps - ms).abs() * 100.0,
+            }
+        })
+        .collect();
+
+    PredictionReport {
+        clusters,
+        kinds,
+        mean_abs_error_pp,
+    }
+}
+
+impl PredictionReport {
+    /// Render as an aligned plain-text table (the `ramiel profile` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cost-model prediction accuracy (mean cluster error {:.1} pp)",
+            self.mean_abs_error_pp
+        );
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>10} {:>8} {:>12} {:>12} {:>8} {:>7}",
+            "cluster", "pred.units", "pred.%", "busy.ms", "slack.ms", "meas.%", "err.pp"
+        );
+        for c in &self.clusters {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>10} {:>7.1}% {:>12.3} {:>12.3} {:>7.1}% {:>7.1}",
+                c.cluster,
+                c.predicted_units,
+                c.predicted_share * 100.0,
+                c.measured_busy_ns as f64 / 1e6,
+                c.measured_slack_ns as f64 / 1e6,
+                c.measured_share * 100.0,
+                c.error_pp
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>6} {:>10} {:>12} {:>8} {:>8} {:>7}",
+            "op kind", "count", "pred.units", "meas.ms", "pred.%", "meas.%", "err.pp"
+        );
+        for kp in &self.kinds {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>6} {:>10} {:>12.3} {:>7.1}% {:>7.1}% {:>7.1}",
+                kp.kind,
+                kp.count,
+                kp.predicted_units,
+                kp.measured_ns as f64 / 1e6,
+                kp.predicted_share * 100.0,
+                kp.measured_share * 100.0,
+                kp.error_pp
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::OpRecord;
+    use ramiel_cluster::StaticCost;
+    use ramiel_ir::{DType, GraphBuilder, OpKind};
+
+    fn two_node_graph() -> Graph {
+        let mut b = GraphBuilder::new("p");
+        let x = b.input("x", DType::F32, vec![2, 2]);
+        let m = b.op("m", OpKind::MatMul, vec![x.clone(), x]);
+        let r = b.op("r", OpKind::Relu, vec![m]);
+        b.output(&r);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn report_joins_costs_and_measurements() {
+        let g = two_node_graph();
+        let mut db = ProfileDb::new(2, 1);
+        db.extend(vec![
+            OpRecord {
+                worker: 0,
+                batch: 0,
+                node: 0, // MatMul, StaticCost 40
+                start_ns: 0,
+                end_ns: 3_000,
+                slack_after_ns: 100,
+            },
+            OpRecord {
+                worker: 1,
+                batch: 0,
+                node: 1, // Relu, StaticCost 1
+                start_ns: 0,
+                end_ns: 1_000,
+                slack_after_ns: 0,
+            },
+        ]);
+        let rep = predict_report(&g, &StaticCost, &db);
+        assert_eq!(rep.clusters.len(), 2);
+        assert_eq!(rep.clusters[0].predicted_units, 40);
+        assert_eq!(rep.clusters[0].measured_busy_ns, 3_000);
+        assert_eq!(rep.clusters[0].measured_slack_ns, 100);
+        // predicted share 40/41 ≈ 97.6%, measured share 3000/4000 = 75%
+        assert!(rep.clusters[0].error_pp > 20.0);
+        assert_eq!(rep.kinds.len(), 2);
+        let rendered = rep.render();
+        assert!(rendered.contains("MatMul"));
+        assert!(rendered.contains("cluster"));
+    }
+
+    #[test]
+    fn empty_db_yields_empty_but_valid_report() {
+        let g = two_node_graph();
+        let db = ProfileDb::new(1, 1);
+        let rep = predict_report(&g, &StaticCost, &db);
+        assert_eq!(rep.clusters.len(), 1);
+        assert_eq!(rep.mean_abs_error_pp, 0.0);
+        assert!(!rep.render().is_empty());
+    }
+}

@@ -4,6 +4,7 @@
 //! blocked on `recv` after an op — the imbalance signal the paper uses to
 //! motivate hyperclustering and to hand-tune switched hyperclusters.
 
+use ramiel_obs::ChannelEdgeStats;
 use serde::Serialize;
 
 /// One executed operation.
@@ -18,12 +19,27 @@ pub struct OpRecord {
     pub slack_after_ns: u64,
 }
 
+/// One worker's wall-clock window: from entering its loop to finishing its
+/// last op. Busy + recorded slack is bounded by this window (the remainder
+/// is scheduling overhead and waits not attributable to a finished op).
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerSpan {
+    pub worker: usize,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
 /// Collected trace of a parallel run.
 #[derive(Debug, Clone, Serialize)]
 pub struct ProfileDb {
     workers: usize,
     batch: usize,
     records: Vec<OpRecord>,
+    worker_spans: Vec<WorkerSpan>,
+    channels: Vec<ChannelEdgeStats>,
+    /// Offset of this run's epoch on the exporting [`ramiel_obs::Obs`]
+    /// timeline (0 when no enabled sink was attached to the run).
+    epoch_offset_ns: u64,
 }
 
 /// Per-worker slack aggregation.
@@ -42,6 +58,9 @@ impl ProfileDb {
             workers,
             batch,
             records: Vec::new(),
+            worker_spans: Vec::new(),
+            channels: Vec::new(),
+            epoch_offset_ns: 0,
         }
     }
 
@@ -49,8 +68,28 @@ impl ProfileDb {
         self.records.extend(records);
     }
 
+    pub fn push_worker_span(&mut self, span: WorkerSpan) {
+        self.worker_spans.push(span);
+    }
+
+    pub fn set_channels(&mut self, channels: Vec<ChannelEdgeStats>) {
+        self.channels = channels;
+    }
+
+    pub fn set_epoch_offset_ns(&mut self, offset: u64) {
+        self.epoch_offset_ns = offset;
+    }
+
     pub fn records(&self) -> &[OpRecord] {
         &self.records
+    }
+
+    pub fn worker_spans(&self) -> &[WorkerSpan] {
+        &self.worker_spans
+    }
+
+    pub fn channels(&self) -> &[ChannelEdgeStats] {
+        &self.channels
     }
 
     pub fn workers(&self) -> usize {
@@ -89,6 +128,79 @@ impl ProfileDb {
     /// Serialize to JSON for offline analysis.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("profile serialization cannot fail")
+    }
+
+    /// Replay this profile into an obs sink: one thread track per worker
+    /// (named), one span per op, explicit slack slices, and per-edge channel
+    /// statistics as instant events. Timestamps are shifted by the epoch
+    /// offset recorded at run start so executor slices line up with compile
+    /// spans captured on the same sink.
+    pub fn export_to_obs(&self, obs: &ramiel_obs::Obs, graph: &ramiel_ir::Graph) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let off = self.epoch_offset_ns;
+        for w in 0..self.workers {
+            obs.name_thread(w as u32, format!("worker {w}"));
+        }
+        for r in &self.records {
+            let name = graph
+                .nodes
+                .get(r.node)
+                .map(|n| format!("{} ({})", n.name, n.op.name()))
+                .unwrap_or_else(|| format!("node {}", r.node));
+            obs.complete(
+                r.worker as u32,
+                name,
+                "op",
+                off + r.start_ns,
+                off + r.end_ns,
+                serde_json::json!({ "node": r.node, "batch": r.batch }),
+            );
+            if r.slack_after_ns > 0 {
+                obs.complete(
+                    r.worker as u32,
+                    "slack (blocked on recv)",
+                    "slack",
+                    off + r.end_ns,
+                    off + r.end_ns + r.slack_after_ns,
+                    serde_json::Value::Null,
+                );
+            }
+        }
+        for c in &self.channels {
+            obs.instant(
+                c.to as u32,
+                format!("channel {} -> {}", c.from, c.to),
+                "channel",
+                serde_json::json!({
+                    "sends": c.sends,
+                    "recvs": c.recvs,
+                    "bytes": c.bytes,
+                    "blocked_ms": c.blocked_ns as f64 / 1e6,
+                    "max_in_flight": c.max_in_flight,
+                }),
+            );
+        }
+    }
+
+    /// Distil measured per-node busy times into a [`MeasuredCost`] model for
+    /// profile-guided reclustering: mean busy ns per node, backed by per-op-
+    /// kind means for nodes this profile never saw.
+    pub fn measured_cost(&self, graph: &ramiel_ir::Graph) -> ramiel_cluster::MeasuredCost {
+        let mut sum = vec![0u64; graph.num_nodes()];
+        let mut cnt = vec![0u64; graph.num_nodes()];
+        for r in &self.records {
+            if r.node < sum.len() {
+                sum[r.node] += r.end_ns.saturating_sub(r.start_ns);
+                cnt[r.node] += 1;
+            }
+        }
+        let samples: Vec<(usize, u64)> = (0..graph.num_nodes())
+            .filter(|&n| cnt[n] > 0)
+            .map(|n| (n, sum[n] / cnt[n]))
+            .collect();
+        ramiel_cluster::MeasuredCost::from_node_ns(graph, &samples)
     }
 
     /// Export as a Chrome trace (`chrome://tracing` / Perfetto) — one lane

@@ -47,6 +47,9 @@ pub struct SupervisorConfig {
     pub fallback: bool,
     /// Worker recv timeout; `None` uses `RAMIEL_RECV_TIMEOUT_MS` or 30s.
     pub recv_timeout: Option<Duration>,
+    /// Observability sink: retry/fallback decisions are emitted as trace
+    /// instants (disabled handle = zero cost).
+    pub obs: ramiel_obs::Obs,
 }
 
 impl Default for SupervisorConfig {
@@ -57,6 +60,7 @@ impl Default for SupervisorConfig {
             backoff_max: Duration::from_secs(1),
             fallback: true,
             recv_timeout: None,
+            obs: ramiel_obs::Obs::disabled(),
         }
     }
 }
@@ -113,6 +117,7 @@ pub fn run_hyper_supervised(
     let opts = RunOptions {
         injector: injector.clone(),
         recv_timeout: cfg.recv_timeout,
+        obs: cfg.obs.clone(),
     };
     let mut report = RunReport::default();
     let finish = |report: &mut RunReport| {
@@ -144,6 +149,15 @@ pub fn run_hyper_supervised(
                     return (Err(last_err.expect("just set")), report);
                 }
                 if attempt < cfg.max_retries {
+                    cfg.obs.instant(
+                        0,
+                        format!("supervisor:retry (attempt {})", attempt + 2),
+                        "supervisor",
+                        serde_json::json!({
+                            "error": last_err.as_ref().expect("just set").code(),
+                            "backoff_ms": backoff_for(cfg, attempt).as_millis() as u64,
+                        }),
+                    );
                     std::thread::sleep(backoff_for(cfg, attempt));
                 }
             }
@@ -152,6 +166,15 @@ pub fn run_hyper_supervised(
 
     if cfg.fallback {
         report.fell_back = true;
+        cfg.obs.instant(
+            0,
+            "supervisor:fallback to sequential".to_string(),
+            "supervisor",
+            serde_json::json!({
+                "error": last_err.as_ref().expect("retries exhausted").code(),
+                "attempts": report.attempts,
+            }),
+        );
         let mut outs = Vec::with_capacity(inputs.len());
         for env in inputs {
             let r = catch_unwind(AssertUnwindSafe(|| {

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Benchmark summary: runs the quick measured sweep (sequential vs parallel
+# per model, disabled-obs overhead guard, profile-guided reclustering) and
+# writes BENCH_<date>.json at the repo root.
+#
+# Usage: scripts/bench.sh [--full] [--iters N]
+#   --full     full-size models instead of the tiny configs
+#   --iters N  timing iterations per measurement (default 3)
+#
+# Offline like everything else here: vendored deps only, release profile so
+# the numbers mean something.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y%m%d).json"
+echo "==> cargo build --release -p ramiel-bench --bin bench_json"
+cargo build --release --offline -p ramiel-bench --bin bench_json
+
+echo "==> bench_json $out $*"
+./target/release/bench_json "$out" "$@"
+
+echo "==> summary"
+cat "$out"
+echo
+echo "wrote $out"

@@ -24,4 +24,14 @@ echo "==> chaos + differential suites (10 min wall-clock cap)"
 timeout --kill-after=30s 600s \
     cargo test --offline -p ramiel --test differential --test chaos
 
+# Observability smoke: `ramiel profile` runs the model on all four executors
+# and validates the merged Chrome/Perfetto trace before writing it — a
+# malformed trace (or any executor divergence) is a failing exit code. Same
+# hard timeout discipline as the chaos gate.
+echo "==> ramiel profile smoke (trace validity gate)"
+timeout --kill-after=30s 600s \
+    cargo run --offline -p ramiel --bin ramiel -- \
+    profile squeezenet --tiny --out target/ci-profile
+test -s target/ci-profile/squeezenet-trace.json
+
 echo "CI green."

@@ -12,8 +12,8 @@ use proptest::prelude::*;
 use ramiel_cluster::{cluster_graph, Clustering, StaticCost};
 use ramiel_models::synthetic;
 use ramiel_runtime::{
-    run_parallel_opts, run_sequential, run_supervised, synth_inputs, FaultInjector, FaultKind,
-    FaultPlan, RunOptions, RuntimeError, SupervisorConfig,
+    run_parallel_opts, run_sequential, run_sequential_opts, run_supervised, synth_inputs,
+    FaultInjector, FaultKind, FaultPlan, RunOptions, RuntimeError, SupervisorConfig,
 };
 use ramiel_tensor::ExecCtx;
 use std::sync::Arc;
@@ -117,25 +117,27 @@ proptest! {
     }
 
     /// The injector itself is deterministic: the same plan fires the same
-    /// faults (same nodes, same kinds, same order) on repeated runs.
+    /// faults (same nodes, same kinds, same execution indices) on repeated
+    /// runs. Exercised on the sequential executor, whose execution order is
+    /// fixed — under the *parallel* executor a fatal fault aborts the run
+    /// while peer workers race toward their own planned faults, so which
+    /// subset fires there is legitimately scheduling-dependent (the
+    /// liveness/correctness property above is the contract for that case).
     #[test]
     fn fault_plans_fire_deterministically(fseed in any::<u64>(), nfaults in 1usize..5) {
         quiet_injected_panics();
         let g = synthetic::layered_random(7, 4, 3, 2);
-        let clustering = cluster_graph(&g, &StaticCost);
         let ctx = ExecCtx::sequential();
         let inputs = synth_inputs(&g, 1);
-        let cfg = SupervisorConfig {
-            max_retries: 1,
-            backoff_base: Duration::from_millis(1),
-            fallback: true,
-            recv_timeout: Some(Duration::from_secs(2)),
-            ..Default::default()
-        };
         let run = || {
             let inj = FaultInjector::new(FaultPlan::random(fseed, g.num_nodes(), 1, nfaults));
-            let (_, report) = run_supervised(&g, &clustering, &inputs, &ctx, Some(inj), &cfg);
-            report.faults_fired
+            let opts = RunOptions::with_injector(inj.clone());
+            // An injected WorkerPanic unwinds out of the sequential executor
+            // by design; the fired log is recorded before the panic.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_sequential_opts(&g, &inputs, &ctx, &opts)
+            }));
+            inj.fired()
         };
         let a = run();
         let b = run();
