@@ -54,12 +54,35 @@ struct ProfileFeedback {
 }
 
 #[derive(Serialize)]
+struct ZeroCopy {
+    model: String,
+    /// Buffer size used by the clone microbench, in bytes.
+    clone_buffer_bytes: usize,
+    /// ns to clone a `Value` holding that buffer — a refcount bump on the
+    /// Arc-shared storage plus a shape-vector copy.
+    value_clone_ns: f64,
+    /// ns to deep-copy the same buffer — what `clone()` cost before the
+    /// storage was shared, and what a channel send used to pay.
+    deep_copy_ns: f64,
+    /// Logical payload bytes shipped over cluster channels during one
+    /// parallel inference (what a serializing transport would move).
+    channel_bytes: u64,
+    /// Bytes the senders actually copied for those messages (value headers
+    /// + shape vectors; element buffers are shared).
+    channel_copied_bytes: u64,
+    /// channel_bytes / channel_copied_bytes — the regression guard:
+    /// `bench_json` exits nonzero if this drops below 2.
+    bytes_reduction: f64,
+}
+
+#[derive(Serialize)]
 struct Summary {
     config: String,
     iters: usize,
     models: Vec<ModelRow>,
     obs_overhead: ObsOverhead,
     profile_feedback: ProfileFeedback,
+    zero_copy: ZeroCopy,
 }
 
 fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -90,7 +113,12 @@ fn main() {
     let ctx = ExecCtx::sequential();
 
     let mut models = Vec::new();
-    for kind in [ModelKind::Squeezenet, ModelKind::Googlenet, ModelKind::Bert] {
+    for kind in [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::InceptionV3,
+        ModelKind::Bert,
+    ] {
         let c = compile(build(kind, &cfg), &PipelineOptions::default()).expect("pipeline");
         let inputs = synth_inputs(&c.graph, 42);
         let seq_ms = time_ms(iters, || {
@@ -158,12 +186,58 @@ fn main() {
         measured_makespan: tuned_sim.makespan,
     };
 
+    // Zero-copy health: clone-vs-deep-copy microbench plus the
+    // bytes-copied-per-inference guard on BERT's parallel executor.
+    let zero_copy = {
+        let clone_buffer_bytes = 4 << 20; // 4 MiB of f32s
+        let v = ramiel_tensor::Value::random_f32(vec![clone_buffer_bytes / 4], 7);
+        let micro_iters = 1000;
+        let start = Instant::now();
+        for _ in 0..micro_iters {
+            std::hint::black_box(v.clone());
+        }
+        let value_clone_ns = start.elapsed().as_nanos() as f64 / micro_iters as f64;
+        let data = v.f32().expect("f32 by construction").data();
+        let deep_iters = 20;
+        let start = Instant::now();
+        for _ in 0..deep_iters {
+            std::hint::black_box(data.to_vec());
+        }
+        let deep_copy_ns = start.elapsed().as_nanos() as f64 / deep_iters as f64;
+
+        let c =
+            compile(build(ModelKind::Bert, &cfg), &PipelineOptions::default()).expect("pipeline");
+        let inputs = synth_inputs(&c.graph, 42);
+        let (_, db) =
+            run_parallel_profiled(&c.graph, &c.clustering, &inputs, &ctx).expect("profiled");
+        let channel_bytes: u64 = db.channels().iter().map(|e| e.bytes).sum();
+        let channel_copied_bytes: u64 = db.channels().iter().map(|e| e.copied_bytes).sum();
+        ZeroCopy {
+            model: "BERT".to_string(),
+            clone_buffer_bytes,
+            value_clone_ns,
+            deep_copy_ns,
+            channel_bytes,
+            channel_copied_bytes,
+            bytes_reduction: channel_bytes as f64 / channel_copied_bytes.max(1) as f64,
+        }
+    };
+    if zero_copy.channel_bytes > 0 && zero_copy.bytes_reduction < 2.0 {
+        eprintln!(
+            "zero-copy guard FAILED: channel sends copied {} of {} payload bytes \
+             ({}x reduction, need >= 2x) — sends are deep-copying again",
+            zero_copy.channel_copied_bytes, zero_copy.channel_bytes, zero_copy.bytes_reduction
+        );
+        std::process::exit(1);
+    }
+
     let summary = Summary {
         config: if full { "full" } else { "tiny" }.to_string(),
         iters,
         models,
         obs_overhead,
         profile_feedback,
+        zero_copy,
     };
     let json = serde_json::to_string_pretty(&summary).expect("serialize");
     match out_path {

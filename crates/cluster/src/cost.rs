@@ -21,6 +21,12 @@ pub trait CostModel: Sync {
     fn node_cost(&self, graph: &Graph, node: &Node) -> u64;
 
     /// Cost added per dependence edge on the critical path (the paper uses 1).
+    ///
+    /// This prices *scheduling* overhead — enqueueing, waking the consumer,
+    /// cache effects of the handoff — not byte transfer: the runtime's
+    /// channel sends move Arc-shared buffers (a header copy, independent of
+    /// tensor size), so a size-proportional edge cost would model a
+    /// serializing transport this runtime doesn't have.
     fn edge_cost(&self) -> u64 {
         1
     }

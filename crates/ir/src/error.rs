@@ -23,6 +23,10 @@ pub enum IrError {
         expected: usize,
         got: usize,
     },
+    /// An operator carries a degenerate static attribute (zero stride, zero
+    /// kernel extent, zero groups, …) that downstream shape math and kernels
+    /// cannot give meaning to. Surfaced by `ramiel check` as RV0002.
+    Attr { node: String, reason: String },
     /// Deserialization of a model file failed.
     Serde(String),
     /// Catch-all for invalid structural edits.
@@ -44,6 +48,9 @@ impl fmt::Display for IrError {
                 expected,
                 got,
             } => write!(f, "node `{node}` expects {expected} inputs, got {got}"),
+            IrError::Attr { node, reason } => {
+                write!(f, "node `{node}` has an invalid attribute: {reason}")
+            }
             IrError::Serde(msg) => write!(f, "model (de)serialization error: {msg}"),
             IrError::Invalid(msg) => write!(f, "invalid graph operation: {msg}"),
         }

@@ -56,13 +56,15 @@ impl PoolSpec {
     }
 
     /// Output spatial extent for an input extent `n` along one axis.
+    /// Degenerate attributes (zero stride — rejected by `validate` as
+    /// RV0002) yield 0 rather than dividing by zero.
     pub fn out_extent(&self, n: usize, axis: usize) -> usize {
         let (k, s, p) = match axis {
             0 => (self.kernel.0, self.stride.0, self.pads.0),
             _ => (self.kernel.1, self.stride.1, self.pads.1),
         };
         let padded = n + 2 * p;
-        if padded < k {
+        if padded < k || s == 0 {
             return 0;
         }
         if self.ceil_mode {

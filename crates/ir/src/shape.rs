@@ -256,6 +256,11 @@ pub fn infer_node(graph: &Graph, node: &Node) -> Result<Vec<TensorInfo>> {
                     "Conv kernel attribute disagrees with weight shape",
                 ));
             }
+            if stride.0 == 0 || stride.1 == 0 {
+                // validate() rejects this as RV0002; guard here too so a
+                // graph that skipped validation errors instead of panicking.
+                return Err(err(node, format!("Conv stride {stride:?} must be nonzero")));
+            }
             let ho = (h + 2 * pads.0)
                 .checked_sub(kernel.0)
                 .map(|v| v / stride.0 + 1);

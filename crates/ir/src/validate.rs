@@ -21,7 +21,10 @@ use std::collections::HashSet;
 /// 5. the graph is acyclic;
 /// 6. every node has the right number of outputs for its operator;
 /// 7. every node has an input count its operator accepts
-///    ([`crate::op::OpKind::input_arity`]).
+///    ([`crate::op::OpKind::input_arity`]);
+/// 8. spatial operator attributes are non-degenerate — nonzero strides,
+///    kernel extents and group counts ([`IrError::Attr`], RV0002) — so the
+///    kernels' output-size arithmetic can never divide by zero.
 pub fn validate(graph: &Graph) -> Result<()> {
     let mut defined: HashSet<&str> = HashSet::new();
     for inp in &graph.inputs {
@@ -80,6 +83,7 @@ pub fn validate(graph: &Graph) -> Result<()> {
             }
             _ => {}
         }
+        check_attrs(node)?;
         if node.outputs.len() != node.op.num_outputs() {
             return Err(IrError::Invalid(format!(
                 "node `{}` ({}) must produce {} outputs, has {}",
@@ -114,6 +118,56 @@ pub fn validate(graph: &Graph) -> Result<()> {
     }
     topo_sort(graph)?;
     Ok(())
+}
+
+/// Attribute sanity for spatial operators (check 8). A model file with
+/// `stride: (0, _)` used to sail through validation and only fail later as a
+/// divide-by-zero panic inside conv/pool output-size computation.
+fn check_attrs(node: &crate::graph::Node) -> Result<()> {
+    use crate::op::{OpKind, PoolSpec};
+    let attr_err = |reason: String| {
+        Err(IrError::Attr {
+            node: node.name.clone(),
+            reason,
+        })
+    };
+    let check_pool = |what: &str, spec: &PoolSpec| {
+        if spec.stride.0 == 0 || spec.stride.1 == 0 {
+            return attr_err(format!("{what} stride {:?} must be nonzero", spec.stride));
+        }
+        if spec.kernel.0 == 0 || spec.kernel.1 == 0 {
+            return attr_err(format!("{what} kernel {:?} must be nonzero", spec.kernel));
+        }
+        Ok(())
+    };
+    match &node.op {
+        OpKind::Conv {
+            kernel,
+            stride,
+            groups,
+            ..
+        } => {
+            if stride.0 == 0 || stride.1 == 0 {
+                return attr_err(format!("Conv stride {stride:?} must be nonzero"));
+            }
+            if kernel.0 == 0 || kernel.1 == 0 {
+                return attr_err(format!("Conv kernel {kernel:?} must be nonzero"));
+            }
+            if *groups == 0 {
+                return attr_err("Conv groups must be nonzero".into());
+            }
+            Ok(())
+        }
+        OpKind::MaxPool(spec) => check_pool("MaxPool", spec),
+        OpKind::AveragePool(spec) => check_pool("AveragePool", spec),
+        OpKind::Resize { scale } => {
+            if scale.0 == 0 || scale.1 == 0 {
+                return attr_err(format!("Resize scale {scale:?} must be nonzero"));
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +271,72 @@ mod tests {
         g.push_node("cc", OpKind::Concat { axis: 0 }, vec![], vec!["z".into()]);
         g.outputs.push("z".into());
         assert!(matches!(validate(&g), Err(IrError::Invalid(m)) if m.contains("at least 1")));
+    }
+
+    #[test]
+    fn zero_stride_conv_rejected_with_attr_error() {
+        // Regression: this graph used to validate cleanly and then panic
+        // with a divide-by-zero inside conv output-size computation.
+        let mut g = ok_graph();
+        g.push_node(
+            "c",
+            OpKind::Conv {
+                kernel: (3, 3),
+                stride: (0, 1),
+                pads: (1, 1),
+                groups: 1,
+            },
+            vec!["y".into(), "y".into()],
+            vec!["z".into()],
+        );
+        g.outputs.push("z".into());
+        assert!(matches!(validate(&g), Err(IrError::Attr { node, reason })
+                if node == "c" && reason.contains("stride")));
+    }
+
+    #[test]
+    fn degenerate_pool_and_conv_attrs_rejected() {
+        use crate::op::PoolSpec;
+        let bad_ops = [
+            OpKind::Conv {
+                kernel: (0, 3),
+                stride: (1, 1),
+                pads: (0, 0),
+                groups: 1,
+            },
+            OpKind::Conv {
+                kernel: (3, 3),
+                stride: (1, 1),
+                pads: (0, 0),
+                groups: 0,
+            },
+            OpKind::MaxPool(PoolSpec {
+                kernel: (2, 2),
+                stride: (1, 0),
+                pads: (0, 0),
+                ceil_mode: false,
+            }),
+            OpKind::AveragePool(PoolSpec {
+                kernel: (2, 0),
+                stride: (1, 1),
+                pads: (0, 0),
+                ceil_mode: false,
+            }),
+            OpKind::Resize { scale: (0, 2) },
+        ];
+        for op in bad_ops {
+            let mut g = ok_graph();
+            let inputs = match op.input_arity() {
+                (2, _) => vec!["y".into(), "y".into()],
+                _ => vec!["y".into()],
+            };
+            g.push_node("bad", op.clone(), inputs, vec!["z".into()]);
+            g.outputs.push("z".into());
+            assert!(
+                matches!(validate(&g), Err(IrError::Attr { .. })),
+                "{op:?} must be rejected"
+            );
+        }
     }
 
     #[test]

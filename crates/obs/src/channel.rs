@@ -14,6 +14,7 @@ struct Cell {
     sends: AtomicU64,
     recvs: AtomicU64,
     bytes: AtomicU64,
+    copied_bytes: AtomicU64,
     blocked_ns: AtomicU64,
     in_flight: AtomicU64,
     max_in_flight: AtomicU64,
@@ -26,7 +27,13 @@ pub struct ChannelEdgeStats {
     pub to: usize,
     pub sends: u64,
     pub recvs: u64,
+    /// Logical payload bytes carried by the edge (what a process-based
+    /// transport would have to serialize).
     pub bytes: u64,
+    /// Bytes the sender actually deep-copied to build the messages. With
+    /// shared-buffer tensor values a send is a refcount bump plus a small
+    /// header, so `copied_bytes` ≪ `bytes`; the gap is the zero-copy win.
+    pub copied_bytes: u64,
     /// Total time receivers spent blocked waiting for a message that
     /// arrived on this edge, in nanoseconds.
     pub blocked_ns: u64,
@@ -56,11 +63,14 @@ impl ChannelMeter {
         &self.cells[from * self.k + to]
     }
 
-    /// Record a send of `bytes` payload bytes from `from` to `to`.
-    pub fn on_send(&self, from: usize, to: usize, bytes: u64) {
+    /// Record a send of `bytes` logical payload bytes from `from` to `to`,
+    /// of which `copied` bytes were actually deep-copied by the sender
+    /// (shallow value headers for Arc-shared tensors).
+    pub fn on_send(&self, from: usize, to: usize, bytes: u64, copied: u64) {
         let c = self.cell(from, to);
         c.sends.fetch_add(1, Ordering::Relaxed);
         c.bytes.fetch_add(bytes, Ordering::Relaxed);
+        c.copied_bytes.fetch_add(copied, Ordering::Relaxed);
         let depth = c.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         c.max_in_flight.fetch_max(depth, Ordering::Relaxed);
     }
@@ -96,6 +106,7 @@ impl ChannelMeter {
                     sends,
                     recvs,
                     bytes: c.bytes.load(Ordering::Relaxed),
+                    copied_bytes: c.copied_bytes.load(Ordering::Relaxed),
                     blocked_ns: c.blocked_ns.load(Ordering::Relaxed),
                     max_in_flight: c.max_in_flight.load(Ordering::Relaxed),
                 });
@@ -112,10 +123,10 @@ mod tests {
     #[test]
     fn meters_edges_independently() {
         let m = ChannelMeter::new(3);
-        m.on_send(0, 1, 100);
-        m.on_send(0, 1, 50);
+        m.on_send(0, 1, 100, 32);
+        m.on_send(0, 1, 50, 32);
         m.on_recv(0, 1, 7);
-        m.on_send(2, 0, 8);
+        m.on_send(2, 0, 8, 8);
         let stats = m.stats();
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].from, 0);
@@ -123,6 +134,7 @@ mod tests {
         assert_eq!(stats[0].sends, 2);
         assert_eq!(stats[0].recvs, 1);
         assert_eq!(stats[0].bytes, 150);
+        assert_eq!(stats[0].copied_bytes, 64);
         assert_eq!(stats[0].blocked_ns, 7);
         assert_eq!(stats[0].max_in_flight, 2);
         assert_eq!(stats[1].from, 2);

@@ -61,12 +61,22 @@ fn run_sequential_inner(
         env.insert(name.as_str(), v.clone());
     }
 
+    // Weights are converted to `Value`s at most once per run (or zero times
+    // when the caller shares a table via `RunOptions::init_values`); each
+    // fetch afterwards is a refcount bump. The per-fetch
+    // `Value::from_tensor_data` this replaces deep-copied a weight every
+    // time a node consumed it.
+    let init_values = match &opts.init_values {
+        Some(iv) => std::sync::Arc::clone(iv),
+        None => crate::initializer_values(graph)?,
+    };
+
     let fetch = |env: &HashMap<&str, Value>, name: &str| -> Result<Value> {
         if let Some(v) = env.get(name) {
             return Ok(v.clone());
         }
-        if let Some(td) = graph.initializers.get(name) {
-            return Ok(Value::from_tensor_data(td)?);
+        if let Some(v) = init_values.get(name) {
+            return Ok(v.clone());
         }
         Err(RuntimeError::Setup(format!("tensor `{name}` unavailable")))
     };
@@ -106,10 +116,10 @@ fn run_sequential_inner(
                     kind: FaultKind::KernelError,
                 });
             }
-            let td = graph.initializers.get(&node.outputs[0]).ok_or_else(|| {
+            let v = init_values.get(&node.outputs[0]).ok_or_else(|| {
                 RuntimeError::Setup(format!("Constant `{}` missing payload", node.name))
             })?;
-            vec![Value::from_tensor_data(td)?]
+            vec![v.clone()]
         } else {
             let ins: Result<Vec<Value>> = node.inputs.iter().map(|t| fetch(&env, t)).collect();
             let hooked;

@@ -54,6 +54,33 @@ pub(crate) fn value_bytes(v: &Value) -> u64 {
     v.numel() as u64 * elem
 }
 
+/// Bytes actually copied when a `Value` crosses a channel: the enum header
+/// plus the tensor's shape vector. The element buffer itself is an
+/// `Arc`-shared allocation, so cloning it is a refcount bump, not a copy —
+/// this is the number `ChannelMeter` records as `copied_bytes` next to the
+/// logical payload size from [`value_bytes`].
+pub(crate) fn value_copied_bytes(v: &Value) -> u64 {
+    (std::mem::size_of::<Value>() + std::mem::size_of_val(v.shape())) as u64
+}
+
+/// Convert a graph's initializer table into runtime `Value`s **once** and
+/// share the result. Every executor needs the weights as `Value`s; before
+/// this helper each of them rebuilt (deep-copied) the table per run — and
+/// the channel workers re-copied entries per fetch. Build it once, hand the
+/// `Arc` to [`RunOptions`](parallel::RunOptions::init_values) (or let each
+/// run build its own), and every weight fetch becomes a refcount bump on
+/// the shared buffers.
+pub fn initializer_values(
+    graph: &ramiel_ir::Graph,
+) -> Result<std::sync::Arc<std::collections::HashMap<String, Value>>> {
+    let map: std::collections::HashMap<String, Value> = graph
+        .initializers
+        .iter()
+        .map(|(name, td)| Ok((name.clone(), Value::from_tensor_data(td)?)))
+        .collect::<Result<_>>()?;
+    Ok(std::sync::Arc::new(map))
+}
+
 /// Structured runtime error. Every variant names where the failure happened
 /// (`cluster` is the worker/hypercluster index where applicable) so chaos
 /// tests and supervisors can act on the *kind* of failure instead of parsing

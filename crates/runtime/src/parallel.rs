@@ -79,6 +79,11 @@ pub struct RunOptions {
     /// Observability sink for structured fault/abort events; disabled by
     /// default (one null check per event).
     pub obs: Obs,
+    /// Pre-converted initializer table (see [`crate::initializer_values`]).
+    /// When set, runs reuse these shared `Value`s instead of re-converting
+    /// the graph's `TensorData` — the win for repeated inference, since the
+    /// conversion is the only remaining deep copy of the weights.
+    pub init_values: Option<Arc<HashMap<String, Value>>>,
 }
 
 impl RunOptions {
@@ -96,6 +101,12 @@ impl RunOptions {
 
     pub fn obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Reuse a shared initializer table across runs.
+    pub fn init_values(mut self, init_values: Arc<HashMap<String, Value>>) -> Self {
+        self.init_values = Some(init_values);
         self
     }
 }
@@ -272,12 +283,14 @@ fn run_hyper_inner(
     let channels: Vec<(Sender<Msg>, Receiver<Msg>)> = (0..k).map(|_| unbounded()).collect();
     let senders: Vec<Sender<Msg>> = channels.iter().map(|(s, _)| s.clone()).collect();
 
-    // Shared read-only state.
-    let init_values: HashMap<String, Value> = graph
-        .initializers
-        .iter()
-        .map(|(name, td)| Ok((name.clone(), Value::from_tensor_data(td)?)))
-        .collect::<Result<_>>()?;
+    // Shared read-only state. The initializer table is built (deep-copied
+    // out of the graph) at most once per run — or zero times, when the
+    // caller supplies a shared table via `RunOptions::init_values` — and
+    // every worker fetch of a weight is then a refcount bump.
+    let init_values: Arc<HashMap<String, Value>> = match &opts.init_values {
+        Some(iv) => Arc::clone(iv),
+        None => crate::initializer_values(graph)?,
+    };
     let graph_outputs: HashSet<&str> = graph.outputs.iter().map(String::as_str).collect();
 
     let out_envs: Mutex<Vec<Env>> = Mutex::new(vec![Env::new(); hc.batch]);
@@ -291,7 +304,7 @@ fn run_hyper_inner(
     let shared = Shared {
         graph,
         inputs,
-        init_values: &init_values,
+        init_values: init_values.as_ref(),
         senders: &senders,
         consumers: &consumers,
         out_envs: &out_envs,
@@ -513,10 +526,12 @@ fn worker_loop(
                     kind: FaultKind::KernelError,
                 });
             }
-            let td = sh.graph.initializers.get(&node.outputs[0]).ok_or_else(|| {
+            // A Constant's payload is already in the shared initializer
+            // table under its output name — share it, don't re-convert.
+            let v = sh.init_values.get(&node.outputs[0]).ok_or_else(|| {
                 RuntimeError::Setup(format!("Constant `{}` missing payload", node.name))
             })?;
-            vec![Value::from_tensor_data(td)?]
+            vec![v.clone()]
         } else {
             let ins: Result<Vec<Value>> = node
                 .inputs
@@ -565,7 +580,8 @@ fn worker_loop(
             if !drop_msgs {
                 if let Some(targets) = sh.consumers.get(&(name.clone(), op.batch)) {
                     for &t in targets {
-                        sh.meter.on_send(me, t, value_bytes(&v));
+                        sh.meter
+                            .on_send(me, t, value_bytes(&v), crate::value_copied_bytes(&v));
                         sh.senders[t]
                             .send(Msg::Tensor((name.clone(), op.batch), v.clone(), me))
                             .map_err(|_| RuntimeError::ChannelClosed {
@@ -672,6 +688,56 @@ mod tests {
             let seq = run_sequential(&g, inp, &ctx).unwrap();
             assert_close(&seq, &outs[b]);
         }
+    }
+
+    #[test]
+    fn channel_sends_copy_headers_not_payloads() {
+        // The zero-copy regression guard: every cross-cluster message
+        // carries its full logical payload in `bytes`, but the sender only
+        // deep-copies the Value header + shape vector (the element buffer
+        // is Arc-shared). Aggregate copied bytes must therefore sit far
+        // below aggregate payload bytes. A 64 KiB activation crossing two
+        // clusters makes the header/payload gap unmistakable.
+        use ramiel_cluster::{Cluster, Clustering};
+        use ramiel_ir::{DType, GraphBuilder, OpKind};
+        let mut b = GraphBuilder::new("zc");
+        let x = b.input("x", DType::F32, vec![1, 16384]);
+        let a = b.op("a", OpKind::Relu, vec![x]);
+        let c = b.op("c", OpKind::Sigmoid, vec![a]);
+        b.output(&c);
+        let g = b.finish().unwrap();
+        let clustering = Clustering::new(vec![Cluster::new(vec![0]), Cluster::new(vec![1])]);
+        let inputs = synth_inputs(&g, 9);
+        let (_, db) =
+            run_parallel_profiled(&g, &clustering, &inputs, &ExecCtx::sequential()).unwrap();
+        let stats = db.channels();
+        assert!(!stats.is_empty(), "expected cross-cluster traffic");
+        let bytes: u64 = stats.iter().map(|c| c.bytes).sum();
+        let copied: u64 = stats.iter().map(|c| c.copied_bytes).sum();
+        assert!(copied > 0, "sends still copy the value header");
+        assert!(
+            copied * 2 <= bytes,
+            "copied {copied} of {bytes} payload bytes — channel sends are deep-copying again"
+        );
+    }
+
+    #[test]
+    fn shared_init_table_is_reusable_across_runs() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 21);
+        let ctx = ExecCtx::sequential();
+        let iv = crate::initializer_values(&g).unwrap();
+        let opts = RunOptions::default().init_values(Arc::clone(&iv));
+        let a = run_parallel_opts(&g, &clustering, &inputs, &ctx, &opts).unwrap();
+        let b = run_parallel_opts(&g, &clustering, &inputs, &ctx, &opts).unwrap();
+        let fresh = run_parallel(&g, &clustering, &inputs, &ctx).unwrap();
+        // Same table, same inputs, deterministic kernels → identical envs.
+        assert_eq!(a, b);
+        assert_eq!(a, fresh);
+        // The shared table survives the runs untouched (COW means a run can
+        // never mutate the weights in place).
+        assert_eq!(iv.len(), g.initializers.len());
     }
 
     #[test]

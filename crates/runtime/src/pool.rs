@@ -94,13 +94,12 @@ impl ClusterPool {
         let adj = graph.adjacency();
         let recv_timeout = opts.recv_timeout.unwrap_or_else(default_recv_timeout);
 
-        // initializer values converted once, shared by every worker
-        let init_values: HashMap<String, Value> = graph
-            .initializers
-            .iter()
-            .map(|(name, td)| Ok((name.clone(), Value::from_tensor_data(td)?)))
-            .collect::<Result<_>>()?;
-        let init_values = Arc::new(init_values);
+        // initializer values converted once (or inherited pre-converted via
+        // `RunOptions::init_values`), shared by every worker
+        let init_values = match &opts.init_values {
+            Some(iv) => Arc::clone(iv),
+            None => crate::initializer_values(&graph)?,
+        };
 
         // (tensor → remote consumer workers) routing table
         let mut consumers: HashMap<String, Vec<usize>> = HashMap::new();
@@ -505,13 +504,14 @@ fn run_job(
                 });
                 break 'ops;
             }
-            st.graph
-                .initializers
+            // Constant payloads live in the shared initializer table under
+            // the node's output name; cloning shares the buffer.
+            st.init_values
                 .get(&node.outputs[0])
                 .ok_or_else(|| {
                     ramiel_tensor::ExecError(format!("Constant `{}` missing payload", node.name))
                 })
-                .and_then(|td| Value::from_tensor_data(td).map(|v| vec![v]))
+                .map(|v| vec![v.clone()])
         } else {
             let hooked;
             let eval_ctx = if kernel_fault {
@@ -563,7 +563,8 @@ fn run_job(
             if !drop_msgs {
                 if let Some(targets) = st.consumers.get(name) {
                     for &t in targets {
-                        st.meter.on_send(me, t, value_bytes(&v));
+                        st.meter
+                            .on_send(me, t, value_bytes(&v), crate::value_copied_bytes(&v));
                         if st.peer_txs[t]
                             .send(WorkerMsg::Tensor((job, name.clone()), v.clone(), me))
                             .is_err()

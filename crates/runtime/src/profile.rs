@@ -177,6 +177,7 @@ impl ProfileDb {
                     "sends": c.sends,
                     "recvs": c.recvs,
                     "bytes": c.bytes,
+                    "copied_bytes": c.copied_bytes,
                     "blocked_ms": c.blocked_ns as f64 / 1e6,
                     "max_in_flight": c.max_in_flight,
                 }),

@@ -118,6 +118,11 @@ pub fn run_hyper_supervised(
         injector: injector.clone(),
         recv_timeout: cfg.recv_timeout,
         obs: cfg.obs.clone(),
+        // Convert the weights once here so retries and the sequential
+        // fallback share one table instead of rebuilding it per attempt.
+        // On failure fall back to per-run conversion, which will surface
+        // the same error with run context attached.
+        init_values: crate::initializer_values(graph).ok(),
     };
     let mut report = RunReport::default();
     let finish = |report: &mut RunReport| {

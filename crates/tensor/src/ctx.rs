@@ -5,8 +5,10 @@
 //! rayon thread pool attached to the context; heavy kernels (`Conv`,
 //! `MatMul`, `Gemm`) split their outermost loop across it.
 
+use crate::pack::PackedWeightCache;
 use ramiel_ir::OpKind;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Pre-kernel hook: consulted by [`crate::eval_op`] before dispatching a
 /// kernel. Returning `Some(msg)` fails the evaluation with that message —
@@ -14,11 +16,18 @@ use std::sync::Arc;
 /// travel the exact path a real kernel failure takes.
 pub type KernelHook = Arc<dyn Fn(&OpKind) -> Option<String> + Send + Sync>;
 
+/// Intra-op pools by thread count, shared process-wide. `with_intra_op` used
+/// to build a fresh rayon pool per call, so repeated runs (differential
+/// tests, benches) spawned dozens of short-lived pools; pools are stateless
+/// given a thread count, so one per count serves everyone.
+static INTRA_OP_POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+
 /// Per-executor kernel context.
 #[derive(Clone, Default)]
 pub struct ExecCtx {
     pool: Option<Arc<rayon::ThreadPool>>,
     kernel_hook: Option<KernelHook>,
+    packed: Arc<PackedWeightCache>,
 }
 
 impl ExecCtx {
@@ -26,26 +35,33 @@ impl ExecCtx {
     /// default inside cluster worker threads so inter-op and intra-op
     /// parallelism do not multiply unintentionally.
     pub fn sequential() -> Self {
-        ExecCtx {
-            pool: None,
-            kernel_hook: None,
-        }
+        ExecCtx::default()
     }
 
-    /// Context with an intra-op pool of `threads` workers. `threads <= 1`
-    /// yields a sequential context.
+    /// Context with an intra-op pool of `threads` workers, memoized per
+    /// thread count. `threads <= 1` yields a sequential context.
     pub fn with_intra_op(threads: usize) -> Self {
         if threads <= 1 {
             return ExecCtx::sequential();
         }
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .thread_name(|i| format!("intra-op-{i}"))
-            .build()
-            .expect("failed to build intra-op thread pool");
+        let pool = {
+            let mut pools = INTRA_OP_POOLS
+                .get_or_init(Default::default)
+                .lock()
+                .expect("intra-op pool registry poisoned");
+            Arc::clone(pools.entry(threads).or_insert_with(|| {
+                Arc::new(
+                    rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .thread_name(move |i| format!("intra-op-{threads}t-{i}"))
+                        .build()
+                        .expect("failed to build intra-op thread pool"),
+                )
+            }))
+        };
         ExecCtx {
-            pool: Some(Arc::new(pool)),
-            kernel_hook: None,
+            pool: Some(pool),
+            ..ExecCtx::default()
         }
     }
 
@@ -54,16 +70,26 @@ impl ExecCtx {
     pub fn with_pool(pool: Arc<rayon::ThreadPool>) -> Self {
         ExecCtx {
             pool: Some(pool),
-            kernel_hook: None,
+            ..ExecCtx::default()
         }
     }
 
-    /// Same context with a pre-kernel hook attached (fault injection).
+    /// Same context with a pre-kernel hook attached (fault injection). The
+    /// packed-weight cache stays shared with the original context.
     pub fn with_kernel_hook(&self, hook: KernelHook) -> Self {
         ExecCtx {
             pool: self.pool.clone(),
             kernel_hook: Some(hook),
+            packed: Arc::clone(&self.packed),
         }
+    }
+
+    /// The per-plan packed-weight cache. Shared (not reset) by `clone` and
+    /// `with_kernel_hook`, so every worker of one executor reuses the same
+    /// packed buffers; independent `sequential()`/`with_intra_op()` contexts
+    /// each start with an empty cache.
+    pub fn packed(&self) -> &PackedWeightCache {
+        &self.packed
     }
 
     /// Consult the kernel hook, if any. `Some(msg)` means the kernel layer
@@ -127,5 +153,26 @@ mod tests {
     fn one_thread_degenerates_to_sequential() {
         let ctx = ExecCtx::with_intra_op(1);
         assert!(!ctx.parallel());
+    }
+
+    #[test]
+    fn intra_op_pools_are_memoized_per_thread_count() {
+        let a = ExecCtx::with_intra_op(5);
+        let b = ExecCtx::with_intra_op(5);
+        let (pa, pb) = (a.pool.unwrap(), b.pool.unwrap());
+        assert!(Arc::ptr_eq(&pa, &pb), "same thread count must share a pool");
+        let c = ExecCtx::with_intra_op(6);
+        assert!(!Arc::ptr_eq(&pa, &c.pool.unwrap()));
+    }
+
+    #[test]
+    fn packed_cache_shared_by_clone_and_hook_but_not_across_contexts() {
+        let a = ExecCtx::sequential();
+        let b = a.clone();
+        let hooked = a.with_kernel_hook(Arc::new(|_| None));
+        assert!(Arc::ptr_eq(&a.packed, &b.packed));
+        assert!(Arc::ptr_eq(&a.packed, &hooked.packed));
+        let other = ExecCtx::sequential();
+        assert!(!Arc::ptr_eq(&a.packed, &other.packed));
     }
 }

@@ -19,6 +19,22 @@ pub struct ConvSpec {
     pub groups: usize,
 }
 
+/// Defensive attribute check. `ir::validate` rejects these graphs up front
+/// (RV0002); the kernels still refuse them so a hand-built spec degrades to
+/// an `ExecError` instead of a divide-by-zero panic in the output-size math.
+fn check_spec(spec: &ConvSpec) -> Result<()> {
+    if spec.stride.0 == 0 || spec.stride.1 == 0 {
+        return exec_err(format!("conv2d stride {:?} must be nonzero", spec.stride));
+    }
+    if spec.kernel.0 == 0 || spec.kernel.1 == 0 {
+        return exec_err(format!("conv2d kernel {:?} must be nonzero", spec.kernel));
+    }
+    if spec.groups == 0 {
+        return exec_err("conv2d groups must be nonzero");
+    }
+    Ok(())
+}
+
 /// Compute one output image (single batch element, single output channel).
 #[allow(clippy::too_many_arguments)]
 fn conv_one_output(
@@ -78,6 +94,7 @@ pub fn conv2d(
     if x.rank() != 4 || w.rank() != 4 {
         return exec_err("conv2d expects NCHW input and OIHW weight");
     }
+    check_spec(spec)?;
     let (n, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (m, cg) = (w.shape()[0], w.shape()[1]);
     let g = spec.groups;
@@ -93,6 +110,28 @@ pub fn conv2d(
         if b.numel() != m {
             return exec_err(format!("conv2d bias length {} != {m}", b.numel()));
         }
+    }
+    // Pointwise fast path: a 1×1 / stride-1 / unpadded / ungrouped conv is
+    // the matrix product `w[m×c] · x[c×(h·w)]` per batch image, which the
+    // blocked `mm` kernel runs far faster than the direct loop (Inception
+    // and SqueezeNet are full of these).
+    if spec.kernel == (1, 1) && spec.stride == (1, 1) && spec.pads == (0, 0) && g == 1 {
+        let hw = h * wd;
+        let mut out = vec![0.0f32; n * m * hw];
+        for ni in 0..n {
+            let xn = &x.data()[ni * c * hw..(ni + 1) * c * hw];
+            let prod = crate::kernels::gemm::mm(ctx, w.data(), xn, m, c, hw);
+            out[ni * m * hw..(ni + 1) * m * hw].copy_from_slice(&prod);
+        }
+        if let Some(b) = bias {
+            for (mi, img) in out.chunks_mut(hw).enumerate() {
+                let bv = b.data()[mi % m];
+                for v in img {
+                    *v += bv;
+                }
+            }
+        }
+        return Tensor::new(vec![n, m, h, wd], out);
     }
     let (kh, kw) = spec.kernel;
     let ho = match (h + 2 * spec.pads.0).checked_sub(kh) {
@@ -140,6 +179,7 @@ pub fn conv2d_im2col(
     if x.rank() != 4 || w.rank() != 4 {
         return exec_err("conv2d expects NCHW input and OIHW weight");
     }
+    check_spec(spec)?;
     let (n, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let (m, cg) = (w.shape()[0], w.shape()[1]);
     let g = spec.groups;
@@ -352,6 +392,68 @@ mod tests {
                 assert!((p - q).abs() < 1e-4, "{p} vs {q}");
             }
         }
+    }
+
+    #[test]
+    fn zero_stride_is_an_error_not_a_panic() {
+        // Regression: stride 0 used to reach the output-size division and
+        // panic; it must surface as an ExecError from both conv paths.
+        let ctx = ExecCtx::sequential();
+        let x = t(vec![1, 1, 4, 4], vec![0.0; 16]);
+        let w = t(vec![1, 1, 2, 2], vec![0.0; 4]);
+        for (stride, kernel) in [((0, 1), (2, 2)), ((1, 0), (2, 2)), ((1, 1), (0, 2))] {
+            let spec = ConvSpec {
+                kernel,
+                stride,
+                pads: (0, 0),
+                groups: 1,
+            };
+            assert!(conv2d(&ctx, &x, &w, None, &spec).is_err(), "{spec:?}");
+            assert!(
+                conv2d_im2col(&ctx, &x, &w, None, &spec).is_err(),
+                "{spec:?}"
+            );
+        }
+        let spec = ConvSpec {
+            kernel: (2, 2),
+            stride: (1, 1),
+            pads: (0, 0),
+            groups: 0,
+        };
+        assert!(conv2d(&ctx, &x, &w, None, &spec).is_err());
+    }
+
+    #[test]
+    fn pointwise_fast_path_matches_im2col_exactly() {
+        // The 1×1/s1/p0/g1 fast path computes the very same mm the im2col
+        // lowering does, so the two must agree bit-for-bit.
+        let ctx = ExecCtx::sequential();
+        let x = crate::value::Value::random_f32(vec![2, 6, 5, 7], 21);
+        let w = crate::value::Value::random_f32(vec![4, 6, 1, 1], 22);
+        let b = crate::value::Value::random_f32(vec![4], 23);
+        let spec = ConvSpec {
+            kernel: (1, 1),
+            stride: (1, 1),
+            pads: (0, 0),
+            groups: 1,
+        };
+        let fast = conv2d(
+            &ctx,
+            x.f32().unwrap(),
+            w.f32().unwrap(),
+            Some(b.f32().unwrap()),
+            &spec,
+        )
+        .unwrap();
+        let lowered = conv2d_im2col(
+            &ctx,
+            x.f32().unwrap(),
+            w.f32().unwrap(),
+            Some(b.f32().unwrap()),
+            &spec,
+        )
+        .unwrap();
+        assert_eq!(fast, lowered);
     }
 
     #[test]

@@ -1,4 +1,11 @@
 //! Matrix-multiply kernels: `MatMul` (batched, broadcasting) and `Gemm`.
+//!
+//! All paths through [`mm`] — sequential, row-block parallel, column-tile
+//! parallel — accumulate each output element in ascending-`kk` order, so
+//! they are bit-identical to one another. The runtime's cross-executor
+//! equivalence tests rely on this. There is deliberately no `av == 0.0`
+//! skip: besides costing a branch per element on dense inputs, it broke
+//! IEEE semantics (`0·∞` and `0·NaN` must produce NaN, not be elided).
 
 use crate::ctx::ExecCtx;
 use crate::tensor::{strides_of, unravel, Tensor};
@@ -6,19 +13,33 @@ use crate::{exec_err, Result};
 use ramiel_ir::shape::broadcast;
 use rayon::prelude::*;
 
-/// `out[m×n] += a[m×k] · b[k×n]`, row-major, ikj loop order.
-fn mm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &b[kk * n..(kk + 1) * n];
+/// Row-block height: a block of `MB` output rows reuses each `b` row `MB`
+/// times while it is hot in cache.
+const MB: usize = 8;
+/// Column-tile width: 512 f32 = 2 KiB per `b`-row slice and 16 KiB per
+/// `MB×NB` output block — comfortably L1-resident.
+const NB: usize = 512;
+
+/// `oblk[..][j0..j0+nb] += a · b` over a contiguous block of output rows
+/// starting at row `i0` (`oblk` spans whole rows of width `n`).
+/// Accumulation per element is ascending `kk`.
+#[allow(clippy::too_many_arguments)] // hot inner kernel: scalars beat a param struct here
+fn mm_block(
+    a: &[f32],
+    b: &[f32],
+    oblk: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    nb: usize,
+) {
+    let rows = oblk.len() / n;
+    for kk in 0..k {
+        let brow = &b[kk * n + j0..kk * n + j0 + nb];
+        for r in 0..rows {
+            let av = a[(i0 + r) * k + kk];
+            let orow = &mut oblk[r * n + j0..r * n + j0 + nb];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }
@@ -26,26 +47,66 @@ fn mm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: u
     }
 }
 
-/// Single 2-D matrix product, optionally row-parallel over the intra-op pool.
+/// Single 2-D matrix product `a[m×k] · b[k×n]`, cache-blocked, optionally
+/// parallel over the intra-op pool. With enough rows the parallel split is
+/// by row blocks; when `m` is small relative to the pool it splits columns
+/// too, so parallelism is not capped at `m` tasks.
 pub fn mm(ctx: &ExecCtx, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
     let mut out = vec![0.0f32; m * n];
-    if ctx.parallel() && m >= 2 && m * k * n >= 16_384 {
+    if !(ctx.parallel() && m * k * n >= 16_384) {
+        for (bi, oblk) in out.chunks_mut(n * MB).enumerate() {
+            for j0 in (0..n).step_by(NB) {
+                mm_block(a, b, oblk, bi * MB, k, n, j0, NB.min(n - j0));
+            }
+        }
+        return out;
+    }
+    let threads = ctx.intra_op_threads();
+    if m >= 2 * threads {
+        // Enough rows: parallelize over row blocks, column-tile inside.
+        let rows_per = m.div_ceil(4 * threads).clamp(1, MB);
         ctx.install(|| {
-            out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
-                let arow = &a[i * k..(i + 1) * k];
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
+            out.par_chunks_mut(n * rows_per)
+                .enumerate()
+                .for_each(|(bi, oblk)| {
+                    for j0 in (0..n).step_by(NB) {
+                        mm_block(a, b, oblk, bi * rows_per, k, n, j0, NB.min(n - j0));
                     }
-                    let brow = &b[kk * n..(kk + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                });
+        });
+    } else {
+        // Few rows (transformer Gemms: m = batch·seq, n large): one task per
+        // (row, column-tile) so the pool still fills.
+        let mut tiles: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(m * n.div_ceil(NB));
+        let mut rest = out.as_mut_slice();
+        let mut i = 0;
+        while !rest.is_empty() {
+            let (mut row, r) = std::mem::take(&mut rest).split_at_mut(n);
+            rest = r;
+            let mut j0 = 0;
+            while !row.is_empty() {
+                let w = NB.min(row.len());
+                let (tile, rr) = std::mem::take(&mut row).split_at_mut(w);
+                tiles.push((i, j0, tile));
+                j0 += w;
+                row = rr;
+            }
+            i += 1;
+        }
+        ctx.install(|| {
+            tiles.into_par_iter().for_each(|(i, j0, tile)| {
+                let arow = &a[i * k..(i + 1) * k];
+                let nb = tile.len();
+                for (kk, &av) in arow.iter().enumerate() {
+                    let brow = &b[kk * n + j0..kk * n + j0 + nb];
+                    for (o, &bv) in tile.iter_mut().zip(brow) {
                         *o += av * bv;
                     }
                 }
             });
         });
-    } else {
-        mm_accumulate(a, b, &mut out, m, k, n);
     }
     out
 }
@@ -114,19 +175,17 @@ pub fn gemm(
     if k != wk {
         return exec_err(format!("Gemm inner dims {k} != {wk}"));
     }
-    // Materialize W in [k, n] layout so mm can stream rows.
-    let wkn: Vec<f32> = if trans_b {
-        let mut t = vec![0.0f32; k * n];
-        for j in 0..n {
-            for kk in 0..k {
-                t[kk * n + j] = w.data()[j * k + kk];
-            }
-        }
-        t
+    // W in [k, n] layout so mm can stream rows. For transB weights the
+    // transpose is packed once per plan and found by buffer identity on
+    // every later call; untransposed weights are already in layout.
+    let packed;
+    let wkn: &[f32] = if trans_b {
+        packed = ctx.packed().gemm_kn(w, k, n);
+        &packed
     } else {
-        w.data().to_vec()
+        w.data()
     };
-    let mut out = mm(ctx, x.data(), &wkn, m, k, n);
+    let mut out = mm(ctx, x.data(), wkn, m, k, n);
     if let Some(b) = bias {
         if b.numel() != n {
             return exec_err(format!("Gemm bias length {} != {n}", b.numel()));
@@ -189,6 +248,19 @@ mod tests {
     }
 
     #[test]
+    fn gemm_packs_trans_b_weight_once() {
+        let ctx = ExecCtx::sequential();
+        let x = crate::value::Value::random_f32(vec![4, 16], 1);
+        let w = crate::value::Value::random_f32(vec![8, 16], 2);
+        let (x, w) = (x.f32().unwrap().clone(), w.f32().unwrap().clone());
+        let y1 = gemm(&ctx, &x, &w, None, true).unwrap();
+        let y2 = gemm(&ctx, &x, &w, None, true).unwrap();
+        assert_eq!(y1, y2);
+        let (hits, misses) = ctx.packed().stats();
+        assert_eq!((hits, misses), (1, 1), "second call must hit the cache");
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let seq = ExecCtx::sequential();
         let par = ExecCtx::with_intra_op(4);
@@ -199,6 +271,50 @@ mod tests {
         let y2 = matmul(&par, &a, &b).unwrap();
         for (p, q) in y1.data().iter().zip(y2.data()) {
             assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        // Covers both parallel splits: many rows (row-block path) and few
+        // rows with a wide output (column-tile path).
+        let seq = ExecCtx::sequential();
+        let par = ExecCtx::with_intra_op(4);
+        for (m, k, n, seed) in [(64, 96, 48, 11), (3, 128, 1100, 12)] {
+            let a = crate::value::Value::random_f32(vec![m, k], seed);
+            let b = crate::value::Value::random_f32(vec![k, n], seed + 100);
+            let (a, b) = (a.f32().unwrap().clone(), b.f32().unwrap().clone());
+            let y1 = matmul(&seq, &a, &b).unwrap();
+            let y2 = matmul(&par, &a, &b).unwrap();
+            assert_eq!(
+                y1.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                y2.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                "mm {m}x{k}x{n} must be bit-identical across contexts"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_times_inf_and_nan_propagate() {
+        // Regression: mm used to skip `av == 0.0` operands, so a zero in
+        // `a` silently swallowed an ∞ or NaN in `b`. IEEE says 0·∞ = NaN.
+        let seq = ExecCtx::sequential();
+        let par = ExecCtx::with_intra_op(4);
+        let (m, k, n) = (4, 8, 512); // m·k·n ≥ 16384 → parallel path engages
+        let mut a = vec![1.0f32; m * k];
+        for i in 0..m {
+            a[i * k] = 0.0; // kk = 0 contribution is 0·b
+        }
+        let mut b = vec![1.0f32; k * n];
+        b[0] = f32::INFINITY; // row kk=0, col 0
+        b[1] = f32::NAN; // row kk=0, col 1
+        for ctx in [&seq, &par] {
+            let y = mm(ctx, &a, &b, m, k, n);
+            for i in 0..m {
+                assert!(y[i * n].is_nan(), "0·∞ must yield NaN (row {i})");
+                assert!(y[i * n + 1].is_nan(), "0·NaN must yield NaN (row {i})");
+                assert_eq!(y[i * n + 2], 7.0, "finite columns unaffected");
+            }
         }
     }
 

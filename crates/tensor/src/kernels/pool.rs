@@ -8,6 +8,14 @@ fn pool_generic(x: &Tensor<f32>, spec: &PoolSpec, is_max: bool) -> Result<Tensor
     if x.rank() != 4 {
         return exec_err("pooling expects NCHW input");
     }
+    // Defensive twin of the RV0002 graph check: a hand-built spec with a
+    // zero stride or kernel gets a diagnostic, not a panic.
+    if spec.stride.0 == 0 || spec.stride.1 == 0 {
+        return exec_err(format!("pool stride {:?} must be nonzero", spec.stride));
+    }
+    if spec.kernel.0 == 0 || spec.kernel.1 == 0 {
+        return exec_err(format!("pool kernel {:?} must be nonzero", spec.kernel));
+    }
     let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
     let ho = spec.out_extent(h, 0);
     let wo = spec.out_extent(w, 1);
@@ -132,6 +140,21 @@ mod tests {
         let y = global_avg_pool(&x).unwrap();
         assert_eq!(y.shape(), &[1, 2, 1, 1]);
         assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn zero_stride_is_an_error_not_a_panic() {
+        let x = t(vec![1, 1, 4, 4], vec![0.0; 16]);
+        for (kernel, stride) in [((2, 2), (0, 1)), ((2, 2), (1, 0)), ((0, 2), (1, 1))] {
+            let spec = PoolSpec {
+                kernel,
+                stride,
+                pads: (0, 0),
+                ceil_mode: false,
+            };
+            assert!(max_pool(&x, &spec).is_err(), "{spec:?}");
+            assert!(avg_pool(&x, &spec).is_err(), "{spec:?}");
+        }
     }
 
     #[test]

@@ -15,11 +15,13 @@
 pub mod ctx;
 pub mod eval;
 pub mod kernels;
+pub mod pack;
 pub mod tensor;
 pub mod value;
 
 pub use ctx::ExecCtx;
 pub use eval::eval_op;
+pub use pack::PackedWeightCache;
 pub use tensor::Tensor;
 pub use value::Value;
 

@@ -1,6 +1,18 @@
 //! The dense row-major tensor type.
+//!
+//! ## Sharing and ownership
+//!
+//! Tensor data lives in a shared immutable buffer (`Arc<Vec<T>>`), so
+//! `Tensor::clone` — and therefore `Value::clone`, cross-cluster channel
+//! sends, and initializer-table fetches — is a refcount bump, not a deep
+//! copy. Kernels read through [`Tensor::data`] (`&[T]`) exactly as before.
+//! Mutation goes through [`Tensor::data_mut`], which is copy-on-write: it
+//! clones the buffer only when another handle still shares it, so no clone
+//! can ever observe another handle's writes. [`Tensor::reshaped`] shares the
+//! buffer outright (same data, new shape).
 
 use crate::{exec_err, Result};
+use std::sync::Arc;
 
 /// A dense, row-major (C-order) tensor over element type `T`.
 ///
@@ -8,12 +20,30 @@ use crate::{exec_err, Result};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor<T> {
     shape: Vec<usize>,
-    data: Vec<T>,
+    data: Arc<Vec<T>>,
 }
 
 impl<T: Copy + Default> Tensor<T> {
     /// Build a tensor from shape and data; errors on a size mismatch.
     pub fn new(shape: Vec<usize>, data: Vec<T>) -> Result<Self> {
+        let numel: usize = shape.iter().product();
+        if numel != data.len() {
+            return exec_err(format!(
+                "tensor shape {:?} wants {} elements, got {}",
+                shape,
+                numel,
+                data.len()
+            ));
+        }
+        Ok(Tensor {
+            shape,
+            data: Arc::new(data),
+        })
+    }
+
+    /// Build a tensor that shares an existing buffer; errors on a size
+    /// mismatch. The zero-copy counterpart of [`Tensor::new`].
+    pub fn from_shared(shape: Vec<usize>, data: Arc<Vec<T>>) -> Result<Self> {
         let numel: usize = shape.iter().product();
         if numel != data.len() {
             return exec_err(format!(
@@ -31,7 +61,7 @@ impl<T: Copy + Default> Tensor<T> {
         let numel = shape.iter().product();
         Tensor {
             shape,
-            data: vec![T::default(); numel],
+            data: Arc::new(vec![T::default(); numel]),
         }
     }
 
@@ -40,7 +70,7 @@ impl<T: Copy + Default> Tensor<T> {
         let numel = shape.iter().product();
         Tensor {
             shape,
-            data: vec![v; numel],
+            data: Arc::new(vec![v; numel]),
         }
     }
 
@@ -48,7 +78,7 @@ impl<T: Copy + Default> Tensor<T> {
     pub fn scalar(v: T) -> Self {
         Tensor {
             shape: vec![],
-            data: vec![v],
+            data: Arc::new(vec![v]),
         }
     }
 
@@ -68,18 +98,44 @@ impl<T: Copy + Default> Tensor<T> {
         &self.data
     }
 
+    /// Mutable view of the elements — copy-on-write. If other handles share
+    /// this buffer, they keep the old data and this tensor gets a private
+    /// copy; a uniquely-owned buffer is mutated in place with no copy.
     pub fn data_mut(&mut self) -> &mut [T] {
-        &mut self.data
+        let v: &mut Vec<T> = Arc::make_mut(&mut self.data);
+        v.as_mut_slice()
     }
 
-    /// Consume into the raw parts.
+    /// The shared buffer itself — for zero-copy reuse ([`Tensor::from_shared`])
+    /// and for keying caches by buffer identity.
+    pub fn data_arc(&self) -> &Arc<Vec<T>> {
+        &self.data
+    }
+
+    /// Stable identity of the underlying buffer while any handle is alive.
+    /// Two tensors with equal `data_ptr` share storage. Only meaningful as a
+    /// cache key if the keyed entry also keeps the buffer alive (otherwise
+    /// the address can be reused by a later allocation).
+    pub fn data_ptr(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
+    /// True if `self` and `other` share one underlying buffer.
+    pub fn shares_data(&self, other: &Tensor<T>) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Consume into the raw parts. Unwraps the buffer without copying when
+    /// this is the last handle; otherwise clones it once.
     pub fn into_parts(self) -> (Vec<usize>, Vec<T>) {
-        (self.shape, self.data)
+        let data = Arc::try_unwrap(self.data).unwrap_or_else(|shared| (*shared).clone());
+        (self.shape, data)
     }
 
-    /// Reinterpret with a new shape of equal element count.
+    /// Reinterpret with a new shape of equal element count. Shares the
+    /// buffer — reshapes are free.
     pub fn reshaped(&self, shape: Vec<usize>) -> Result<Self> {
-        Tensor::new(shape, self.data.clone())
+        Tensor::from_shared(shape, Arc::clone(&self.data))
     }
 
     /// Row-major strides for the current shape.
@@ -174,5 +230,35 @@ mod tests {
         let t = Tensor::new(vec![2, 3], vec![0i64; 6]).unwrap();
         assert!(t.reshaped(vec![3, 2]).is_ok());
         assert!(t.reshaped(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn clone_shares_reshape_shares_into_parts_unwraps() {
+        let t = Tensor::new(vec![2, 3], vec![1.0f32; 6]).unwrap();
+        let c = t.clone();
+        assert!(t.shares_data(&c));
+        assert_eq!(t.data_ptr(), c.data_ptr());
+        let r = t.reshaped(vec![3, 2]).unwrap();
+        assert!(t.shares_data(&r));
+        drop((c, r));
+        // last handle: into_parts must not copy (element pointer preserved)
+        let elems_before = t.data().as_ptr();
+        let (_, data) = t.into_parts();
+        assert_eq!(data.as_ptr(), elems_before);
+        assert_eq!(data.len(), 6);
+    }
+
+    #[test]
+    fn data_mut_is_copy_on_write() {
+        let a = Tensor::new(vec![3], vec![1.0f32, 2.0, 3.0]).unwrap();
+        let mut b = a.clone();
+        b.data_mut()[0] = 99.0;
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0], "original must be untouched");
+        assert_eq!(b.data(), &[99.0, 2.0, 3.0]);
+        assert!(!a.shares_data(&b), "write must have unshared the buffer");
+        // uniquely-owned: mutation is in place, no new allocation
+        let p = b.data_ptr();
+        b.data_mut()[1] = 5.0;
+        assert_eq!(b.data_ptr(), p);
     }
 }

@@ -164,3 +164,52 @@ proptest! {
         prop_assert!(close(y1.data(), y2.data(), 1e-4));
     }
 }
+
+// Copy-on-write sharing properties: a clone is a refcount bump until
+// written, and a write through one handle can never leak into — or read
+// torn state from — any other handle on the same buffer.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cow_clone_mutation_never_aliases(
+        len in 1usize..64, idx_seed in any::<u64>(), seed in any::<u64>()
+    ) {
+        let t = rand_t(vec![len], seed);
+        let before: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+
+        let mut c = t.clone();
+        prop_assert!(c.shares_data(&t), "clone must share until written");
+
+        let i = (idx_seed as usize) % len;
+        c.data_mut()[i] = f32::from_bits(t.data()[i].to_bits() ^ 1);
+        prop_assert!(!c.shares_data(&t), "write must unshare the buffer");
+
+        // The original is bit-for-bit untouched…
+        let after: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&before, &after);
+        // …and the clone differs exactly at the written element.
+        for (j, (p, q)) in t.data().iter().zip(c.data()).enumerate() {
+            if j == i {
+                prop_assert_ne!(p.to_bits(), q.to_bits());
+            } else {
+                prop_assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cow_reshape_shares_and_unshares_like_clone(
+        r in 1usize..8, cpick in 1usize..8, seed in any::<u64>()
+    ) {
+        let t = rand_t(vec![r, cpick], seed);
+        let mut v = t.reshaped(vec![cpick * r]).unwrap();
+        prop_assert!(v.data_arc().as_ptr() == t.data_arc().as_ptr());
+        v.data_mut()[0] += 1.0;
+        prop_assert!(v.data_arc().as_ptr() != t.data_arc().as_ptr());
+        // the reshape write never reaches the original
+        let flat: Vec<u32> = t.data().iter().map(|x| x.to_bits()).collect();
+        let orig: Vec<u32> = rand_t(vec![r, cpick], seed).data().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(flat, orig);
+    }
+}

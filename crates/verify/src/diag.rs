@@ -20,6 +20,10 @@ use std::fmt;
 pub mod codes {
     /// `ir::validate` rejected the graph.
     pub const GRAPH_INVALID: &str = "RV0001";
+    /// An operator carries a degenerate static attribute (zero stride,
+    /// zero kernel extent, zero groups) — `IrError::Attr` surfaced with a
+    /// node span instead of the generic RV0001.
+    pub const ATTR_INVALID: &str = "RV0002";
     /// A (batch, node) instance is missing from every worker.
     pub const OP_MISSING: &str = "RV0101";
     /// A (batch, node) instance appears on more than one worker (or twice).

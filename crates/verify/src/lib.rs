@@ -12,8 +12,9 @@
 //! debug-assertion harness without a dependency cycle.
 //!
 //! Entry points:
-//! - [`verify_graph`] — graph-only checks: `ir::validate` (RV0001),
-//!   abstract shape interpretation (RV05xx), graph lints (RV0601/RV0602).
+//! - [`verify_graph`] — graph-only checks: `ir::validate` (RV0001, with
+//!   degenerate operator attributes split out as RV0002), abstract shape
+//!   interpretation (RV05xx), graph lints (RV0601/RV0602).
 //! - [`verify_schedule`] — schedule checks against a graph: coverage
 //!   (RV01xx), cycle analysis (RV02xx), in-order soundness (RV0301),
 //!   abstract channel execution (RV0401), schedule lints (RV0603).
@@ -41,11 +42,27 @@ use ramiel_ir::Graph;
 pub fn verify_graph(graph: &Graph) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     if let Err(e) = ramiel_ir::validate::validate(graph) {
-        diags.push(Diagnostic::error(
-            codes::GRAPH_INVALID,
-            Span::Graph,
-            format!("ir::validate failed: {e}"),
-        ));
+        diags.push(match &e {
+            // Attribute findings get their own code and a node span so
+            // `ramiel check` points at the offending operator.
+            ramiel_ir::IrError::Attr { node, reason } => {
+                let span = graph
+                    .nodes
+                    .iter()
+                    .find(|n| &n.name == node)
+                    .map(|n| Span::Node {
+                        id: n.id,
+                        name: n.name.clone(),
+                    })
+                    .unwrap_or(Span::Graph);
+                Diagnostic::error(codes::ATTR_INVALID, span, reason.clone())
+            }
+            _ => Diagnostic::error(
+                codes::GRAPH_INVALID,
+                Span::Graph,
+                format!("ir::validate failed: {e}"),
+            ),
+        });
         // Structurally broken graphs make the remaining analyses
         // meaningless; report the root cause alone.
         return diags;
@@ -142,6 +159,32 @@ mod tests {
         let report = verify(&g, None);
         assert_eq!(report.diagnostics.len(), 1);
         assert_eq!(report.diagnostics[0].code, codes::GRAPH_INVALID);
+    }
+
+    #[test]
+    fn zero_stride_attr_reports_rv0002_with_node_span() {
+        let mut b = GraphBuilder::new("bad-attrs");
+        let x = b.input("x", DType::F32, vec![1, 3, 8, 8]);
+        let w = b.input("w", DType::F32, vec![4, 3, 3, 3]);
+        let c = b.op(
+            "conv0",
+            OpKind::Conv {
+                kernel: (3, 3),
+                stride: (0, 1),
+                pads: (1, 1),
+                groups: 1,
+            },
+            vec![x, w],
+        );
+        b.output(&c);
+        // finish() itself validates, so take the graph without it
+        let g = b.graph_mut().clone();
+        let report = verify(&g, None);
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, codes::ATTR_INVALID);
+        assert!(matches!(&d.span, Span::Node { name, .. } if name.starts_with("conv0")));
+        assert!(d.message.contains("stride"), "{}", d.message);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark summary: runs the quick measured sweep (sequential vs parallel
-# per model, disabled-obs overhead guard, profile-guided reclustering) and
-# writes BENCH_<date>.json at the repo root.
+# per model, disabled-obs overhead guard, profile-guided reclustering, and
+# the zero-copy clone/channel microbench with its bytes-copied guard — the
+# binary exits nonzero if channel sends start deep-copying payloads again)
+# and writes BENCH_<date>.json at the repo root.
 #
 # Usage: scripts/bench.sh [--full] [--iters N]
 #   --full     full-size models instead of the tiny configs

@@ -128,6 +128,95 @@ fn all_executors_conform_on_all_models() {
     }
 }
 
+/// First `(tensor, index)` where two envs differ in their f32 *bit
+/// patterns* (or any non-f32 value differs at all).
+fn first_bit_divergence(expect: &Env, got: &Env) -> Option<(String, String)> {
+    for (name, va) in expect {
+        let Some(vb) = got.get(name) else {
+            return Some((name.clone(), "missing from output".into()));
+        };
+        match (va, vb) {
+            (Value::F32(x), Value::F32(y)) => {
+                if x.shape() != y.shape() {
+                    return Some((
+                        name.clone(),
+                        format!("shape {:?} vs {:?}", x.shape(), y.shape()),
+                    ));
+                }
+                for (i, (p, q)) in x.data().iter().zip(y.data()).enumerate() {
+                    if p.to_bits() != q.to_bits() {
+                        return Some((
+                            name.clone(),
+                            format!("bits differ at flat index {i}: {p} vs {q}"),
+                        ));
+                    }
+                }
+            }
+            (va, vb) => {
+                if va != vb {
+                    return Some((name.clone(), "non-f32 outputs differ".into()));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Stronger than tolerance conformance: with a shared kernel context, every
+/// executor must produce *bit-identical* outputs. The transports move the
+/// same Arc-shared buffers through the same kernels, and every `mm` path
+/// (sequential blocked, row-block parallel, column-tile parallel) accumulates
+/// each output element in the same ascending-k order — so there is no
+/// legitimate source of even a 1-ulp difference between executors. Any bit
+/// that flips here means an executor copied, truncated, or reassociated
+/// something it shouldn't have.
+#[test]
+fn executors_are_bit_identical_with_shared_kernels() {
+    let cfg = ModelConfig::tiny();
+    let ctx = ExecCtx::sequential();
+    for kind in ModelKind::all() {
+        let model = kind.name();
+        let g = build(kind, &cfg);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs: Vec<Env> = (0..3)
+            .map(|b| synth_inputs(&g, 31 * b as u64 + 7))
+            .collect();
+        let baseline: Vec<Env> = inputs
+            .iter()
+            .map(|inp| run_sequential(&g, inp, &ctx).unwrap())
+            .collect();
+
+        let mut pool = ClusterPool::new(&g, &clustering, &ctx).unwrap();
+        for (b, inp) in inputs.iter().enumerate() {
+            let par = run_parallel(&g, &clustering, inp, &ctx).unwrap();
+            let pooled = pool.run(inp).unwrap();
+            for (label, out) in [("parallel", &par), ("pool", &pooled)] {
+                if let Some((tensor, why)) = first_bit_divergence(&baseline[b], out) {
+                    panic!(
+                        "{model}: `{label}` not bit-identical on element {b}: `{tensor}`: {why}"
+                    );
+                }
+            }
+        }
+        for (label, hc) in [
+            ("hyper", hypercluster(&clustering, inputs.len())),
+            (
+                "hyper-switched",
+                switched_hypercluster(&clustering, inputs.len()),
+            ),
+        ] {
+            let outs = run_hyper(&g, &hc, &inputs, &ctx).unwrap();
+            for (b, out) in outs.iter().enumerate() {
+                if let Some((tensor, why)) = first_bit_divergence(&baseline[b], out) {
+                    panic!(
+                        "{model}: `{label}` not bit-identical on element {b}: `{tensor}`: {why}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Executors must also agree on *failure*: a graph with a runtime data error
 /// fails on every executor with the same stable error code.
 #[test]

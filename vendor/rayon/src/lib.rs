@@ -99,7 +99,56 @@ impl ThreadPoolBuilder {
 // ---- parallel slice iterators ----------------------------------------------
 
 pub mod prelude {
+    pub use crate::IntoParallelIterator;
     pub use crate::ParallelSliceMut;
+}
+
+// ---- owned parallel iteration ----------------------------------------------
+
+/// `vec.into_par_iter().for_each(f)` over owned items — the shape the
+/// kernels use to scatter pre-split `&mut` tiles across workers.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParVec<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec(self)
+    }
+}
+
+pub struct ParVec<T: Send>(Vec<T>);
+
+impl<T: Send> ParVec<T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let threads = current_num_threads();
+        let mut items = self.0;
+        if threads <= 1 || items.len() <= 1 {
+            for it in items {
+                f(it);
+            }
+            return;
+        }
+        // One contiguous run of items per worker, like par_chunks_mut.
+        let workers = threads.min(items.len());
+        let per_worker = items.len().div_ceil(workers);
+        let f = &f;
+        std::thread::scope(|scope| {
+            while !items.is_empty() {
+                let run = items.split_off(items.len().saturating_sub(per_worker));
+                scope.spawn(move || {
+                    for it in run {
+                        f(it);
+                    }
+                });
+            }
+        });
+    }
 }
 
 pub trait ParallelSliceMut<T: Send> {
@@ -209,6 +258,25 @@ mod tests {
         });
         for (j, &v) in data.iter().enumerate() {
             assert_eq!(v, j / 10 + 1, "element {j}");
+        }
+    }
+
+    #[test]
+    fn into_par_iter_visits_every_item_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data = [0usize; 11];
+        let visits = AtomicUsize::new(0);
+        pool.install(|| {
+            let tiles: Vec<(usize, &mut usize)> = data.iter_mut().enumerate().collect();
+            tiles.into_par_iter().for_each(|(i, v)| {
+                *v = i * 2;
+                visits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(visits.into_inner(), 11);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i * 2);
         }
     }
 
