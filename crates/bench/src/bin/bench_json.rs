@@ -76,6 +76,33 @@ struct ZeroCopy {
 }
 
 #[derive(Serialize)]
+struct ServeBench {
+    model: String,
+    /// Closed-loop client threads.
+    concurrency: usize,
+    /// Total requests per mode (concurrency × per-client).
+    requests: u64,
+    /// Throughput of batch-1 per-request execution: every request runs the
+    /// parallel executor directly (fresh worker threads per call — the
+    /// `ramiel run` path), same concurrency, same model, same clustering.
+    per_request_rps: f64,
+    per_request_p50_ms: f64,
+    per_request_p99_ms: f64,
+    /// Throughput through the serving layer: requests coalesced by the
+    /// dynamic micro-batcher into hypercluster executions on the standing
+    /// worker pool.
+    batched_rps: f64,
+    batched_p50_ms: f64,
+    batched_p99_ms: f64,
+    /// Mean achieved batch size under load (server's own histogram).
+    mean_batch: f64,
+    /// batched_rps / per_request_rps — the guard: must stay ≥ 1.5.
+    speedup: f64,
+    /// Responses differing from the sequential baseline — must be 0.
+    mismatches: u64,
+}
+
+#[derive(Serialize)]
 struct Summary {
     config: String,
     iters: usize,
@@ -83,6 +110,7 @@ struct Summary {
     obs_overhead: ObsOverhead,
     profile_feedback: ProfileFeedback,
     zero_copy: ZeroCopy,
+    serve: ServeBench,
 }
 
 fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -231,6 +259,86 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Serving: closed-loop load through the serving layer (plan cache +
+    // standing pool + dynamic micro-batching) vs batch-1 per-request
+    // execution (each request runs the parallel executor directly, spawning
+    // its workers per call, as `ramiel run` does). Same model, same
+    // clustering, same client count — the delta is what the serving
+    // subsystem buys over executing every request on its own.
+    let serve = {
+        use ramiel_bench::{baseline_outputs, closed_loop_load, per_request_load};
+        use ramiel_serve::{PlanSpec, ServeConfig, Server};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let kind = ModelKind::Squeezenet;
+        let prepared =
+            ramiel::prepare(build(kind, &cfg), &PipelineOptions::default()).expect("pipeline");
+        let graph = prepared.compiled.graph.clone();
+        let clustering = prepared.compiled.clustering.clone();
+        let concurrency = 8;
+        let per_client = 24.max(iters * 8);
+        let expected = Arc::new(baseline_outputs(&graph, concurrency, per_client));
+
+        let per_request = per_request_load(&graph, &clustering, &expected, concurrency, per_client);
+
+        let max_batch = concurrency;
+        let server = Arc::new(Server::new(ServeConfig {
+            max_batch,
+            max_delay: Duration::from_millis(2),
+            ..ServeConfig::default()
+        }));
+        let spec = PlanSpec {
+            clustering: Some(clustering),
+            batch_sizes: (1..=max_batch).collect(),
+            init_values: Some(Arc::clone(&prepared.init_values)),
+            ..PlanSpec::new(graph.clone())
+        };
+        server.load(kind.name(), spec).expect("load");
+        let batched = closed_loop_load(
+            &server,
+            kind.name(),
+            &graph,
+            &expected,
+            concurrency,
+            per_client,
+        );
+        server.shutdown();
+
+        ServeBench {
+            model: kind.name().to_string(),
+            concurrency,
+            requests: (concurrency * per_client) as u64,
+            per_request_rps: per_request.throughput_rps,
+            per_request_p50_ms: per_request.p50_ms,
+            per_request_p99_ms: per_request.p99_ms,
+            batched_rps: batched.throughput_rps,
+            batched_p50_ms: batched.p50_ms,
+            batched_p99_ms: batched.p99_ms,
+            mean_batch: batched.mean_batch,
+            speedup: batched.throughput_rps / per_request.throughput_rps.max(1e-9),
+            mismatches: per_request.mismatches
+                + batched.mismatches
+                + per_request.failed
+                + batched.failed,
+        }
+    };
+    if serve.mismatches > 0 {
+        eprintln!(
+            "serve guard FAILED: {} responses diverged from the sequential baseline (or failed)",
+            serve.mismatches
+        );
+        std::process::exit(1);
+    }
+    if serve.speedup < 1.5 {
+        eprintln!(
+            "serve guard FAILED: dynamic batching gained only {:.2}x throughput over \
+             batch-1 per-request execution ({:.1} vs {:.1} req/s, need >= 1.5x)",
+            serve.speedup, serve.batched_rps, serve.per_request_rps
+        );
+        std::process::exit(1);
+    }
+
     let summary = Summary {
         config: if full { "full" } else { "tiny" }.to_string(),
         iters,
@@ -238,6 +346,7 @@ fn main() {
         obs_overhead,
         profile_feedback,
         zero_copy,
+        serve,
     };
     let json = serde_json::to_string_pretty(&summary).expect("serialize");
     match out_path {

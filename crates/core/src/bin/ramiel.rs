@@ -10,6 +10,9 @@
 //!                                        cost-model accuracy + reclustering
 //! ramiel check <model|all> [flags]       statically verify the schedule
 //! ramiel export <model> <path>           save a model as .rmodel.json
+//! ramiel serve <model> [flags]           dynamic-batching inference server
+//!                                        (newline-delimited JSON over TCP)
+//! ramiel request [flags]                 send requests to a running server
 //! ```
 //!
 //! `<model>` is a built-in name (`squeezenet`, `googlenet`, `inception-v3`,
@@ -20,6 +23,13 @@
 //! `--batch N` + `--switched` (hyperclustering), `--intra-op N` (rayon
 //! intra-op threads), `--iters N`, `--out DIR`, `--tiny` (reduced model),
 //! `--deny-warnings` (`check`: warnings also fail the run).
+//!
+//! Serving flags (`serve`): `--port N` (default 7878, 0 = ephemeral),
+//! `--max-batch N` (micro-batch bound, default 8), `--max-delay-ms N`
+//! (batch window, default 2), `--queue-cap N` (default 128), `--shed`
+//! (reject on full queue instead of blocking). Client flags (`request`):
+//! `--port N`, `--op <ping|infer_synth|stats|shutdown>`, `--seed N`,
+//! `--count N`, `--deadline-ms N`.
 //!
 //! Chaos flags (`run` only): `--chaos-seed N` derives a deterministic
 //! fault plan and executes under the supervisor, `--chaos-faults N` sets
@@ -35,9 +45,11 @@
 //! every built-in model through batch-1, plain batch-4 and switched batch-4
 //! pipelines.
 
-use ramiel::{compile, CompiledModel, HyperMode, PipelineOptions, Scheduler};
+use ramiel::{compile, CompiledModel, HyperMode, PipelineOptions, PreparedModel, Scheduler};
 use ramiel_models::{build, ModelConfig, ModelKind};
-use ramiel_runtime::{run_parallel, run_sequential, synth_inputs};
+use ramiel_runtime::{
+    run_parallel, run_parallel_opts, run_sequential, run_sequential_opts, synth_inputs,
+};
 use ramiel_tensor::ExecCtx;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -77,6 +89,15 @@ struct Flags {
     chaos_faults: usize,
     max_retries: u32,
     fallback: bool,
+    port: u16,
+    max_batch: usize,
+    max_delay_ms: u64,
+    queue_cap: usize,
+    shed: bool,
+    op: String,
+    seed: u64,
+    count: usize,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -96,6 +117,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         chaos_faults: 3,
         max_retries: 2,
         fallback: false,
+        port: 7878,
+        max_batch: 8,
+        max_delay_ms: 2,
+        queue_cap: 128,
+        shed: false,
+        op: "infer_synth".into(),
+        seed: 0,
+        count: 1,
+        deadline_ms: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -145,6 +175,45 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--out" => f.out = Some(value("--out")?),
             "--mode" => f.mode = value("--mode")?,
+            "--shed" => f.shed = true,
+            "--port" => {
+                f.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--max-batch" => {
+                f.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?
+            }
+            "--max-delay-ms" => {
+                f.max_delay_ms = value("--max-delay-ms")?
+                    .parse()
+                    .map_err(|e| format!("--max-delay-ms: {e}"))?
+            }
+            "--queue-cap" => {
+                f.queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--op" => f.op = value("--op")?,
+            "--seed" => {
+                f.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--count" => {
+                f.count = value("--count")?
+                    .parse()
+                    .map_err(|e| format!("--count: {e}"))?
+            }
+            "--deadline-ms" => {
+                f.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
             "--scheduler" => {
                 f.scheduler = match value("--scheduler")?.as_str() {
                     "lc" => Scheduler::LcMerge,
@@ -269,14 +338,18 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
         ModelConfig::full()
     };
     let g = parse_model(model, &cfg)?;
-    let c = compile(g, &options(f)).map_err(|e| e.to_string())?;
-    summarize(&c);
+    // prepare() = compile + one shared initializer-table conversion; every
+    // executor below reuses that table through RunOptions.
+    let prepared = ramiel::prepare(g, &options(f)).map_err(|e| e.to_string())?;
+    let c = &prepared.compiled;
+    summarize(c);
     let inputs = synth_inputs(&c.graph, 42);
     let ctx = ExecCtx::with_intra_op(f.intra_op);
 
     if let Some(seed) = f.chaos_seed {
-        return cmd_run_chaos(&c, &inputs, &ctx, seed, f);
+        return cmd_run_chaos(&prepared, &inputs, &ctx, seed, f);
     }
+    let run_opts = prepared.run_options();
 
     let time_it = |label: &str, body: &dyn Fn() -> Result<(), String>| -> Result<(), String> {
         body()?; // warm-up
@@ -294,14 +367,14 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
 
     if f.mode == "seq" || f.mode == "both" {
         time_it("sequential", &|| {
-            run_sequential(&c.graph, &inputs, &ctx)
+            run_sequential_opts(&c.graph, &inputs, &ctx, &run_opts)
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         })?;
     }
     if f.mode == "par" || f.mode == "both" {
         time_it("parallel  ", &|| {
-            run_parallel(&c.graph, &c.clustering, &inputs, &ctx)
+            run_parallel_opts(&c.graph, &c.clustering, &inputs, &ctx, &run_opts)
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         })?;
@@ -312,13 +385,14 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
 /// `ramiel run --chaos-seed N`: execute one supervised parallel inference
 /// under a deterministic fault plan and report what the supervisor did.
 fn cmd_run_chaos(
-    c: &CompiledModel,
+    prepared: &PreparedModel,
     inputs: &ramiel_runtime::Env,
     ctx: &ExecCtx,
     seed: u64,
     f: &Flags,
 ) -> Result<(), String> {
-    use ramiel_runtime::{run_supervised, FaultInjector, FaultPlan, SupervisorConfig};
+    use ramiel_runtime::{run_supervised_opts, FaultInjector, FaultPlan, SupervisorConfig};
+    let c = &prepared.compiled;
     let plan = FaultPlan::random(seed, c.graph.num_nodes(), 1, f.chaos_faults);
     println!("chaos plan (seed {seed}):");
     for fault in &plan.faults {
@@ -327,14 +401,15 @@ fn cmd_run_chaos(
             fault.node, fault.exec_index, fault.kind
         );
     }
-    let injector = FaultInjector::new(plan);
+    let mut opts = prepared.run_options();
+    opts.injector = Some(FaultInjector::new(plan));
     let cfg = SupervisorConfig {
         max_retries: f.max_retries,
         fallback: f.fallback,
         ..Default::default()
     };
     let start = Instant::now();
-    let (res, report) = run_supervised(&c.graph, &c.clustering, inputs, ctx, Some(injector), &cfg);
+    let (res, report) = run_supervised_opts(&c.graph, &c.clustering, inputs, ctx, &opts, &cfg);
     let elapsed = start.elapsed();
     println!("attempts:              {}", report.attempts);
     println!("fell back:             {}", report.fell_back);
@@ -365,7 +440,7 @@ fn cmd_profile(model: &str, f: &Flags) -> Result<(), String> {
     use ramiel_cluster::{distance_to_end, linear_clustering, merge_clusters_fixpoint};
     use ramiel_runtime::{
         predict_report, run_hyper_profiled_opts, run_parallel_profiled_opts,
-        run_sequential_profiled, simulate_clustering, ClusterPool, RunOptions, SimConfig,
+        run_sequential_profiled, simulate_clustering, ClusterPool, SimConfig,
     };
 
     let cfg = if f.tiny {
@@ -384,20 +459,23 @@ fn cmd_profile(model: &str, f: &Flags) -> Result<(), String> {
     obs.with_pid(4).name_process("hypercluster executor");
     obs.with_pid(5).name_process("cluster pool");
 
-    let c =
-        ramiel::compile_with_obs(g, &options(f), &obs.with_pid(1)).map_err(|e| e.to_string())?;
-    summarize(&c);
+    // prepare_with_obs() converts the initializer table once; each profiled
+    // executor run shares it through its RunOptions.
+    let prepared =
+        ramiel::prepare_with_obs(g, &options(f), &obs.with_pid(1)).map_err(|e| e.to_string())?;
+    let c = &prepared.compiled;
+    summarize(c);
     println!();
 
     let ctx = ExecCtx::with_intra_op(f.intra_op);
     let inputs = synth_inputs(&c.graph, 42);
 
-    let seq_opts = RunOptions::default().obs(obs.with_pid(2));
+    let seq_opts = prepared.run_options().obs(obs.with_pid(2));
     let (seq_out, seq_db) = run_sequential_profiled(&c.graph, &inputs, &ctx, &seq_opts)
         .map_err(|e| format!("sequential: {e}"))?;
     seq_db.export_to_obs(&obs.with_pid(2), &c.graph);
 
-    let par_opts = RunOptions::default().obs(obs.with_pid(3));
+    let par_opts = prepared.run_options().obs(obs.with_pid(3));
     let (par_out, par_db) =
         run_parallel_profiled_opts(&c.graph, &c.clustering, &inputs, &ctx, &par_opts)
             .map_err(|e| format!("parallel: {e}"))?;
@@ -413,12 +491,12 @@ fn cmd_profile(model: &str, f: &Flags) -> Result<(), String> {
     let batch_inputs: Vec<_> = (0..hc.batch)
         .map(|b| synth_inputs(&c.graph, 42 + b as u64))
         .collect();
-    let hyper_opts = RunOptions::default().obs(obs.with_pid(4));
+    let hyper_opts = prepared.run_options().obs(obs.with_pid(4));
     let (_, hyper_db) = run_hyper_profiled_opts(&c.graph, &hc, &batch_inputs, &ctx, &hyper_opts)
         .map_err(|e| format!("hyper: {e}"))?;
     hyper_db.export_to_obs(&obs.with_pid(4), &c.graph);
 
-    let pool_opts = RunOptions::default().obs(obs.with_pid(5));
+    let pool_opts = prepared.run_options().obs(obs.with_pid(5));
     let mut pool = ClusterPool::with_options(&c.graph, &c.clustering, &ctx, &pool_opts)
         .map_err(|e| format!("pool: {e}"))?;
     let (pool_out, pool_db) = pool
@@ -645,6 +723,121 @@ fn cmd_check(model: &str, f: &Flags) -> Result<(), String> {
     }
 }
 
+/// `ramiel serve <model> --port N`: compile once, then serve inference over
+/// newline-delimited JSON TCP with dynamic micro-batching into hypercluster
+/// executions. Runs until a client sends `{"op":"shutdown"}` (graceful
+/// drain: queued requests finish first).
+fn cmd_serve(model: &str, f: &Flags) -> Result<(), String> {
+    use ramiel_serve::{run_tcp, OverflowPolicy, PlanSpec, ServeConfig, Server};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let cfg = if f.tiny {
+        ModelConfig::tiny()
+    } else {
+        ModelConfig::full()
+    };
+    let g = parse_model(model, &cfg)?;
+    let prepared = ramiel::prepare(g, &options(f)).map_err(|e| e.to_string())?;
+    summarize(&prepared.compiled);
+
+    let serve_cfg = ServeConfig {
+        max_batch: f.max_batch,
+        max_delay: Duration::from_millis(f.max_delay_ms),
+        queue_capacity: f.queue_cap,
+        policy: if f.shed {
+            OverflowPolicy::Shed
+        } else {
+            OverflowPolicy::Block {
+                max_wait: Duration::from_secs(1),
+            }
+        },
+        intra_op: f.intra_op,
+        supervisor: ramiel_runtime::SupervisorConfig {
+            max_retries: f.max_retries,
+            fallback: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    // Hand the already-compiled clustering and initializer table to the
+    // plan cache so `load` doesn't redo pipeline work.
+    let spec = PlanSpec {
+        clustering: Some(prepared.compiled.clustering.clone()),
+        switched: f.switched,
+        batch_sizes: vec![f.max_batch],
+        init_values: Some(Arc::clone(&prepared.init_values)),
+        ..PlanSpec::new(prepared.compiled.graph.clone())
+    };
+    let server = Arc::new(Server::new(serve_cfg));
+    server.load(model, spec).map_err(|e| e.to_string())?;
+    println!(
+        "serving `{model}` (max batch {}, window {} ms, queue {}{})",
+        f.max_batch,
+        f.max_delay_ms,
+        f.queue_cap,
+        if f.shed { ", shedding" } else { "" }
+    );
+    let listener = std::net::TcpListener::bind(("127.0.0.1", f.port))
+        .map_err(|e| format!("bind 127.0.0.1:{}: {e}", f.port))?;
+    run_tcp(&server, model, listener).map_err(|e| e.to_string())?;
+    let s = server.stats();
+    println!(
+        "served {} requests in {} batches (mean batch {:.2}, {} shed, {} failed)",
+        s.completed,
+        s.batches,
+        s.mean_batch,
+        s.shed_queue_full + s.shed_deadline,
+        s.failed
+    );
+    Ok(())
+}
+
+/// `ramiel request`: minimal client for a running `ramiel serve` — sends
+/// `--count` ops and prints one response line each.
+fn cmd_request(f: &Flags) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(("127.0.0.1", f.port))
+        .map_err(|e| format!("connect 127.0.0.1:{}: {e}", f.port))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    for i in 0..f.count.max(1) {
+        let req = match f.op.as_str() {
+            "infer_synth" => {
+                let deadline = f
+                    .deadline_ms
+                    .map(|ms| format!(",\"deadline_ms\":{ms}"))
+                    .unwrap_or_default();
+                format!(
+                    "{{\"id\":{i},\"op\":\"infer_synth\",\"seed\":{}{deadline}}}",
+                    f.seed + i as u64
+                )
+            }
+            op @ ("ping" | "stats" | "shutdown") => format!("{{\"id\":{i},\"op\":\"{op}\"}}"),
+            other => {
+                return Err(format!(
+                    "unknown op `{other}` (ping|infer_synth|stats|shutdown)"
+                ))
+            }
+        };
+        writer
+            .write_all(format!("{req}\n").as_bytes())
+            .and_then(|_| writer.flush())
+            .map_err(|e| e.to_string())?;
+        let mut resp = String::new();
+        reader.read_line(&mut resp).map_err(|e| e.to_string())?;
+        if resp.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        print!("{resp}");
+        let v: serde_json::Value = serde_json::from_str(&resp).map_err(|e| e.to_string())?;
+        if v.get("ok").and_then(|b| b.as_bool()) != Some(true) {
+            return Err(format!("request {i} failed"));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
     let cfg = if f.tiny {
         ModelConfig::tiny()
@@ -660,7 +853,7 @@ fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage =
-        "usage: ramiel <models|report|compile|run|profile|simulate|check|fuzz|export> [model] [flags]";
+        "usage: ramiel <models|report|compile|run|profile|simulate|check|fuzz|export|serve|request> [model] [flags]";
     let result = match args.first().map(String::as_str) {
         Some("models") => {
             cmd_models(args.iter().any(|a| a == "--detail"));
@@ -686,6 +879,10 @@ fn main() -> ExitCode {
             parse_flags(&args[2..]).and_then(|f| cmd_check(&args[1], &f))
         }
         Some("fuzz") => parse_flags(&args[1..]).and_then(|f| cmd_fuzz(&f)),
+        Some("serve") if args.len() >= 2 => {
+            parse_flags(&args[2..]).and_then(|f| cmd_serve(&args[1], &f))
+        }
+        Some("request") => parse_flags(&args[1..]).and_then(|f| cmd_request(&f)),
         Some("export") if args.len() >= 3 => {
             parse_flags(&args[3..]).and_then(|f| cmd_export(&args[1], &args[2], &f))
         }

@@ -154,6 +154,9 @@ pub struct CompiledModel {
 pub enum CompileError {
     Ir(ramiel_ir::IrError),
     Invalid(String),
+    /// Initializer conversion failed while preparing a compiled model for
+    /// execution (see [`prepare`]).
+    Init(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -161,6 +164,7 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Ir(e) => write!(f, "{e}"),
             CompileError::Invalid(m) => write!(f, "{m}"),
+            CompileError::Init(m) => write!(f, "initializer conversion failed: {m}"),
         }
     }
 }
@@ -171,6 +175,48 @@ impl From<ramiel_ir::IrError> for CompileError {
     fn from(e: ramiel_ir::IrError) -> Self {
         CompileError::Ir(e)
     }
+}
+
+/// A [`CompiledModel`] paired with its runtime initializer table, built
+/// exactly once. Every executor invocation on the same prepared model
+/// shares the converted weights (a refcount bump per run instead of a deep
+/// copy) — the shape `ramiel run`, `ramiel profile` and the serving layer's
+/// plan cache all want.
+pub struct PreparedModel {
+    pub compiled: CompiledModel,
+    /// Shared pre-converted weights (see
+    /// [`ramiel_runtime::initializer_values`]).
+    pub init_values: std::sync::Arc<std::collections::HashMap<String, ramiel_tensor::Value>>,
+}
+
+impl PreparedModel {
+    /// [`ramiel_runtime::RunOptions`] pre-loaded with the shared table.
+    pub fn run_options(&self) -> ramiel_runtime::RunOptions {
+        ramiel_runtime::RunOptions::default().init_values(std::sync::Arc::clone(&self.init_values))
+    }
+}
+
+/// [`compile`] followed by a one-time `initializer_values` conversion: the
+/// single entry point for "compile this graph and get it ready to execute
+/// repeatedly". Replaces the per-invocation table rebuilds the CLI used to
+/// do on every `run`/`profile` path.
+pub fn prepare(graph: Graph, opts: &PipelineOptions) -> Result<PreparedModel, CompileError> {
+    prepare_with_obs(graph, opts, &ramiel_obs::Obs::disabled())
+}
+
+/// [`prepare`] with an observability sink (see [`compile_with_obs`]).
+pub fn prepare_with_obs(
+    graph: Graph,
+    opts: &PipelineOptions,
+    obs: &ramiel_obs::Obs,
+) -> Result<PreparedModel, CompileError> {
+    let compiled = compile_with_obs(graph, opts, obs)?;
+    let init_values = ramiel_runtime::initializer_values(&compiled.graph)
+        .map_err(|e| CompileError::Init(e.to_string()))?;
+    Ok(PreparedModel {
+        compiled,
+        init_values,
+    })
 }
 
 /// Run the full Ramiel pipeline on a graph.

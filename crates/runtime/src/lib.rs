@@ -15,6 +15,7 @@
 
 pub mod exec;
 pub mod fault;
+pub mod hyperpool;
 pub mod memory;
 pub mod parallel;
 pub mod pool;
@@ -25,6 +26,7 @@ pub mod supervisor;
 
 pub use exec::{run_sequential, run_sequential_opts, run_sequential_profiled};
 pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan};
+pub use hyperpool::{HyperPool, PlannedBatch};
 pub use memory::{clustering_peak_memory, sequential_peak_memory, MemoryReport};
 pub use parallel::{
     run_hyper, run_hyper_opts, run_hyper_profiled, run_hyper_profiled_opts, run_parallel,
@@ -36,7 +38,10 @@ pub use profile::{OpRecord, ProfileDb, SlackReport, WorkerSpan};
 pub use sim::{
     simulate_clustering, simulate_hyper, simulate_sequential, SimConfig, SimEvent, SimResult,
 };
-pub use supervisor::{run_hyper_supervised, run_supervised, RunReport, SupervisorConfig};
+pub use supervisor::{
+    run_hyper_supervised, run_hyper_supervised_opts, run_supervised, run_supervised_opts,
+    RunReport, SupervisorConfig,
+};
 
 use ramiel_tensor::Value;
 use std::collections::BTreeMap;

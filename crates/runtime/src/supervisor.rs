@@ -95,9 +95,26 @@ pub fn run_supervised(
     injector: Option<Arc<FaultInjector>>,
     cfg: &SupervisorConfig,
 ) -> (Result<Env>, RunReport) {
+    let opts = RunOptions {
+        injector,
+        ..RunOptions::default()
+    };
+    run_supervised_opts(graph, clustering, inputs, ctx, &opts, cfg)
+}
+
+/// [`run_supervised`] with explicit [`RunOptions`] (shared initializer
+/// table, obs sink, recv timeout).
+pub fn run_supervised_opts(
+    graph: &Graph,
+    clustering: &Clustering,
+    inputs: &Env,
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+    cfg: &SupervisorConfig,
+) -> (Result<Env>, RunReport) {
     let hc = ramiel_cluster::hypercluster(clustering, 1);
     let (res, report) =
-        run_hyper_supervised(graph, &hc, std::slice::from_ref(inputs), ctx, injector, cfg);
+        run_hyper_supervised_opts(graph, &hc, std::slice::from_ref(inputs), ctx, opts, cfg);
     (
         res.map(|mut outs| outs.pop().expect("batch 1 yields one output env")),
         report,
@@ -115,15 +132,39 @@ pub fn run_hyper_supervised(
     cfg: &SupervisorConfig,
 ) -> (Result<Vec<Env>>, RunReport) {
     let opts = RunOptions {
-        injector: injector.clone(),
-        recv_timeout: cfg.recv_timeout,
-        obs: cfg.obs.clone(),
+        injector,
+        ..RunOptions::default()
+    };
+    run_hyper_supervised_opts(graph, hc, inputs, ctx, &opts, cfg)
+}
+
+/// [`run_hyper_supervised`] with explicit [`RunOptions`]. A caller-supplied
+/// `init_values` table is reused across every attempt **and** the sequential
+/// fallback — serving callers hold the plan's table for the process
+/// lifetime, so supervision never rebuilds (deep-copies) the weights.
+pub fn run_hyper_supervised_opts(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+    cfg: &SupervisorConfig,
+) -> (Result<Vec<Env>>, RunReport) {
+    let mut opts = opts.clone();
+    if opts.recv_timeout.is_none() {
+        opts.recv_timeout = cfg.recv_timeout;
+    }
+    if !opts.obs.is_enabled() {
+        opts.obs = cfg.obs.clone();
+    }
+    if opts.init_values.is_none() {
         // Convert the weights once here so retries and the sequential
         // fallback share one table instead of rebuilding it per attempt.
         // On failure fall back to per-run conversion, which will surface
         // the same error with run context attached.
-        init_values: crate::initializer_values(graph).ok(),
-    };
+        opts.init_values = crate::initializer_values(graph).ok();
+    }
+    let injector = opts.injector.clone();
     let mut report = RunReport::default();
     let finish = |report: &mut RunReport| {
         if let Some(inj) = &injector {
@@ -331,6 +372,51 @@ mod tests {
         assert_eq!(err.code(), "RT-KERNEL");
         assert_eq!(report.attempts, 1, "deterministic errors must not retry");
         assert!(!report.fell_back);
+    }
+
+    #[test]
+    fn opts_variant_reuses_caller_init_table_through_fallback() {
+        quiet_injected_panics();
+        let g = synthetic::fork_join(4, 3, 3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 4);
+        let ctx = ExecCtx::sequential();
+        let expect = run_sequential(&g, &inputs, &ctx).unwrap();
+        let iv = crate::initializer_values(&g).unwrap();
+        // Panic on every parallel attempt so the sequential fallback runs —
+        // both paths must share the caller's table, not rebuild it.
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![
+                Fault {
+                    node: 1,
+                    batch: 0,
+                    exec_index: 0,
+                    kind: FaultKind::WorkerPanic,
+                },
+                Fault {
+                    node: 1,
+                    batch: 0,
+                    exec_index: 1,
+                    kind: FaultKind::WorkerPanic,
+                },
+            ],
+        });
+        let opts = RunOptions::with_injector(inj)
+            .recv_timeout(Duration::from_secs(5))
+            .init_values(Arc::clone(&iv));
+        let cfg = SupervisorConfig {
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            fallback: true,
+            ..Default::default()
+        };
+        let (res, report) = run_supervised_opts(&g, &clustering, &inputs, &ctx, &opts, &cfg);
+        assert_eq!(res.unwrap(), expect);
+        assert!(report.fell_back);
+        // The shared table is still ours alone once the run finished: no
+        // attempt squirreled away a rebuilt copy.
+        assert_eq!(iv.len(), g.initializers.len());
     }
 
     #[test]

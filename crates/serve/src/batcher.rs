@@ -1,0 +1,377 @@
+//! Per-model dynamic micro-batcher.
+//!
+//! Each loaded model gets one *lane*: a bounded submission queue
+//! (`std::sync::Mutex` + `Condvar` — the vendored `parking_lot` has no
+//! condvar) drained by a dedicated collector thread. The collector blocks
+//! for the first request, then coalesces follow-ups until it has
+//! `max_batch` of them or `max_delay` has elapsed since the first —
+//! whichever comes first — and executes the batch as ONE hypercluster job
+//! on a persistent [`HyperPool`] whose workers live as long as the lane.
+//! Per-sample outputs scatter back to per-request one-shot channels.
+//!
+//! ## State machine (per collector iteration)
+//!
+//! ```text
+//!        ┌─────────── idle: wait(not_empty) ───────────┐
+//!        ▼                                             │
+//!   pop first ──▶ gather: pop until max_batch,         │
+//!        │        or wait_timeout(max_delay) expires    │
+//!        ▼                                             │
+//!   drop dead-on-arrival (deadline passed in queue)    │
+//!        ▼                                             │
+//!   run batch on HyperPool ──retry (retryable, ≤N)──┐  │
+//!        │                                          │  │
+//!        ├── ok: scatter per-sample outputs ────────┼──┘
+//!        └── still failing: per-request sequential
+//!            fallback (isolates a poisoned sample) ─┘
+//! ```
+//!
+//! Draining: shutdown flips `draining` *under the queue lock* (so
+//! admission is linearized against it), wakes everything, and the
+//! collector keeps executing until the queue is empty — in-flight and
+//! already-queued requests complete; new ones are rejected.
+
+use crate::plan::CompiledPlan;
+use crate::server::{LaneConfig, OverflowPolicy, ServeError};
+use crate::stats::ServeStats;
+use crossbeam::channel::Sender;
+use ramiel_runtime::{run_sequential_opts, Env, HyperPool, RunOptions, RuntimeError};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued inference request.
+pub(crate) struct Request {
+    pub inputs: Env,
+    pub deadline: Option<Instant>,
+    pub enqueued: Instant,
+    /// One-shot response channel (crossbeam unbounded, used once).
+    pub resp: Sender<Result<Env, ServeError>>,
+}
+
+pub(crate) struct LaneShared {
+    queue: StdMutex<VecDeque<Request>>,
+    /// Signalled on push; the collector waits here.
+    not_empty: Condvar,
+    /// Signalled on pop; blocked (backpressure-policy) submitters wait here.
+    space: Condvar,
+    /// Set under the queue lock by `shutdown`, read under it by admission
+    /// and the collector's exit check.
+    draining: AtomicBool,
+    /// Swapped on hot reload; the collector rebuilds its pool when the
+    /// version changes.
+    plan: parking_lot::Mutex<Arc<CompiledPlan>>,
+    cfg: LaneConfig,
+    stats: Arc<ServeStats>,
+}
+
+fn lock<'a, T>(m: &'a StdMutex<T>) -> MutexGuard<'a, T> {
+    // A collector panic can poison the queue mutex; the data (a request
+    // queue) stays valid, so keep serving rather than cascading panics.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A running lane: shared state + the collector thread's handle.
+pub(crate) struct Lane {
+    pub shared: Arc<LaneShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Lane {
+    pub fn spawn(plan: Arc<CompiledPlan>, cfg: LaneConfig, stats: Arc<ServeStats>) -> Lane {
+        let shared = Arc::new(LaneShared {
+            queue: StdMutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            draining: AtomicBool::new(false),
+            plan: parking_lot::Mutex::new(plan),
+            cfg,
+            stats,
+        });
+        let collector_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("ramiel-serve-lane".into())
+            .spawn(move || collector(collector_shared))
+            .expect("spawn lane collector");
+        Lane {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Drain and stop: reject new work, execute everything queued, join
+    /// the collector (which drops the pool's workers). Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let _q = lock(&self.shared.queue);
+            self.shared.draining.store(true, Ordering::SeqCst);
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.space.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Swap in a reloaded plan; picked up at the next batch boundary.
+    pub fn swap_plan(&self, plan: Arc<CompiledPlan>) {
+        *self.shared.plan.lock() = plan;
+    }
+}
+
+impl Drop for Lane {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl LaneShared {
+    /// Admission: enforce the bounded queue per the overflow policy, then
+    /// enqueue and wake the collector.
+    pub fn enqueue(&self, req: Request) -> Result<(), ServeError> {
+        let mut q = lock(&self.queue);
+        if self.draining.load(Ordering::SeqCst) {
+            self.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.len() >= self.cfg.queue_capacity {
+            match self.cfg.policy {
+                OverflowPolicy::Shed => {
+                    self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::QueueFull { depth: q.len() });
+                }
+                OverflowPolicy::Block { max_wait } => {
+                    let give_up = Instant::now() + max_wait;
+                    while q.len() >= self.cfg.queue_capacity
+                        && !self.draining.load(Ordering::SeqCst)
+                    {
+                        let now = Instant::now();
+                        if now >= give_up {
+                            self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                            return Err(ServeError::QueueFull { depth: q.len() });
+                        }
+                        let (guard, _timeout) = self
+                            .space
+                            .wait_timeout(q, give_up - now)
+                            .unwrap_or_else(|e| e.into_inner());
+                        q = guard;
+                    }
+                    if self.draining.load(Ordering::SeqCst) {
+                        self.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                        return Err(ServeError::ShuttingDown);
+                    }
+                }
+            }
+        }
+        q.push_back(req);
+        let depth = q.len();
+        drop(q);
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.stats.note_depth(depth);
+        self.cfg.obs.counter("serve:queue_depth", depth as f64);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+/// The collector thread: idle-wait → gather → execute, until drained.
+fn collector(sh: Arc<LaneShared>) {
+    // (plan version, pool): rebuilt whenever a hot reload changes the
+    // version. Kept across batches — that's the whole point.
+    let mut pool: Option<(u64, HyperPool)> = None;
+    loop {
+        // Idle: block for the first request of the next batch.
+        let first = {
+            let mut q = lock(&sh.queue);
+            loop {
+                if let Some(r) = q.pop_front() {
+                    sh.space.notify_one();
+                    break r;
+                }
+                if sh.draining.load(Ordering::SeqCst) {
+                    return; // drained: queue empty and no new admissions
+                }
+                q = sh.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Gather: coalesce until max_batch or max_delay after the first.
+        let batch_deadline = Instant::now() + sh.cfg.max_delay;
+        let mut batch = vec![first];
+        loop {
+            let mut q = lock(&sh.queue);
+            while batch.len() < sh.cfg.max_batch {
+                match q.pop_front() {
+                    Some(r) => {
+                        sh.space.notify_one();
+                        batch.push(r);
+                    }
+                    None => break,
+                }
+            }
+            if batch.len() >= sh.cfg.max_batch || sh.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= batch_deadline {
+                break;
+            }
+            let (guard, _timeout) = sh
+                .not_empty
+                .wait_timeout(q, batch_deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            drop(guard);
+        }
+        execute_batch(&sh, &mut pool, batch);
+    }
+}
+
+fn bounded_backoff(cfg: &ramiel_runtime::SupervisorConfig, retry: u32) -> Duration {
+    let mult = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+    cfg.backoff_base
+        .checked_mul(mult)
+        .unwrap_or(cfg.backoff_max)
+        .min(cfg.backoff_max)
+}
+
+fn fail_all(sh: &LaneShared, batch: Vec<Request>, err: &ServeError) {
+    for r in batch {
+        sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = r.resp.send(Err(err.clone()));
+    }
+}
+
+/// Execute one gathered batch: deadline-filter, (re)build the pool if the
+/// plan changed, run with supervised retries, degrade to per-request
+/// sequential execution if the batch stays poisoned, scatter results.
+fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batch: Vec<Request>) {
+    let obs = &sh.cfg.obs;
+    // Dead-on-arrival filter: reject expired work *before* spending any
+    // execution on it.
+    let now = Instant::now();
+    let mut live: Vec<Request> = Vec::with_capacity(batch.len());
+    for r in batch {
+        sh.stats
+            .queue_ns
+            .fetch_add((now - r.enqueued).as_nanos() as u64, Ordering::Relaxed);
+        if r.deadline.is_some_and(|d| d < now) {
+            sh.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            let _ = r
+                .resp
+                .send(Err(ServeError::DeadlineExceeded { stage: "queued" }));
+        } else {
+            live.push(r);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let plan = Arc::clone(&sh.plan.lock());
+    let run_opts = RunOptions {
+        injector: sh.cfg.injector.clone(),
+        recv_timeout: sh.cfg.recv_timeout,
+        obs: obs.clone(),
+        init_values: Some(Arc::clone(&plan.init_values)),
+    };
+    // Hot reload boundary: a version change means new graph/weights, so
+    // the standing workers are rebuilt (old ones join first).
+    if pool_slot.as_ref().map(|(v, _)| *v) != Some(plan.version) {
+        *pool_slot = None;
+        match HyperPool::with_options(&plan.graph, plan.num_clusters(), &plan.ctx, &run_opts) {
+            Ok(p) => *pool_slot = Some((plan.version, p)),
+            Err(e) => {
+                fail_all(sh, live, &ServeError::Runtime(e));
+                return;
+            }
+        }
+    }
+    let (_, pool) = pool_slot.as_mut().expect("just ensured");
+
+    let n = live.len();
+    sh.stats.record_batch(n);
+    obs.instant(
+        0,
+        format!("serve:batch x{n}"),
+        "serve",
+        serde_json::json!({ "model": plan.name, "batch": n, "version": plan.version }),
+    );
+    obs.counter("serve:batch_size", n as f64);
+
+    let sched = match plan.schedule_for(n) {
+        Ok(s) => s,
+        Err(e) => {
+            fail_all(sh, live, &e);
+            return;
+        }
+    };
+    let inputs: Arc<Vec<Env>> = Arc::new(live.iter().map(|r| r.inputs.clone()).collect());
+
+    // Supervised execution on the standing pool: retry transient-shaped
+    // failures with bounded backoff (the pool survives failed jobs).
+    let sup = &sh.cfg.supervisor;
+    let mut attempt = 0u32;
+    let result: Result<Vec<Env>, RuntimeError> = loop {
+        match pool.run_batch(&sched, &inputs) {
+            Ok(outs) => break Ok(outs),
+            Err(e) => {
+                if !e.is_retryable() || attempt >= sup.max_retries {
+                    break Err(e);
+                }
+                sh.stats.retries.fetch_add(1, Ordering::Relaxed);
+                obs.instant(
+                    0,
+                    format!("serve:retry (attempt {})", attempt + 2),
+                    "serve",
+                    serde_json::json!({ "model": plan.name, "error": e.code() }),
+                );
+                std::thread::sleep(bounded_backoff(sup, attempt));
+                attempt += 1;
+            }
+        }
+    };
+
+    match result {
+        Ok(outs) => {
+            for (r, out) in live.into_iter().zip(outs) {
+                sh.stats.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = r.resp.send(Ok(out));
+            }
+        }
+        Err(batch_err) if sup.fallback => {
+            // Degrade, don't die: re-run each sample alone on the reference
+            // sequential executor. A poisoned sample fails alone; its
+            // batch-mates still get answers.
+            sh.stats.fallbacks.fetch_add(1, Ordering::Relaxed);
+            obs.instant(
+                0,
+                "serve:fallback to per-request sequential".to_string(),
+                "serve",
+                serde_json::json!({ "model": plan.name, "error": batch_err.code() }),
+            );
+            for r in live {
+                let res = catch_unwind(AssertUnwindSafe(|| {
+                    run_sequential_opts(&plan.graph, &r.inputs, &plan.ctx, &run_opts)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(ramiel_runtime::fault::panic_to_error(None, payload))
+                });
+                match res {
+                    Ok(out) => {
+                        sh.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        let _ = r.resp.send(Ok(out));
+                    }
+                    Err(e) => {
+                        sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let _ = r.resp.send(Err(ServeError::Runtime(e)));
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            fail_all(sh, live, &ServeError::Runtime(e));
+        }
+    }
+}

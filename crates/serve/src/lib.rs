@@ -1,0 +1,39 @@
+//! # ramiel-serve
+//!
+//! Multi-model serving layer over the Ramiel runtime — the piece that turns
+//! the paper's hyperclustering (batch > 1 filling cross-cluster
+//! communication slack) into a *throughput* feature instead of a
+//! compile-time constant.
+//!
+//! - [`plan`] — model registry + plan cache: [`Server::load`] compiles a
+//!   model once (clustering, hypercluster schedules at several batch sizes,
+//!   packed-weight cache, shared initializer table) into an
+//!   `Arc<CompiledPlan>` shared by every request, LRU-bounded, versioned
+//!   for hot reload.
+//! - [`batcher`] — per-model dynamic micro-batcher: a bounded submission
+//!   queue drained by a collector thread that coalesces up to `max_batch`
+//!   requests (or a `max_delay` timeout, whichever first) into one
+//!   hypercluster execution on a persistent
+//!   [`ramiel_runtime::HyperPool`], then scatters per-sample outputs back
+//!   to per-request one-shot channels.
+//! - [`server`] — the in-process [`Server`] API: admission control
+//!   (bounded queues, shed-vs-backpressure policy, per-request deadlines),
+//!   supervised execution (retry → per-request sequential fallback, so a
+//!   poisoned batch degrades instead of killing the server), and graceful
+//!   drain-on-shutdown.
+//! - [`tcp`] — newline-delimited JSON over `std::net` TCP, the transport
+//!   behind `ramiel serve <model.json> --port N`.
+
+pub mod batcher;
+pub mod plan;
+pub mod server;
+pub mod stats;
+pub mod tcp;
+
+#[cfg(test)]
+mod tests;
+
+pub use plan::{CompiledPlan, PlanCache, PlanSpec};
+pub use server::{OverflowPolicy, ServeConfig, ServeError, Server, Ticket};
+pub use stats::{BatchBucket, ServeStats, StatsSnapshot};
+pub use tcp::run_tcp;

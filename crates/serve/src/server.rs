@@ -1,0 +1,322 @@
+//! The in-process serving front end: admission control, per-model lanes,
+//! and graceful shutdown. The TCP transport ([`crate::tcp`]) and the CLI's
+//! `ramiel serve` are thin wrappers over [`Server`].
+
+use crate::batcher::{Lane, Request};
+use crate::plan::{CompiledPlan, PlanCache, PlanSpec};
+use crate::stats::{ServeStats, StatsSnapshot};
+use crossbeam::channel::{unbounded, Receiver};
+use ramiel_obs::Obs;
+use ramiel_runtime::{Env, FaultInjector, RuntimeError, SupervisorConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What happens when a model's submission queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Reject immediately (load shedding): callers get
+    /// [`ServeError::QueueFull`] and can back off themselves.
+    Shed,
+    /// Backpressure: block the submitter up to `max_wait` for space, then
+    /// shed anyway (a bounded queue must stay bounded).
+    Block { max_wait: Duration },
+}
+
+/// Serving policy knobs.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Most requests one hypercluster execution may coalesce.
+    pub max_batch: usize,
+    /// Longest the collector waits after a batch's first request before
+    /// executing whatever it has.
+    pub max_delay: Duration,
+    /// Bound on each model's submission queue.
+    pub queue_capacity: usize,
+    pub policy: OverflowPolicy,
+    /// LRU bound on concurrently loaded plans.
+    pub plan_capacity: usize,
+    /// Intra-op threads for each plan's [`ramiel_tensor::ExecCtx`]
+    /// (1 = sequential kernels).
+    pub intra_op: usize,
+    /// Retry/backoff/fallback policy for batch execution.
+    pub supervisor: SupervisorConfig,
+    /// Worker recv timeout; `None` uses `RAMIEL_RECV_TIMEOUT_MS` or 30s.
+    pub recv_timeout: Option<Duration>,
+    /// Fault injection shared by every lane (chaos tests).
+    pub injector: Option<Arc<FaultInjector>>,
+    /// Observability sink: batch/retry/fallback instants plus queue-depth
+    /// and batch-size counters (disabled handle = one branch per event).
+    pub obs: Obs,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 128,
+            policy: OverflowPolicy::Block {
+                max_wait: Duration::from_secs(1),
+            },
+            plan_capacity: 4,
+            intra_op: 1,
+            supervisor: SupervisorConfig::default(),
+            recv_timeout: None,
+            injector: None,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+/// The per-lane slice of [`ServeConfig`] (everything the collector and
+/// admission path need).
+#[derive(Clone)]
+pub(crate) struct LaneConfig {
+    pub max_batch: usize,
+    pub max_delay: Duration,
+    pub queue_capacity: usize,
+    pub policy: OverflowPolicy,
+    pub supervisor: SupervisorConfig,
+    pub recv_timeout: Option<Duration>,
+    pub injector: Option<Arc<FaultInjector>>,
+    pub obs: Obs,
+}
+
+impl ServeConfig {
+    pub(crate) fn lane(&self) -> LaneConfig {
+        LaneConfig {
+            max_batch: self.max_batch.max(1),
+            max_delay: self.max_delay,
+            queue_capacity: self.queue_capacity.max(1),
+            policy: self.policy,
+            supervisor: self.supervisor.clone(),
+            recv_timeout: self.recv_timeout,
+            injector: self.injector.clone(),
+            obs: self.obs.clone(),
+        }
+    }
+}
+
+/// Structured serving error. `code()` mirrors the runtime's RT-codes with
+/// SV-codes for admission-level rejections.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No plan loaded under this name.
+    UnknownModel(String),
+    /// Queue at capacity (after any backpressure wait) — load was shed.
+    QueueFull { depth: usize },
+    /// The request's deadline passed before it reached execution.
+    DeadlineExceeded { stage: &'static str },
+    /// The server is draining; new work is rejected.
+    ShuttingDown,
+    /// Execution failed (post-retry, post-fallback).
+    Runtime(RuntimeError),
+    /// Serving-layer invariant violation.
+    Internal(String),
+}
+
+impl ServeError {
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::UnknownModel(_) => "SV-MODEL",
+            ServeError::QueueFull { .. } => "SV-FULL",
+            ServeError::DeadlineExceeded { .. } => "SV-DEADLINE",
+            ServeError::ShuttingDown => "SV-SHUTDOWN",
+            ServeError::Runtime(e) => e.code(),
+            ServeError::Internal(_) => "SV-INTERNAL",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            ServeError::QueueFull { depth } => {
+                write!(f, "queue full ({depth} requests); load shed")
+            }
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded ({stage})")
+            }
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Runtime(e) => write!(f, "{e}"),
+            ServeError::Internal(m) => write!(f, "serving error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Handle to one in-flight request's response.
+pub struct Ticket {
+    rx: Receiver<Result<Env, ServeError>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Block until the response arrives. The drain-on-shutdown guarantee
+    /// makes this safe: every admitted request is answered.
+    pub fn wait(self) -> Result<Env, ServeError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ServeError::Internal("response channel dropped".into())))
+    }
+
+    /// [`Ticket::wait`] with a caller-side bound.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Env, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(_) => Err(ServeError::DeadlineExceeded { stage: "wait" }),
+        }
+    }
+}
+
+/// Multi-model inference server. Thread-safe: share it behind an `Arc` and
+/// call [`submit`](Self::submit)/[`infer`](Self::infer) from any number of
+/// client threads.
+pub struct Server {
+    cfg: ServeConfig,
+    cache: PlanCache,
+    lanes: parking_lot::Mutex<HashMap<String, Lane>>,
+    stats: Arc<ServeStats>,
+    shutting_down: AtomicBool,
+}
+
+impl Server {
+    pub fn new(cfg: ServeConfig) -> Server {
+        let cache = PlanCache::new(cfg.plan_capacity);
+        Server {
+            cfg,
+            cache,
+            lanes: parking_lot::Mutex::new(HashMap::new()),
+            stats: Arc::new(ServeStats::default()),
+            shutting_down: AtomicBool::new(false),
+        }
+    }
+
+    /// Compile `spec` under `name` and start (or hot-reload) its lane.
+    /// Reloading an existing name swaps the plan at the next batch
+    /// boundary; loading past the plan-cache capacity drains and removes
+    /// the least-recently-used model's lane.
+    pub fn load(&self, name: &str, spec: PlanSpec) -> Result<Arc<CompiledPlan>, ServeError> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (plan, evicted) = self.cache.load(name, spec, self.cfg.intra_op)?;
+        // Tear down evicted lanes *outside* the map lock (drain can block).
+        let mut torn_down: Vec<Lane> = Vec::new();
+        {
+            let mut lanes = self.lanes.lock();
+            for old in &evicted {
+                if let Some(lane) = lanes.remove(&old.name) {
+                    torn_down.push(lane);
+                }
+            }
+            match lanes.get(name) {
+                Some(lane) => lane.swap_plan(Arc::clone(&plan)),
+                None => {
+                    lanes.insert(
+                        name.to_string(),
+                        Lane::spawn(Arc::clone(&plan), self.cfg.lane(), Arc::clone(&self.stats)),
+                    );
+                }
+            }
+        }
+        for mut lane in torn_down {
+            lane.shutdown();
+        }
+        Ok(plan)
+    }
+
+    /// The compiled plan for `name`, if loaded (marks it recently used).
+    pub fn plan(&self, name: &str) -> Option<Arc<CompiledPlan>> {
+        self.cache.get(name)
+    }
+
+    /// Loaded model names, most-recently-used first.
+    pub fn models(&self) -> Vec<String> {
+        self.cache.names()
+    }
+
+    /// Submit one inference without a deadline.
+    pub fn submit(&self, model: &str, inputs: Env) -> Result<Ticket, ServeError> {
+        self.submit_with_deadline(model, inputs, None)
+    }
+
+    /// Submit one inference. `deadline` is absolute: work that would start
+    /// after it is rejected (dead-on-arrival) instead of executed.
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        inputs: Env,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket, ServeError> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            self.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        let now = Instant::now();
+        if deadline.is_some_and(|d| d < now) {
+            self.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::DeadlineExceeded { stage: "admission" });
+        }
+        // Clone the lane's shared state out so admission (which may block
+        // under the backpressure policy) never holds the lane map lock.
+        let shared = {
+            let lanes = self.lanes.lock();
+            match lanes.get(model) {
+                Some(lane) => Arc::clone(&lane.shared),
+                None => return Err(ServeError::UnknownModel(model.to_string())),
+            }
+        };
+        let (tx, rx) = unbounded();
+        shared.enqueue(Request {
+            inputs,
+            deadline,
+            enqueued: now,
+            resp: tx,
+        })?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submit and wait: the blocking convenience used by client threads.
+    pub fn infer(&self, model: &str, inputs: Env) -> Result<Env, ServeError> {
+        self.submit(model, inputs)?.wait()
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful drain: reject new submissions, execute everything already
+    /// admitted, stop every lane's workers. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        let drained: Vec<Lane> = {
+            let mut lanes = self.lanes.lock();
+            lanes.drain().map(|(_, lane)| lane).collect()
+        };
+        for mut lane in drained {
+            lane.shutdown();
+        }
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,117 @@
+//! Serving counters: queue depth, batch-size histogram, time-in-queue,
+//! shed counts. Lock-free on the hot path (atomics), with one small mutex
+//! for the batch-size histogram (touched once per *batch*, not per
+//! request).
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters shared by the server, its lanes, and the stats endpoint.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Requests accepted into a queue.
+    pub submitted: AtomicU64,
+    /// Requests answered with outputs.
+    pub completed: AtomicU64,
+    /// Requests answered with an execution error.
+    pub failed: AtomicU64,
+    /// Requests rejected because the queue was full (after any blocking
+    /// backpressure wait).
+    pub shed_queue_full: AtomicU64,
+    /// Requests rejected because their deadline passed before execution.
+    pub shed_deadline: AtomicU64,
+    /// Requests rejected during shutdown.
+    pub rejected_shutdown: AtomicU64,
+    /// Micro-batches executed.
+    pub batches: AtomicU64,
+    /// Requests carried by those batches (mean batch = this / batches).
+    pub batched_requests: AtomicU64,
+    /// Batch retries on the standing pool.
+    pub retries: AtomicU64,
+    /// Batches that degraded to per-request sequential execution.
+    pub fallbacks: AtomicU64,
+    /// Total nanoseconds requests spent queued before execution.
+    pub queue_ns: AtomicU64,
+    /// Deepest queue observed at admission.
+    pub peak_depth: AtomicU64,
+    batch_hist: Mutex<BTreeMap<usize, u64>>,
+}
+
+impl ServeStats {
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        *self.batch_hist.lock().entry(size).or_insert(0) += 1;
+    }
+
+    pub fn note_depth(&self, depth: usize) {
+        self.peak_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of every counter, plus derived means.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        let queue_ns = self.queue_ns.load(Ordering::Relaxed);
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            batches,
+            retries: self.retries.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_depth.load(Ordering::Relaxed),
+            mean_batch: if batches > 0 {
+                batched as f64 / batches as f64
+            } else {
+                0.0
+            },
+            mean_queue_ms: if batched > 0 {
+                queue_ns as f64 / batched as f64 / 1e6
+            } else {
+                0.0
+            },
+            batch_histogram: self
+                .batch_hist
+                .lock()
+                .iter()
+                .map(|(&size, &count)| BatchBucket { size, count })
+                .collect(),
+        }
+    }
+}
+
+/// One bucket of the achieved-batch-size histogram.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatchBucket {
+    pub size: usize,
+    pub count: u64,
+}
+
+/// Serializable snapshot returned by `Server::stats` and the TCP `stats`
+/// op.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsSnapshot {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub shed_queue_full: u64,
+    pub shed_deadline: u64,
+    pub rejected_shutdown: u64,
+    pub batches: u64,
+    pub retries: u64,
+    pub fallbacks: u64,
+    pub peak_queue_depth: u64,
+    /// Mean achieved batch size (batched requests / batches).
+    pub mean_batch: f64,
+    /// Mean time-in-queue per request, milliseconds.
+    pub mean_queue_ms: f64,
+    pub batch_histogram: Vec<BatchBucket>,
+}

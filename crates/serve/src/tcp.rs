@@ -1,0 +1,233 @@
+//! Newline-delimited JSON over `std::net` TCP — the transport behind
+//! `ramiel serve <model.json> --port N`. One JSON object per line in each
+//! direction; one thread per connection (the server's own admission
+//! control is the concurrency limiter, not the transport).
+//!
+//! ## Wire format
+//!
+//! Request: `{"id":1,"op":"infer","inputs":{"x":{"shape":[2],"payload":{"F32":[1.0,2.0]}}}}`
+//!
+//! Ops: `ping`, `infer` (named [`TensorData`] inputs), `infer_synth`
+//! (server-side deterministic inputs from `seed` — lets load generators
+//! skip shipping tensors), `stats`, `shutdown` (graceful drain, then the
+//! accept loop exits).
+//!
+//! Response: `{"id":1,"ok":true,...}` with `outputs` / `stats` on success,
+//! `error` + `code` (SV-*/RT-*) on failure. `model` is optional everywhere
+//! and defaults to the model the server was started with.
+
+use crate::server::{ServeError, Server};
+use ramiel_ir::TensorData;
+use ramiel_runtime::Env;
+use ramiel_tensor::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Deserialize)]
+struct WireRequest {
+    id: Option<u64>,
+    op: String,
+    /// Defaults to the model `run_tcp` was started with.
+    model: Option<String>,
+    /// `infer`: named input tensors.
+    inputs: Option<BTreeMap<String, TensorData>>,
+    /// `infer_synth`: seed for server-side deterministic inputs.
+    seed: Option<u64>,
+    /// Relative deadline; the request is shed if it can't start in time.
+    deadline_ms: Option<u64>,
+}
+
+#[derive(Debug, Serialize)]
+struct WireResponse {
+    id: u64,
+    ok: bool,
+    outputs: Option<BTreeMap<String, TensorData>>,
+    stats: Option<crate::stats::StatsSnapshot>,
+    models: Option<Vec<String>>,
+    error: Option<String>,
+    code: Option<String>,
+}
+
+impl WireResponse {
+    fn ok(id: u64) -> WireResponse {
+        WireResponse {
+            id,
+            ok: true,
+            outputs: None,
+            stats: None,
+            models: None,
+            error: None,
+            code: None,
+        }
+    }
+
+    fn err(id: u64, e: &ServeError) -> WireResponse {
+        WireResponse {
+            error: Some(e.to_string()),
+            code: Some(e.code().to_string()),
+            ok: false,
+            ..WireResponse::ok(id)
+        }
+    }
+}
+
+/// Serve `server` on `listener` until a client sends `{"op":"shutdown"}`.
+/// Prints `listening on ADDR` so callers binding port 0 can discover the
+/// port. Blocks the calling thread; connections each get their own.
+pub fn run_tcp(
+    server: &Arc<Server>,
+    default_model: &str,
+    listener: TcpListener,
+) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    println!("listening on {addr}");
+    let stop = Arc::new(AtomicBool::new(false));
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let server = Arc::clone(server);
+        let model = default_model.to_string();
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("ramiel-serve-conn".into())
+            .spawn(move || {
+                let shutdown_requested = handle_conn(&server, &model, stream);
+                if shutdown_requested {
+                    server.shutdown();
+                    stop.store(true, Ordering::SeqCst);
+                    // Unblock the accept loop so it can observe `stop`.
+                    let _ = TcpStream::connect(addr);
+                }
+            })
+            .expect("spawn connection thread");
+    }
+    Ok(())
+}
+
+/// Serve one connection; returns true if the client requested shutdown.
+fn handle_conn(server: &Server, default_model: &str, stream: TcpStream) -> bool {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client hung up
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, shutdown) = match serde_json::from_str::<WireRequest>(&line) {
+            Ok(req) => handle_request(server, default_model, req),
+            Err(e) => (
+                WireResponse::err(0, &ServeError::Internal(format!("bad request: {e}"))),
+                false,
+            ),
+        };
+        let mut out = serde_json::to_string(&resp).unwrap_or_else(|_| {
+            r#"{"id":0,"ok":false,"error":"response serialization failed","code":"SV-INTERNAL"}"#
+                .to_string()
+        });
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+fn handle_request(server: &Server, default_model: &str, req: WireRequest) -> (WireResponse, bool) {
+    let id = req.id.unwrap_or(0);
+    let model = req.model.as_deref().unwrap_or(default_model);
+    match req.op.as_str() {
+        "ping" => (WireResponse::ok(id), false),
+        "stats" => {
+            let mut r = WireResponse::ok(id);
+            r.stats = Some(server.stats());
+            r.models = Some(server.models());
+            (r, false)
+        }
+        "shutdown" => (WireResponse::ok(id), true),
+        "infer" => {
+            let Some(wire_inputs) = req.inputs else {
+                return (
+                    WireResponse::err(id, &ServeError::Internal("infer needs `inputs`".into())),
+                    false,
+                );
+            };
+            let mut env = Env::new();
+            for (name, td) in &wire_inputs {
+                match Value::from_tensor_data(td) {
+                    Ok(v) => {
+                        env.insert(name.clone(), v);
+                    }
+                    Err(e) => {
+                        return (
+                            WireResponse::err(
+                                id,
+                                &ServeError::Internal(format!("bad tensor `{name}`: {e}")),
+                            ),
+                            false,
+                        )
+                    }
+                }
+            }
+            (run_infer(server, model, env, req.deadline_ms, id), false)
+        }
+        "infer_synth" => {
+            let Some(plan) = server.plan(model) else {
+                return (
+                    WireResponse::err(id, &ServeError::UnknownModel(model.to_string())),
+                    false,
+                );
+            };
+            let env = ramiel_runtime::synth_inputs(&plan.graph, req.seed.unwrap_or(0));
+            (run_infer(server, model, env, req.deadline_ms, id), false)
+        }
+        other => (
+            WireResponse::err(id, &ServeError::Internal(format!("unknown op `{other}`"))),
+            false,
+        ),
+    }
+}
+
+fn run_infer(
+    server: &Server,
+    model: &str,
+    env: Env,
+    deadline_ms: Option<u64>,
+    id: u64,
+) -> WireResponse {
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let result = server
+        .submit_with_deadline(model, env, deadline)
+        .and_then(|ticket| ticket.wait());
+    match result {
+        Ok(outputs) => {
+            let mut r = WireResponse::ok(id);
+            r.outputs = Some(
+                outputs
+                    .iter()
+                    .map(|(name, v)| (name.clone(), v.to_tensor_data()))
+                    .collect(),
+            );
+            r
+        }
+        Err(e) => WireResponse::err(id, &e),
+    }
+}

@@ -1,0 +1,216 @@
+use crate::plan::PlanSpec;
+use crate::server::{OverflowPolicy, ServeConfig, ServeError, Server};
+use ramiel_models::{build, synthetic, ModelConfig, ModelKind};
+use ramiel_runtime::{run_sequential, synth_inputs};
+use ramiel_tensor::ExecCtx;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig {
+        max_batch: 4,
+        max_delay: Duration::from_millis(1),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn infer_matches_sequential() {
+    let g = synthetic::fork_join(3, 2, 2);
+    let server = Server::new(small_cfg());
+    server.load("fj", PlanSpec::new(g.clone())).unwrap();
+    let ctx = ExecCtx::sequential();
+    for seed in 0..4u64 {
+        let inputs = synth_inputs(&g, seed);
+        let out = server.infer("fj", inputs.clone()).unwrap();
+        let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+        assert_eq!(seq, out, "seed {seed}");
+    }
+    let snap = server.stats();
+    assert_eq!(snap.completed, 4);
+    assert_eq!(snap.failed, 0);
+}
+
+#[test]
+fn unknown_model_is_rejected_at_admission() {
+    let server = Server::new(small_cfg());
+    let err = server.infer("nope", Default::default()).unwrap_err();
+    assert_eq!(err.code(), "SV-MODEL");
+}
+
+#[test]
+fn expired_deadline_is_rejected_before_execution() {
+    let g = synthetic::chain(3);
+    let server = Server::new(small_cfg());
+    server.load("c", PlanSpec::new(g.clone())).unwrap();
+    let past = Instant::now() - Duration::from_millis(5);
+    let err = server
+        .submit_with_deadline("c", synth_inputs(&g, 0), Some(past))
+        .unwrap_err();
+    assert_eq!(err.code(), "SV-DEADLINE");
+    assert_eq!(server.stats().shed_deadline, 1);
+}
+
+#[test]
+fn plan_cache_evicts_lru_and_drains_its_lane() {
+    let server = Server::new(ServeConfig {
+        plan_capacity: 2,
+        ..small_cfg()
+    });
+    let a = synthetic::chain(3);
+    let b = synthetic::fork_join(2, 2, 1);
+    let c = synthetic::chain(4);
+    server.load("a", PlanSpec::new(a.clone())).unwrap();
+    server.load("b", PlanSpec::new(b)).unwrap();
+    server.load("c", PlanSpec::new(c)).unwrap(); // evicts "a"
+    assert_eq!(server.models(), vec!["c".to_string(), "b".to_string()]);
+    let err = server.infer("a", synth_inputs(&a, 0)).unwrap_err();
+    assert_eq!(err.code(), "SV-MODEL");
+    // Survivors still serve.
+    server
+        .infer("b", synth_inputs(&synthetic::fork_join(2, 2, 1), 0))
+        .unwrap();
+}
+
+#[test]
+fn hot_reload_bumps_version_and_keeps_serving() {
+    let g = synthetic::fork_join(2, 2, 2);
+    let server = Server::new(small_cfg());
+    let v1 = server.load("m", PlanSpec::new(g.clone())).unwrap().version;
+    let inputs = synth_inputs(&g, 7);
+    let before = server.infer("m", inputs.clone()).unwrap();
+    let v2 = server.load("m", PlanSpec::new(g.clone())).unwrap().version;
+    assert!(v2 > v1, "reload must bump the plan version");
+    let after = server.infer("m", inputs.clone()).unwrap();
+    assert_eq!(
+        before, after,
+        "same graph + inputs ⇒ same outputs across reload"
+    );
+}
+
+#[test]
+fn switched_plans_serve_correctly() {
+    let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+    let server = Server::new(small_cfg());
+    let spec = PlanSpec {
+        switched: true,
+        batch_sizes: vec![2, 4],
+        ..PlanSpec::new(g.clone())
+    };
+    server.load("sq", PlanSpec { ..spec }).unwrap();
+    let ctx = ExecCtx::sequential();
+    let inputs = synth_inputs(&g, 3);
+    let out = server.infer("sq", inputs.clone()).unwrap();
+    assert_eq!(run_sequential(&g, &inputs, &ctx).unwrap(), out);
+}
+
+#[test]
+fn shutdown_rejects_new_work() {
+    let g = synthetic::chain(3);
+    let server = Server::new(small_cfg());
+    server.load("c", PlanSpec::new(g.clone())).unwrap();
+    server.shutdown();
+    assert!(server.is_shutting_down());
+    let err = server.infer("c", synth_inputs(&g, 0)).unwrap_err();
+    assert_eq!(err.code(), "SV-SHUTDOWN");
+    let err = server.load("d", PlanSpec::new(g)).unwrap_err();
+    assert_eq!(err.code(), "SV-SHUTDOWN");
+}
+
+#[test]
+fn shed_policy_reports_queue_full() {
+    // Capacity-1 queue with shedding: saturate it from many threads while
+    // the collector is busy; at least the queue bound must hold (no
+    // unbounded growth), and any rejection must carry SV-FULL.
+    let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+    let server = Arc::new(Server::new(ServeConfig {
+        queue_capacity: 1,
+        max_batch: 1,
+        policy: OverflowPolicy::Shed,
+        ..small_cfg()
+    }));
+    server.load("sq", PlanSpec::new(g.clone())).unwrap();
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let server = Arc::clone(&server);
+        let g = g.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut shed = 0u32;
+            for i in 0..4 {
+                match server.infer("sq", synth_inputs(&g, t * 100 + i)) {
+                    Ok(_) => {}
+                    Err(ServeError::QueueFull { .. }) => shed += 1,
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            shed
+        }));
+    }
+    let shed: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let snap = server.stats();
+    assert_eq!(snap.shed_queue_full, shed as u64);
+    assert!(snap.peak_queue_depth <= 1, "bounded queue overflowed");
+    assert_eq!(snap.completed + snap.failed, 32 - shed as u64);
+}
+
+#[test]
+fn tcp_round_trip_ping_infer_stats_shutdown() {
+    let g = synthetic::fork_join(2, 2, 2);
+    let server = Arc::new(Server::new(small_cfg()));
+    server.load("fj", PlanSpec::new(g.clone())).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let srv = Arc::clone(&server);
+    let accept = std::thread::spawn(move || crate::tcp::run_tcp(&srv, "fj", listener));
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut rpc = |line: &str| -> serde_json::Value {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        serde_json::from_str(&resp).unwrap()
+    };
+
+    let pong = rpc(r#"{"id":1,"op":"ping"}"#);
+    assert_eq!(pong.get("ok").and_then(|v| v.as_bool()), Some(true));
+
+    // Server-side synthetic inputs must agree with the reference executor.
+    let resp = rpc(r#"{"id":2,"op":"infer_synth","seed":5}"#);
+    assert_eq!(
+        resp.get("ok").and_then(|v| v.as_bool()),
+        Some(true),
+        "{resp:?}"
+    );
+    let seq = run_sequential(&g, &synth_inputs(&g, 5), &ExecCtx::sequential()).unwrap();
+    let outputs = resp.get("outputs").unwrap();
+    for (name, v) in &seq {
+        let wire = outputs
+            .get(name)
+            .unwrap_or_else(|| panic!("missing output {name}"));
+        let want = serde_json::Value::from_serialize(&v.to_tensor_data());
+        assert_eq!(&want, wire, "output {name}");
+    }
+
+    let bad = rpc(r#"{"id":3,"op":"infer"}"#);
+    assert_eq!(bad.get("ok").and_then(|v| v.as_bool()), Some(false));
+
+    let stats = rpc(r#"{"id":4,"op":"stats"}"#);
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("completed"))
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    let bye = rpc(r#"{"id":5,"op":"shutdown"}"#);
+    assert_eq!(bye.get("ok").and_then(|v| v.as_bool()), Some(true));
+    accept.join().unwrap().unwrap();
+    assert!(server.is_shutting_down());
+}

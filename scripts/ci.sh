@@ -34,4 +34,30 @@ timeout --kill-after=30s 600s \
     profile squeezenet --tiny --out target/ci-profile
 test -s target/ci-profile/squeezenet-trace.json
 
+# Serving smoke: boot `ramiel serve` on a real TCP socket, then drive it
+# with `ramiel request` — ping, a handful of batched inferences, a stats
+# snapshot, and a graceful shutdown. The server process must exit 0 on its
+# own after the shutdown op (drain, not kill), all under the same hard
+# timeout so a wedged accept loop or un-drained lane fails CI instead of
+# hanging it.
+echo "==> ramiel serve smoke (TCP round-trip gate)"
+cargo build --offline -p ramiel --bin ramiel
+SERVE_PORT=7979
+timeout --kill-after=30s 600s \
+    target/debug/ramiel serve squeezenet --tiny --port "$SERVE_PORT" \
+    > target/serve-smoke.log 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" target/serve-smoke.log 2>/dev/null && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat target/serve-smoke.log; exit 1; }
+    sleep 0.2
+done
+grep -q "listening on" target/serve-smoke.log
+timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op ping
+timeout 60s target/debug/ramiel request --port "$SERVE_PORT" \
+    --op infer_synth --count 4 > /dev/null
+timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op stats
+timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op shutdown
+wait "$SERVE_PID"
+
 echo "CI green."
