@@ -1,0 +1,90 @@
+//! # ramiel-analyze
+//!
+//! Dataflow analyses over compiled plans and cluster schedules. Where
+//! `ramiel-verify` answers *"is this schedule sound?"*, this crate answers
+//! *"what will it cost, and which channel shapes are fragile?"* — three
+//! passes over a [`ScheduleView`]:
+//!
+//! - [`lifetime`] — per-buffer def/last-use intervals against each worker's
+//!   schedule order, alias-aware through the `Arc`-sharing reshape paths
+//!   (`Reshape`/`Flatten`/`Squeeze`/`Unsqueeze`/`Identity`/`Dropout`).
+//! - [`memory`] — static peak-memory estimation: bytes live at each
+//!   schedule step (including channel-resident tensors), per worker and
+//!   whole-schedule. The accounting model matches the executors' liveness
+//!   gauge exactly, so the estimate is a provable upper bound on the
+//!   measured peak (see `DESIGN.md` §14).
+//! - [`hb`] — happens-before channel analysis: the cross-worker send/recv
+//!   order graph, linted for race and lost-wakeup shapes.
+//!
+//! Findings reuse `ramiel-verify`'s diagnostic framework under the `RA-*`
+//! code range so `ramiel check` and `ramiel analyze` render identically.
+//!
+//! | range  | area                                              |
+//! |--------|---------------------------------------------------|
+//! | RA01xx | lifetime / aliasing lints                         |
+//! | RA02xx | memory estimation lints                           |
+//! | RA03xx | happens-before ordering (races, lost wakeups)     |
+//! | RA04xx | channel capacity / backpressure                   |
+
+pub mod hb;
+pub mod lifetime;
+pub mod memory;
+
+pub use lifetime::{Interval, LifetimeReport};
+pub use memory::{MemoryEstimate, WorkerMemory};
+
+use ramiel_ir::Graph;
+use ramiel_verify::{Report, ScheduleView};
+
+/// Stable diagnostic codes. Tests match on these; never renumber.
+pub mod codes {
+    /// A produced tensor no scheduled op (and no graph output) ever reads.
+    pub const DEAD_VALUE: &str = "RA0101";
+    /// An alias op (reshape family) is scheduled on a different worker than
+    /// its input's producer: the "zero-copy" view crosses a channel.
+    pub const ALIAS_CROSS_WORKER: &str = "RA0102";
+    /// One worker's peak resident set dominates the schedule (memory
+    /// imbalance hotspot).
+    pub const MEM_HOTSPOT: &str = "RA0201";
+    /// A scheduled op consumes a tensor instance no scheduled op produces
+    /// and no input/initializer provides: the recv has no dominating send.
+    pub const RECV_NO_SEND: &str = "RA0301";
+    /// Two scheduled op instances write the same tensor instance from
+    /// different workers: the consumer's env insert order is a race.
+    pub const WRITE_WRITE: &str = "RA0302";
+    /// The happens-before graph (program order ∪ dependence) has a cycle:
+    /// the in-order replay deadlocks on a cross-worker wait loop.
+    pub const HB_CYCLE: &str = "RA0303";
+    /// Worst-case in-flight messages into one worker can reach the bounded
+    /// channel capacity (`ramiel_runtime::limits::DATA_CHANNEL_CAPACITY`);
+    /// escalated to an error when that worker also sits on a cyclic
+    /// worker-to-worker dependence loop, which is the backpressure-deadlock
+    /// shape.
+    pub const CAPACITY_EXCEEDED: &str = "RA0401";
+}
+
+/// The combined result of all three analysis passes.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Per-buffer def/last-use intervals and alias classes.
+    pub lifetimes: LifetimeReport,
+    /// Static per-worker and whole-schedule peak-memory estimate.
+    pub memory: MemoryEstimate,
+    /// All findings, errors first (shared rendering with `ramiel check`).
+    pub report: Report,
+}
+
+/// Run every analysis pass over one schedule.
+pub fn analyze(graph: &Graph, view: &ScheduleView) -> Analysis {
+    let mut diags = Vec::new();
+    let (lifetimes, mut d) = lifetime::lifetimes(graph, view);
+    diags.append(&mut d);
+    let (memory, mut d) = memory::estimate_memory(graph, view);
+    diags.append(&mut d);
+    diags.append(&mut hb::happens_before(graph, view));
+    Analysis {
+        lifetimes,
+        memory,
+        report: Report::new(diags),
+    }
+}

@@ -1,0 +1,100 @@
+//! Golden corruption tests: seeded schedule defects on a real model must
+//! trip exactly the intended `RA-*` codes, and the pristine schedules of
+//! every built-in model must analyze clean of errors.
+
+use ramiel_analyze::{analyze, codes};
+use ramiel_cluster::{cluster_graph, clustering_view, StaticCost};
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_verify::Severity;
+
+fn codes_of(report: &ramiel_verify::Report) -> Vec<&'static str> {
+    report.diagnostics.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn pristine_schedules_have_no_errors_on_any_model() {
+    let cfg = ModelConfig::tiny();
+    for kind in ModelKind::all() {
+        let g = build(kind, &cfg);
+        let view = clustering_view(&cluster_graph(&g, &StaticCost));
+        let a = analyze(&g, &view);
+        assert!(
+            !a.report.has_errors(),
+            "{}: pristine schedule reported errors: {}",
+            kind.name(),
+            a.report.render()
+        );
+    }
+}
+
+#[test]
+fn dropping_a_producer_trips_recv_no_send() {
+    let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+    let mut view = clustering_view(&cluster_graph(&g, &StaticCost));
+    // Corrupt: delete the first scheduled op from the first non-empty
+    // worker; its output is still consumed downstream but never produced.
+    let w = view.workers.iter().position(|w| !w.is_empty()).unwrap();
+    view.workers[w].remove(0);
+    let a = analyze(&g, &view);
+    assert!(
+        codes_of(&a.report).contains(&codes::RECV_NO_SEND),
+        "expected {} after dropping a producer, got {:?}",
+        codes::RECV_NO_SEND,
+        codes_of(&a.report)
+    );
+    assert!(a.report.has_errors());
+}
+
+#[test]
+fn duplicating_an_instance_trips_write_write() {
+    let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+    let mut view = clustering_view(&cluster_graph(&g, &StaticCost));
+    // Corrupt: schedule the first op of worker 0 a second time on the
+    // last worker — two writers race on the same tensor instance.
+    let w = view.workers.iter().position(|w| !w.is_empty()).unwrap();
+    let dup = view.workers[w][0];
+    view.workers.push(vec![dup]);
+    let a = analyze(&g, &view);
+    assert!(
+        codes_of(&a.report).contains(&codes::WRITE_WRITE),
+        "expected {} after duplicating an instance, got {:?}",
+        codes::WRITE_WRITE,
+        codes_of(&a.report)
+    );
+    assert!(a.report.has_errors());
+}
+
+#[test]
+fn reversing_a_worker_trips_hb_cycle_under_in_order_replay() {
+    let g = build(ModelKind::Googlenet, &ModelConfig::tiny());
+    let mut view = clustering_view(&cluster_graph(&g, &StaticCost));
+    // Corrupt: reverse the longest worker's program order. Under strict
+    // in-order replay a dependence now points against program order,
+    // closing a wait-for cycle.
+    let w = (0..view.workers.len())
+        .max_by_key(|&w| view.workers[w].len())
+        .unwrap();
+    assert!(view.workers[w].len() >= 2, "need a multi-op worker");
+    view.workers[w].reverse();
+    let a = analyze(&g, &view);
+    assert!(
+        codes_of(&a.report).contains(&codes::HB_CYCLE),
+        "expected {} after reversing a worker, got {:?}",
+        codes::HB_CYCLE,
+        codes_of(&a.report)
+    );
+}
+
+#[test]
+fn error_codes_carry_error_severity() {
+    let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+    let mut view = clustering_view(&cluster_graph(&g, &StaticCost));
+    let w = view.workers.iter().position(|w| !w.is_empty()).unwrap();
+    view.workers[w].remove(0);
+    let a = analyze(&g, &view);
+    for d in &a.report.diagnostics {
+        if d.code == codes::RECV_NO_SEND {
+            assert_eq!(d.severity, Severity::Error);
+        }
+    }
+}

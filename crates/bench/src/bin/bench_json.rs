@@ -14,10 +14,10 @@ use ramiel::{compile, PipelineOptions};
 use ramiel_cluster::{distance_to_end, linear_clustering, merge_clusters_fixpoint};
 use ramiel_models::{build, ModelConfig, ModelKind};
 use ramiel_runtime::{
-    run_parallel, run_parallel_opts, run_parallel_profiled, run_sequential, simulate_clustering,
-    synth_inputs, RunOptions, SimConfig,
+    run_parallel, run_parallel_opts, run_parallel_profiled, run_sequential, run_sequential_opts,
+    simulate_clustering, synth_inputs, RunOptions, SimConfig,
 };
-use ramiel_tensor::ExecCtx;
+use ramiel_tensor::{ExecCtx, MemGauge};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -76,6 +76,22 @@ struct ZeroCopy {
 }
 
 #[derive(Serialize)]
+struct MemoryRow {
+    model: String,
+    /// `ramiel-analyze`'s static upper bound over the sequential order.
+    estimate_bytes: u64,
+    /// Measured gauge high-water mark with in-place reuse + liveness
+    /// eviction (the default execution mode).
+    peak_reuse_bytes: u64,
+    /// Measured gauge high-water mark with `reuse: false` (no in-place
+    /// rewriting, no eviction — every intermediate stays resident).
+    peak_no_reuse_bytes: u64,
+    /// `1 - reuse/no_reuse` — the guard: ≥ 0.25 on Squeezenet and BERT,
+    /// and `peak_reuse_bytes` must never exceed `estimate_bytes`.
+    reduction: f64,
+}
+
+#[derive(Serialize)]
 struct ServeBench {
     model: String,
     /// Closed-loop client threads.
@@ -107,6 +123,7 @@ struct Summary {
     config: String,
     iters: usize,
     models: Vec<ModelRow>,
+    memory: Vec<MemoryRow>,
     obs_overhead: ObsOverhead,
     profile_feedback: ProfileFeedback,
     zero_copy: ZeroCopy,
@@ -163,6 +180,62 @@ fn main() {
             par_ms,
             speedup: seq_ms / par_ms.max(1e-9),
         });
+    }
+
+    // Peak live bytes: the in-place reuse + liveness eviction path against
+    // a keep-everything run, with ramiel-analyze's static bound as the
+    // soundness reference.
+    let mut memory = Vec::new();
+    for kind in [
+        ModelKind::Squeezenet,
+        ModelKind::Googlenet,
+        ModelKind::InceptionV3,
+        ModelKind::Bert,
+    ] {
+        let c = compile(build(kind, &cfg), &PipelineOptions::default()).expect("pipeline");
+        let inputs = synth_inputs(&c.graph, 42);
+        let order = ramiel_ir::topo::topo_sort(&c.graph).expect("topo");
+        let view = ramiel::verify::ScheduleView::single_batch(
+            vec![order],
+            ramiel::verify::ExecPolicy::InOrder,
+        );
+        let (est, _) = ramiel::analyze::memory::estimate_memory(&c.graph, &view);
+        let measure = |opts: &RunOptions| {
+            let gauge = MemGauge::new();
+            let gctx = ExecCtx::sequential().with_mem_gauge(gauge.clone());
+            run_sequential_opts(&c.graph, &inputs, &gctx, opts).expect("seq");
+            gauge.peak_bytes()
+        };
+        let peak_reuse_bytes = measure(&RunOptions::default());
+        let peak_no_reuse_bytes = measure(&RunOptions::default().reuse(false));
+        let row = MemoryRow {
+            model: kind.name().to_string(),
+            estimate_bytes: est.peak_bytes,
+            peak_reuse_bytes,
+            peak_no_reuse_bytes,
+            reduction: 1.0 - peak_reuse_bytes as f64 / peak_no_reuse_bytes.max(1) as f64,
+        };
+        if row.peak_reuse_bytes > row.estimate_bytes {
+            eprintln!(
+                "memory guard FAILED: {} measured peak {} B exceeds the static \
+                 estimate {} B — the analyzer's bound is no longer sound",
+                row.model, row.peak_reuse_bytes, row.estimate_bytes
+            );
+            std::process::exit(1);
+        }
+        if matches!(kind, ModelKind::Squeezenet | ModelKind::Bert) && row.reduction < 0.25 {
+            eprintln!(
+                "memory guard FAILED: in-place reuse cut {}'s peak live bytes by \
+                 only {:.0}% ({} vs {} B, need >= 25%) — eviction or in-place \
+                 marking regressed",
+                row.model,
+                row.reduction * 100.0,
+                row.peak_reuse_bytes,
+                row.peak_no_reuse_bytes
+            );
+            std::process::exit(1);
+        }
+        memory.push(row);
     }
 
     // Overhead guard: a disabled Obs handle must cost nothing measurable.
@@ -343,6 +416,7 @@ fn main() {
         config: if full { "full" } else { "tiny" }.to_string(),
         iters,
         models,
+        memory,
         obs_overhead,
         profile_feedback,
         zero_copy,

@@ -1,0 +1,169 @@
+//! `bench_table` — fold `BENCH_<date>.json` snapshots into one markdown
+//! trajectory table.
+//!
+//! Each `scripts/bench.sh` run drops a dated summary at the repo root;
+//! this tool collects every one of them (sorted by date), pulls out the
+//! headline numbers, and renders a table so performance history is
+//! reviewable in the repo instead of buried in JSON blobs. Older
+//! snapshots may predate newer sections (e.g. `memory`); missing fields
+//! render as `—` rather than failing.
+//!
+//! ```sh
+//! cargo run --release -p ramiel-bench --bin bench_table -- \
+//!     [--dir .] [--out BENCHMARKS.md]
+//! ```
+
+use serde_json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+struct Row {
+    date: String,
+    config: String,
+    iters: String,
+    par_speedup: Option<f64>,
+    mem_cut: Option<f64>,
+    zero_copy: Option<f64>,
+    serve_speedup: Option<f64>,
+}
+
+fn geomean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    Some((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+/// Mean of `field` over the objects in array `section`.
+fn mean_of(summary: &Value, section: &str, field: &str) -> Option<f64> {
+    let items = summary.get(section)?.as_array()?;
+    let vals: Vec<f64> = items
+        .iter()
+        .filter_map(|m| m.get(field)?.as_f64())
+        .collect();
+    (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+fn row_for(date: &str, summary: &Value) -> Row {
+    let speedups: Vec<f64> = summary
+        .get("models")
+        .and_then(Value::as_array)
+        .map(|ms| {
+            ms.iter()
+                .filter_map(|m| m.get("speedup")?.as_f64())
+                .collect()
+        })
+        .unwrap_or_default();
+    Row {
+        date: date.to_string(),
+        config: summary
+            .get("config")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        iters: summary
+            .get("iters")
+            .and_then(Value::as_u64)
+            .map_or_else(|| "?".into(), |i| i.to_string()),
+        par_speedup: geomean(&speedups),
+        mem_cut: mean_of(summary, "memory", "reduction"),
+        zero_copy: summary
+            .get("zero_copy")
+            .and_then(|z| z.get("bytes_reduction"))
+            .and_then(Value::as_f64),
+        serve_speedup: summary
+            .get("serve")
+            .and_then(|s| s.get("speedup"))
+            .and_then(Value::as_f64),
+    }
+}
+
+fn fmt_x(v: Option<f64>) -> String {
+    v.map_or_else(|| "—".into(), |x| format!("{x:.2}x"))
+}
+
+fn fmt_pct(v: Option<f64>) -> String {
+    v.map_or_else(|| "—".into(), |x| format!("{:.0}%", x * 100.0))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let dir = get("--dir").unwrap_or_else(|| ".".into());
+    let out = get("--out");
+
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read dir {dir}: {e}"))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+
+    let mut rows = Vec::new();
+    for path in &files {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        let date = name
+            .trim_start_matches("BENCH_")
+            .trim_end_matches(".json")
+            .to_string();
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("skipping {name}: {e}");
+                continue;
+            }
+        };
+        match serde_json::from_str::<Value>(&text) {
+            Ok(summary) => rows.push(row_for(&date, &summary)),
+            Err(e) => eprintln!("skipping {name}: parse error: {e:?}"),
+        }
+    }
+
+    let mut md = String::new();
+    md.push_str("# Benchmark trajectory\n\n");
+    md.push_str(
+        "Folded from the `BENCH_<date>.json` snapshots at the repo root by\n\
+         `scripts/bench_table.sh`; regenerate after each `scripts/bench.sh` run.\n\
+         `par speedup` is the geometric mean of per-model parallel-over-sequential\n\
+         speedups, `peak-mem cut` the mean reduction in measured peak live bytes\n\
+         from in-place buffer reuse, `zero-copy` the channel payload-bytes-to-\n\
+         copied-bytes ratio, and `serve speedup` dynamic batching's throughput\n\
+         gain over per-request execution.\n\n",
+    );
+    md.push_str(
+        "| date | config | iters | par speedup | peak-mem cut | zero-copy | serve speedup |\n",
+    );
+    md.push_str(
+        "|------|--------|-------|-------------|--------------|-----------|---------------|\n",
+    );
+    for r in &rows {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            r.date,
+            r.config,
+            r.iters,
+            fmt_x(r.par_speedup),
+            fmt_pct(r.mem_cut),
+            fmt_x(r.zero_copy),
+            fmt_x(r.serve_speedup),
+        ));
+    }
+
+    match out {
+        Some(p) => {
+            fs::write(&p, &md).unwrap_or_else(|e| panic!("write {p}: {e}"));
+            eprintln!("wrote {p} ({} snapshots)", rows.len());
+        }
+        None => print!("{md}"),
+    }
+}

@@ -9,6 +9,9 @@
 //!                                        emits a Chrome/Perfetto trace plus
 //!                                        cost-model accuracy + reclustering
 //! ramiel check <model|all> [flags]       statically verify the schedule
+//! ramiel analyze <model|all> [flags]     tensor lifetimes, static peak
+//!                                        memory, happens-before channel
+//!                                        lints (`--json` for machine use)
 //! ramiel export <model> <path>           save a model as .rmodel.json
 //! ramiel serve <model> [flags]           dynamic-batching inference server
 //!                                        (newline-delimited JSON over TCP)
@@ -45,6 +48,7 @@
 //! every built-in model through batch-1, plain batch-4 and switched batch-4
 //! pipelines.
 
+use ramiel::diag::Gate;
 use ramiel::{compile, CompiledModel, HyperMode, PipelineOptions, PreparedModel, Scheduler};
 use ramiel_models::{build, ModelConfig, ModelKind};
 use ramiel_runtime::{
@@ -98,6 +102,7 @@ struct Flags {
     seed: u64,
     count: usize,
     deadline_ms: Option<u64>,
+    json: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -126,6 +131,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         seed: 0,
         count: 1,
         deadline_ms: None,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -137,6 +143,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         match a.as_str() {
             "--prune" => f.prune = true,
             "--deny-warnings" => f.deny_warnings = true,
+            "--json" => f.json = true,
             "--clone" => f.clone = true,
             "--switched" => f.switched = true,
             "--tiny" => f.tiny = true,
@@ -644,83 +651,174 @@ fn cmd_fuzz(f: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Verify one compiled pipeline; returns true if the check failed.
-fn check_one(
-    label: &str,
+/// Compile one pipeline and return its graph + schedule view.
+fn compile_view(
     g: ramiel_ir::Graph,
     opts: &PipelineOptions,
-    deny: bool,
-) -> Result<bool, String> {
+) -> Result<(CompiledModel, ramiel::verify::ScheduleView), String> {
     let c = compile(g, opts).map_err(|e| e.to_string())?;
     let view = match &c.hyper {
         Some(hc) => ramiel_cluster::hyper_view(hc),
         None => ramiel_cluster::clustering_view(&c.clustering),
     };
-    let report = ramiel::verify::verify(&c.graph, Some(&view));
-    use ramiel::verify::Severity;
-    let (e, w, a) = (
-        report.count(Severity::Error),
-        report.count(Severity::Warning),
-        report.count(Severity::Advice),
-    );
-    let failed = report.fails(deny);
-    println!(
-        "check {label:<40} {} ({e} errors, {w} warnings, {a} advice)",
-        if failed { "FAIL" } else { "ok" }
-    );
-    if failed || e + w + a > 0 {
-        for line in report.render().lines() {
-            println!("    {line}");
-        }
-    }
-    Ok(failed)
+    Ok((c, view))
 }
 
-fn cmd_check(model: &str, f: &Flags) -> Result<(), String> {
+/// Verify one compiled pipeline and print its verdict.
+fn check_one(
+    label: &str,
+    g: ramiel_ir::Graph,
+    opts: &PipelineOptions,
+    deny: bool,
+) -> Result<Gate, String> {
+    let (c, view) = compile_view(g, opts)?;
+    let report = ramiel::verify::verify(&c.graph, Some(&view));
+    Ok(ramiel::diag::print_report("check", label, &report, deny))
+}
+
+/// The `check all` / `analyze all` pipeline sweep: default options at
+/// batch 1 plus both hypercluster variants at batch 4.
+fn sweep_configs() -> [(&'static str, PipelineOptions); 3] {
+    [
+        ("batch=1", PipelineOptions::default()),
+        (
+            "batch=4 hyper",
+            PipelineOptions {
+                batch: 4,
+                hyper: HyperMode::Plain,
+                ..Default::default()
+            },
+        ),
+        (
+            "batch=4 switched",
+            PipelineOptions {
+                batch: 4,
+                hyper: HyperMode::Switched,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+fn cmd_check(model: &str, f: &Flags) -> Result<Gate, String> {
     let cfg = if f.tiny {
         ModelConfig::tiny()
     } else {
         ModelConfig::full()
     };
-    let mut failed = false;
+    let mut gate = Gate::Clean;
     if model == "all" {
-        // Sweep every generator through the default pipeline at batch 1 and
-        // both hypercluster variants at batch 4.
-        let configs: [(&str, PipelineOptions); 3] = [
-            ("batch=1", PipelineOptions::default()),
-            (
-                "batch=4 hyper",
-                PipelineOptions {
-                    batch: 4,
-                    hyper: HyperMode::Plain,
-                    ..Default::default()
-                },
-            ),
-            (
-                "batch=4 switched",
-                PipelineOptions {
-                    batch: 4,
-                    hyper: HyperMode::Switched,
-                    ..Default::default()
-                },
-            ),
-        ];
         for k in ModelKind::all() {
-            for (tag, opts) in &configs {
+            for (tag, opts) in &sweep_configs() {
                 let label = format!("{} [{tag}]", k.name());
-                failed |= check_one(&label, build(k, &cfg), opts, f.deny_warnings)?;
+                gate = gate.worst(check_one(&label, build(k, &cfg), opts, f.deny_warnings)?);
             }
         }
     } else {
         let g = parse_model(model, &cfg)?;
         let label = format!("{model} [batch={}]", f.batch);
-        failed = check_one(&label, g, &options(f), f.deny_warnings)?;
+        gate = check_one(&label, g, &options(f), f.deny_warnings)?;
     }
-    if failed {
-        Err("check found problems (see diagnostics above)".into())
+    if gate.failed() {
+        eprintln!("check found problems (see diagnostics above)");
+    }
+    Ok(gate)
+}
+
+#[derive(serde::Serialize)]
+struct DiagJson {
+    code: String,
+    severity: String,
+    span: String,
+    message: String,
+}
+
+#[derive(serde::Serialize)]
+struct AnalyzeJson {
+    model: String,
+    memory: ramiel::analyze::MemoryEstimate,
+    intervals: usize,
+    alias_classes: usize,
+    diagnostics: Vec<DiagJson>,
+}
+
+/// Analyze one compiled pipeline: per-cluster memory table plus lints.
+fn analyze_one(
+    label: &str,
+    g: ramiel_ir::Graph,
+    opts: &PipelineOptions,
+    f: &Flags,
+) -> Result<Gate, String> {
+    let (c, view) = compile_view(g, opts)?;
+    let a = ramiel::analyze::analyze(&c.graph, &view);
+    if f.json {
+        let json = AnalyzeJson {
+            model: label.to_string(),
+            memory: a.memory.clone(),
+            intervals: a.lifetimes.intervals.len(),
+            alias_classes: a.lifetimes.alias_classes,
+            diagnostics: a
+                .report
+                .diagnostics
+                .iter()
+                .map(|d| DiagJson {
+                    code: d.code.to_string(),
+                    severity: d.severity.to_string(),
+                    span: d.span.to_string(),
+                    message: d.message.clone(),
+                })
+                .collect(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?
+        );
+        return Ok(Gate::of(&a.report, f.deny_warnings));
+    }
+    let gate = ramiel::diag::print_report("analyze", label, &a.report, f.deny_warnings);
+    let m = &a.memory;
+    println!(
+        "    peak memory: {} bytes over {} workers ({}); {} intervals, {} alias classes",
+        m.peak_bytes,
+        m.per_worker.len(),
+        if m.exact {
+            "exact in-order replay"
+        } else {
+            "first-ready sum bound"
+        },
+        a.lifetimes.intervals.len(),
+        a.lifetimes.alias_classes,
+    );
+    for wm in &m.per_worker {
+        println!(
+            "      worker {:>3}  peak {:>12} B  resident {:>12} B  {:>5} ops",
+            wm.worker, wm.peak_bytes, wm.resident_bytes, wm.ops
+        );
+    }
+    Ok(gate)
+}
+
+fn cmd_analyze(model: &str, f: &Flags) -> Result<Gate, String> {
+    let cfg = if f.tiny {
+        ModelConfig::tiny()
     } else {
-        Ok(())
+        ModelConfig::full()
+    };
+    let mut gate = Gate::Clean;
+    if model == "all" {
+        for k in ModelKind::all() {
+            let label = format!("{} [batch={}]", k.name(), f.batch);
+            gate = gate.worst(analyze_one(&label, build(k, &cfg), &options(f), f)?);
+        }
+    } else {
+        let g = parse_model(model, &cfg)?;
+        let label = format!("{model} [batch={}]", f.batch);
+        gate = analyze_one(&label, g, &options(f), f)?;
     }
+    if gate.failed() && !f.json {
+        eprintln!("analyze found problems (see diagnostics above)");
+    }
+    Ok(gate)
 }
 
 /// `ramiel serve <model> --port N`: compile once, then serve inference over
@@ -853,43 +951,53 @@ fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage =
-        "usage: ramiel <models|report|compile|run|profile|simulate|check|fuzz|export|serve|request> [model] [flags]";
-    let result = match args.first().map(String::as_str) {
+        "usage: ramiel <models|report|compile|run|profile|simulate|check|analyze|fuzz|export|serve|request> [model] [flags]";
+    // `check` and `analyze` gate the exit code on their findings
+    // (0 clean / 1 warnings under --deny-warnings / 2 errors); every other
+    // subcommand maps success to 0 and operational failure to 1.
+    let result: Result<Gate, String> = match args.first().map(String::as_str) {
         Some("models") => {
             cmd_models(args.iter().any(|a| a == "--detail"));
-            Ok(())
+            Ok(Gate::Clean)
         }
         Some("report") => {
             cmd_report();
-            Ok(())
+            Ok(Gate::Clean)
         }
-        Some("compile") if args.len() >= 2 => {
-            parse_flags(&args[2..]).and_then(|f| cmd_compile(&args[1], &f))
-        }
-        Some("run") if args.len() >= 2 => {
-            parse_flags(&args[2..]).and_then(|f| cmd_run(&args[1], &f))
-        }
-        Some("profile") if args.len() >= 2 => {
-            parse_flags(&args[2..]).and_then(|f| cmd_profile(&args[1], &f))
-        }
-        Some("simulate") if args.len() >= 2 => {
-            parse_flags(&args[2..]).and_then(|f| cmd_simulate(&args[1], &f))
-        }
+        Some("compile") if args.len() >= 2 => parse_flags(&args[2..])
+            .and_then(|f| cmd_compile(&args[1], &f))
+            .map(|()| Gate::Clean),
+        Some("run") if args.len() >= 2 => parse_flags(&args[2..])
+            .and_then(|f| cmd_run(&args[1], &f))
+            .map(|()| Gate::Clean),
+        Some("profile") if args.len() >= 2 => parse_flags(&args[2..])
+            .and_then(|f| cmd_profile(&args[1], &f))
+            .map(|()| Gate::Clean),
+        Some("simulate") if args.len() >= 2 => parse_flags(&args[2..])
+            .and_then(|f| cmd_simulate(&args[1], &f))
+            .map(|()| Gate::Clean),
         Some("check") if args.len() >= 2 => {
             parse_flags(&args[2..]).and_then(|f| cmd_check(&args[1], &f))
         }
-        Some("fuzz") => parse_flags(&args[1..]).and_then(|f| cmd_fuzz(&f)),
-        Some("serve") if args.len() >= 2 => {
-            parse_flags(&args[2..]).and_then(|f| cmd_serve(&args[1], &f))
+        Some("analyze") if args.len() >= 2 => {
+            parse_flags(&args[2..]).and_then(|f| cmd_analyze(&args[1], &f))
         }
-        Some("request") => parse_flags(&args[1..]).and_then(|f| cmd_request(&f)),
-        Some("export") if args.len() >= 3 => {
-            parse_flags(&args[3..]).and_then(|f| cmd_export(&args[1], &args[2], &f))
-        }
+        Some("fuzz") => parse_flags(&args[1..])
+            .and_then(|f| cmd_fuzz(&f))
+            .map(|()| Gate::Clean),
+        Some("serve") if args.len() >= 2 => parse_flags(&args[2..])
+            .and_then(|f| cmd_serve(&args[1], &f))
+            .map(|()| Gate::Clean),
+        Some("request") => parse_flags(&args[1..])
+            .and_then(|f| cmd_request(&f))
+            .map(|()| Gate::Clean),
+        Some("export") if args.len() >= 3 => parse_flags(&args[3..])
+            .and_then(|f| cmd_export(&args[1], &args[2], &f))
+            .map(|()| Gate::Clean),
         _ => Err(usage.to_string()),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(gate) => ExitCode::from(gate.exit_code()),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -1,0 +1,112 @@
+//! Shared diagnostic gating and rendering for the CLI front ends.
+//!
+//! `ramiel check` and `ramiel analyze` both produce a
+//! [`ramiel_verify::Report`]; this module is the single place that turns a
+//! report into a process exit code and a rendered listing, so the two
+//! subcommands cannot drift apart:
+//!
+//! | exit | meaning                                      |
+//! |------|----------------------------------------------|
+//! | 0    | clean (advice never fails a run)             |
+//! | 1    | warnings present under `--deny-warnings`     |
+//! | 2    | errors present                               |
+
+use ramiel_verify::{Report, Severity};
+
+/// The gated outcome of one or more reports. Ordered so that
+/// [`Gate::worst`] is just `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Gate {
+    /// No errors, and no warnings while denying warnings.
+    #[default]
+    Clean,
+    /// Warnings present and `--deny-warnings` was set.
+    DeniedWarnings,
+    /// Errors present.
+    Errors,
+}
+
+impl Gate {
+    /// Gate a single report.
+    pub fn of(report: &Report, deny_warnings: bool) -> Gate {
+        if report.has_errors() {
+            Gate::Errors
+        } else if deny_warnings && report.count(Severity::Warning) > 0 {
+            Gate::DeniedWarnings
+        } else {
+            Gate::Clean
+        }
+    }
+
+    /// Combine with another gate (sweeps over many models keep the worst).
+    pub fn worst(self, other: Gate) -> Gate {
+        self.max(other)
+    }
+
+    pub fn failed(self) -> bool {
+        self != Gate::Clean
+    }
+
+    /// The process exit code this gate maps to.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            Gate::Clean => 0,
+            Gate::DeniedWarnings => 1,
+            Gate::Errors => 2,
+        }
+    }
+}
+
+/// Print the one-line verdict plus the indented diagnostic listing and
+/// return the gate. `verb` is the subcommand name (`check` / `analyze`).
+pub fn print_report(verb: &str, label: &str, report: &Report, deny_warnings: bool) -> Gate {
+    let gate = Gate::of(report, deny_warnings);
+    let (e, w, a) = (
+        report.count(Severity::Error),
+        report.count(Severity::Warning),
+        report.count(Severity::Advice),
+    );
+    println!(
+        "{verb} {label:<40} {} ({e} errors, {w} warnings, {a} advice)",
+        if gate.failed() { "FAIL" } else { "ok" }
+    );
+    if e + w + a > 0 {
+        for line in report.render().lines() {
+            println!("    {line}");
+        }
+    }
+    gate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ramiel_verify::{Diagnostic, Span};
+
+    fn report(sev: Severity) -> Report {
+        let d = match sev {
+            Severity::Error => Diagnostic::error("RV0001", Span::Graph, "x"),
+            Severity::Warning => Diagnostic::warning("RV0202", Span::Graph, "x"),
+            Severity::Advice => Diagnostic::advice("RV0601", Span::Graph, "x"),
+        };
+        Report::new(vec![d])
+    }
+
+    #[test]
+    fn gate_maps_severities_to_exit_codes() {
+        assert_eq!(Gate::of(&Report::default(), true).exit_code(), 0);
+        assert_eq!(Gate::of(&report(Severity::Advice), true).exit_code(), 0);
+        assert_eq!(Gate::of(&report(Severity::Warning), false).exit_code(), 0);
+        assert_eq!(Gate::of(&report(Severity::Warning), true).exit_code(), 1);
+        assert_eq!(Gate::of(&report(Severity::Error), false).exit_code(), 2);
+    }
+
+    #[test]
+    fn worst_keeps_the_most_severe_gate() {
+        assert_eq!(
+            Gate::Clean.worst(Gate::DeniedWarnings),
+            Gate::DeniedWarnings
+        );
+        assert_eq!(Gate::Errors.worst(Gate::Clean), Gate::Errors);
+    }
+}

@@ -24,6 +24,7 @@
 //! println!("{}", compiled.parallel_code);
 //! ```
 
+pub use ramiel_analyze as analyze;
 pub use ramiel_cluster as cluster;
 pub use ramiel_codegen as codegen;
 pub use ramiel_ios as ios;
@@ -34,6 +35,8 @@ pub use ramiel_passes as passes;
 pub use ramiel_runtime as runtime;
 pub use ramiel_tensor as tensor;
 pub use ramiel_verify as verify;
+
+pub mod diag;
 
 use ramiel_cluster::cost::{CostModel, FlopCost, StaticCost};
 use ramiel_cluster::hyper::HyperClustering;

@@ -13,6 +13,9 @@
 //! - [`clone`] — task cloning (Section III-D): duplicates cheap fan-out
 //!   nodes so consumers stop sharing a producer, cutting cross-cluster
 //!   messages at the price of redundant compute.
+//! - [`inplace`] — in-place buffer-reuse marking: flags ops whose input
+//!   buffer is dead after use and uniquely consumed, so executors can
+//!   overwrite it instead of allocating (honored via `Arc::get_mut`).
 //!
 //! All passes preserve observable behaviour; the test-suite checks
 //! input/output equivalence by executing before/after graphs on random
@@ -23,12 +26,14 @@ pub mod clone;
 pub mod constfold;
 pub mod dce;
 pub mod identity;
+pub mod inplace;
 
 pub use bn_fold::fold_batch_norms;
 pub use clone::{clone_nodes, CloneConfig};
 pub use constfold::constant_fold;
 pub use dce::dead_code_elimination;
 pub use identity::eliminate_identities;
+pub use inplace::{inplace_marks, InPlaceMarks};
 
 use ramiel_ir::Graph;
 

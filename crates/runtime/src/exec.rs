@@ -3,10 +3,12 @@
 use crate::fault::{FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
 use crate::parallel::RunOptions;
 use crate::profile::{OpRecord, ProfileDb, WorkerSpan};
+use crate::reuse::{charge_bytes, Liveness};
 use crate::{Env, Result, RuntimeError};
 use ramiel_ir::topo::topo_sort;
 use ramiel_ir::{Graph, OpKind};
-use ramiel_tensor::{eval_op, ExecCtx, Value};
+use ramiel_passes::{inplace_marks, InPlaceMarks};
+use ramiel_tensor::{eval_op, eval_op_inplace, ExecCtx, Value};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -81,6 +83,29 @@ fn run_sequential_inner(
         Err(RuntimeError::Setup(format!("tensor `{name}` unavailable")))
     };
 
+    // Liveness bookkeeping: remaining reads per tensor (graph outputs carry
+    // an extra pin so they survive to the final fetch). Dead tensors are
+    // evicted from `env` after their last consumer, and a consumer marked by
+    // the in-place pass takes its dying operand *out* of the env so the
+    // kernel can overwrite a uniquely-owned buffer.
+    let marks = if opts.reuse {
+        inplace_marks(graph)
+    } else {
+        InPlaceMarks::empty()
+    };
+    let mut live = {
+        let mut uses: HashMap<&str, usize> = HashMap::new();
+        for node in &graph.nodes {
+            for t in &node.inputs {
+                *uses.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        for name in &graph.outputs {
+            *uses.entry(name.as_str()).or_insert(0) += 1;
+        }
+        Liveness::new(uses, ctx.mem_gauge().cloned())
+    };
+
     for &id in &order {
         let node = &graph.nodes[id];
         let armed = match &opts.injector {
@@ -121,7 +146,26 @@ fn run_sequential_inner(
             })?;
             vec![v.clone()]
         } else {
-            let ins: Result<Vec<Value>> = node.inputs.iter().map(|t| fetch(&env, t)).collect();
+            // The marked operand is pulled out of the env at its last read
+            // (remaining == 1 means this node is the sole surviving
+            // consumer), dropping the env's handle so the kernel's
+            // `Arc::get_mut` gate can succeed.
+            let mark = marks.slot(id);
+            let mut owned_slot = None;
+            let ins: Result<Vec<Value>> = node
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    if mark == Some(i) && live.remaining(&t.as_str()) == 1 {
+                        if let Some(v) = env.remove(t.as_str()) {
+                            owned_slot = Some(i);
+                            return Ok(v);
+                        }
+                    }
+                    fetch(&env, t)
+                })
+                .collect();
             let hooked;
             let eval_ctx = if kernel_fault {
                 hooked = FaultInjector::kernel_fault_ctx(ctx, None, id);
@@ -129,7 +173,11 @@ fn run_sequential_inner(
             } else {
                 ctx
             };
-            eval_op(eval_ctx, &node.op, &ins?).map_err(|e| {
+            match owned_slot {
+                Some(s) => eval_op_inplace(eval_ctx, &node.op, ins?, s),
+                None => eval_op(eval_ctx, &node.op, &ins?),
+            }
+            .map_err(|e| {
                 if e.0.starts_with(INJECT_MARKER) {
                     RuntimeError::Injected {
                         cluster: None,
@@ -157,7 +205,24 @@ fn run_sequential_inner(
             }]);
         }
         for (name, v) in node.outputs.iter().zip(outputs) {
+            live.charge(name.as_str(), charge_bytes(&node.op, &v));
             env.insert(name.as_str(), v);
+        }
+        if opts.reuse {
+            // Inputs whose last read this was — and outputs nothing ever
+            // reads — die here.
+            for t in &node.inputs {
+                if live.consume(&t.as_str()) {
+                    env.remove(t.as_str());
+                    live.discharge(&t.as_str());
+                }
+            }
+            for name in &node.outputs {
+                if live.remaining(&name.as_str()) == 0 {
+                    env.remove(name.as_str());
+                    live.discharge(&name.as_str());
+                }
+            }
         }
     }
     if let Some(db) = profile {

@@ -27,12 +27,14 @@
 
 use crate::fault::{panic_to_error, FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
 use crate::parallel::{default_recv_timeout, RunOptions};
+use crate::reuse::{charge_bytes, Liveness};
 use crate::{value_bytes, Env, Result, RuntimeError};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use ramiel_cluster::hyper::{HyperClustering, HyperOp};
 use ramiel_ir::{Graph, OpKind};
 use ramiel_obs::{ChannelEdgeStats, ChannelMeter, Obs};
-use ramiel_tensor::{eval_op, ExecCtx, Value};
+use ramiel_passes::{inplace_marks, InPlaceMarks};
+use ramiel_tensor::{eval_op, eval_op_inplace, ExecCtx, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -161,9 +163,18 @@ impl HyperPool {
             None => crate::initializer_values(&graph)?,
         };
         let graph_outputs = graph.outputs.clone();
+        let marks = Arc::new(if opts.reuse {
+            inplace_marks(&graph)
+        } else {
+            InPlaceMarks::empty()
+        });
 
-        let channels: Vec<(Sender<PoolMsg>, Receiver<PoolMsg>)> =
-            (0..workers).map(|_| unbounded()).collect();
+        // Worker inboxes are bounded (capacity from `limits`, shared with
+        // the ramiel-analyze RA0401 lint); the done channel stays unbounded
+        // control plane.
+        let channels: Vec<(Sender<PoolMsg>, Receiver<PoolMsg>)> = (0..workers)
+            .map(|_| bounded(crate::limits::DATA_CHANNEL_CAPACITY))
+            .collect();
         let worker_txs: Vec<Sender<PoolMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let (done_tx, done_rx) = unbounded::<PoolDone>();
         let meter = Arc::new(ChannelMeter::new(workers));
@@ -179,6 +190,8 @@ impl HyperPool {
             let injector = opts.injector.clone();
             let meter = Arc::clone(&meter);
             let obs = opts.obs.clone();
+            let marks = Arc::clone(&marks);
+            let reuse = opts.reuse;
             handles.push(std::thread::spawn(move || {
                 worker_main(WorkerState {
                     graph: &graph,
@@ -192,6 +205,8 @@ impl HyperPool {
                     recv_timeout,
                     meter: &meter,
                     obs,
+                    marks: &marks,
+                    reuse,
                 });
             }));
         }
@@ -260,7 +275,9 @@ impl HyperPool {
         // *worker* surfaces as its own error instead of racing this
         // collector-side deadline (losing that race strands the worker's
         // late PoolDone in the channel for the next job to trip over).
-        let wait = self.recv_timeout.saturating_add(Duration::from_secs(2));
+        let wait = self
+            .recv_timeout
+            .saturating_add(Duration::from_millis(crate::limits::COLLECTOR_GRACE_MS));
         let mut received = 0;
         while received < self.workers {
             let done = self
@@ -330,6 +347,8 @@ struct WorkerState<'a> {
     recv_timeout: Duration,
     meter: &'a ChannelMeter,
     obs: Obs,
+    marks: &'a InPlaceMarks,
+    reuse: bool,
 }
 
 fn job_abort_error(me: usize) -> RuntimeError {
@@ -384,10 +403,12 @@ fn worker_main(st: WorkerState<'_>) {
         };
 
         if error.is_some() {
-            // Unblock peers waiting on this job's tensors.
+            // Unblock peers waiting on this job's tensors. try_send: a full
+            // inbox means the peer is not blocked in recv; it will hit its
+            // own recv timeout if it ever waits on this job again.
             for (t, tx) in st.peer_txs.iter().enumerate() {
                 if t != st.me {
-                    let _ = tx.send(PoolMsg::JobAbort(job));
+                    let _ = tx.try_send(PoolMsg::JobAbort(job));
                 }
             }
         }
@@ -426,6 +447,24 @@ fn run_job(
     let ops: &[HyperOp] = &plan.hc.hyperclusters[me];
     // Tensor instances of *this* job available to this worker.
     let mut env: HashMap<(String, usize), Value> = HashMap::new();
+    // Per-job liveness: reads remaining per tensor instance on this worker
+    // (graph outputs produced here get one extra pin so they stay charged
+    // for the whole job, matching the static estimate).
+    let mut live = {
+        let mut uses: HashMap<(String, usize), usize> = HashMap::new();
+        for op in ops {
+            let node = &st.graph.nodes[op.node];
+            for t in &node.inputs {
+                *uses.entry((t.clone(), op.batch)).or_insert(0) += 1;
+            }
+            for name in &node.outputs {
+                if graph_outputs.contains(name.as_str()) {
+                    *uses.entry((name.clone(), op.batch)).or_insert(0) += 1;
+                }
+            }
+        }
+        Liveness::new(uses, st.ctx.mem_gauge().cloned())
+    };
     // Move stashed early arrivals for this job in.
     let mine: Vec<Key> = stash
         .keys()
@@ -434,6 +473,7 @@ fn run_job(
         .collect();
     for key in mine {
         if let Some(v) = stash.remove(&key) {
+            live.charge((key.1.clone(), key.2), value_bytes(&v));
             env.insert((key.1, key.2), v);
         }
     }
@@ -468,6 +508,7 @@ fn run_job(
                 PoolMsg::Tensor((j, name, b), v, from) => {
                     st.meter.on_recv(from, me, 0);
                     if j == job {
+                        live.charge((name.clone(), b), value_bytes(&v));
                         env.insert((name, b), v);
                     } else if j > job {
                         stash.insert((j, name, b), v);
@@ -593,8 +634,23 @@ fn run_job(
                 })
                 .map(|v| vec![v.clone()])
         } else {
+            // A node marked by the in-place pass takes its dying operand
+            // *out* of the env (sole remaining read), so the kernel's
+            // `Arc::get_mut` gate can overwrite the buffer in place.
+            let mark = st.marks.slot(op.node);
+            let mut owned_slot = None;
             let mut ins: Vec<Value> = Vec::with_capacity(node.inputs.len());
-            for t in &node.inputs {
+            for (slot, t) in node.inputs.iter().enumerate() {
+                if mark == Some(slot) {
+                    let key = (t.clone(), op.batch);
+                    if live.remaining(&key) == 1 {
+                        if let Some(v) = env.remove(&key) {
+                            owned_slot = Some(slot);
+                            ins.push(v);
+                            continue;
+                        }
+                    }
+                }
                 match fetch(&env, t, op.batch) {
                     Ok(v) => ins.push(v),
                     Err(e) => return (outputs, Some(e)),
@@ -607,7 +663,10 @@ fn run_job(
             } else {
                 st.ctx
             };
-            eval_op(eval_ctx, &node.op, &ins)
+            match owned_slot {
+                Some(s) => eval_op_inplace(eval_ctx, &node.op, ins, s),
+                None => eval_op(eval_ctx, &node.op, &ins),
+            }
         };
         let outs = match result {
             Ok(o) => o,
@@ -659,7 +718,26 @@ fn run_job(
             if graph_outputs.contains(name.as_str()) {
                 outputs.push((op.batch, name.clone(), v.clone()));
             }
+            live.charge((name.clone(), op.batch), charge_bytes(&node.op, &v));
             env.insert((name.clone(), op.batch), v);
+        }
+        if st.reuse {
+            // Inputs whose last local read this was — and outputs with no
+            // local reader (already shipped/recorded above) — die here.
+            for t in &node.inputs {
+                let key = (t.clone(), op.batch);
+                if live.consume(&key) {
+                    env.remove(&key);
+                    live.discharge(&key);
+                }
+            }
+            for name in &node.outputs {
+                let key = (name.clone(), op.batch);
+                if live.remaining(&key) == 0 {
+                    env.remove(&key);
+                    live.discharge(&key);
+                }
+            }
         }
     }
 

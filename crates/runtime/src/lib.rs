@@ -16,11 +16,13 @@
 pub mod exec;
 pub mod fault;
 pub mod hyperpool;
+pub mod limits;
 pub mod memory;
 pub mod parallel;
 pub mod pool;
 pub mod predict;
 pub mod profile;
+pub mod reuse;
 pub mod sim;
 pub mod supervisor;
 
@@ -49,8 +51,9 @@ use std::collections::BTreeMap;
 /// Named tensor environment used for graph inputs and outputs.
 pub type Env = BTreeMap<String, Value>;
 
-/// Payload size of a tensor value in bytes (used by channel metering).
-pub(crate) fn value_bytes(v: &Value) -> u64 {
+/// Payload size of a tensor value in bytes (used by channel metering and
+/// the liveness gauge).
+pub fn value_bytes(v: &Value) -> u64 {
     let elem = match v.dtype() {
         ramiel_ir::DType::F32 => 4,
         ramiel_ir::DType::I64 => 8,

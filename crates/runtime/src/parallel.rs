@@ -27,14 +27,16 @@
 
 use crate::fault::{panic_to_error, FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
 use crate::profile::{OpRecord, ProfileDb, WorkerSpan};
+use crate::reuse::{charge_bytes, Liveness};
 use crate::{value_bytes, Env, Result, RuntimeError, ABORT_DETAIL};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use ramiel_cluster::hyper::{HyperClustering, HyperOp};
 use ramiel_cluster::Clustering;
 use ramiel_ir::{Graph, OpKind};
 use ramiel_obs::{ChannelMeter, Obs};
-use ramiel_tensor::{eval_op, ExecCtx, Value};
+use ramiel_passes::{inplace_marks, InPlaceMarks};
+use ramiel_tensor::{eval_op, eval_op_inplace, ExecCtx, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -47,8 +49,8 @@ use std::time::{Duration, Instant};
 pub(crate) fn default_recv_timeout() -> Duration {
     static TIMEOUT: std::sync::OnceLock<Duration> = std::sync::OnceLock::new();
     *TIMEOUT.get_or_init(|| {
-        let default = Duration::from_secs(30);
-        match std::env::var("RAMIEL_RECV_TIMEOUT_MS") {
+        let default = Duration::from_millis(crate::limits::DEFAULT_RECV_TIMEOUT_MS);
+        match std::env::var(crate::limits::RECV_TIMEOUT_ENV) {
             Ok(v) => v
                 .parse::<u64>()
                 .map(Duration::from_millis)
@@ -70,7 +72,7 @@ pub(crate) fn default_recv_timeout() -> Duration {
 
 /// Per-run execution options: fault injection, failure-detection knobs, and
 /// the observability sink.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct RunOptions {
     /// Fault injector shared across workers (and across supervised retries).
     pub injector: Option<Arc<FaultInjector>>,
@@ -84,6 +86,25 @@ pub struct RunOptions {
     /// the graph's `TensorData` — the win for repeated inference, since the
     /// conversion is the only remaining deep copy of the weights.
     pub init_values: Option<Arc<HashMap<String, Value>>>,
+    /// Lifetime-driven buffer reuse (on by default): evict tensors from
+    /// worker environments after their last consumer and honor the
+    /// `ramiel_passes::inplace` marks via `Arc::get_mut`. Outputs are
+    /// bit-identical either way (the in-place kernels mirror the allocating
+    /// ones and only fire on provably dead, uniquely-owned buffers); turning
+    /// this off exists for memory-accounting baselines.
+    pub reuse: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            injector: None,
+            recv_timeout: None,
+            obs: Obs::default(),
+            init_values: None,
+            reuse: true,
+        }
+    }
 }
 
 impl RunOptions {
@@ -92,6 +113,12 @@ impl RunOptions {
             injector: Some(injector),
             ..RunOptions::default()
         }
+    }
+
+    /// Enable or disable lifetime-driven buffer reuse.
+    pub fn reuse(mut self, reuse: bool) -> Self {
+        self.reuse = reuse;
+        self
     }
 
     pub fn recv_timeout(mut self, timeout: Duration) -> Self {
@@ -230,6 +257,8 @@ struct Shared<'a> {
     abort: &'a AtomicBool,
     recv_timeout: Duration,
     injector: Option<&'a Arc<FaultInjector>>,
+    marks: &'a InPlaceMarks,
+    reuse: bool,
 }
 
 fn run_hyper_inner(
@@ -279,8 +308,12 @@ fn run_hyper_inner(
         }
     }
 
-    // One inbox per worker.
-    let channels: Vec<(Sender<Msg>, Receiver<Msg>)> = (0..k).map(|_| unbounded()).collect();
+    // One inbox per worker. Bounded so a runaway producer applies
+    // backpressure instead of growing without limit; the capacity lives in
+    // `limits` where the ramiel-analyze RA0401 lint reads the same number.
+    let channels: Vec<(Sender<Msg>, Receiver<Msg>)> = (0..k)
+        .map(|_| bounded(crate::limits::DATA_CHANNEL_CAPACITY))
+        .collect();
     let senders: Vec<Sender<Msg>> = channels.iter().map(|(s, _)| s.clone()).collect();
 
     // Shared read-only state. The initializer table is built (deep-copied
@@ -301,6 +334,11 @@ fn run_hyper_inner(
     let db: Mutex<ProfileDb> = Mutex::new(db0);
     let meter = ChannelMeter::new(k);
     let abort = AtomicBool::new(false);
+    let marks = if opts.reuse {
+        inplace_marks(graph)
+    } else {
+        InPlaceMarks::empty()
+    };
     let shared = Shared {
         graph,
         inputs,
@@ -316,6 +354,8 @@ fn run_hyper_inner(
         abort: &abort,
         recv_timeout: opts.recv_timeout.unwrap_or_else(default_recv_timeout),
         injector: opts.injector.as_ref(),
+        marks: &marks,
+        reuse: opts.reuse,
     };
 
     std::thread::scope(|scope| -> Result<()> {
@@ -336,7 +376,11 @@ fn run_hyper_inner(
                         sh.abort.store(true, Ordering::Relaxed);
                         for (t, s) in sh.senders.iter().enumerate() {
                             if t != w {
-                                let _ = s.send(Msg::Abort);
+                                // try_send: the abort *flag* is the real
+                                // signal; this only wakes peers blocked in
+                                // recv, and a full inbox means the peer is
+                                // not blocked.
+                                let _ = s.try_send(Msg::Abort);
                             }
                         }
                     }
@@ -405,6 +449,24 @@ fn worker_loop(
 ) -> Result<()> {
     // Local environment of tensor instances available to this worker.
     let mut env: HashMap<Key, Value> = HashMap::new();
+    // Liveness over this worker's keys: reads remaining per tensor instance
+    // (graph outputs produced here carry one extra pin so they stay resident
+    // — and charged — to the end, matching the static estimate).
+    let mut live = {
+        let mut uses: HashMap<Key, usize> = HashMap::new();
+        for op in ops {
+            let node = &sh.graph.nodes[op.node];
+            for t in &node.inputs {
+                *uses.entry((t.clone(), op.batch)).or_insert(0) += 1;
+            }
+            for name in &node.outputs {
+                if sh.graph_outputs.contains(name.as_str()) {
+                    *uses.entry((name.clone(), op.batch)).or_insert(0) += 1;
+                }
+            }
+        }
+        Liveness::new(uses, ctx.mem_gauge().cloned())
+    };
     let mut remaining: Vec<bool> = vec![true; ops.len()];
     let mut left = ops.len();
     let mut records = Vec::with_capacity(ops.len());
@@ -439,6 +501,7 @@ fn worker_loop(
             match msg {
                 Msg::Tensor(key, v, from) => {
                     sh.meter.on_recv(from, me, 0);
+                    live.charge(key.clone(), value_bytes(&v));
                     env.insert(key, v);
                 }
                 Msg::Abort => return Err(abort_error(me)),
@@ -464,6 +527,7 @@ fn worker_loop(
                         let r: &mut OpRecord = last;
                         r.slack_after_ns += waited;
                     }
+                    live.charge(key.clone(), value_bytes(&v));
                     env.insert(key, v);
                     continue;
                 }
@@ -533,10 +597,27 @@ fn worker_loop(
             })?;
             vec![v.clone()]
         } else {
+            // A node marked by the in-place pass takes its dying operand
+            // *out* of the env (sole remaining read), so the kernel's
+            // `Arc::get_mut` gate can overwrite the buffer in place.
+            let mark = sh.marks.slot(op.node);
+            let mut owned_slot = None;
             let ins: Result<Vec<Value>> = node
                 .inputs
                 .iter()
-                .map(|t| fetch(&env, t, op.batch))
+                .enumerate()
+                .map(|(i, t)| {
+                    if mark == Some(i) {
+                        let key = (t.clone(), op.batch);
+                        if live.remaining(&key) == 1 {
+                            if let Some(v) = env.remove(&key) {
+                                owned_slot = Some(i);
+                                return Ok(v);
+                            }
+                        }
+                    }
+                    fetch(&env, t, op.batch)
+                })
                 .collect();
             let hooked;
             let eval_ctx = if kernel_fault {
@@ -545,7 +626,11 @@ fn worker_loop(
             } else {
                 ctx
             };
-            eval_op(eval_ctx, &node.op, &ins?).map_err(|e| {
+            match owned_slot {
+                Some(s) => eval_op_inplace(eval_ctx, &node.op, ins?, s),
+                None => eval_op(eval_ctx, &node.op, &ins?),
+            }
+            .map_err(|e| {
                 if e.0.starts_with(INJECT_MARKER) {
                     RuntimeError::Injected {
                         cluster: Some(me),
@@ -594,10 +679,30 @@ fn worker_loop(
             if sh.graph_outputs.contains(name.as_str()) {
                 sh.out_envs.lock()[op.batch].insert(name.clone(), v.clone());
             }
+            live.charge((name.clone(), op.batch), charge_bytes(&node.op, &v));
             env.insert((name.clone(), op.batch), v);
+        }
+        if sh.reuse {
+            // Inputs whose last local read this was — and outputs with no
+            // local reader (already shipped/recorded above) — die here.
+            for t in &node.inputs {
+                let key = (t.clone(), op.batch);
+                if live.consume(&key) {
+                    env.remove(&key);
+                    live.discharge(&key);
+                }
+            }
+            for name in &node.outputs {
+                let key = (name.clone(), op.batch);
+                if live.remaining(&key) == 0 {
+                    env.remove(&key);
+                    live.discharge(&key);
+                }
+            }
         }
     }
 
+    drop(live); // release remaining gauge charges (pinned graph outputs)
     let loop_end_ns = (Instant::now() - sh.epoch).as_nanos() as u64;
     let mut db = sh.db.lock();
     db.extend(records);

@@ -19,12 +19,14 @@
 use crate::fault::{panic_to_error, FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
 use crate::parallel::{default_recv_timeout, RunOptions};
 use crate::profile::{OpRecord, ProfileDb, WorkerSpan};
+use crate::reuse::{charge_bytes, Liveness};
 use crate::{value_bytes, Env, Result, RuntimeError};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ramiel_cluster::Clustering;
 use ramiel_ir::{Graph, NodeId, OpKind};
 use ramiel_obs::{ChannelMeter, Obs};
-use ramiel_tensor::{eval_op, ExecCtx, Value};
+use ramiel_passes::{inplace_marks, InPlaceMarks};
+use ramiel_tensor::{eval_op, eval_op_inplace, ExecCtx, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -118,10 +120,19 @@ impl ClusterPool {
         }
         let consumers = Arc::new(consumers);
         let graph_outputs: Vec<String> = graph.outputs.clone();
+        let marks = Arc::new(if opts.reuse {
+            inplace_marks(&graph)
+        } else {
+            InPlaceMarks::empty()
+        });
 
         let k = clustering.num_clusters();
-        let channels: Vec<(Sender<WorkerMsg>, Receiver<WorkerMsg>)> =
-            (0..k).map(|_| unbounded()).collect();
+        // Worker inboxes are bounded (capacity from `limits`, shared with
+        // the ramiel-analyze RA0401 lint); the done channel stays unbounded
+        // control plane.
+        let channels: Vec<(Sender<WorkerMsg>, Receiver<WorkerMsg>)> = (0..k)
+            .map(|_| bounded(crate::limits::DATA_CHANNEL_CAPACITY))
+            .collect();
         let worker_txs: Vec<Sender<WorkerMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
         let (done_tx, done_rx) = unbounded::<WorkerDone>();
         let meter = Arc::new(ChannelMeter::new(k));
@@ -140,6 +151,8 @@ impl ClusterPool {
             let injector = opts.injector.clone();
             let meter = Arc::clone(&meter);
             let obs = opts.obs.clone();
+            let marks = Arc::clone(&marks);
+            let reuse = opts.reuse;
             handles.push(std::thread::spawn(move || {
                 worker_main(WorkerState {
                     graph: &graph,
@@ -156,6 +169,8 @@ impl ClusterPool {
                     meter: &meter,
                     obs,
                     epoch,
+                    marks: &marks,
+                    reuse,
                 });
             }));
         }
@@ -289,6 +304,8 @@ struct WorkerState<'a> {
     meter: &'a ChannelMeter,
     obs: Obs,
     epoch: Instant,
+    marks: &'a InPlaceMarks,
+    reuse: bool,
 }
 
 fn worker_main(st: WorkerState<'_>) {
@@ -350,10 +367,12 @@ fn worker_main(st: WorkerState<'_>) {
         });
 
         if error.is_some() {
-            // Unblock peers waiting on this job's tensors.
+            // Unblock peers waiting on this job's tensors. try_send: a full
+            // inbox means the peer is not blocked in recv; it will hit its
+            // own recv timeout if it ever waits on this job again.
             for (t, tx) in st.peer_txs.iter().enumerate() {
                 if t != st.me {
-                    let _ = tx.send(WorkerMsg::JobAbort(job));
+                    let _ = tx.try_send(WorkerMsg::JobAbort(job));
                 }
             }
         }
@@ -402,6 +421,24 @@ fn run_job(
     let mut outputs = Vec::new();
     let mut error = None;
     let mut records: Vec<OpRecord> = Vec::new();
+    // Per-job liveness: reads remaining per tensor on this worker (graph
+    // outputs produced here get one extra pin so they stay charged for the
+    // whole job, matching the static estimate).
+    let mut live = {
+        let mut uses: HashMap<String, usize> = HashMap::new();
+        for &nid in st.nodes {
+            let node = &st.graph.nodes[nid];
+            for t in &node.inputs {
+                *uses.entry(t.clone()).or_insert(0) += 1;
+            }
+            for name in &node.outputs {
+                if graph_outputs.contains(name.as_str()) {
+                    *uses.entry(name.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        Liveness::new(uses, st.ctx.mem_gauge().cloned())
+    };
 
     'ops: for &nid in st.nodes {
         let node = &st.graph.nodes[nid];
@@ -442,12 +479,25 @@ fn run_job(
         // land in `env` (not a one-shot slot) because several nodes of this
         // cluster may consume the same cross-cluster tensor, which the
         // producer sends only once per consumer cluster.
+        let mark = st.marks.slot(nid);
+        let mut owned_slot = None;
         let mut blocked_ns: u64 = 0;
         let mut ins: Vec<Value> = Vec::with_capacity(node.inputs.len());
-        for t in &node.inputs {
+        for (slot, t) in node.inputs.iter().enumerate() {
             loop {
                 if let Some(v) = stash.remove(&(job, t.clone())) {
+                    live.charge(t.clone(), value_bytes(&v));
                     env.insert(t.clone(), v);
+                }
+                // A node marked by the in-place pass takes its dying operand
+                // *out* of the env (sole remaining read), so the kernel's
+                // `Arc::get_mut` gate can overwrite the buffer in place.
+                if mark == Some(slot) && live.remaining(t) == 1 {
+                    if let Some(v) = env.remove(t.as_str()) {
+                        owned_slot = Some(slot);
+                        ins.push(v);
+                        break;
+                    }
                 }
                 if let Some(v) = env
                     .get(t.as_str())
@@ -465,6 +515,7 @@ fn run_job(
                         blocked_ns += waited;
                         st.meter.on_recv(from, me, waited);
                         if j == job {
+                            live.charge(name.clone(), value_bytes(&v));
                             env.insert(name, v);
                         } else {
                             stash.insert((j, name), v);
@@ -520,7 +571,10 @@ fn run_job(
             } else {
                 st.ctx
             };
-            eval_op(eval_ctx, &node.op, &ins)
+            match owned_slot {
+                Some(s) => eval_op_inplace(eval_ctx, &node.op, ins, s),
+                None => eval_op(eval_ctx, &node.op, &ins),
+            }
         };
         let outs = match result {
             Ok(o) => o,
@@ -581,7 +635,24 @@ fn run_job(
             if graph_outputs.contains(name.as_str()) {
                 outputs.push((name.clone(), v.clone()));
             }
+            live.charge(name.clone(), charge_bytes(&node.op, &v));
             env.insert(name.clone(), v);
+        }
+        if st.reuse {
+            // Inputs whose last local read this was — and outputs with no
+            // local reader (already shipped/recorded above) — die here.
+            for t in &node.inputs {
+                if live.consume(t) {
+                    env.remove(t.as_str());
+                    live.discharge(t);
+                }
+            }
+            for name in &node.outputs {
+                if live.remaining(name) == 0 {
+                    env.remove(name.as_str());
+                    live.discharge(name);
+                }
+            }
         }
     }
 

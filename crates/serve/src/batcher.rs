@@ -275,6 +275,7 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
         recv_timeout: sh.cfg.recv_timeout,
         obs: obs.clone(),
         init_values: Some(Arc::clone(&plan.init_values)),
+        reuse: true,
     };
     // Hot reload boundary: a version change means new graph/weights, so
     // the standing workers are rebuilt (old ones join first).

@@ -8,7 +8,51 @@
 use crate::pack::PackedWeightCache;
 use ramiel_ir::OpKind;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Allocation gauge for live activation bytes. Executors charge it when they
+/// insert a value into an environment and discharge it when liveness analysis
+/// evicts the value, so `peak_bytes` is the measured high-water mark the
+/// static estimate in `ramiel-analyze` must upper-bound. Thread-safe: all
+/// workers of one run share a gauge through the [`ExecCtx`].
+#[derive(Debug, Default)]
+pub struct MemGauge {
+    live: AtomicI64,
+    peak: AtomicI64,
+}
+
+impl MemGauge {
+    pub fn new() -> Arc<MemGauge> {
+        Arc::new(MemGauge::default())
+    }
+
+    /// Charge `bytes` of newly live data and update the high-water mark.
+    pub fn alloc(&self, bytes: usize) {
+        let now = self.live.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Discharge `bytes` that liveness analysis proved dead.
+    pub fn free(&self, bytes: usize) {
+        self.live.fetch_sub(bytes as i64, Ordering::Relaxed);
+    }
+
+    /// Currently charged bytes.
+    pub fn live_bytes(&self) -> i64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since construction or the last [`MemGauge::reset`].
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    pub fn reset(&self) {
+        self.live.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
 
 /// Pre-kernel hook: consulted by [`crate::eval_op`] before dispatching a
 /// kernel. Returning `Some(msg)` fails the evaluation with that message —
@@ -28,6 +72,7 @@ pub struct ExecCtx {
     pool: Option<Arc<rayon::ThreadPool>>,
     kernel_hook: Option<KernelHook>,
     packed: Arc<PackedWeightCache>,
+    mem: Option<Arc<MemGauge>>,
 }
 
 impl ExecCtx {
@@ -81,7 +126,24 @@ impl ExecCtx {
             pool: self.pool.clone(),
             kernel_hook: Some(hook),
             packed: Arc::clone(&self.packed),
+            mem: self.mem.clone(),
         }
+    }
+
+    /// Same context with an allocation gauge attached; executors report
+    /// activation liveness to it (see [`MemGauge`]).
+    pub fn with_mem_gauge(&self, gauge: Arc<MemGauge>) -> Self {
+        ExecCtx {
+            pool: self.pool.clone(),
+            kernel_hook: self.kernel_hook.clone(),
+            packed: Arc::clone(&self.packed),
+            mem: Some(gauge),
+        }
+    }
+
+    /// The attached allocation gauge, if any.
+    pub fn mem_gauge(&self) -> Option<&Arc<MemGauge>> {
+        self.mem.as_ref()
     }
 
     /// The per-plan packed-weight cache. Shared (not reset) by `clone` and
@@ -163,6 +225,22 @@ mod tests {
         assert!(Arc::ptr_eq(&pa, &pb), "same thread count must share a pool");
         let c = ExecCtx::with_intra_op(6);
         assert!(!Arc::ptr_eq(&pa, &c.pool.unwrap()));
+    }
+
+    #[test]
+    fn mem_gauge_tracks_high_water() {
+        let g = MemGauge::new();
+        g.alloc(100);
+        g.alloc(50);
+        g.free(120);
+        g.alloc(10);
+        assert_eq!(g.live_bytes(), 40);
+        assert_eq!(g.peak_bytes(), 150);
+        g.reset();
+        assert_eq!(g.peak_bytes(), 0);
+        let ctx = ExecCtx::sequential().with_mem_gauge(Arc::clone(&g));
+        ctx.mem_gauge().unwrap().alloc(7);
+        assert_eq!(g.peak_bytes(), 7);
     }
 
     #[test]

@@ -289,6 +289,106 @@ pub fn eval_op(ctx: &ExecCtx, op: &OpKind, inputs: &[Value]) -> Result<Vec<Value
     }
 }
 
+/// [`eval_op`] with an in-place hint: the caller asserts that `inputs[slot]`
+/// is dead after this op (its last consumer) and has dropped every
+/// environment handle to it. If the buffer is also uniquely owned
+/// (`Arc::get_mut` succeeds) and the op is an elementwise kernel that can
+/// write its result over that operand, the output reuses the input buffer
+/// with zero allocation. Any other case — shared buffer, non-elementwise op,
+/// dtype or shape mismatch, armed fault hook — falls back to [`eval_op`], so
+/// the hint is only ever an optimization, never a semantic change.
+pub fn eval_op_inplace(
+    ctx: &ExecCtx,
+    op: &OpKind,
+    mut inputs: Vec<Value>,
+    slot: usize,
+) -> Result<Vec<Value>> {
+    if ctx.kernel_fault(op).is_none() {
+        if let Some(out) = try_inplace(op, &mut inputs, slot) {
+            return Ok(out);
+        }
+    }
+    eval_op(ctx, op, &inputs)
+}
+
+/// The in-place fast paths. Closures here must mirror the [`eval_op`] arms
+/// exactly — the differential suite holds both paths bit-identical.
+fn try_inplace(op: &OpKind, inputs: &mut Vec<Value>, slot: usize) -> Option<Vec<Value>> {
+    match op {
+        OpKind::Relu => unary_inplace(inputs, slot, |v| v.max(0.0)),
+        OpKind::LeakyRelu { alpha } => {
+            let a = *alpha;
+            unary_inplace(inputs, slot, move |v| if v >= 0.0 { v } else { a * v })
+        }
+        OpKind::Sigmoid => unary_inplace(inputs, slot, |v| 1.0 / (1.0 + (-v).exp())),
+        OpKind::Tanh => unary_inplace(inputs, slot, f32::tanh),
+        OpKind::Gelu => unary_inplace(inputs, slot, ew::gelu),
+        OpKind::Erf => unary_inplace(inputs, slot, ew::erf),
+        OpKind::Sqrt => unary_inplace(inputs, slot, f32::sqrt),
+        OpKind::Exp => unary_inplace(inputs, slot, f32::exp),
+        OpKind::Neg => unary_inplace(inputs, slot, |v| -v),
+        OpKind::Clip { min, max } => {
+            let (lo, hi) = (*min, *max);
+            unary_inplace(inputs, slot, move |v| v.clamp(lo, hi))
+        }
+        OpKind::Add => binary_inplace(inputs, slot, |a, b| a + b),
+        OpKind::Sub => binary_inplace(inputs, slot, |a, b| a - b),
+        OpKind::Mul => binary_inplace(inputs, slot, |a, b| a * b),
+        OpKind::Div => binary_inplace(inputs, slot, |a, b| a / b),
+        OpKind::Pow => binary_inplace(inputs, slot, f32::powf),
+        _ => None,
+    }
+}
+
+fn unary_inplace(
+    inputs: &mut Vec<Value>,
+    slot: usize,
+    f: impl Fn(f32) -> f32,
+) -> Option<Vec<Value>> {
+    if slot != 0 || inputs.len() != 1 {
+        return None;
+    }
+    let Value::F32(t) = &mut inputs[0] else {
+        return None;
+    };
+    for v in t.try_data_mut()?.iter_mut() {
+        *v = f(*v);
+    }
+    Some(vec![inputs.swap_remove(0)])
+}
+
+fn binary_inplace(
+    inputs: &mut Vec<Value>,
+    slot: usize,
+    f: impl Fn(f32, f32) -> f32,
+) -> Option<Vec<Value>> {
+    if slot > 1 || inputs.len() != 2 {
+        return None;
+    }
+    let (lhs, rhs) = inputs.split_at_mut(1);
+    let (Value::F32(a), Value::F32(b)) = (&mut lhs[0], &mut rhs[0]) else {
+        return None;
+    };
+    // In-place only covers the same-shape case; broadcasts change the output
+    // extent and must go through the allocating kernel.
+    if a.shape() != b.shape() {
+        return None;
+    }
+    if slot == 0 {
+        let dst = a.try_data_mut()?;
+        for (d, &y) in dst.iter_mut().zip(b.data()) {
+            *d = f(*d, y);
+        }
+        Some(vec![inputs.swap_remove(0)])
+    } else {
+        let dst = b.try_data_mut()?;
+        for (d, &x) in dst.iter_mut().zip(a.data()) {
+            *d = f(x, *d);
+        }
+        Some(vec![inputs.swap_remove(1)])
+    }
+}
+
 fn unary(inputs: &[Value], op: &OpKind, f: impl Fn(f32) -> f32) -> Result<Vec<Value>> {
     want(inputs, 1, op)?;
     Ok(vec![Value::F32(ew::unary_f32(inputs[0].f32()?, f))])
@@ -467,6 +567,63 @@ mod tests {
             .unwrap()
             .remove(0);
         assert_eq!(y.shape(), &[2, 12]);
+    }
+
+    #[test]
+    fn inplace_unary_reuses_unique_buffer() {
+        let ctx = ExecCtx::sequential();
+        let x = f(vec![4], vec![-1., 2., -3., 4.]);
+        let ptr = x.f32().unwrap().data_ptr();
+        let y = eval_op_inplace(&ctx, &OpKind::Relu, vec![x], 0)
+            .unwrap()
+            .remove(0);
+        assert_eq!(y.f32().unwrap().data(), &[0., 2., 0., 4.]);
+        assert_eq!(y.f32().unwrap().data_ptr(), ptr, "must reuse the buffer");
+    }
+
+    #[test]
+    fn inplace_falls_back_when_shared() {
+        let ctx = ExecCtx::sequential();
+        let x = f(vec![3], vec![-1., 0., 2.]);
+        let keep = x.clone(); // second handle forces the copy path
+        let ptr = keep.f32().unwrap().data_ptr();
+        let y = eval_op_inplace(&ctx, &OpKind::Relu, vec![x], 0)
+            .unwrap()
+            .remove(0);
+        assert_eq!(y.f32().unwrap().data(), &[0., 0., 2.]);
+        assert_ne!(y.f32().unwrap().data_ptr(), ptr);
+        assert_eq!(keep.f32().unwrap().data(), &[-1., 0., 2.], "untouched");
+    }
+
+    #[test]
+    fn inplace_binary_both_slots_match_eval_op() {
+        let ctx = ExecCtx::sequential();
+        let mk = || {
+            (
+                f(vec![3], vec![1., 2., 3.]),
+                f(vec![3], vec![10., 20., 30.]),
+            )
+        };
+        for op in [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div] {
+            let (a, b) = mk();
+            let want = eval_op(&ctx, &op, &[a.clone(), b.clone()]).unwrap();
+            for slot in 0..2 {
+                let (a, b) = mk();
+                let got = eval_op_inplace(&ctx, &op, vec![a, b], slot).unwrap();
+                assert_eq!(got, want, "{op:?} slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn inplace_broadcast_falls_back_correctly() {
+        let ctx = ExecCtx::sequential();
+        let a = f(vec![2, 2], vec![1., 2., 3., 4.]);
+        let s = f(vec![], vec![10.]);
+        let y = eval_op_inplace(&ctx, &OpKind::Add, vec![a, s], 0)
+            .unwrap()
+            .remove(0);
+        assert_eq!(y.f32().unwrap().data(), &[11., 12., 13., 14.]);
     }
 
     #[test]

@@ -106,6 +106,17 @@ impl<T: Copy + Default> Tensor<T> {
         v.as_mut_slice()
     }
 
+    /// Mutable view of the elements, **only** when this is the sole handle
+    /// to the buffer (`Arc::get_mut`). Unlike [`Tensor::data_mut`] this never
+    /// copies: a shared buffer yields `None` and the caller must fall back to
+    /// an allocating path. The in-place executor rewrite relies on this as
+    /// its safety gate — any surviving alias (initializer table, channel
+    /// message, reshape view, caller-held handle) keeps the refcount above
+    /// one and forces the copy path, so no other handle can observe a write.
+    pub fn try_data_mut(&mut self) -> Option<&mut [T]> {
+        Arc::get_mut(&mut self.data).map(|v| v.as_mut_slice())
+    }
+
     /// The shared buffer itself — for zero-copy reuse ([`Tensor::from_shared`])
     /// and for keying caches by buffer identity.
     pub fn data_arc(&self) -> &Arc<Vec<T>> {
@@ -246,6 +257,18 @@ mod tests {
         let (_, data) = t.into_parts();
         assert_eq!(data.as_ptr(), elems_before);
         assert_eq!(data.len(), 6);
+    }
+
+    #[test]
+    fn try_data_mut_requires_unique_ownership() {
+        let mut a = Tensor::new(vec![2], vec![1.0f32, 2.0]).unwrap();
+        let b = a.clone();
+        assert!(a.try_data_mut().is_none(), "shared buffer must refuse");
+        drop(b);
+        let p = a.data_ptr();
+        a.try_data_mut().unwrap()[0] = 9.0;
+        assert_eq!(a.data(), &[9.0, 2.0]);
+        assert_eq!(a.data_ptr(), p, "unique mutation must be in place");
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Benchmark trajectory: folds every BENCH_<date>.json snapshot at the repo
+# root into BENCHMARKS.md, a tracked markdown table of headline numbers
+# (per-model parallel speedup geomean, in-place peak-memory reduction,
+# zero-copy byte ratio, serve throughput gain). Run it after scripts/bench.sh
+# so the history stays reviewable in the repo instead of buried in JSON.
+#
+# Usage: scripts/bench_table.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p ramiel-bench --bin bench_table"
+cargo build --release --offline -p ramiel-bench --bin bench_table
+
+echo "==> bench_table --out BENCHMARKS.md"
+./target/release/bench_table --out BENCHMARKS.md
+
+cat BENCHMARKS.md

@@ -34,6 +34,17 @@ timeout --kill-after=30s 600s \
     profile squeezenet --tiny --out target/ci-profile
 test -s target/ci-profile/squeezenet-trace.json
 
+# Static-analysis gate: lifetime, peak-memory, and happens-before channel
+# analysis over every built-in model's default schedule. --deny-warnings
+# turns any RA-coded warning (e.g. a channel-capacity overrun) into exit 1
+# and any race/deadlock finding into exit 2, so a pipeline regression that
+# produces an unsound schedule fails CI here before it flakes at runtime.
+echo "==> ramiel analyze gate (all models, warnings denied)"
+timeout --kill-after=30s 600s \
+    cargo run --offline -p ramiel --bin ramiel -- \
+    analyze all --tiny --deny-warnings > target/ci-analyze.log
+grep -q "peak memory:" target/ci-analyze.log
+
 # Serving smoke: boot `ramiel serve` on a real TCP socket, then drive it
 # with `ramiel request` — ping, a handful of batched inferences, a stats
 # snapshot, and a graceful shutdown. The server process must exit 0 on its

@@ -1,11 +1,13 @@
 //! Offline vendored crossbeam subset.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` — an
-//! unbounded MPMC channel built on `Mutex<VecDeque>` + `Condvar` with the
-//! same disconnect semantics the real crate has: `send` fails once every
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}` —
+//! an MPMC channel built on `Mutex<VecDeque>` + `Condvar` with the same
+//! disconnect semantics the real crate has: `send` fails once every
 //! receiver is gone, `recv` fails once the queue is empty and every sender
-//! is gone. Throughput is far below the real lock-free implementation but
-//! the workspace only pushes a few messages per graph edge through it.
+//! is gone. Bounded channels block `send` while full (backpressure) and
+//! offer `try_send`. Throughput is far below the real lock-free
+//! implementation but the workspace only pushes a few messages per graph
+//! edge through it.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -16,14 +18,20 @@ pub mod channel {
     struct Inner<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signaled on every pop; bounded senders wait on it while full.
+        space: Condvar,
+        /// `usize::MAX` means unbounded.
+        cap: usize,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
 
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            cap,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -35,6 +43,20 @@ pub mod channel {
         )
     }
 
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(usize::MAX)
+    }
+
+    /// Channel holding at most `cap` in-flight messages; `send` blocks while
+    /// full (zero-capacity rendezvous channels are not supported).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            cap > 0,
+            "vendored shim does not support rendezvous channels"
+        );
+        with_cap(cap)
+    }
+
     // ---- errors ------------------------------------------------------------
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +65,21 @@ pub mod channel {
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
         }
     }
 
@@ -81,6 +118,28 @@ pub mod channel {
                 return Err(SendError(msg));
             }
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            // Bounded backpressure: wait for a pop while the queue is full.
+            while q.len() >= self.inner.cap {
+                if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(msg));
+                }
+                q = self.inner.space.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            q.push_back(msg);
+            drop(q);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails with `Full` instead of waiting for space.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.inner.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= self.inner.cap {
+                return Err(TrySendError::Full(msg));
+            }
             q.push_back(msg);
             drop(q);
             self.inner.ready.notify_one();
@@ -118,6 +177,7 @@ pub mod channel {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(msg) = q.pop_front() {
+                    self.inner.space.notify_one();
                     return Ok(msg);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -130,6 +190,7 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(msg) = q.pop_front() {
+                self.inner.space.notify_one();
                 return Ok(msg);
             }
             if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -144,6 +205,7 @@ pub mod channel {
             let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(msg) = q.pop_front() {
+                    self.inner.space.notify_one();
                     return Ok(msg);
                 }
                 if self.inner.senders.load(Ordering::Acquire) == 0 {
@@ -174,7 +236,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // last receiver: wake senders blocked on a full bounded
+                // queue so they observe the disconnect
+                self.inner.space.notify_all();
+            }
         }
     }
 
@@ -215,6 +281,39 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_then_space() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv_makes_space() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1)); // unblocks the sender
+            assert_eq!(rx.recv(), Ok(2));
+            t.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn bounded_blocked_send_fails_when_receiver_drops() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(20));
+            drop(rx);
+            assert_eq!(t.join().unwrap(), Err(SendError(2)));
         }
     }
 }
