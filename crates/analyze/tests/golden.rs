@@ -3,7 +3,7 @@
 //! every built-in model must analyze clean of errors.
 
 use ramiel_analyze::{analyze, codes};
-use ramiel_cluster::{cluster_graph, clustering_view, StaticCost};
+use ramiel_cluster::{cluster_graph, clustering_view, stealing_view, StaticCost};
 use ramiel_models::{build, ModelConfig, ModelKind};
 use ramiel_verify::Severity;
 
@@ -24,6 +24,54 @@ fn pristine_schedules_have_no_errors_on_any_model() {
             kind.name(),
             a.report.render()
         );
+    }
+}
+
+/// The work-stealing executor's analyze story: it has no static per-edge
+/// channels, so its view must analyze as *estimate-only* — a sound (inexact)
+/// first-ready memory bound and **zero** channel-shaped diagnostics
+/// (RA03xx happens-before lints, RA0401 capacity). Emitting those against a
+/// schedule that has no channels would be vacuous noise; this test pins
+/// their absence on every model, at batch 1 and batch 4.
+#[test]
+fn stealing_views_are_estimate_only_with_no_channel_lints() {
+    let cfg = ModelConfig::tiny();
+    let channel_codes = [
+        codes::RECV_NO_SEND,
+        codes::WRITE_WRITE,
+        codes::HB_CYCLE,
+        codes::CAPACITY_EXCEEDED,
+    ];
+    for kind in ModelKind::all() {
+        for batch in [1usize, 4] {
+            let g = build(kind, &cfg);
+            let a = analyze(&g, &stealing_view(&g, batch));
+            assert!(
+                !a.memory.exact,
+                "{} b{batch}: stealing memory bound must be estimate-only",
+                kind.name()
+            );
+            assert!(
+                a.memory.peak_bytes > 0,
+                "{} b{batch}: estimate-only bound must still be a real bound",
+                kind.name()
+            );
+            for d in &a.report.diagnostics {
+                assert!(
+                    !channel_codes.contains(&d.code),
+                    "{} b{batch}: vacuous channel lint {} on the stealing view: {}",
+                    kind.name(),
+                    d.code,
+                    d.message
+                );
+            }
+            assert!(
+                !a.report.has_errors(),
+                "{} b{batch}: stealing view reported errors: {}",
+                kind.name(),
+                a.report.render()
+            );
+        }
     }
 }
 

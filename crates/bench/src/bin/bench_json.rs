@@ -1,9 +1,10 @@
 //! `bench_json` — machine-readable benchmark summary.
 //!
-//! Runs a quick sequential-vs-parallel timing sweep, the disabled-obs
-//! overhead guard, and one profile-guided reclustering comparison, then
-//! writes the lot as JSON. `scripts/bench.sh` calls this and drops the
-//! result at the repo root as `BENCH_<date>.json`.
+//! Runs a quick sequential-vs-parallel timing sweep, the batch-1
+//! work-stealing guard (stealing must beat sequential on every model),
+//! the disabled-obs overhead guard, and one profile-guided reclustering
+//! comparison, then writes the lot as JSON. `scripts/bench.sh` calls this
+//! and drops the result at the repo root as `BENCH_<date>.json`.
 //!
 //! ```sh
 //! cargo run --release -p ramiel-bench --bin bench_json -- out.json [--full] [--iters N]
@@ -28,6 +29,16 @@ struct ModelRow {
     clusters: usize,
     seq_ms: f64,
     par_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct StealingRow {
+    model: String,
+    nodes: usize,
+    seq_ms: f64,
+    steal_ms: f64,
+    /// seq / steal at batch 1 — the guard: must stay ≥ 1.0 on every model.
     speedup: f64,
 }
 
@@ -123,6 +134,7 @@ struct Summary {
     config: String,
     iters: usize,
     models: Vec<ModelRow>,
+    stealing: Vec<StealingRow>,
     memory: Vec<MemoryRow>,
     obs_overhead: ObsOverhead,
     profile_feedback: ProfileFeedback,
@@ -137,6 +149,20 @@ fn time_ms(iters: usize, mut f: impl FnMut()) -> f64 {
         f();
     }
     start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// Min-of-iters timing: the right statistic for a guard comparing two
+/// executors on the same host — the minimum is the least-noise sample,
+/// so scheduler jitter can't manufacture a fake regression (or hide one).
+fn time_min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
 }
 
 fn main() {
@@ -180,6 +206,51 @@ fn main() {
             par_ms,
             speedup: seq_ms / par_ms.max(1e-9),
         });
+    }
+
+    // Work-stealing at batch 1 on every built-in model: the standing
+    // StealPool (plan prebuilt, workers persistent) against the sequential
+    // executor, min-of-iters on both sides. The guard is the executor's
+    // whole pitch — task parallelism cheap enough to pay off on a single
+    // request, no batching required — so stealing losing to sequential on
+    // ANY model is a regression that fails the run.
+    let mut stealing = Vec::new();
+    {
+        use ramiel_runtime::{StealPlan, StealPool};
+        use std::sync::Arc;
+        let pool = StealPool::global();
+        let steal_iters = iters.max(5);
+        let opts = RunOptions::default();
+        for kind in ModelKind::all() {
+            let c = compile(build(kind, &cfg), &PipelineOptions::default()).expect("pipeline");
+            let inputs = synth_inputs(&c.graph, 42);
+            let plan = Arc::new(StealPlan::new(&c.graph, &c.clustering, 1).expect("steal plan"));
+            let one = [inputs.clone()];
+            let seq_ms = time_min_ms(steal_iters, || {
+                run_sequential(&c.graph, &inputs, &ctx).expect("seq");
+            });
+            let steal_ms = time_min_ms(steal_iters, || {
+                pool.run_plan(&plan, &one, &ctx, &opts).expect("steal");
+            });
+            stealing.push(StealingRow {
+                model: kind.name().to_string(),
+                nodes: c.graph.num_nodes(),
+                seq_ms,
+                steal_ms,
+                speedup: seq_ms / steal_ms.max(1e-9),
+            });
+        }
+        for row in &stealing {
+            if row.steal_ms > row.seq_ms {
+                eprintln!(
+                    "stealing guard FAILED: {} batch-1 work-stealing took {:.4} ms vs \
+                     {:.4} ms sequential ({:.2}x) — the stealing executor must beat \
+                     sequential at batch 1 on every model",
+                    row.model, row.steal_ms, row.seq_ms, row.speedup
+                );
+                std::process::exit(1);
+            }
+        }
     }
 
     // Peak live bytes: the in-place reuse + liveness eviction path against
@@ -416,6 +487,7 @@ fn main() {
         config: if full { "full" } else { "tiny" }.to_string(),
         iters,
         models,
+        stealing,
         memory,
         obs_overhead,
         profile_feedback,

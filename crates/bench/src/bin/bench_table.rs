@@ -22,6 +22,7 @@ struct Row {
     config: String,
     iters: String,
     par_speedup: Option<f64>,
+    steal_speedup: Option<f64>,
     mem_cut: Option<f64>,
     zero_copy: Option<f64>,
     serve_speedup: Option<f64>,
@@ -54,6 +55,15 @@ fn row_for(date: &str, summary: &Value) -> Row {
                 .collect()
         })
         .unwrap_or_default();
+    let steal_speedups: Vec<f64> = summary
+        .get("stealing")
+        .and_then(Value::as_array)
+        .map(|ms| {
+            ms.iter()
+                .filter_map(|m| m.get("speedup")?.as_f64())
+                .collect()
+        })
+        .unwrap_or_default();
     Row {
         date: date.to_string(),
         config: summary
@@ -66,6 +76,7 @@ fn row_for(date: &str, summary: &Value) -> Row {
             .and_then(Value::as_u64)
             .map_or_else(|| "?".into(), |i| i.to_string()),
         par_speedup: geomean(&speedups),
+        steal_speedup: geomean(&steal_speedups),
         mem_cut: mean_of(summary, "memory", "reduction"),
         zero_copy: summary
             .get("zero_copy")
@@ -135,24 +146,27 @@ fn main() {
         "Folded from the `BENCH_<date>.json` snapshots at the repo root by\n\
          `scripts/bench_table.sh`; regenerate after each `scripts/bench.sh` run.\n\
          `par speedup` is the geometric mean of per-model parallel-over-sequential\n\
-         speedups, `peak-mem cut` the mean reduction in measured peak live bytes\n\
-         from in-place buffer reuse, `zero-copy` the channel payload-bytes-to-\n\
-         copied-bytes ratio, and `serve speedup` dynamic batching's throughput\n\
-         gain over per-request execution.\n\n",
+         speedups, `steal b1` the same geomean for the work-stealing executor at\n\
+         batch 1 (guarded ≥ 1.0 per model by `bench_json`), `peak-mem cut` the\n\
+         mean reduction in measured peak live bytes from in-place buffer reuse,\n\
+         `zero-copy` the channel payload-bytes-to-copied-bytes ratio, and\n\
+         `serve speedup` dynamic batching's throughput gain over per-request\n\
+         execution.\n\n",
     );
     md.push_str(
-        "| date | config | iters | par speedup | peak-mem cut | zero-copy | serve speedup |\n",
+        "| date | config | iters | par speedup | steal b1 | peak-mem cut | zero-copy | serve speedup |\n",
     );
     md.push_str(
-        "|------|--------|-------|-------------|--------------|-----------|---------------|\n",
+        "|------|--------|-------|-------------|----------|--------------|-----------|---------------|\n",
     );
     for r in &rows {
         md.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
             r.date,
             r.config,
             r.iters,
             fmt_x(r.par_speedup),
+            fmt_x(r.steal_speedup),
             fmt_pct(r.mem_cut),
             fmt_x(r.zero_copy),
             fmt_x(r.serve_speedup),

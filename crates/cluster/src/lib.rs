@@ -35,7 +35,7 @@ pub use hyper::{hypercluster, switched_hypercluster, HyperClustering};
 pub use lc::linear_clustering;
 pub use merge::{merge_clusters_fixpoint, merge_clusters_once};
 pub use types::{Cluster, Clustering};
-pub use verify_view::{clustering_view, hyper_view};
+pub use verify_view::{clustering_view, hyper_view, stealing_view};
 
 use ramiel_ir::Graph;
 

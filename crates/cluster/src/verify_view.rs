@@ -12,9 +12,15 @@
 //!   whose positions are not distance-monotone across batches; the runtime
 //!   replays them with its message-driven first-ready loop, so they are
 //!   verified under [`ExecPolicy::FirstReady`].
+//! - The *work-stealing* executor has no static schedule at all: the order
+//!   is decided at runtime by readiness and steal order. Its view collapses
+//!   to a single first-ready worker holding every op, which keeps the
+//!   memory bound sound (resident-sum over all charges) while making the
+//!   channel lints vacuously inapplicable — there are no channels.
 
 use crate::hyper::HyperClustering;
 use crate::types::Clustering;
+use ramiel_ir::Graph;
 use ramiel_verify::{ExecPolicy, Op, ScheduleView};
 
 /// Batch-1 in-order view of a clustering.
@@ -46,6 +52,24 @@ pub fn hyper_view(hc: &HyperClustering) -> ScheduleView {
         } else {
             ExecPolicy::InOrder
         },
+    }
+}
+
+/// View of a work-stealing run over `graph` at `batch`: one first-ready
+/// worker holding every (batch, node) op. Work stealing schedules nothing
+/// statically — any ready task may run on any worker in any steal order —
+/// so this is deliberately an *estimate-only* view: the memory estimator's
+/// first-ready path degrades to the resident-sum bound (sound for every
+/// interleaving, `exact == false`), and the channel/happens-before lints
+/// see no cross-worker edges to lint, because the executor has none.
+pub fn stealing_view(graph: &Graph, batch: usize) -> ScheduleView {
+    let batch = batch.max(1);
+    ScheduleView {
+        batch,
+        workers: vec![(0..batch)
+            .flat_map(|b| (0..graph.nodes.len()).map(move |n| Op { batch: b, node: n }))
+            .collect()],
+        policy: ExecPolicy::FirstReady,
     }
 }
 

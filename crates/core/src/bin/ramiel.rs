@@ -40,6 +40,14 @@
 //! supervised retries (default 2), `--fallback` re-runs sequentially once
 //! retries are exhausted.
 //!
+//! `--executor <channel|stealing>` (`run`, `analyze`) picks the parallel
+//! executor: `channel` (default) is the paper's one-thread-per-cluster
+//! channel dataflow; `stealing` runs the graph on the persistent
+//! work-stealing pool with clusters demoted to locality hints. Chaos flags
+//! compose with it. Under `analyze`, `--executor stealing` analyzes the
+//! dynamic schedule's estimate-only view (sound first-ready memory bound,
+//! no channel lints — the executor has no channels to lint).
+//!
 //! `ramiel check` runs the pipeline, then statically verifies the resulting
 //! `(graph, schedule)` pair with `ramiel-verify`: partition coverage, cycle
 //! analysis, in-order soundness, channel deadlock-freedom, shape honesty,
@@ -103,6 +111,7 @@ struct Flags {
     count: usize,
     deadline_ms: Option<u64>,
     json: bool,
+    stealing: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -132,6 +141,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         count: 1,
         deadline_ms: None,
         json: false,
+        stealing: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -220,6 +230,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .parse()
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 )
+            }
+            "--executor" => {
+                f.stealing = match value("--executor")?.as_str() {
+                    "channel" | "parallel" => false,
+                    "stealing" => true,
+                    other => return Err(format!("unknown executor `{other}` (channel|stealing)")),
+                }
             }
             "--scheduler" => {
                 f.scheduler = match value("--scheduler")?.as_str() {
@@ -380,11 +397,27 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
         })?;
     }
     if f.mode == "par" || f.mode == "both" {
-        time_it("parallel  ", &|| {
-            run_parallel_opts(&c.graph, &c.clustering, &inputs, &ctx, &run_opts)
-                .map(|_| ())
-                .map_err(|e| e.to_string())
-        })?;
+        if f.stealing {
+            // Plan once (it is reusable and what a serving deployment would
+            // cache); time only the pool executions.
+            let plan = std::sync::Arc::new(
+                ramiel_runtime::StealPlan::new(&c.graph, &c.clustering, 1)
+                    .map_err(|e| e.to_string())?,
+            );
+            let pool = ramiel_runtime::StealPool::global();
+            let one = vec![inputs.clone()];
+            time_it("stealing  ", &|| {
+                pool.run_plan(&plan, &one, &ctx, &run_opts)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            })?;
+        } else {
+            time_it("parallel  ", &|| {
+                run_parallel_opts(&c.graph, &c.clustering, &inputs, &ctx, &run_opts)
+                    .map(|_| ())
+                    .map_err(|e| e.to_string())
+            })?;
+        }
     }
     Ok(())
 }
@@ -398,7 +431,10 @@ fn cmd_run_chaos(
     seed: u64,
     f: &Flags,
 ) -> Result<(), String> {
-    use ramiel_runtime::{run_supervised_opts, FaultInjector, FaultPlan, SupervisorConfig};
+    use ramiel_runtime::{
+        run_stealing_supervised_opts, run_supervised_opts, FaultInjector, FaultPlan,
+        SupervisorConfig,
+    };
     let c = &prepared.compiled;
     let plan = FaultPlan::random(seed, c.graph.num_nodes(), 1, f.chaos_faults);
     println!("chaos plan (seed {seed}):");
@@ -416,7 +452,11 @@ fn cmd_run_chaos(
         ..Default::default()
     };
     let start = Instant::now();
-    let (res, report) = run_supervised_opts(&c.graph, &c.clustering, inputs, ctx, &opts, &cfg);
+    let (res, report) = if f.stealing {
+        run_stealing_supervised_opts(&c.graph, &c.clustering, inputs, ctx, &opts, &cfg)
+    } else {
+        run_supervised_opts(&c.graph, &c.clustering, inputs, ctx, &opts, &cfg)
+    };
     let elapsed = start.elapsed();
     println!("attempts:              {}", report.attempts);
     println!("fell back:             {}", report.fell_back);
@@ -750,6 +790,15 @@ fn analyze_one(
     f: &Flags,
 ) -> Result<Gate, String> {
     let (c, view) = compile_view(g, opts)?;
+    // The stealing executor has no static schedule: analyze its
+    // estimate-only view (single first-ready worker — sound memory bound,
+    // nothing for the channel lints to inspect) instead of pretending the
+    // clustering's channel structure exists at runtime.
+    let view = if f.stealing {
+        ramiel_cluster::stealing_view(&c.graph, f.batch.max(1))
+    } else {
+        view
+    };
     let a = ramiel::analyze::analyze(&c.graph, &view);
     if f.json {
         let json = AnalyzeJson {
@@ -855,6 +904,11 @@ fn cmd_serve(model: &str, f: &Flags) -> Result<(), String> {
             max_retries: f.max_retries,
             fallback: true,
             ..Default::default()
+        },
+        executor: if f.stealing {
+            ramiel_serve::ServeExecutor::Stealing
+        } else {
+            ramiel_serve::ServeExecutor::Hyper
         },
         ..Default::default()
     };

@@ -24,6 +24,7 @@ pub mod predict;
 pub mod profile;
 pub mod reuse;
 pub mod sim;
+pub mod stealing;
 pub mod supervisor;
 
 pub use exec::{run_sequential, run_sequential_opts, run_sequential_profiled};
@@ -40,9 +41,13 @@ pub use profile::{OpRecord, ProfileDb, SlackReport, WorkerSpan};
 pub use sim::{
     simulate_clustering, simulate_hyper, simulate_sequential, SimConfig, SimEvent, SimResult,
 };
+pub use stealing::{
+    run_hyper_stealing, run_hyper_stealing_opts, run_stealing, run_stealing_opts, StealChaos,
+    StealPlan, StealPool,
+};
 pub use supervisor::{
-    run_hyper_supervised, run_hyper_supervised_opts, run_supervised, run_supervised_opts,
-    RunReport, SupervisorConfig,
+    run_hyper_stealing_supervised_opts, run_hyper_supervised, run_hyper_supervised_opts,
+    run_stealing_supervised_opts, run_supervised, run_supervised_opts, RunReport, SupervisorConfig,
 };
 
 use ramiel_tensor::Value;

@@ -93,6 +93,10 @@ pub struct RunOptions {
     /// ones and only fire on provably dead, uniquely-owned buffers); turning
     /// this off exists for memory-accounting baselines.
     pub reuse: bool,
+    /// Scheduling adversary for the work-stealing executor (seeded stalls
+    /// and placement permutations); ignored by the static executors. Used
+    /// by the conformance harness — see `tests/steal_conformance.rs`.
+    pub steal_chaos: Option<crate::stealing::StealChaos>,
 }
 
 impl Default for RunOptions {
@@ -103,6 +107,7 @@ impl Default for RunOptions {
             obs: Obs::default(),
             init_values: None,
             reuse: true,
+            steal_chaos: None,
         }
     }
 }
@@ -134,6 +139,13 @@ impl RunOptions {
     /// Reuse a shared initializer table across runs.
     pub fn init_values(mut self, init_values: Arc<HashMap<String, Value>>) -> Self {
         self.init_values = Some(init_values);
+        self
+    }
+
+    /// Arm the work-stealing scheduling adversary (no-op on the static
+    /// executors).
+    pub fn steal_chaos(mut self, chaos: crate::stealing::StealChaos) -> Self {
+        self.steal_chaos = Some(chaos);
         self
     }
 }

@@ -1,0 +1,1188 @@
+//! Work-stealing dataflow executor.
+//!
+//! The sixth executor, and the first whose schedule is *dynamic*: instead of
+//! assigning each cluster to a dedicated thread with channels on every
+//! cross-cluster edge (the paper's model, [`crate::parallel`]), graph nodes
+//! are executed by dependency-count readiness on a **persistent pool** of
+//! worker threads with per-worker Chase-Lev-style deques and a global
+//! injector:
+//!
+//! - each worker owns a deque: it pushes newly-ready successor tasks to the
+//!   *bottom* and pops from the bottom (LIFO — the just-produced tensor is
+//!   cache-hot), while idle peers steal from the *top* (FIFO — the oldest,
+//!   most parallelism-rich work migrates first);
+//! - the submitting thread **participates**: it claims a deque slot and
+//!   executes tasks alongside the pool, so batch-1 latency degenerates to
+//!   roughly the sequential walk plus per-task bookkeeping instead of
+//!   paying a thread handoff per node;
+//! - cluster assignments are demoted to *initial-placement locality hints*:
+//!   root tasks of cluster 0 seed the caller's own deque, other clusters
+//!   spread round-robin over the workers, and from then on the steal
+//!   discipline owns placement;
+//! - there are **no per-edge channels**: produced tensors land in per-job
+//!   slots and consumers are released by atomic dependency counters. This
+//!   is why `ramiel analyze` reports the stealing variant as estimate-only
+//!   (sound first-ready memory bound, no channel lints): there is no static
+//!   per-edge structure for RA03xx/RA0401 to check, and no static schedule
+//!   to replay.
+//!
+//! Schedules are therefore *not replayable*: which worker runs which node
+//! depends on OS scheduling. Correctness rests on kernels being pure and
+//! deterministic per node — the scheduling-conformance harness
+//! (`tests/steal_conformance.rs`) drives thousands of seeded interleavings
+//! through [`StealChaos`] stalls/placement permutations and asserts
+//! bit-identical outputs and liveness.
+//!
+//! Everything the static executors honor is threaded through: RunOptions
+//! (obs, fault injection, in-place reuse marks gated by `Arc::get_mut`,
+//! shared `init_values`), MemGauge accounting identical to the
+//! [`crate::reuse::Liveness`] model (so the analyze first-ready resident-sum
+//! bound stays sound), supervisor retry/fallback
+//! ([`crate::supervisor::run_stealing_supervised_opts`]), and batch
+//! execution for serve. `FaultKind::DropMessage` is a no-op here, as in the
+//! sequential executor: there are no channels to drop from.
+
+use crate::fault::{panic_to_error, FaultInjector, FaultKind, InjectedPanic, INJECT_MARKER};
+use crate::parallel::{default_recv_timeout, RunOptions};
+use crate::reuse::charge_bytes;
+use crate::{Env, Result, RuntimeError};
+use parking_lot::Mutex;
+use ramiel_cluster::hyper::HyperClustering;
+use ramiel_cluster::Clustering;
+use ramiel_ir::{Graph, OpKind};
+use ramiel_obs::Obs;
+use ramiel_passes::{inplace_marks, InPlaceMarks};
+use ramiel_tensor::{eval_op, eval_op_inplace, ExecCtx, MemGauge, Value};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Deterministic per-task hash for the scheduling adversary (and nothing
+/// else — fault plans keep their own splitmix stream in [`crate::fault`]).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Scheduling adversary knobs for the conformance harness: a seed-derived
+/// per-task stall plus placement permutations (rotated ready-successor
+/// order, occasional diversion to the global injector). The *plan* is a
+/// pure function of the seed; the resulting interleaving still varies with
+/// OS scheduling, which is exactly what the harness wants to stress.
+/// Ignored by every executor except [`run_stealing`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealChaos {
+    pub seed: u64,
+    /// Upper bound for the per-task stall, in microseconds.
+    pub max_stall_us: u64,
+}
+
+/// Where one input operand of a node comes from.
+enum InSrc {
+    /// Produced by another node: per-batch slot base index.
+    Slot(u32),
+    /// Graph input or initializer, fetched by name.
+    External(String),
+}
+
+/// One graph node, pre-resolved for slot-based execution. Owns copies of
+/// the op and names so tasks can outlive the borrowed `Graph` (a worker may
+/// still be draining an abandoned job after its caller returned).
+struct PlanNode {
+    id: usize,
+    name: String,
+    op: OpKind,
+    inputs: Vec<InSrc>,
+    /// Base slot per produced output.
+    out_slots: Vec<u32>,
+    /// Number of slot-sourced input positions (the readiness count).
+    preds: u32,
+    /// Consumer node ids, one entry per consuming input position.
+    succs: Vec<u32>,
+}
+
+/// A dependency-resolved execution plan for one (graph, batch) pair:
+/// everything [`StealPool::run_plan`] needs, fully owned. Build once and
+/// reuse across runs — construction converts the weights unless the run
+/// supplies `RunOptions::init_values`.
+pub struct StealPlan {
+    batch: usize,
+    nodes: Vec<PlanNode>,
+    /// Per base slot: produced tensor name.
+    slot_names: Vec<String>,
+    /// Per base slot: remaining-read count (graph outputs carry one extra
+    /// pin so they stay resident — and charged — to the end).
+    slot_reads: Vec<u32>,
+    slot_is_output: Vec<bool>,
+    /// All graph output names (for the degenerate input-is-output backfill).
+    graph_outputs: Vec<String>,
+    /// Node ids with zero slot-sourced inputs.
+    roots: Vec<u32>,
+    /// Locality hint (cluster id) per task `b * nodes.len() + n`.
+    hints: Vec<u32>,
+    marks: InPlaceMarks,
+    init_values: Arc<HashMap<String, Value>>,
+}
+
+impl StealPlan {
+    /// Plan a batch-1..n run using a clustering's assignment as locality
+    /// hints (the same hint for every batch element of a node).
+    pub fn new(graph: &Graph, clustering: &Clustering, batch: usize) -> Result<StealPlan> {
+        let assign = clustering.assignment();
+        Self::build(graph, batch, |_, n| {
+            assign.get(&n).map(|&c| c as u32).unwrap_or(u32::MAX)
+        })
+    }
+
+    /// Plan from a hyperclustering: per-(batch, node) hints from the
+    /// hypercluster worker assignment.
+    pub fn from_hyper(graph: &Graph, hc: &HyperClustering) -> Result<StealPlan> {
+        let mut owner: HashMap<(usize, usize), u32> = HashMap::new();
+        for (w, ops) in hc.hyperclusters.iter().enumerate() {
+            for op in ops {
+                owner.insert((op.batch, op.node), w as u32);
+            }
+        }
+        Self::build(graph, hc.batch.max(1), |b, n| {
+            owner.get(&(b, n)).copied().unwrap_or(u32::MAX)
+        })
+    }
+
+    fn build(graph: &Graph, batch: usize, hint: impl Fn(usize, usize) -> u32) -> Result<StealPlan> {
+        if batch == 0 {
+            return Err(RuntimeError::Setup("steal plan needs batch >= 1".into()));
+        }
+        let mut slot_of: HashMap<&str, u32> = HashMap::new();
+        let mut slot_names = Vec::new();
+        for node in &graph.nodes {
+            for out in &node.outputs {
+                if slot_of
+                    .insert(out.as_str(), slot_names.len() as u32)
+                    .is_some()
+                {
+                    return Err(RuntimeError::Setup(format!(
+                        "tensor `{out}` has multiple producers"
+                    )));
+                }
+                slot_names.push(out.clone());
+            }
+        }
+        let mut slot_reads = vec![0u32; slot_names.len()];
+        let mut slot_is_output = vec![false; slot_names.len()];
+        for out in &graph.outputs {
+            if let Some(&s) = slot_of.get(out.as_str()) {
+                slot_is_output[s as usize] = true;
+                slot_reads[s as usize] += 1; // the pin
+            }
+        }
+        let mut nodes: Vec<PlanNode> = graph
+            .nodes
+            .iter()
+            .map(|n| PlanNode {
+                id: n.id,
+                name: n.name.clone(),
+                op: n.op.clone(),
+                inputs: Vec::with_capacity(n.inputs.len()),
+                out_slots: n.outputs.iter().map(|o| slot_of[o.as_str()]).collect(),
+                preds: 0,
+                succs: Vec::new(),
+            })
+            .collect();
+        let adj = graph.adjacency();
+        for (i, n) in graph.nodes.iter().enumerate() {
+            for inp in &n.inputs {
+                if let Some(&s) = slot_of.get(inp.as_str()) {
+                    nodes[i].preds += 1;
+                    slot_reads[s as usize] += 1;
+                    let p = adj.producer_of[inp.as_str()];
+                    nodes[p].succs.push(i as u32);
+                } else {
+                    nodes[i].inputs.push(InSrc::External(inp.clone()));
+                }
+            }
+            // Re-walk to keep input positions in operator order (the loop
+            // above appended only externals; rebuild properly).
+            nodes[i].inputs.clear();
+            for inp in &n.inputs {
+                nodes[i].inputs.push(match slot_of.get(inp.as_str()) {
+                    Some(&s) => InSrc::Slot(s),
+                    None => InSrc::External(inp.clone()),
+                });
+            }
+        }
+        let roots = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.preds == 0)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let hints = (0..batch)
+            .flat_map(|b| (0..nodes.len()).map(move |n| (b, n)))
+            .map(|(b, n)| hint(b, n))
+            .collect();
+        Ok(StealPlan {
+            batch,
+            nodes,
+            slot_names,
+            slot_reads,
+            slot_is_output,
+            graph_outputs: graph.outputs.clone(),
+            roots,
+            hints,
+            marks: inplace_marks(graph),
+            init_values: crate::initializer_values(graph)?,
+        })
+    }
+
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    pub fn num_tasks(&self) -> usize {
+        self.batch * self.nodes.len()
+    }
+
+    /// The plan's own pre-converted weight table (shared across runs unless
+    /// the caller overrides it via `RunOptions::init_values`).
+    pub fn init_values(&self) -> &Arc<HashMap<String, Value>> {
+        &self.init_values
+    }
+}
+
+/// One produced tensor instance.
+struct Slot {
+    val: Option<Value>,
+    /// Bytes currently charged to the gauge for this slot.
+    charged: u64,
+    /// Reads (plus output pin) remaining before the value is dead.
+    remaining: u32,
+}
+
+/// Mutable state of one in-flight run. Fully owned (plan, inputs, ctx are
+/// Arcs/clones), so abandoned jobs — timeout, fault — can be drained by the
+/// pool after the caller returned without any lifetime gymnastics.
+struct JobInner {
+    plan: Arc<StealPlan>,
+    inputs: Vec<Env>,
+    /// Effective weight table: `RunOptions::init_values` override or the
+    /// plan's own pre-converted table.
+    init: Arc<HashMap<String, Value>>,
+    ctx: ExecCtx,
+    injector: Option<Arc<FaultInjector>>,
+    obs: Obs,
+    reuse: bool,
+    chaos: Option<StealChaos>,
+    gauge: Option<Arc<MemGauge>>,
+    /// Pending dependency count per task.
+    pending: Vec<AtomicU32>,
+    /// Produced tensor instances, `b * num_slots + base`.
+    slots: Vec<Mutex<Slot>>,
+    out_envs: Mutex<Vec<Env>>,
+    completed: AtomicUsize,
+    total: usize,
+    /// Absolute deadline (submission time + recv timeout). Injected stalls
+    /// sleep in bounded chunks against it, so a stalled *participating
+    /// caller* still observes its own timeout — there is no peer blocked in
+    /// `recv` to flag it, unlike the channel executors.
+    deadline: Instant,
+    done: AtomicBool,
+    dead: AtomicBool,
+    err: Mutex<Option<RuntimeError>>,
+    finalized: AtomicBool,
+    wait_m: StdMutex<()>,
+    wait_cv: Condvar,
+}
+
+impl JobInner {
+    fn new(
+        plan: &Arc<StealPlan>,
+        inputs: Vec<Env>,
+        ctx: &ExecCtx,
+        opts: &RunOptions,
+        deadline: Instant,
+    ) -> JobInner {
+        let pending = (0..plan.batch)
+            .flat_map(|_| plan.nodes.iter().map(|n| AtomicU32::new(n.preds)))
+            .collect();
+        let slots = (0..plan.batch)
+            .flat_map(|_| {
+                plan.slot_reads.iter().map(|&r| {
+                    Mutex::new(Slot {
+                        val: None,
+                        charged: 0,
+                        remaining: r,
+                    })
+                })
+            })
+            .collect();
+        let batch = plan.batch;
+        JobInner {
+            plan: Arc::clone(plan),
+            inputs,
+            init: opts
+                .init_values
+                .clone()
+                .unwrap_or_else(|| Arc::clone(&plan.init_values)),
+            ctx: ctx.clone(),
+            injector: opts.injector.clone(),
+            obs: opts.obs.clone(),
+            reuse: opts.reuse,
+            chaos: opts.steal_chaos,
+            gauge: ctx.mem_gauge().cloned(),
+            pending,
+            slots,
+            out_envs: Mutex::new(vec![Env::new(); batch]),
+            completed: AtomicUsize::new(0),
+            total: batch * plan.nodes.len(),
+            deadline,
+            done: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            err: Mutex::new(None),
+            finalized: AtomicBool::new(false),
+            wait_m: StdMutex::new(()),
+            wait_cv: Condvar::new(),
+        }
+    }
+
+    fn slot(&self, batch: usize, base: u32) -> &Mutex<Slot> {
+        &self.slots[batch * self.plan.slot_names.len() + base as usize]
+    }
+
+    fn notify(&self) {
+        let _g = self.wait_m.lock().unwrap_or_else(|e| e.into_inner());
+        self.wait_cv.notify_all();
+    }
+
+    fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        self.notify();
+    }
+
+    fn fail(&self, e: RuntimeError) {
+        {
+            let mut err = self.err.lock();
+            if err.is_none() {
+                *err = Some(e);
+            }
+        }
+        self.dead.store(true, Ordering::SeqCst);
+        self.notify();
+    }
+
+    /// Free every remaining gauge charge (pinned graph outputs, values kept
+    /// by `reuse: false`, anything live on an error path). Called
+    /// synchronously by the successful caller — so a shared gauge reads
+    /// `live_bytes() == 0` the moment `run_plan` returns — and idempotently
+    /// from `Drop` for abandoned jobs.
+    fn finalize(&self) {
+        if self.finalized.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for s in &self.slots {
+            let mut sl = s.lock();
+            if sl.charged > 0 {
+                if let Some(g) = &self.gauge {
+                    g.free(sl.charged as usize);
+                }
+                sl.charged = 0;
+            }
+            sl.val = None;
+        }
+    }
+}
+
+impl Drop for JobInner {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
+/// One schedulable unit: a (batch, node) instance of a job.
+struct Task {
+    job: Arc<JobInner>,
+    /// `b * num_nodes + n`.
+    task: u32,
+}
+
+/// How many deque slots are reserved for participating callers (beyond the
+/// background workers). Callers past this budget still run correctly —
+/// they seed the injector and steal like everyone else, they just lack an
+/// owned LIFO deque.
+const CALLER_SLOTS: usize = 16;
+
+struct PoolShared {
+    /// `workers` worker-owned deques followed by `CALLER_SLOTS` caller
+    /// deques. Bottom = back (owner LIFO), top = front (thief FIFO).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    injector: Mutex<VecDeque<Task>>,
+    workers: usize,
+    free_caller_slots: Mutex<Vec<usize>>,
+    sleepers: AtomicUsize,
+    gate: StdMutex<()>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+impl PoolShared {
+    /// Pop in steal order: own deque bottom, then the injector, then peer
+    /// deque tops.
+    fn next_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(me) = me {
+            if let Some(t) = self.deques[me].lock().pop_back() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        let start = me.map(|m| m + 1).unwrap_or(0);
+        for i in 0..n {
+            let victim = (start + i) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(t) = self.deques[victim].lock().pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Push one ready task: to the executor's own deque bottom (LIFO), or
+    /// the injector for slotless callers / diverted chaos pushes.
+    fn push_local(&self, me: Option<usize>, t: Task) {
+        match me {
+            Some(me) => self.deques[me].lock().push_back(t),
+            None => self.injector.lock().push_back(t),
+        }
+    }
+
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.gate.lock().unwrap_or_else(|e| e.into_inner());
+            self.cv.notify_all();
+        }
+    }
+
+    /// Execute one task and release its ready successors. Any panic inside
+    /// the node body (injected or genuine) fails the task's job; the
+    /// executing thread survives.
+    fn exec_task(&self, t: Task, me: Option<usize>) {
+        let job = t.job;
+        if job.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        let nn = job.plan.nodes.len();
+        let (b, n) = ((t.task as usize) / nn, (t.task as usize) % nn);
+        let exec_idx = me.unwrap_or(self.deques.len());
+        let h = job.chaos.map(|c| mix64(c.seed ^ u64::from(t.task)));
+        if let (Some(c), Some(h)) = (job.chaos, h) {
+            let stall = h % (c.max_stall_us + 1);
+            if stall > 0 {
+                std::thread::sleep(Duration::from_micros(stall));
+            }
+        }
+        let r = catch_unwind(AssertUnwindSafe(|| run_node(&job, b, n, exec_idx)));
+        match r {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                job.fail(e);
+                return;
+            }
+            Err(payload) => {
+                job.fail(panic_to_error(Some(exec_idx), payload));
+                return;
+            }
+        }
+        if job.completed.fetch_add(1, Ordering::SeqCst) + 1 == job.total {
+            job.finish();
+            return;
+        }
+        // Release successors whose last dependency this was, newly-ready
+        // tasks going LIFO to the executor's own deque.
+        let mut ready: Vec<u32> = Vec::new();
+        for &s in &job.plan.nodes[n].succs {
+            let st = (b * nn + s as usize) as u32;
+            if job.pending[st as usize].fetch_sub(1, Ordering::SeqCst) == 1 {
+                ready.push(st);
+            }
+        }
+        if ready.is_empty() {
+            return;
+        }
+        let mut divert = false;
+        if let Some(h) = h {
+            // Placement permutation: rotate the push order and occasionally
+            // divert the whole set to the injector, so different seeds give
+            // different steal orders.
+            let rot = ((h >> 24) as usize) % ready.len();
+            ready.rotate_left(rot);
+            divert = (h >> 40) & 3 == 0;
+        }
+        let target = if divert { None } else { me };
+        let pushed = ready.len();
+        for st in ready {
+            self.push_local(
+                target,
+                Task {
+                    job: Arc::clone(&job),
+                    task: st,
+                },
+            );
+        }
+        // Keep one successor's worth of work for ourselves implicitly (we
+        // just pushed LIFO and will pop it next); wake peers for the rest.
+        if pushed > 1 || target.is_none() {
+            self.wake();
+        }
+    }
+}
+
+/// Sleep an injected delay, bounded by the job's deadline: the stall fires
+/// (faithfully to the fault plan) but can never drag a run past its recv
+/// timeout, because the stalled thread may be the only one enforcing it.
+fn bounded_stall(job: &JobInner, d: Duration) -> Result<()> {
+    let end = Instant::now() + d;
+    loop {
+        if job.dead.load(Ordering::SeqCst) {
+            return Ok(()); // the job already failed; no point stalling on
+        }
+        let now = Instant::now();
+        if now >= end {
+            return Ok(());
+        }
+        if now >= job.deadline {
+            return Err(RuntimeError::Timeout {
+                cluster: None,
+                pending_ops: job.total - job.completed.load(Ordering::SeqCst),
+                detail: "injected stall exceeded the work-stealing run's recv timeout".into(),
+            });
+        }
+        std::thread::sleep(
+            (end - now)
+                .min(job.deadline - now)
+                .min(Duration::from_millis(1)),
+        );
+    }
+}
+
+/// The node body: arm faults, gather operands (honoring in-place marks),
+/// evaluate, publish outputs to slots, consume inputs. Mirrors
+/// `parallel::worker_loop` minus the channels.
+fn run_node(job: &JobInner, b: usize, n: usize, exec_idx: usize) -> Result<()> {
+    let plan = &*job.plan;
+    let node = &plan.nodes[n];
+    let init_values = &*job.init;
+
+    // Fault injection: arm this execution's faults, if any. DropMessage is
+    // a no-op (no channels to drop from), as in the sequential executor.
+    let armed = match &job.injector {
+        Some(inj) => inj.begin_node(node.id, b),
+        None => Vec::new(),
+    };
+    let mut kernel_fault = false;
+    let mut send_delay = None;
+    for kind in &armed {
+        job.obs.instant(
+            exec_idx as u32,
+            format!("fault:{}", kind.name()),
+            "fault",
+            serde_json::json!({ "node": node.id, "batch": b }),
+        );
+        match kind {
+            FaultKind::KernelError => kernel_fault = true,
+            FaultKind::WorkerPanic => std::panic::panic_any(InjectedPanic {
+                node: node.id,
+                cluster: Some(exec_idx),
+            }),
+            FaultKind::SendDelay { millis } => send_delay = Some(Duration::from_millis(*millis)),
+            FaultKind::RecvDelay { millis } => bounded_stall(job, Duration::from_millis(*millis))?,
+            FaultKind::DropMessage => {}
+        }
+    }
+
+    let outputs = if matches!(node.op, OpKind::Constant) {
+        if kernel_fault {
+            return Err(RuntimeError::Injected {
+                cluster: Some(exec_idx),
+                node: node.id,
+                kind: FaultKind::KernelError,
+            });
+        }
+        let name = &plan.slot_names[node.out_slots[0] as usize];
+        let v = init_values.get(name).ok_or_else(|| {
+            RuntimeError::Setup(format!("Constant `{}` missing payload", node.name))
+        })?;
+        vec![v.clone()]
+    } else {
+        // A node marked by the in-place pass takes its dying operand *out*
+        // of its slot (sole remaining read), so the kernel's `Arc::get_mut`
+        // gate can overwrite the buffer in place.
+        let mark = if job.reuse {
+            plan.marks.slot(node.id)
+        } else {
+            None
+        };
+        let mut owned_slot = None;
+        let ins: Result<Vec<Value>> = node
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, src)| match src {
+                InSrc::Slot(base) => {
+                    let mut sl = job.slot(b, *base).lock();
+                    if mark == Some(i) && sl.remaining == 1 {
+                        if let Some(v) = sl.val.take() {
+                            owned_slot = Some(i);
+                            return Ok(v);
+                        }
+                    }
+                    sl.val.clone().ok_or_else(|| {
+                        RuntimeError::Setup(format!(
+                            "task ({b}, {n}): operand `{}` missing from its slot",
+                            plan.slot_names[*base as usize]
+                        ))
+                    })
+                }
+                InSrc::External(name) => job.inputs[b]
+                    .get(name)
+                    .or_else(|| init_values.get(name))
+                    .cloned()
+                    .ok_or_else(|| {
+                        RuntimeError::Setup(format!("task ({b}, {n}): tensor `{name}` unavailable"))
+                    }),
+            })
+            .collect();
+        let hooked;
+        let eval_ctx = if kernel_fault {
+            hooked = FaultInjector::kernel_fault_ctx(&job.ctx, Some(exec_idx), node.id);
+            &hooked
+        } else {
+            &job.ctx
+        };
+        match owned_slot {
+            Some(s) => eval_op_inplace(eval_ctx, &node.op, ins?, s),
+            None => eval_op(eval_ctx, &node.op, &ins?),
+        }
+        .map_err(|e| {
+            if e.0.starts_with(INJECT_MARKER) {
+                RuntimeError::Injected {
+                    cluster: Some(exec_idx),
+                    node: node.id,
+                    kind: FaultKind::KernelError,
+                }
+            } else {
+                RuntimeError::Kernel {
+                    cluster: Some(exec_idx),
+                    node: Some(node.id),
+                    msg: format!("{}: {}", node.name, e.0),
+                }
+            }
+        })?
+    };
+
+    if let Some(d) = send_delay {
+        bounded_stall(job, d)?;
+    }
+    if job.dead.load(Ordering::SeqCst) {
+        return Ok(()); // a peer already failed the job; don't publish
+    }
+    for (&base, v) in node.out_slots.iter().zip(outputs) {
+        let bytes = charge_bytes(&node.op, &v);
+        if plan.slot_is_output[base as usize] {
+            job.out_envs.lock()[b].insert(plan.slot_names[base as usize].clone(), v.clone());
+        }
+        let mut sl = job.slot(b, base).lock();
+        if let Some(g) = &job.gauge {
+            g.alloc(bytes as usize);
+            if sl.charged > 0 {
+                g.free(sl.charged as usize); // defensive: never double-charge
+            }
+        }
+        sl.charged = bytes;
+        if sl.remaining == 0 {
+            // No reader and not a graph output: charged and immediately
+            // dead, matching the estimator (which samples the peak after
+            // production, before eviction).
+            if let Some(g) = &job.gauge {
+                g.free(bytes as usize);
+            }
+            sl.charged = 0;
+        } else {
+            sl.val = Some(v);
+        }
+    }
+    if job.reuse {
+        for src in &node.inputs {
+            if let InSrc::Slot(base) = src {
+                let mut sl = job.slot(b, *base).lock();
+                sl.remaining = sl.remaining.saturating_sub(1);
+                if sl.remaining == 0 {
+                    sl.val = None;
+                    if sl.charged > 0 {
+                        if let Some(g) = &job.gauge {
+                            g.free(sl.charged as usize);
+                        }
+                        sl.charged = 0;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn worker_main(shared: Arc<PoolShared>, w: usize) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(t) = shared.next_task(Some(w)) {
+            shared.exec_task(t, Some(w));
+            continue;
+        }
+        // Park: register as a sleeper, re-scan under the gate so a push
+        // that races our scan either lands before it or blocks on the gate
+        // until we are inside `wait_timeout`.
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let g = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+            if !shared.stop.load(Ordering::SeqCst) && shared.scan_is_empty() {
+                let _ = shared
+                    .cv
+                    .wait_timeout(g, Duration::from_millis(5))
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl PoolShared {
+    fn scan_is_empty(&self) -> bool {
+        if !self.injector.lock().is_empty() {
+            return false;
+        }
+        self.deques.iter().all(|d| d.lock().is_empty())
+    }
+}
+
+/// A persistent work-stealing pool. One process-wide instance
+/// ([`StealPool::global`]) serves every `run_stealing*` call — no per-run
+/// thread spawn — but private pools can be built for tests.
+pub struct StealPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Background worker count: `RAMIEL_STEAL_WORKERS` or
+/// `available_parallelism - 1` (the caller participates), clamped to
+/// [1, 8].
+fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("RAMIEL_STEAL_WORKERS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.clamp(1, 64);
+        }
+        ramiel_obs::warn(
+            "RT-ENV",
+            format!("ignoring unparsable RAMIEL_STEAL_WORKERS=`{v}`"),
+        );
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1))
+        .unwrap_or(3)
+        .clamp(1, 8)
+}
+
+impl StealPool {
+    /// Build a private pool with `workers` background threads.
+    pub fn new(workers: usize) -> StealPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            deques: (0..workers + CALLER_SLOTS)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            workers,
+            free_caller_slots: Mutex::new((workers..workers + CALLER_SLOTS).collect()),
+            sleepers: AtomicUsize::new(0),
+            gate: StdMutex::new(()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ramiel-steal-{w}"))
+                    .spawn(move || worker_main(sh, w))
+                    .expect("spawn steal worker")
+            })
+            .collect();
+        StealPool { shared, handles }
+    }
+
+    /// The process-wide pool, spawned on first use.
+    pub fn global() -> &'static StealPool {
+        static POOL: OnceLock<StealPool> = OnceLock::new();
+        POOL.get_or_init(|| StealPool::new(default_workers()))
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Execute one planned run. The calling thread participates: it claims
+    /// a deque slot, seeds root tasks by locality hint (cluster 0 stays
+    /// local, others spread over the workers), executes and steals alongside
+    /// the pool, and enforces the recv-timeout deadline. On success the
+    /// graph outputs are returned and every gauge charge has been released.
+    pub fn run_plan(
+        &self,
+        plan: &Arc<StealPlan>,
+        inputs: &[Env],
+        ctx: &ExecCtx,
+        opts: &RunOptions,
+    ) -> Result<Vec<Env>> {
+        if inputs.len() != plan.batch {
+            return Err(RuntimeError::Setup(format!(
+                "steal plan expects {} input envs, got {}",
+                plan.batch,
+                inputs.len()
+            )));
+        }
+        let _span = opts.obs.span(0, "steal:run", "steal");
+        let mut opts_eff = opts.clone();
+        if opts_eff.init_values.is_none() {
+            opts_eff.init_values = Some(Arc::clone(&plan.init_values));
+        }
+        let init_values = opts_eff.init_values.clone().expect("just set");
+        let backfill = |outs: &mut Vec<Env>| {
+            // Outputs that are direct inputs/initializers (degenerate but
+            // legal).
+            for (b, env) in outs.iter_mut().enumerate() {
+                for name in &plan.graph_outputs {
+                    if !env.contains_key(name) {
+                        if let Some(v) = inputs[b].get(name).or_else(|| init_values.get(name)) {
+                            env.insert(name.clone(), v.clone());
+                        }
+                    }
+                }
+            }
+        };
+        if plan.nodes.is_empty() {
+            let mut outs = vec![Env::new(); plan.batch];
+            backfill(&mut outs);
+            return Ok(outs);
+        }
+
+        let timeout = opts_eff.recv_timeout.unwrap_or_else(default_recv_timeout);
+        let deadline = Instant::now() + timeout;
+        let job = Arc::new(JobInner::new(
+            plan,
+            inputs.to_vec(),
+            ctx,
+            &opts_eff,
+            deadline,
+        ));
+
+        let me = self.shared.free_caller_slots.lock().pop();
+        // Seed roots by locality hint: cluster 0 (the longest chain) stays
+        // on the caller's deque, other clusters round-robin over workers.
+        let nn = plan.nodes.len();
+        let mut seeded_remote = false;
+        for b in 0..plan.batch {
+            for &r in &plan.roots {
+                let tid = (b * nn + r as usize) as u32;
+                let hint = plan.hints[tid as usize];
+                let t = Task {
+                    job: Arc::clone(&job),
+                    task: tid,
+                };
+                if hint == 0 && me.is_some() {
+                    self.shared.push_local(me, t);
+                } else if hint == u32::MAX {
+                    self.shared.injector.lock().push_back(t);
+                    seeded_remote = true;
+                } else {
+                    let w = (hint as usize).saturating_sub(1) % self.shared.workers;
+                    self.shared.deques[w].lock().push_back(t);
+                    seeded_remote = true;
+                }
+            }
+        }
+        if seeded_remote {
+            self.shared.wake();
+        }
+
+        let result =
+            loop {
+                if job.done.load(Ordering::SeqCst) {
+                    break Ok(());
+                }
+                if job.dead.load(Ordering::SeqCst) {
+                    break Err(job.err.lock().clone().unwrap_or_else(|| {
+                        RuntimeError::Setup("job died without an error".into())
+                    }));
+                }
+                if let Some(t) = self.shared.next_task(me) {
+                    self.shared.exec_task(t, me);
+                    continue;
+                }
+                if Instant::now() >= deadline {
+                    job.fail(RuntimeError::Timeout {
+                        cluster: None,
+                        pending_ops: job.total - job.completed.load(Ordering::SeqCst),
+                        detail: format!(
+                            "work-stealing run exceeded its {}ms recv timeout",
+                            timeout.as_millis()
+                        ),
+                    });
+                    continue; // loop observes `dead` and reports the error
+                }
+                let g = job.wait_m.lock().unwrap_or_else(|e| e.into_inner());
+                if !job.done.load(Ordering::SeqCst) && !job.dead.load(Ordering::SeqCst) {
+                    let _ = job
+                        .wait_cv
+                        .wait_timeout(g, Duration::from_micros(200))
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+
+        // Hand the slot back; any foreign tasks our deque accumulated go to
+        // the injector so their jobs keep making progress. Tasks of a dead
+        // job are dropped on pop by `exec_task`.
+        if let Some(m) = me {
+            let drained: Vec<Task> = self.shared.deques[m].lock().drain(..).collect();
+            if !drained.is_empty() {
+                let mut inj = self.shared.injector.lock();
+                for t in drained {
+                    inj.push_back(t);
+                }
+                drop(inj);
+                self.shared.wake();
+            }
+            self.shared.free_caller_slots.lock().push(m);
+        }
+
+        result?;
+        let mut outs = std::mem::take(&mut *job.out_envs.lock());
+        job.finalize();
+        backfill(&mut outs);
+        Ok(outs)
+    }
+}
+
+impl Drop for StealPool {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        {
+            let _g = self.shared.gate.lock().unwrap_or_else(|e| e.into_inner());
+            self.shared.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Execute a batch-1 run on the global work-stealing pool, using the
+/// clustering only as locality hints. Returns the graph outputs.
+pub fn run_stealing(
+    graph: &Graph,
+    clustering: &Clustering,
+    inputs: &Env,
+    ctx: &ExecCtx,
+) -> Result<Env> {
+    run_stealing_opts(graph, clustering, inputs, ctx, &RunOptions::default())
+}
+
+/// [`run_stealing`] with explicit [`RunOptions`].
+pub fn run_stealing_opts(
+    graph: &Graph,
+    clustering: &Clustering,
+    inputs: &Env,
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<Env> {
+    let plan = Arc::new(StealPlan::new(graph, clustering, 1)?);
+    let mut outs = StealPool::global().run_plan(&plan, std::slice::from_ref(inputs), ctx, opts)?;
+    Ok(outs.pop().expect("batch 1 yields one output env"))
+}
+
+/// Execute a hyperclustered batch on the global work-stealing pool
+/// (hypercluster assignments become per-(batch, node) locality hints).
+pub fn run_hyper_stealing(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+) -> Result<Vec<Env>> {
+    run_hyper_stealing_opts(graph, hc, inputs, ctx, &RunOptions::default())
+}
+
+/// [`run_hyper_stealing`] with explicit [`RunOptions`].
+pub fn run_hyper_stealing_opts(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+) -> Result<Vec<Env>> {
+    let plan = Arc::new(StealPlan::from_hyper(graph, hc)?);
+    StealPool::global().run_plan(&plan, inputs, ctx, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_sequential;
+    use crate::fault::{Fault, FaultPlan};
+    use crate::synth_inputs;
+    use ramiel_cluster::{cluster_graph, switched_hypercluster, StaticCost};
+    use ramiel_models::{build, synthetic, ModelConfig, ModelKind};
+
+    #[test]
+    fn stealing_matches_sequential_on_every_model() {
+        let cfg = ModelConfig::tiny();
+        let ctx = ExecCtx::sequential();
+        for kind in ModelKind::all() {
+            let g = build(kind, &cfg);
+            let clustering = cluster_graph(&g, &StaticCost);
+            let inputs = synth_inputs(&g, 5);
+            let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+            let steal = run_stealing(&g, &clustering, &inputs, &ctx)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_eq!(seq, steal, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn hyper_stealing_matches_per_sample_sequential() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let hc = switched_hypercluster(&clustering, 3);
+        let inputs: Vec<Env> = (0..3).map(|b| synth_inputs(&g, 60 + b as u64)).collect();
+        let outs = run_hyper_stealing(&g, &hc, &inputs, &ctx).unwrap();
+        for (b, inp) in inputs.iter().enumerate() {
+            let seq = run_sequential(&g, inp, &ctx).unwrap();
+            assert_eq!(seq, outs[b], "batch {b}");
+        }
+    }
+
+    #[test]
+    fn plan_is_reusable_across_runs_and_pools() {
+        let g = build(ModelKind::Googlenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let plan = Arc::new(StealPlan::new(&g, &clustering, 1).unwrap());
+        let pool = StealPool::new(2);
+        let inputs = synth_inputs(&g, 9);
+        let opts = RunOptions::default();
+        let a = pool
+            .run_plan(&plan, std::slice::from_ref(&inputs), &ctx, &opts)
+            .unwrap();
+        let b = StealPool::global()
+            .run_plan(&plan, std::slice::from_ref(&inputs), &ctx, &opts)
+            .unwrap();
+        assert_eq!(a, b);
+        drop(pool); // private pool joins its workers cleanly
+    }
+
+    #[test]
+    fn chaos_stalls_and_permutations_do_not_change_outputs() {
+        let g = synthetic::fork_join(4, 3, 3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let inputs = synth_inputs(&g, 17);
+        let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+        for seed in 0..16 {
+            let opts = RunOptions::default().steal_chaos(StealChaos {
+                seed,
+                max_stall_us: 200,
+            });
+            let got = run_stealing_opts(&g, &clustering, &inputs, &ctx, &opts).unwrap();
+            assert_eq!(seq, got, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn injected_kernel_fault_is_structured() {
+        let g = synthetic::fork_join(4, 3, 3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 11);
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                node: 2,
+                batch: 0,
+                exec_index: 0,
+                kind: FaultKind::KernelError,
+            }],
+        });
+        let opts = RunOptions::with_injector(inj.clone());
+        let err =
+            run_stealing_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+        assert_eq!(err.code(), "RT-INJECT", "got {err}");
+        assert_eq!(inj.fired().len(), 1);
+    }
+
+    #[test]
+    fn timeout_reports_pending_ops_and_frees_the_caller() {
+        // A RecvDelay far beyond the recv timeout: the caller must return
+        // with RT-TIMEOUT instead of waiting the stall out.
+        let g = synthetic::chain(6);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let inputs = synth_inputs(&g, 3);
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            faults: vec![Fault {
+                node: 2,
+                batch: 0,
+                exec_index: 0,
+                kind: FaultKind::RecvDelay { millis: 2_000 },
+            }],
+        });
+        let opts = RunOptions::with_injector(inj).recv_timeout(Duration::from_millis(100));
+        let start = Instant::now();
+        let err =
+            run_stealing_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+        assert_eq!(err.code(), "RT-TIMEOUT", "got {err}");
+        assert!(
+            start.elapsed() < Duration::from_millis(1_500),
+            "caller waited out the injected stall"
+        );
+        match err {
+            RuntimeError::Timeout { pending_ops, .. } => assert!(pending_ops > 0),
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn gauge_reads_zero_after_success() {
+        let g = build(ModelKind::Squeezenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let gauge = MemGauge::new();
+        let ctx = ExecCtx::sequential().with_mem_gauge(gauge.clone());
+        let inputs = synth_inputs(&g, 5);
+        run_stealing(&g, &clustering, &inputs, &ctx).unwrap();
+        assert_eq!(gauge.live_bytes(), 0);
+        assert!(gauge.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn wrong_batch_count_rejected() {
+        let g = synthetic::chain(3);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let hc = ramiel_cluster::hypercluster(&clustering, 2);
+        let inputs = vec![synth_inputs(&g, 0)];
+        let err = run_hyper_stealing(&g, &hc, &inputs, &ExecCtx::sequential()).unwrap_err();
+        assert_eq!(err.code(), "RT-SETUP");
+    }
+}

@@ -150,6 +150,57 @@ pub fn run_hyper_supervised_opts(
     opts: &RunOptions,
     cfg: &SupervisorConfig,
 ) -> (Result<Vec<Env>>, RunReport) {
+    supervise(graph, inputs, ctx, opts, cfg, |o| {
+        run_hyper_opts(graph, hc, inputs, ctx, o)
+    })
+}
+
+/// Supervised batch-1 run on the work-stealing executor: same retry /
+/// backoff / sequential-fallback policy as the channel executors. The
+/// stealing executor reports the same structured `RuntimeError`s, so the
+/// retryability classification carries over unchanged.
+pub fn run_stealing_supervised_opts(
+    graph: &Graph,
+    clustering: &Clustering,
+    inputs: &Env,
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+    cfg: &SupervisorConfig,
+) -> (Result<Env>, RunReport) {
+    let (res, report) = supervise(graph, std::slice::from_ref(inputs), ctx, opts, cfg, |o| {
+        crate::stealing::run_stealing_opts(graph, clustering, inputs, ctx, o).map(|out| vec![out])
+    });
+    (
+        res.map(|mut outs| outs.pop().expect("batch 1 yields one output env")),
+        report,
+    )
+}
+
+/// Supervised hyper-batch run on the work-stealing executor.
+pub fn run_hyper_stealing_supervised_opts(
+    graph: &Graph,
+    hc: &HyperClustering,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+    cfg: &SupervisorConfig,
+) -> (Result<Vec<Env>>, RunReport) {
+    supervise(graph, inputs, ctx, opts, cfg, |o| {
+        crate::stealing::run_hyper_stealing_opts(graph, hc, inputs, ctx, o)
+    })
+}
+
+/// The shared supervision core: retry `attempt` with bounded backoff while
+/// failures are retryable, then fall back to per-batch-element sequential
+/// execution. Every executor variant plugs in via the `attempt` closure.
+fn supervise(
+    graph: &Graph,
+    inputs: &[Env],
+    ctx: &ExecCtx,
+    opts: &RunOptions,
+    cfg: &SupervisorConfig,
+    attempt: impl Fn(&RunOptions) -> Result<Vec<Env>>,
+) -> (Result<Vec<Env>>, RunReport) {
     let mut opts = opts.clone();
     if opts.recv_timeout.is_none() {
         opts.recv_timeout = cfg.recv_timeout;
@@ -173,12 +224,10 @@ pub fn run_hyper_supervised_opts(
     };
 
     let mut last_err: Option<RuntimeError> = None;
-    for attempt in 0..=cfg.max_retries {
+    for retry in 0..=cfg.max_retries {
         report.attempts += 1;
-        let r = catch_unwind(AssertUnwindSafe(|| {
-            run_hyper_opts(graph, hc, inputs, ctx, &opts)
-        }))
-        .unwrap_or_else(|payload| Err(panic_to_error(None, payload)));
+        let r = catch_unwind(AssertUnwindSafe(|| attempt(&opts)))
+            .unwrap_or_else(|payload| Err(panic_to_error(None, payload)));
         match r {
             Ok(outs) => {
                 finish(&mut report);
@@ -194,17 +243,17 @@ pub fn run_hyper_supervised_opts(
                     finish(&mut report);
                     return (Err(last_err.expect("just set")), report);
                 }
-                if attempt < cfg.max_retries {
+                if retry < cfg.max_retries {
                     cfg.obs.instant(
                         0,
-                        format!("supervisor:retry (attempt {})", attempt + 2),
+                        format!("supervisor:retry (attempt {})", retry + 2),
                         "supervisor",
                         serde_json::json!({
                             "error": last_err.as_ref().expect("just set").code(),
-                            "backoff_ms": backoff_for(cfg, attempt).as_millis() as u64,
+                            "backoff_ms": backoff_for(cfg, retry).as_millis() as u64,
                         }),
                     );
-                    std::thread::sleep(backoff_for(cfg, attempt));
+                    std::thread::sleep(backoff_for(cfg, retry));
                 }
             }
         }

@@ -32,10 +32,10 @@
 //! already-queued requests complete; new ones are rejected.
 
 use crate::plan::CompiledPlan;
-use crate::server::{LaneConfig, OverflowPolicy, ServeError};
+use crate::server::{LaneConfig, OverflowPolicy, ServeError, ServeExecutor};
 use crate::stats::ServeStats;
 use crossbeam::channel::Sender;
-use ramiel_runtime::{run_sequential_opts, Env, HyperPool, RunOptions, RuntimeError};
+use ramiel_runtime::{run_sequential_opts, Env, HyperPool, RunOptions, RuntimeError, StealPool};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -276,10 +276,14 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
         obs: obs.clone(),
         init_values: Some(Arc::clone(&plan.init_values)),
         reuse: true,
+        steal_chaos: None,
     };
+    let stealing = sh.cfg.executor == ServeExecutor::Stealing;
     // Hot reload boundary: a version change means new graph/weights, so
-    // the standing workers are rebuilt (old ones join first).
-    if pool_slot.as_ref().map(|(v, _)| *v) != Some(plan.version) {
+    // the standing workers are rebuilt (old ones join first). The stealing
+    // executor has no per-model workers — its shared pool outlives plans,
+    // and a reload simply compiles a fresh StealPlan.
+    if !stealing && pool_slot.as_ref().map(|(v, _)| *v) != Some(plan.version) {
         *pool_slot = None;
         match HyperPool::with_options(&plan.graph, plan.num_clusters(), &plan.ctx, &run_opts) {
             Ok(p) => *pool_slot = Some((plan.version, p)),
@@ -289,7 +293,6 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
             }
         }
     }
-    let (_, pool) = pool_slot.as_mut().expect("just ensured");
 
     let n = live.len();
     sh.stats.record_batch(n);
@@ -301,21 +304,47 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
     );
     obs.counter("serve:batch_size", n as f64);
 
-    let sched = match plan.schedule_for(n) {
-        Ok(s) => s,
-        Err(e) => {
-            fail_all(sh, live, &e);
-            return;
+    // Resolve the batch's schedule up front so setup errors fail the whole
+    // batch before any execution: a hypercluster schedule for the pool, or
+    // a dependency-resolved steal plan for the shared stealing pool.
+    enum BatchExec {
+        Hyper(Arc<ramiel_runtime::PlannedBatch>),
+        Stealing(Arc<ramiel_runtime::StealPlan>),
+    }
+    let exec = if stealing {
+        match plan.steal_plan_for(n) {
+            Ok(p) => BatchExec::Stealing(p),
+            Err(e) => {
+                fail_all(sh, live, &e);
+                return;
+            }
+        }
+    } else {
+        match plan.schedule_for(n) {
+            Ok(s) => BatchExec::Hyper(s),
+            Err(e) => {
+                fail_all(sh, live, &e);
+                return;
+            }
         }
     };
     let inputs: Arc<Vec<Env>> = Arc::new(live.iter().map(|r| r.inputs.clone()).collect());
 
     // Supervised execution on the standing pool: retry transient-shaped
-    // failures with bounded backoff (the pool survives failed jobs).
+    // failures with bounded backoff (both pools survive failed jobs).
     let sup = &sh.cfg.supervisor;
     let mut attempt = 0u32;
     let result: Result<Vec<Env>, RuntimeError> = loop {
-        match pool.run_batch(&sched, &inputs) {
+        let attempt_result = match &exec {
+            BatchExec::Hyper(sched) => {
+                let (_, pool) = pool_slot.as_mut().expect("hyper pool built above");
+                pool.run_batch(sched, &inputs)
+            }
+            BatchExec::Stealing(splan) => {
+                StealPool::global().run_plan(splan, &inputs, &plan.ctx, &run_opts)
+            }
+        };
+        match attempt_result {
             Ok(outs) => break Ok(outs),
             Err(e) => {
                 if !e.is_retryable() || attempt >= sup.max_retries {

@@ -34,6 +34,6 @@ pub mod tcp;
 mod tests;
 
 pub use plan::{CompiledPlan, PlanCache, PlanSpec};
-pub use server::{OverflowPolicy, ServeConfig, ServeError, Server, Ticket};
+pub use server::{OverflowPolicy, ServeConfig, ServeError, ServeExecutor, Server, Ticket};
 pub use stats::{BatchBucket, ServeStats, StatsSnapshot};
 pub use tcp::run_tcp;

@@ -14,7 +14,7 @@ use crate::server::ServeError;
 use parking_lot::Mutex;
 use ramiel_cluster::{cluster_graph, hypercluster, switched_hypercluster, Clustering, StaticCost};
 use ramiel_ir::Graph;
-use ramiel_runtime::PlannedBatch;
+use ramiel_runtime::{PlannedBatch, StealPlan};
 use ramiel_tensor::{ExecCtx, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +67,9 @@ pub struct CompiledPlan {
     pub ctx: ExecCtx,
     /// Hypercluster schedules + routing tables, keyed by batch size.
     schedules: Mutex<BTreeMap<usize, Arc<PlannedBatch>>>,
+    /// Work-stealing plans, keyed by batch size (built lazily — only lanes
+    /// running [`crate::server::ServeExecutor::Stealing`] pay for them).
+    steal_plans: Mutex<BTreeMap<usize, Arc<StealPlan>>>,
 }
 
 impl std::fmt::Debug for CompiledPlan {
@@ -113,6 +116,7 @@ impl CompiledPlan {
             init_values,
             ctx,
             schedules: Mutex::new(BTreeMap::new()),
+            steal_plans: Mutex::new(BTreeMap::new()),
         };
         let mut sizes = batch_sizes;
         sizes.push(1);
@@ -141,6 +145,33 @@ impl CompiledPlan {
         let planned = Arc::new(PlannedBatch::new(&self.graph, hc).map_err(ServeError::Runtime)?);
         schedules.insert(batch, Arc::clone(&planned));
         Ok(planned)
+    }
+
+    /// The work-stealing plan for `batch` samples (built on first use, then
+    /// cached). Hints come from the same hyperclustering the hyper path
+    /// would schedule, so locality placement matches across executors.
+    pub fn steal_plan_for(&self, batch: usize) -> Result<Arc<StealPlan>, ServeError> {
+        if batch == 0 {
+            return Err(ServeError::Internal("batch size 0".into()));
+        }
+        let mut plans = self.steal_plans.lock();
+        if let Some(p) = plans.get(&batch) {
+            return Ok(Arc::clone(p));
+        }
+        let plan = if batch == 1 {
+            StealPlan::new(&self.graph, &self.clustering, 1)
+        } else {
+            let hc = if self.switched {
+                switched_hypercluster(&self.clustering, batch)
+            } else {
+                hypercluster(&self.clustering, batch)
+            };
+            StealPlan::from_hyper(&self.graph, &hc)
+        }
+        .map_err(ServeError::Runtime)?;
+        let plan = Arc::new(plan);
+        plans.insert(batch, Arc::clone(&plan));
+        Ok(plan)
     }
 
     /// Cluster count == standing worker count for this plan's pools.

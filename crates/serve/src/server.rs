@@ -24,6 +24,18 @@ pub enum OverflowPolicy {
     Block { max_wait: Duration },
 }
 
+/// Which executor a lane uses for gathered batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeExecutor {
+    /// Standing per-model [`ramiel_runtime::HyperPool`] (one worker per
+    /// cluster, channel dataflow). The default.
+    #[default]
+    Hyper,
+    /// Shared work-stealing pool ([`ramiel_runtime::StealPool::global`]):
+    /// clusters become locality hints, workers are shared across models.
+    Stealing,
+}
+
 /// Serving policy knobs.
 #[derive(Clone)]
 pub struct ServeConfig {
@@ -49,6 +61,9 @@ pub struct ServeConfig {
     /// Observability sink: batch/retry/fallback instants plus queue-depth
     /// and batch-size counters (disabled handle = one branch per event).
     pub obs: Obs,
+    /// Batch executor: per-model hyper pool (default) or the shared
+    /// work-stealing pool.
+    pub executor: ServeExecutor,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +81,7 @@ impl Default for ServeConfig {
             recv_timeout: None,
             injector: None,
             obs: Obs::disabled(),
+            executor: ServeExecutor::default(),
         }
     }
 }
@@ -82,6 +98,7 @@ pub(crate) struct LaneConfig {
     pub recv_timeout: Option<Duration>,
     pub injector: Option<Arc<FaultInjector>>,
     pub obs: Obs,
+    pub executor: ServeExecutor,
 }
 
 impl ServeConfig {
@@ -95,6 +112,7 @@ impl ServeConfig {
             recv_timeout: self.recv_timeout,
             injector: self.injector.clone(),
             obs: self.obs.clone(),
+            executor: self.executor,
         }
     }
 }

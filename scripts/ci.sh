@@ -24,6 +24,19 @@ echo "==> chaos + differential suites (10 min wall-clock cap)"
 timeout --kill-after=30s 600s \
     cargo test --offline -p ramiel --test differential --test chaos
 
+# Scheduling-conformance gate for the work-stealing executor. Its schedule
+# is decided at runtime (readiness + steal order), so conformance is argued
+# by adversarial sampling: a seeded StealChaos adversary perturbs stalls and
+# steal order and every sampled interleaving must be bit-identical to
+# sequential AND terminate. The vendored proptest RNG is name-seeded, so the
+# seed set is deterministic in CI; the budget is pinned here (250 cases x 4
+# models ≥ 1000 interleavings) and can be raised for local soak runs by
+# exporting RAMIEL_CONFORMANCE_CASES before invoking this script.
+echo "==> steal conformance gate (seeded, ${RAMIEL_CONFORMANCE_CASES:-250} cases)"
+RAMIEL_CONFORMANCE_CASES="${RAMIEL_CONFORMANCE_CASES:-250}" \
+    timeout --kill-after=30s 600s \
+    cargo test --offline -p ramiel --test steal_conformance
+
 # Observability smoke: `ramiel profile` runs the model on all four executors
 # and validates the merged Chrome/Perfetto trace before writing it — a
 # malformed trace (or any executor divergence) is a failing exit code. Same
@@ -70,5 +83,16 @@ timeout 60s target/debug/ramiel request --port "$SERVE_PORT" \
 timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op stats
 timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op shutdown
 wait "$SERVE_PID"
+
+# Bench guards, release profile: bench_json exits nonzero if any of its
+# embedded regression guards trip — notably the batch-1 work-stealing guard
+# (stealing must beat sequential on every model; min-of-iters on both sides
+# so scheduler noise can't decide it), plus the memory-soundness, zero-copy,
+# and serve-throughput guards. The JSON itself is a throwaway here; the
+# dated snapshots come from scripts/bench.sh.
+echo "==> bench guards (stealing >= sequential at batch 1, memory, zero-copy, serve)"
+cargo build --release --offline -p ramiel-bench --bin bench_json
+timeout --kill-after=30s 600s \
+    ./target/release/bench_json target/ci-bench.json --iters 3
 
 echo "CI green."

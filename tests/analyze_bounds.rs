@@ -15,12 +15,14 @@
 
 use ramiel::analyze::memory::estimate_memory;
 use ramiel_cluster::{
-    cluster_graph, clustering_view, hyper_view, hypercluster, switched_hypercluster, StaticCost,
+    cluster_graph, clustering_view, hyper_view, hypercluster, stealing_view, switched_hypercluster,
+    StaticCost,
 };
 use ramiel_models::{build, ModelConfig, ModelKind};
 use ramiel_runtime::{
-    run_hyper, run_hyper_opts, run_parallel, run_parallel_opts, run_sequential,
-    run_sequential_opts, synth_inputs, ClusterPool, Env, HyperPool, PlannedBatch, RunOptions,
+    run_hyper, run_hyper_opts, run_hyper_stealing_opts, run_parallel, run_parallel_opts,
+    run_sequential, run_sequential_opts, run_stealing, run_stealing_opts, synth_inputs,
+    ClusterPool, Env, HyperPool, PlannedBatch, RunOptions,
 };
 use ramiel_tensor::{ExecCtx, MemGauge, Value};
 use ramiel_verify::{ExecPolicy, ScheduleView};
@@ -81,6 +83,15 @@ fn estimate_upper_bounds_measured_peak_on_every_executor() {
         drop(pool);
         assert_bound(model, "pool", est.peak_bytes, &gauge);
 
+        // work stealing: no static schedule, so the bound comes from the
+        // estimate-only stealing view (first-ready resident sum — sound for
+        // any interleaving the pool picks)
+        let (est, _) = estimate_memory(&g, &stealing_view(&g, 1));
+        assert!(!est.exact, "stealing view must be estimate-only");
+        let (gauge, ctx) = gauge_ctx();
+        run_stealing(&g, &clustering, &inputs, &ctx).unwrap();
+        assert_bound(model, "stealing", est.peak_bytes, &gauge);
+
         // hyperclustered batch executors, plain and switched, batch 4
         let batch_inputs: Vec<Env> = (0..4).map(|b| synth_inputs(&g, 100 + b as u64)).collect();
         for (label, hc) in [
@@ -103,6 +114,13 @@ fn estimate_upper_bounds_measured_peak_on_every_executor() {
             drop(hpool);
             assert_bound(model, &format!("{label}-pool"), est.peak_bytes, &gauge);
         }
+
+        // batched stealing under the batch-4 estimate-only view
+        let (est, _) = estimate_memory(&g, &stealing_view(&g, 4));
+        let hc = switched_hypercluster(&clustering, 4);
+        let (gauge, ctx) = gauge_ctx();
+        run_hyper_stealing_opts(&g, &hc, &batch_inputs, &ctx, &RunOptions::default()).unwrap();
+        assert_bound(model, "hyper-stealing", est.peak_bytes, &gauge);
     }
 }
 
@@ -172,6 +190,9 @@ fn in_place_reuse_is_bit_identical_on_every_executor() {
             let mut pool = ClusterPool::with_options(&g, &clustering, &ctx, opts).unwrap();
             let pooled = pool.run(&inputs).unwrap();
             assert_bits(&base, &pooled, model, &format!("pool[reuse={tag}]"));
+
+            let stolen = run_stealing_opts(&g, &clustering, &inputs, &ctx, opts).unwrap();
+            assert_bits(&base, &stolen, model, &format!("stealing[reuse={tag}]"));
         }
 
         let batch_inputs: Vec<Env> = (0..3).map(|b| synth_inputs(&g, 7 + b as u64)).collect();
@@ -203,6 +224,16 @@ fn in_place_reuse_is_bit_identical_on_every_executor() {
                     out,
                     model,
                     &format!("hyper-pool[reuse={tag}] b{b}"),
+                );
+            }
+
+            let outs = run_hyper_stealing_opts(&g, &hc, &batch_inputs, &ctx, opts).unwrap();
+            for (b, out) in outs.iter().enumerate() {
+                assert_bits(
+                    &baseline[b],
+                    out,
+                    model,
+                    &format!("hyper-stealing[reuse={tag}] b{b}"),
                 );
             }
         }
@@ -244,6 +275,11 @@ mod prop {
             let (est, _) = estimate_memory(&g, &view);
             let (gauge, ctx) = gauge_ctx();
             run_parallel(&g, &clustering, &inputs, &ctx).unwrap();
+            prop_assert!(gauge.peak_bytes() <= est.peak_bytes);
+
+            let (est, _) = estimate_memory(&g, &stealing_view(&g, 1));
+            let (gauge, ctx) = gauge_ctx();
+            run_stealing(&g, &clustering, &inputs, &ctx).unwrap();
             prop_assert!(gauge.peak_bytes() <= est.peak_bytes);
         }
     }

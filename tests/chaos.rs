@@ -12,8 +12,9 @@ use proptest::prelude::*;
 use ramiel_cluster::{cluster_graph, Clustering, StaticCost};
 use ramiel_models::synthetic;
 use ramiel_runtime::{
-    run_parallel_opts, run_sequential, run_sequential_opts, run_supervised, synth_inputs,
-    FaultInjector, FaultKind, FaultPlan, RunOptions, RuntimeError, SupervisorConfig,
+    run_parallel_opts, run_sequential, run_sequential_opts, run_stealing_opts,
+    run_stealing_supervised_opts, run_supervised, synth_inputs, FaultInjector, FaultKind,
+    FaultPlan, RunOptions, RuntimeError, SupervisorConfig,
 };
 use ramiel_tensor::ExecCtx;
 use std::sync::Arc;
@@ -106,6 +107,51 @@ proptest! {
             Ok(out) => prop_assert_eq!(out, baseline, "fault-free result must match baseline"),
             Err(e) => {
                 // structured, attributable failure — never a bare panic
+                let code = e.code();
+                prop_assert!(
+                    ["RT-KERNEL", "RT-CHANNEL", "RT-PANIC", "RT-TIMEOUT", "RT-INJECT", "RT-SETUP"]
+                        .contains(&code),
+                    "unknown error code {code}: {e}"
+                );
+            }
+        }
+    }
+
+    /// The same liveness/correctness contract for the work-stealing
+    /// executor: any seeded fault plan through the supervised stealing path
+    /// terminates with the baseline answer or a structured error — no hung
+    /// workers, no escaped panics, even though the schedule itself is
+    /// decided at runtime.
+    #[test]
+    fn supervised_stealing_runs_terminate_correct_or_structured(
+        gseed in any::<u64>(),
+        fseed in any::<u64>(),
+        layers in 2usize..6,
+        width in 1usize..5,
+        nfaults in 0usize..5,
+    ) {
+        quiet_injected_panics();
+        let g = synthetic::layered_random(gseed, layers, width, 2);
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let inputs = synth_inputs(&g, gseed ^ 0x9e37);
+        let baseline = run_sequential(&g, &inputs, &ctx).unwrap();
+
+        let plan = FaultPlan::random(fseed, g.num_nodes(), 1, nfaults);
+        let opts = RunOptions::with_injector(FaultInjector::new(plan));
+        let cfg = SupervisorConfig {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            fallback: true,
+            recv_timeout: Some(Duration::from_secs(2)),
+            ..Default::default()
+        };
+        let (res, report) =
+            run_stealing_supervised_opts(&g, &clustering, &inputs, &ctx, &opts, &cfg);
+        prop_assert!(report.attempts >= 1);
+        match res {
+            Ok(out) => prop_assert_eq!(out, baseline, "fault-free result must match baseline"),
+            Err(e) => {
                 let code = e.code();
                 prop_assert!(
                     ["RT-KERNEL", "RT-CHANNEL", "RT-PANIC", "RT-TIMEOUT", "RT-INJECT", "RT-SETUP"]
@@ -247,4 +293,77 @@ fn golden_supervised_retry_then_success() {
     assert_eq!(report.errors.len(), 1);
     assert_eq!(report.errors[0].code(), "RT-INJECT");
     assert_eq!(report.faults_fired.len(), 1);
+}
+
+// ---- golden scenarios: the work-stealing executor -------------------------
+
+#[test]
+fn golden_stealing_supervised_retry_then_success() {
+    // Same convergence contract as the channel executor: a first-execution
+    // fault is absorbed by one retry, no fallback needed.
+    let g = synthetic::fork_join(4, 3, 2);
+    let clustering = cluster_graph(&g, &StaticCost);
+    let ctx = ExecCtx::sequential();
+    let inputs = synth_inputs(&g, 5);
+    let expect = run_sequential(&g, &inputs, &ctx).unwrap();
+    let opts = RunOptions::with_injector(one_fault(0, 0, FaultKind::KernelError));
+    let cfg = SupervisorConfig {
+        max_retries: 2,
+        backoff_base: Duration::from_millis(1),
+        fallback: false,
+        recv_timeout: Some(Duration::from_secs(5)),
+        ..Default::default()
+    };
+    let (res, report) = run_stealing_supervised_opts(&g, &clustering, &inputs, &ctx, &opts, &cfg);
+    assert_eq!(res.unwrap(), expect);
+    assert_eq!(report.attempts, 2);
+    assert!(!report.fell_back);
+    assert_eq!(report.errors[0].code(), "RT-INJECT");
+}
+
+#[test]
+fn golden_stealing_fallback_isolates_the_failure() {
+    quiet_injected_panics();
+    // Zero retries: the injected panic exhausts the retry budget on attempt
+    // one and the supervisor degrades to the sequential fallback, which
+    // still produces the right answer (the fault was keyed to execution 0
+    // and has already fired).
+    let g = synthetic::fork_join(4, 3, 2);
+    let clustering = cluster_graph(&g, &StaticCost);
+    let ctx = ExecCtx::sequential();
+    let inputs = synth_inputs(&g, 6);
+    let expect = run_sequential(&g, &inputs, &ctx).unwrap();
+    let opts = RunOptions::with_injector(one_fault(1, 0, FaultKind::WorkerPanic));
+    let cfg = SupervisorConfig {
+        max_retries: 0,
+        backoff_base: Duration::from_millis(1),
+        fallback: true,
+        recv_timeout: Some(Duration::from_secs(5)),
+        ..Default::default()
+    };
+    let (res, report) = run_stealing_supervised_opts(&g, &clustering, &inputs, &ctx, &opts, &cfg);
+    assert_eq!(res.unwrap(), expect);
+    assert!(report.fell_back, "fallback should have engaged");
+    assert_eq!(report.errors[0].code(), "RT-INJECT");
+}
+
+#[test]
+fn golden_stealing_injected_stall_is_a_bounded_rt_timeout() {
+    // A stall far past recv_timeout must surface as RT-TIMEOUT within a
+    // small multiple of the timeout — the caller is freed even though it
+    // participates in execution itself (no hung workers, no hung caller).
+    let g = synthetic::fork_join(4, 3, 2);
+    let clustering = cluster_graph(&g, &StaticCost);
+    let inputs = synth_inputs(&g, 7);
+    let opts = RunOptions::with_injector(one_fault(0, 0, FaultKind::RecvDelay { millis: 3000 }))
+        .recv_timeout(Duration::from_millis(150));
+    let start = std::time::Instant::now();
+    let err =
+        run_stealing_opts(&g, &clustering, &inputs, &ExecCtx::sequential(), &opts).unwrap_err();
+    assert_eq!(err.code(), "RT-TIMEOUT", "{err}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "stealing timeout must be bounded, took {:?}",
+        start.elapsed()
+    );
 }

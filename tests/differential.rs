@@ -1,16 +1,19 @@
 //! Cross-executor differential conformance suite.
 //!
 //! Every executor the runtime offers — reference sequential, one-thread-
-//! per-cluster parallel, the standing [`ClusterPool`], and the hyperclustered
-//! batch executor — must compute the same function, on every built-in model
-//! generator, at batch 1 and batch 4. Divergence messages name the model,
-//! the executor, the batch element, and the *first diverging tensor* with
-//! its worst elementwise error, so a regression is attributable from the
-//! assert text alone.
+//! per-cluster parallel, the standing [`ClusterPool`], the hyperclustered
+//! batch executor (plain and switched), and the work-stealing pool — must
+//! compute the same function, on every built-in model generator, at batch 1
+//! and batch 4. Divergence messages name the model, the executor, the batch
+//! element, and the *first diverging tensor* with its worst elementwise
+//! error, so a regression is attributable from the assert text alone.
 
 use ramiel_cluster::{cluster_graph, hypercluster, switched_hypercluster, StaticCost};
 use ramiel_models::{build, ModelConfig, ModelKind};
-use ramiel_runtime::{run_hyper, run_parallel, run_sequential, synth_inputs, ClusterPool, Env};
+use ramiel_runtime::{
+    run_hyper, run_hyper_stealing, run_parallel, run_sequential, run_stealing, synth_inputs,
+    ClusterPool, Env,
+};
 use ramiel_tensor::{ExecCtx, Value};
 
 /// Relative/absolute tolerance for f32 outputs: parallel execution may
@@ -110,6 +113,9 @@ fn all_executors_conform_on_all_models() {
                     .run(inp)
                     .unwrap_or_else(|e| panic!("{model}: pool b{batch}: {e}"));
                 assert_conforms(&baseline[b], &pooled, model, "pool", b);
+                let stolen = run_stealing(&g, &clustering, inp, &ctx)
+                    .unwrap_or_else(|e| panic!("{model}: stealing b{batch}: {e}"));
+                assert_conforms(&baseline[b], &stolen, model, "stealing", b);
             }
 
             // whole-batch executors
@@ -122,6 +128,12 @@ fn all_executors_conform_on_all_models() {
                 assert_eq!(outs.len(), batch, "{model}: {label} output count");
                 for (b, out) in outs.iter().enumerate() {
                     assert_conforms(&baseline[b], out, model, label, b);
+                }
+                let outs = run_hyper_stealing(&g, &hc, &inputs, &ctx)
+                    .unwrap_or_else(|e| panic!("{model}: {label}-stealing b{batch}: {e}"));
+                assert_eq!(outs.len(), batch, "{model}: {label}-stealing output count");
+                for (b, out) in outs.iter().enumerate() {
+                    assert_conforms(&baseline[b], out, model, &format!("{label}-stealing"), b);
                 }
             }
         }
@@ -190,7 +202,8 @@ fn executors_are_bit_identical_with_shared_kernels() {
         for (b, inp) in inputs.iter().enumerate() {
             let par = run_parallel(&g, &clustering, inp, &ctx).unwrap();
             let pooled = pool.run(inp).unwrap();
-            for (label, out) in [("parallel", &par), ("pool", &pooled)] {
+            let stolen = run_stealing(&g, &clustering, inp, &ctx).unwrap();
+            for (label, out) in [("parallel", &par), ("pool", &pooled), ("stealing", &stolen)] {
                 if let Some((tensor, why)) = first_bit_divergence(&baseline[b], out) {
                     panic!(
                         "{model}: `{label}` not bit-identical on element {b}: `{tensor}`: {why}"
@@ -210,6 +223,15 @@ fn executors_are_bit_identical_with_shared_kernels() {
                 if let Some((tensor, why)) = first_bit_divergence(&baseline[b], out) {
                     panic!(
                         "{model}: `{label}` not bit-identical on element {b}: `{tensor}`: {why}"
+                    );
+                }
+            }
+            let outs = run_hyper_stealing(&g, &hc, &inputs, &ctx).unwrap();
+            for (b, out) in outs.iter().enumerate() {
+                if let Some((tensor, why)) = first_bit_divergence(&baseline[b], out) {
+                    panic!(
+                        "{model}: `{label}-stealing` not bit-identical on element {b}: \
+                         `{tensor}`: {why}"
                     );
                 }
             }
@@ -238,12 +260,14 @@ fn executors_agree_on_kernel_failures() {
     let pooled = pool.run(&inputs).unwrap_err();
     let hc = hypercluster(&clustering, 2);
     let hyper = run_hyper(&g, &hc, &[inputs.clone(), inputs.clone()], &ctx).unwrap_err();
+    let stolen = run_stealing(&g, &clustering, &inputs, &ctx).unwrap_err();
 
     for (label, err) in [
         ("sequential", &seq),
         ("parallel", &par),
         ("pool", &pooled),
         ("hyper", &hyper),
+        ("stealing", &stolen),
     ] {
         assert_eq!(err.code(), "RT-KERNEL", "{label}: {err}");
         assert!(

@@ -5,7 +5,7 @@
 use ramiel::{prepare, PipelineOptions};
 use ramiel_models::{build, synthetic, ModelConfig, ModelKind};
 use ramiel_runtime::{run_sequential, synth_inputs};
-use ramiel_serve::{OverflowPolicy, PlanSpec, ServeConfig, Server, Ticket};
+use ramiel_serve::{OverflowPolicy, PlanSpec, ServeConfig, ServeExecutor, Server, Ticket};
 use ramiel_tensor::ExecCtx;
 use std::sync::Arc;
 use std::time::Duration;
@@ -67,6 +67,47 @@ fn concurrent_clients_get_bit_identical_results() {
         .map(|b| b.count * b.size as u64)
         .sum();
     assert_eq!(hist_total, s.completed);
+}
+
+/// The same acceptance contract on the work-stealing lane executor: hot
+/// batches of every size the micro-batcher forms run on the shared
+/// stealing pool and stay bit-identical to sequential.
+#[test]
+fn stealing_executor_serves_bit_identical_results() {
+    let g = build(ModelKind::Bert, &ModelConfig::tiny());
+    let prepared = prepare(g, &PipelineOptions::default()).unwrap();
+    let server = Arc::new(Server::new(ServeConfig {
+        executor: ServeExecutor::Stealing,
+        ..serve_cfg()
+    }));
+    let spec = PlanSpec {
+        clustering: Some(prepared.compiled.clustering.clone()),
+        init_values: Some(Arc::clone(&prepared.init_values)),
+        ..PlanSpec::new(prepared.compiled.graph.clone())
+    };
+    server.load("bert", spec).unwrap();
+
+    let graph = Arc::new(prepared.compiled.graph.clone());
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let server = Arc::clone(&server);
+        let graph = Arc::clone(&graph);
+        handles.push(std::thread::spawn(move || {
+            let ctx = ExecCtx::sequential();
+            for i in 0..4u64 {
+                let inputs = synth_inputs(&graph, t * 1000 + i);
+                let out = server.infer("bert", inputs.clone()).unwrap();
+                let seq = run_sequential(&graph, &inputs, &ctx).unwrap();
+                assert_eq!(seq, out, "thread {t} request {i} diverged");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let s = server.stats();
+    assert_eq!(s.completed, 24);
+    assert_eq!(s.failed, 0);
 }
 
 #[test]

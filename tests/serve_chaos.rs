@@ -10,7 +10,7 @@
 
 use ramiel_models::{build, ModelConfig, ModelKind};
 use ramiel_runtime::{run_sequential, synth_inputs, FaultInjector, FaultPlan, SupervisorConfig};
-use ramiel_serve::{PlanSpec, ServeConfig, ServeError, Server};
+use ramiel_serve::{PlanSpec, ServeConfig, ServeError, ServeExecutor, Server};
 use ramiel_tensor::ExecCtx;
 use std::sync::Arc;
 use std::time::Duration;
@@ -35,7 +35,12 @@ fn quiet_injected_panics() {
     });
 }
 
-fn chaos_server(g: &ramiel_ir::Graph, fseed: u64, nfaults: usize) -> Server {
+fn chaos_server_with(
+    g: &ramiel_ir::Graph,
+    fseed: u64,
+    nfaults: usize,
+    executor: ServeExecutor,
+) -> Server {
     let plan = FaultPlan::random(fseed, g.num_nodes(), 1, nfaults);
     Server::new(ServeConfig {
         max_batch: 4,
@@ -50,8 +55,13 @@ fn chaos_server(g: &ramiel_ir::Graph, fseed: u64, nfaults: usize) -> Server {
         // Bounded: a dropped cross-cluster message must surface RT-TIMEOUT
         // quickly instead of stalling the lane.
         recv_timeout: Some(Duration::from_millis(500)),
+        executor,
         ..ServeConfig::default()
     })
+}
+
+fn chaos_server(g: &ramiel_ir::Graph, fseed: u64, nfaults: usize) -> Server {
+    chaos_server_with(g, fseed, nfaults, ServeExecutor::Hyper)
 }
 
 #[test]
@@ -120,6 +130,76 @@ fn server_survives_fault_plans_under_concurrent_load() {
         assert_eq!(seq, out, "plan {fseed}: server did not recover");
 
         // Shutdown after chaos must still drain cleanly (no deadlock).
+        server.shutdown();
+        let s = server.stats();
+        assert!(s.completed >= 1, "plan {fseed}: nothing completed");
+    }
+}
+
+/// Post-storm recovery under the work-stealing executor: a fault-heavy
+/// plan is absorbed (retry → fallback, never a hang), and once spent the
+/// same lane — whose shared stealing pool survived every failed job —
+/// keeps serving bit-correct answers through drain.
+#[test]
+fn stealing_server_recovers_after_fault_storm() {
+    quiet_injected_panics();
+    let g = build(ModelKind::Googlenet, &ModelConfig::tiny());
+    let baseline_ctx = ExecCtx::sequential();
+    for fseed in [5u64, 23] {
+        let server = Arc::new(chaos_server_with(&g, fseed, 4, ServeExecutor::Stealing));
+        server.load("gn", PlanSpec::new(g.clone())).unwrap();
+
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let server = Arc::clone(&server);
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                let ctx = ExecCtx::sequential();
+                for i in 0..3u64 {
+                    let inputs = synth_inputs(&g, t * 100 + i);
+                    let ticket = match server.submit("gn", inputs.clone()) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            assert!(e.code().starts_with("SV-"), "{e}");
+                            continue;
+                        }
+                    };
+                    match ticket.wait_timeout(Duration::from_secs(60)) {
+                        Ok(out) => {
+                            let seq = run_sequential(&g, &inputs, &ctx).unwrap();
+                            assert_eq!(seq, out, "plan {fseed} thread {t} req {i} diverged");
+                        }
+                        Err(ServeError::Runtime(e)) => {
+                            let code = e.code();
+                            assert!(
+                                [
+                                    "RT-KERNEL",
+                                    "RT-CHANNEL",
+                                    "RT-PANIC",
+                                    "RT-TIMEOUT",
+                                    "RT-INJECT",
+                                    "RT-SETUP"
+                                ]
+                                .contains(&code),
+                                "unstructured failure {code}: {e}"
+                            );
+                        }
+                        Err(e) => panic!("plan {fseed}: unexpected serve error {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Faults are keyed to first executions; post-storm the stealing
+        // lane must serve correct answers again.
+        let inputs = synth_inputs(&g, 9999);
+        let out = server.infer("gn", inputs.clone()).unwrap();
+        let seq = run_sequential(&g, &inputs, &baseline_ctx).unwrap();
+        assert_eq!(seq, out, "plan {fseed}: stealing server did not recover");
+
         server.shutdown();
         let s = server.stats();
         assert!(s.completed >= 1, "plan {fseed}: nothing completed");
