@@ -5,7 +5,9 @@
 //! that the disabled handle — the default for every non-`profile` code path
 //! — costs one branch per call site: `disabled` must be indistinguishable
 //! from `baseline`, and `enabled` shows what full tracing costs. The last
-//! group prices the raw API (span/instant) per call on both handles.
+//! two groups price the raw APIs per call on both handles: obs spans, and
+//! the metrics registry's histogram/counter hot path that every serve
+//! response touches.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ramiel::obs::Obs;
@@ -114,10 +116,51 @@ fn bench_raw_api(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_metrics_record(c: &mut Criterion) {
+    use ramiel::obs::Metrics;
+    let mut group = c.benchmark_group("metrics_record_per_call");
+    // Value stream spread across octaves, like real nanosecond latencies.
+    let gen = |i: u64| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 34;
+    group.bench_function(BenchmarkId::from_parameter("baseline"), |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                black_box(gen(i));
+            }
+        });
+    });
+    let off = Metrics::disabled().histogram("bench_off_ns", "bench", &[]);
+    group.bench_function(BenchmarkId::from_parameter("record_disabled"), |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                off.record(black_box(gen(i)));
+            }
+        });
+    });
+    let reg = Metrics::enabled();
+    let on = reg.histogram("bench_on_ns", "bench", &[]);
+    group.bench_function(BenchmarkId::from_parameter("record_enabled"), |b| {
+        b.iter(|| {
+            for i in 0..1000u64 {
+                on.record(black_box(gen(i)));
+            }
+        });
+    });
+    let counter = reg.counter("bench_total", "bench", &[]);
+    group.bench_function(BenchmarkId::from_parameter("counter_enabled"), |b| {
+        b.iter(|| {
+            for _ in 0..1000u64 {
+                counter.inc();
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_parallel_obs_overhead,
     bench_compile_obs_overhead,
-    bench_raw_api
+    bench_raw_api,
+    bench_metrics_record
 );
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 //!
 //! Runs a quick sequential-vs-parallel timing sweep, the batch-1
 //! work-stealing guard (stealing must beat sequential on every model),
-//! the disabled-obs overhead guard, and one profile-guided reclustering
-//! comparison, then writes the lot as JSON. `scripts/bench.sh` calls this
+//! the disabled-obs and disabled-metrics overhead guards, and one
+//! profile-guided reclustering comparison, then writes the lot as JSON. `scripts/bench.sh` calls this
 //! and drops the result at the repo root as `BENCH_<date>.json`.
 //!
 //! ```sh
@@ -50,6 +50,21 @@ struct ObsOverhead {
     enabled_obs_ms: f64,
     /// disabled / baseline — the guard: must stay ≈ 1.0.
     disabled_over_baseline: f64,
+}
+
+#[derive(Serialize)]
+struct MetricsOverhead {
+    /// ns per iteration of the bare value-generation loop (no metrics call).
+    baseline_ns: f64,
+    /// ns per `HistHandle::record` through a disabled registry's handle —
+    /// one `Option` branch on a `None`.
+    disabled_record_ns: f64,
+    /// ns per `HistHandle::record` through an enabled registry's handle —
+    /// bucket index + two relaxed atomics + a `fetch_max`.
+    enabled_record_ns: f64,
+    /// disabled_record_ns - baseline_ns — the guard: must stay under 5 ns,
+    /// i.e. a disabled metrics handle on the serve hot path is free.
+    disabled_minus_baseline_ns: f64,
 }
 
 #[derive(Serialize)]
@@ -137,6 +152,7 @@ struct Summary {
     stealing: Vec<StealingRow>,
     memory: Vec<MemoryRow>,
     obs_overhead: ObsOverhead,
+    metrics_overhead: MetricsOverhead,
     profile_feedback: ProfileFeedback,
     zero_copy: ZeroCopy,
     serve: ServeBench,
@@ -337,6 +353,63 @@ fn main() {
         disabled_over_baseline: disabled_obs_ms / baseline_ms.max(1e-9),
     };
 
+    // Metrics hot path: the per-request latency/phase histograms sit on
+    // every serve response, so `HistHandle::record` must be branch-cheap
+    // when the registry is disabled and a handful of relaxed atomics when
+    // it is not. Min-of-reps per mode so scheduler noise can't trip the
+    // absolute-nanosecond guard.
+    let metrics_overhead = {
+        use ramiel::obs::Metrics;
+        const LOOP: u64 = 2_000_000;
+        const REPS: usize = 5;
+        let time_ns = |f: &mut dyn FnMut(u64)| -> f64 {
+            for i in 0..50_000u64 {
+                f(i); // warm-up
+            }
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let start = Instant::now();
+                for i in 0..LOOP {
+                    f(i);
+                }
+                best = best.min(start.elapsed().as_nanos() as f64 / LOOP as f64);
+            }
+            best
+        };
+        // Same synthetic value stream in all three modes: a cheap mix that
+        // spreads samples across histogram octaves like real latencies do.
+        let gen = |i: u64| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 34;
+        let baseline_ns = time_ns(&mut |i| {
+            std::hint::black_box(gen(i));
+        });
+        let off = Metrics::disabled().histogram("bench_off_ns", "bench", &[]);
+        let disabled_record_ns = time_ns(&mut |i| {
+            off.record(std::hint::black_box(gen(i)));
+        });
+        let reg = Metrics::enabled();
+        let on = reg.histogram("bench_on_ns", "bench", &[]);
+        let enabled_record_ns = time_ns(&mut |i| {
+            on.record(std::hint::black_box(gen(i)));
+        });
+        MetricsOverhead {
+            baseline_ns,
+            disabled_record_ns,
+            enabled_record_ns,
+            disabled_minus_baseline_ns: disabled_record_ns - baseline_ns,
+        }
+    };
+    if metrics_overhead.disabled_minus_baseline_ns > 5.0 {
+        eprintln!(
+            "metrics guard FAILED: a disabled HistHandle::record costs {:.2} ns over \
+             the bare loop ({:.2} vs {:.2} ns/op, need < 5 ns) — the disabled path \
+             is no longer a single branch",
+            metrics_overhead.disabled_minus_baseline_ns,
+            metrics_overhead.disabled_record_ns,
+            metrics_overhead.baseline_ns
+        );
+        std::process::exit(1);
+    }
+
     // Fig. 10 feedback loop: measured profile → MeasuredCost → recluster.
     let (_, db) = run_parallel_profiled(&c.graph, &c.clustering, &inputs, &ctx).expect("profiled");
     let measured = db.measured_cost(&c.graph);
@@ -490,6 +563,7 @@ fn main() {
         stealing,
         memory,
         obs_overhead,
+        metrics_overhead,
         profile_feedback,
         zero_copy,
         serve,

@@ -16,6 +16,8 @@
 //! ramiel serve <model> [flags]           dynamic-batching inference server
 //!                                        (newline-delimited JSON over TCP)
 //! ramiel request [flags]                 send requests to a running server
+//! ramiel top [flags]                     live metrics table for a running
+//!                                        server (polls the `metrics` verb)
 //! ```
 //!
 //! `<model>` is a built-in name (`squeezenet`, `googlenet`, `inception-v3`,
@@ -31,8 +33,11 @@
 //! `--max-batch N` (micro-batch bound, default 8), `--max-delay-ms N`
 //! (batch window, default 2), `--queue-cap N` (default 128), `--shed`
 //! (reject on full queue instead of blocking). Client flags (`request`):
-//! `--port N`, `--op <ping|infer_synth|stats|shutdown>`, `--seed N`,
-//! `--count N`, `--deadline-ms N`.
+//! `--port N`, `--op <ping|infer_synth|stats|metrics|trace|shutdown>`,
+//! `--seed N`, `--count N`, `--deadline-ms N`. The `metrics` op prints the
+//! server's Prometheus exposition; `trace` prints (and validates) a Chrome
+//! trace of recent requests. `ramiel top` takes `--port N`,
+//! `--interval-ms N` (default 1000) and `--frames N` (0 = forever).
 //!
 //! Chaos flags (`run` only): `--chaos-seed N` derives a deterministic
 //! fault plan and executes under the supervisor, `--chaos-faults N` sets
@@ -112,6 +117,8 @@ struct Flags {
     deadline_ms: Option<u64>,
     json: bool,
     stealing: bool,
+    interval_ms: u64,
+    frames: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -142,6 +149,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         deadline_ms: None,
         json: false,
         stealing: false,
+        interval_ms: 1000,
+        frames: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -214,6 +223,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|e| format!("--queue-cap: {e}"))?
             }
             "--op" => f.op = value("--op")?,
+            "--interval-ms" => {
+                f.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--frames" => {
+                f.frames = value("--frames")?
+                    .parse()
+                    .map_err(|e| format!("--frames: {e}"))?
+            }
             "--seed" => {
                 f.seed = value("--seed")?
                     .parse()
@@ -411,6 +430,7 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
                     .map(|_| ())
                     .map_err(|e| e.to_string())
             })?;
+            println!("{}", pool.stats().text_summary());
         } else {
             time_it("parallel  ", &|| {
                 run_parallel_opts(&c.graph, &c.clustering, &inputs, &ctx, &run_opts)
@@ -945,8 +965,31 @@ fn cmd_serve(model: &str, f: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// One round-trip to a running `ramiel serve`: send `req` (no trailing
+/// newline needed) and return the parsed response object.
+fn serve_roundtrip(port: u16, req: &str) -> Result<serde_json::Value, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(("127.0.0.1", port))
+        .map_err(|e| format!("connect 127.0.0.1:{port}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(format!("{req}\n").as_bytes())
+        .and_then(|_| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut resp = String::new();
+    reader.read_line(&mut resp).map_err(|e| e.to_string())?;
+    if resp.is_empty() {
+        return Err("server closed the connection".into());
+    }
+    serde_json::from_str(&resp).map_err(|e| e.to_string())
+}
+
 /// `ramiel request`: minimal client for a running `ramiel serve` — sends
-/// `--count` ops and prints one response line each.
+/// `--count` ops and prints one response line each. The `metrics` and
+/// `trace` ops additionally validate what came back (Prometheus samples
+/// must parse; the Chrome trace must pass `validate_chrome_trace`) and
+/// print the payload itself, so they double as CI well-formedness gates.
 fn cmd_request(f: &Flags) -> Result<(), String> {
     use std::io::{BufRead, BufReader, Write};
     let stream = std::net::TcpStream::connect(("127.0.0.1", f.port))
@@ -965,10 +1008,12 @@ fn cmd_request(f: &Flags) -> Result<(), String> {
                     f.seed + i as u64
                 )
             }
-            op @ ("ping" | "stats" | "shutdown") => format!("{{\"id\":{i},\"op\":\"{op}\"}}"),
+            op @ ("ping" | "stats" | "shutdown" | "metrics" | "trace") => {
+                format!("{{\"id\":{i},\"op\":\"{op}\"}}")
+            }
             other => {
                 return Err(format!(
-                    "unknown op `{other}` (ping|infer_synth|stats|shutdown)"
+                    "unknown op `{other}` (ping|infer_synth|stats|metrics|trace|shutdown)"
                 ))
             }
         };
@@ -981,13 +1026,172 @@ fn cmd_request(f: &Flags) -> Result<(), String> {
         if resp.is_empty() {
             return Err("server closed the connection".into());
         }
-        print!("{resp}");
         let v: serde_json::Value = serde_json::from_str(&resp).map_err(|e| e.to_string())?;
+        match f.op.as_str() {
+            "metrics" => {
+                let text = v
+                    .get("metrics")
+                    .and_then(|m| m.as_str())
+                    .ok_or("metrics response has no `metrics` field")?;
+                let samples = ramiel::obs::parse_prometheus(text);
+                if samples.is_empty() {
+                    return Err("metrics exposition parsed to zero samples".into());
+                }
+                print!("{text}");
+                eprintln!("# {} samples parsed", samples.len());
+            }
+            "trace" => {
+                let trace = v
+                    .get("trace")
+                    .ok_or("trace response has no `trace` field")?;
+                let stats = ramiel::obs::validate_chrome_trace(&trace.to_string())
+                    .map_err(|e| format!("trace is not a valid Chrome trace: {e}"))?;
+                println!("{trace}");
+                eprintln!(
+                    "# valid Chrome trace: {} events, {} spans",
+                    stats.total_events, stats.complete_spans
+                );
+            }
+            _ => print!("{resp}"),
+        }
         if v.get("ok").and_then(|b| b.as_bool()) != Some(true) {
             return Err(format!("request {i} failed"));
         }
     }
     Ok(())
+}
+
+/// Per-model aggregates extracted from one Prometheus scrape (see
+/// [`cmd_top`]).
+#[derive(Default, Clone)]
+struct TopRow {
+    completed: f64,
+    shed: f64,
+    batches: f64,
+    batched: f64,
+    depth: f64,
+    peak: f64,
+    /// `(le, cumulative count)` latency buckets, ns.
+    latency: Vec<(f64, f64)>,
+}
+
+/// `ramiel top`: poll a running server's `metrics` verb every
+/// `--interval-ms` and render a live per-model table (rps, windowed
+/// p50/p99, mean batch, queue depth, shed/s) plus steal-pool rates.
+/// `--frames N` stops after N scrapes (0 = until the server goes away).
+fn cmd_top(f: &Flags) -> Result<(), String> {
+    use std::collections::BTreeMap;
+
+    let parse_frame = |text: &str| -> (BTreeMap<String, TopRow>, f64, f64) {
+        let samples = ramiel::obs::parse_prometheus(text);
+        let mut rows: BTreeMap<String, TopRow> = BTreeMap::new();
+        let (mut steals, mut tasks) = (0.0, 0.0);
+        for s in &samples {
+            if let Some(model) = s.label("model") {
+                let row = rows.entry(model.to_string()).or_default();
+                match s.name.as_str() {
+                    "ramiel_requests_total" => match s.label("outcome") {
+                        Some("completed") => row.completed += s.value,
+                        Some(o) if o.starts_with("shed") => row.shed += s.value,
+                        _ => {}
+                    },
+                    "ramiel_batches_total" => row.batches += s.value,
+                    "ramiel_batch_size_sum" => row.batched += s.value,
+                    "ramiel_queue_depth" => row.depth = s.value,
+                    "ramiel_queue_peak_depth" => row.peak = row.peak.max(s.value),
+                    "ramiel_request_latency_ns_bucket" => {
+                        if let Some(le) = s.label("le").and_then(|l| l.parse::<f64>().ok()) {
+                            row.latency.push((le, s.value));
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                match s.name.as_str() {
+                    "ramiel_steal_steals_total" => steals += s.value,
+                    "ramiel_steal_tasks_total" => tasks += s.value,
+                    _ => {}
+                }
+            }
+        }
+        for row in rows.values_mut() {
+            row.latency
+                .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        (rows, steals, tasks)
+    };
+
+    let interval = std::time::Duration::from_millis(f.interval_ms.max(50));
+    let mut prev: Option<(BTreeMap<String, TopRow>, f64, f64)> = None;
+    let mut frame = 0usize;
+    loop {
+        let resp = serve_roundtrip(f.port, "{\"id\":0,\"op\":\"metrics\"}")?;
+        let text = resp
+            .get("metrics")
+            .and_then(|m| m.as_str())
+            .ok_or("metrics response has no `metrics` field")?;
+        let (rows, steals, tasks) = parse_frame(text);
+        let dt = interval.as_secs_f64();
+
+        // Live terminal mode clears between frames; single-frame mode
+        // (CI, scripts) just prints the table once.
+        if f.frames != 1 {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "ramiel top — 127.0.0.1:{}  (frame {}, every {:.1}s)",
+            f.port,
+            frame + 1,
+            dt
+        );
+        println!(
+            "{:<14} {:>8} {:>9} {:>9} {:>10} {:>7} {:>7} {:>7}",
+            "MODEL", "RPS", "P50(ms)", "P99(ms)", "MEANBATCH", "DEPTH", "PEAK", "SHED/S"
+        );
+        for (model, row) in &rows {
+            let prev_row = prev.as_ref().and_then(|(r, _, _)| r.get(model));
+            let rate = |cur: f64, prior: f64| ((cur - prior) / dt).max(0.0);
+            let (rps, sheds) = match prev_row {
+                Some(p) => (rate(row.completed, p.completed), rate(row.shed, p.shed)),
+                None => (0.0, 0.0),
+            };
+            // Windowed percentiles: difference the cumulative buckets
+            // against the previous frame; first frame falls back to
+            // lifetime buckets.
+            let window: Vec<(f64, f64)> = match prev_row {
+                Some(p) if p.latency.len() == row.latency.len() => row
+                    .latency
+                    .iter()
+                    .zip(&p.latency)
+                    .map(|(c, pr)| (c.0, (c.1 - pr.1).max(0.0)))
+                    .collect(),
+                _ => row.latency.clone(),
+            };
+            let p50 = ramiel::obs::quantile_from_buckets(&window, 0.5) / 1e6;
+            let p99 = ramiel::obs::quantile_from_buckets(&window, 0.99) / 1e6;
+            let mean_batch = if row.batches > 0.0 {
+                row.batched / row.batches
+            } else {
+                0.0
+            };
+            println!(
+                "{:<14} {:>8.1} {:>9.2} {:>9.2} {:>10.2} {:>7.0} {:>7.0} {:>7.1}",
+                model, rps, p50, p99, mean_batch, row.depth, row.peak, sheds
+            );
+        }
+        let (steal_rate, task_rate) = match &prev {
+            Some((_, ps, pt)) => (((steals - ps) / dt).max(0.0), ((tasks - pt) / dt).max(0.0)),
+            None => (0.0, 0.0),
+        };
+        println!("steal pool: {task_rate:.0} tasks/s, {steal_rate:.0} steals/s");
+
+        prev = Some((rows, steals, tasks));
+        frame += 1;
+        if f.frames != 0 && frame >= f.frames {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
@@ -1005,7 +1209,7 @@ fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage =
-        "usage: ramiel <models|report|compile|run|profile|simulate|check|analyze|fuzz|export|serve|request> [model] [flags]";
+        "usage: ramiel <models|report|compile|run|profile|simulate|check|analyze|fuzz|export|serve|request|top> [model] [flags]";
     // `check` and `analyze` gate the exit code on their findings
     // (0 clean / 1 warnings under --deny-warnings / 2 errors); every other
     // subcommand maps success to 0 and operational failure to 1.
@@ -1044,6 +1248,9 @@ fn main() -> ExitCode {
             .map(|()| Gate::Clean),
         Some("request") => parse_flags(&args[1..])
             .and_then(|f| cmd_request(&f))
+            .map(|()| Gate::Clean),
+        Some("top") => parse_flags(&args[1..])
+            .and_then(|f| cmd_top(&f))
             .map(|()| Gate::Clean),
         Some("export") if args.len() >= 3 => parse_flags(&args[3..])
             .and_then(|f| cmd_export(&args[1], &args[2], &f))

@@ -24,10 +24,15 @@
 
 pub mod channel;
 pub mod chrome;
+pub mod metrics;
 pub mod warn;
 
 pub use channel::{ChannelEdgeStats, ChannelMeter};
 pub use chrome::{validate_chrome_trace, TraceStats};
+pub use metrics::{
+    parse_prometheus, quantile_from_buckets, CounterHandle, GaugeHandle, HistHandle, Histogram,
+    HistogramSnapshot, Metrics, ParsedSample, PeakHandle,
+};
 pub use warn::{warn, warnings_snapshot, WarnEvent};
 
 use parking_lot::Mutex;

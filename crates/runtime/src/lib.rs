@@ -43,7 +43,7 @@ pub use sim::{
 };
 pub use stealing::{
     run_hyper_stealing, run_hyper_stealing_opts, run_stealing, run_stealing_opts, StealChaos,
-    StealPlan, StealPool,
+    StealPlan, StealPool, StealPoolStats, StealSlotStats,
 };
 pub use supervisor::{
     run_hyper_stealing_supervised_opts, run_hyper_supervised, run_hyper_supervised_opts,

@@ -50,12 +50,13 @@ use parking_lot::Mutex;
 use ramiel_cluster::hyper::HyperClustering;
 use ramiel_cluster::Clustering;
 use ramiel_ir::{Graph, OpKind};
+use ramiel_obs::metrics::{render_histogram_text, Histogram, HistogramSnapshot, PeakGauge};
 use ramiel_obs::Obs;
 use ramiel_passes::{inplace_marks, InPlaceMarks};
 use ramiel_tensor::{eval_op, eval_op_inplace, ExecCtx, MemGauge, Value};
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -414,6 +415,172 @@ struct Task {
 /// owned LIFO deque.
 const CALLER_SLOTS: usize = 16;
 
+/// Per-slot execution telemetry: one entry per deque slot plus a final
+/// aggregate entry for slotless callers. All relaxed atomics — recording
+/// is a handful of uncontended RMWs per task, cheap enough to stay
+/// unconditionally on (the batch-1 stealing-vs-sequential bench guard
+/// bounds the cost).
+#[derive(Default)]
+struct SlotTelemetry {
+    /// Tasks executed from this slot.
+    tasks: AtomicU64,
+    /// Successful steals *by* this slot from peer deques.
+    steals: AtomicU64,
+    /// Nanoseconds parked/waiting for work.
+    idle_ns: AtomicU64,
+    /// Deepest local deque observed at push (window + lifetime).
+    peak_depth: PeakGauge,
+}
+
+/// Pool-wide telemetry shared by all slots.
+struct PoolTelemetry {
+    /// `deques.len() + 1` entries; the last aggregates slotless callers.
+    slots: Vec<SlotTelemetry>,
+    injector_pushes: AtomicU64,
+    injector_pops: AtomicU64,
+    /// Per-task execution time, nanoseconds (kernel body, excluding chaos
+    /// stalls and queueing).
+    exec_ns: Histogram,
+}
+
+impl PoolTelemetry {
+    fn new(slots: usize) -> PoolTelemetry {
+        PoolTelemetry {
+            slots: (0..slots).map(|_| SlotTelemetry::default()).collect(),
+            injector_pushes: AtomicU64::new(0),
+            injector_pops: AtomicU64::new(0),
+            exec_ns: Histogram::new(),
+        }
+    }
+}
+
+/// Telemetry of one deque slot (or the slotless-caller aggregate) inside a
+/// [`StealPoolStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct StealSlotStats {
+    pub slot: usize,
+    /// `"worker"` for pool threads, `"caller"` for participating callers.
+    pub kind: &'static str,
+    pub tasks: u64,
+    pub steals: u64,
+    pub idle_ns: u64,
+    /// Peak local-deque depth this window (reset by
+    /// [`StealPool::stats_and_reset_window`]).
+    pub peak_depth_window: u64,
+    pub peak_depth_lifetime: u64,
+}
+
+/// Point-in-time aggregate of a pool's telemetry: lifetime counters plus
+/// per-window deque-depth peaks and the per-task execution histogram.
+#[derive(Debug, Clone)]
+pub struct StealPoolStats {
+    pub workers: usize,
+    /// Tasks executed, summed over slots.
+    pub tasks: u64,
+    /// Successful peer-deque steals, summed over slots.
+    pub steals: u64,
+    pub injector_pushes: u64,
+    pub injector_pops: u64,
+    /// Nanoseconds spent parked waiting for work, summed over slots.
+    pub idle_ns: u64,
+    /// Slots that have ever executed, stolen, or idled (workers and
+    /// callers), in slot order.
+    pub per_slot: Vec<StealSlotStats>,
+    pub exec_ns: HistogramSnapshot,
+}
+
+impl StealPoolStats {
+    /// Prometheus text exposition of every pool series, appended to `out`.
+    pub fn render_prometheus(&self, out: &mut String) {
+        out.push_str("# HELP ramiel_steal_workers background worker threads in the pool\n");
+        out.push_str("# TYPE ramiel_steal_workers gauge\n");
+        out.push_str(&format!("ramiel_steal_workers {}\n", self.workers));
+        let per_slot =
+            |out: &mut String, name: &str, help: &str, get: fn(&StealSlotStats) -> u64| {
+                out.push_str(&format!("# HELP {name} {help}\n"));
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                for s in &self.per_slot {
+                    out.push_str(&format!(
+                        "{name}{{slot=\"{}\",kind=\"{}\"}} {}\n",
+                        s.slot,
+                        s.kind,
+                        get(s)
+                    ));
+                }
+            };
+        per_slot(
+            out,
+            "ramiel_steal_tasks_total",
+            "tasks executed per deque slot",
+            |s| s.tasks,
+        );
+        per_slot(
+            out,
+            "ramiel_steal_steals_total",
+            "successful peer-deque steals per slot",
+            |s| s.steals,
+        );
+        per_slot(
+            out,
+            "ramiel_steal_idle_ns_total",
+            "nanoseconds parked waiting for work per slot",
+            |s| s.idle_ns,
+        );
+        out.push_str("# HELP ramiel_steal_deque_peak_depth peak local-deque depth this window\n");
+        out.push_str("# TYPE ramiel_steal_deque_peak_depth gauge\n");
+        for s in &self.per_slot {
+            out.push_str(&format!(
+                "ramiel_steal_deque_peak_depth{{slot=\"{}\",kind=\"{}\"}} {}\n",
+                s.slot, s.kind, s.peak_depth_window
+            ));
+        }
+        out.push_str(
+            "# HELP ramiel_steal_injector_pushes_total tasks pushed to the global injector\n",
+        );
+        out.push_str("# TYPE ramiel_steal_injector_pushes_total counter\n");
+        out.push_str(&format!(
+            "ramiel_steal_injector_pushes_total {}\n",
+            self.injector_pushes
+        ));
+        out.push_str(
+            "# HELP ramiel_steal_injector_pops_total tasks popped from the global injector\n",
+        );
+        out.push_str("# TYPE ramiel_steal_injector_pops_total counter\n");
+        out.push_str(&format!(
+            "ramiel_steal_injector_pops_total {}\n",
+            self.injector_pops
+        ));
+        render_histogram_text(
+            out,
+            "ramiel_steal_task_exec_ns",
+            "per-task execution time, nanoseconds",
+            &[],
+            &self.exec_ns,
+        );
+    }
+
+    /// One-line human summary for CLI output.
+    pub fn text_summary(&self) -> String {
+        let steal_pct = if self.tasks > 0 {
+            100.0 * self.steals as f64 / self.tasks as f64
+        } else {
+            0.0
+        };
+        format!(
+            "tasks {} | steals {} ({steal_pct:.1}%) | injector push/pop {}/{} | \
+             idle {:.2} ms | exec p50 {} ns p99 {} ns max {} ns",
+            self.tasks,
+            self.steals,
+            self.injector_pushes,
+            self.injector_pops,
+            self.idle_ns as f64 / 1e6,
+            self.exec_ns.percentile(0.5),
+            self.exec_ns.percentile(0.99),
+            self.exec_ns.max,
+        )
+    }
+}
+
 struct PoolShared {
     /// `workers` worker-owned deques followed by `CALLER_SLOTS` caller
     /// deques. Bottom = back (owner LIFO), top = front (thief FIFO).
@@ -425,9 +592,16 @@ struct PoolShared {
     gate: StdMutex<()>,
     cv: Condvar,
     stop: AtomicBool,
+    telemetry: PoolTelemetry,
 }
 
 impl PoolShared {
+    /// Telemetry slot for an executor identity: deque slot, or the final
+    /// aggregate entry for slotless callers.
+    fn tel(&self, me: Option<usize>) -> &SlotTelemetry {
+        &self.telemetry.slots[me.unwrap_or(self.deques.len())]
+    }
+
     /// Pop in steal order: own deque bottom, then the injector, then peer
     /// deque tops.
     fn next_task(&self, me: Option<usize>) -> Option<Task> {
@@ -437,6 +611,7 @@ impl PoolShared {
             }
         }
         if let Some(t) = self.injector.lock().pop_front() {
+            self.telemetry.injector_pops.fetch_add(1, Ordering::Relaxed);
             return Some(t);
         }
         let n = self.deques.len();
@@ -447,6 +622,7 @@ impl PoolShared {
                 continue;
             }
             if let Some(t) = self.deques[victim].lock().pop_front() {
+                self.tel(me).steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -457,9 +633,23 @@ impl PoolShared {
     /// the injector for slotless callers / diverted chaos pushes.
     fn push_local(&self, me: Option<usize>, t: Task) {
         match me {
-            Some(me) => self.deques[me].lock().push_back(t),
-            None => self.injector.lock().push_back(t),
+            Some(me) => self.push_deque(me, t),
+            None => {
+                self.injector.lock().push_back(t);
+                self.telemetry
+                    .injector_pushes
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
+    }
+
+    /// Push onto a specific deque, tracking its depth high-water mark.
+    fn push_deque(&self, slot: usize, t: Task) {
+        let mut dq = self.deques[slot].lock();
+        dq.push_back(t);
+        let depth = dq.len() as u64;
+        drop(dq);
+        self.telemetry.slots[slot].peak_depth.observe(depth);
     }
 
     fn wake(&self) {
@@ -487,7 +677,12 @@ impl PoolShared {
                 std::thread::sleep(Duration::from_micros(stall));
             }
         }
+        self.tel(me).tasks.fetch_add(1, Ordering::Relaxed);
+        let exec_start = Instant::now();
         let r = catch_unwind(AssertUnwindSafe(|| run_node(&job, b, n, exec_idx)));
+        self.telemetry
+            .exec_ns
+            .record(exec_start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         match r {
             Ok(Ok(())) => {}
             Ok(Err(e)) => {
@@ -750,6 +945,7 @@ fn worker_main(shared: Arc<PoolShared>, w: usize) {
         // that races our scan either lands before it or blocks on the gate
         // until we are inside `wait_timeout`.
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        let idle_start = Instant::now();
         {
             let g = shared.gate.lock().unwrap_or_else(|e| e.into_inner());
             if !shared.stop.load(Ordering::SeqCst) && shared.scan_is_empty() {
@@ -759,6 +955,9 @@ fn worker_main(shared: Arc<PoolShared>, w: usize) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         }
+        shared.telemetry.slots[w]
+            .idle_ns
+            .fetch_add(idle_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -814,6 +1013,7 @@ impl StealPool {
             gate: StdMutex::new(()),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
+            telemetry: PoolTelemetry::new(workers + CALLER_SLOTS + 1),
         });
         let handles = (0..workers)
             .map(|w| {
@@ -837,6 +1037,62 @@ impl StealPool {
         self.shared.workers
     }
 
+    /// Telemetry snapshot: lifetime counters, current-window deque-depth
+    /// peaks, per-task execution histogram.
+    pub fn stats(&self) -> StealPoolStats {
+        self.snapshot_stats(false)
+    }
+
+    /// [`StealPool::stats`], additionally starting a fresh window on every
+    /// per-window gauge (interval-delta semantics for periodic scrapes).
+    pub fn stats_and_reset_window(&self) -> StealPoolStats {
+        self.snapshot_stats(true)
+    }
+
+    fn snapshot_stats(&self, reset_windows: bool) -> StealPoolStats {
+        let tel = &self.shared.telemetry;
+        let workers = self.shared.workers;
+        let mut per_slot = Vec::new();
+        let (mut tasks, mut steals, mut idle_ns) = (0u64, 0u64, 0u64);
+        for (slot, s) in tel.slots.iter().enumerate() {
+            let (t, st, idle) = (
+                s.tasks.load(Ordering::Relaxed),
+                s.steals.load(Ordering::Relaxed),
+                s.idle_ns.load(Ordering::Relaxed),
+            );
+            tasks += t;
+            steals += st;
+            idle_ns += idle;
+            let lifetime = s.peak_depth.lifetime();
+            if t == 0 && st == 0 && idle == 0 && lifetime == 0 {
+                continue; // slot never used (most caller slots)
+            }
+            per_slot.push(StealSlotStats {
+                slot,
+                kind: if slot < workers { "worker" } else { "caller" },
+                tasks: t,
+                steals: st,
+                idle_ns: idle,
+                peak_depth_window: if reset_windows {
+                    s.peak_depth.take_window()
+                } else {
+                    s.peak_depth.window()
+                },
+                peak_depth_lifetime: lifetime,
+            });
+        }
+        StealPoolStats {
+            workers,
+            tasks,
+            steals,
+            injector_pushes: tel.injector_pushes.load(Ordering::Relaxed),
+            injector_pops: tel.injector_pops.load(Ordering::Relaxed),
+            idle_ns,
+            per_slot,
+            exec_ns: tel.exec_ns.snapshot(),
+        }
+    }
+
     /// Execute one planned run. The calling thread participates: it claims
     /// a deque slot, seeds root tasks by locality hint (cluster 0 stays
     /// local, others spread over the workers), executes and steals alongside
@@ -856,7 +1112,10 @@ impl StealPool {
                 inputs.len()
             )));
         }
-        let _span = opts.obs.span(0, "steal:run", "steal");
+        let mut run_span = opts.obs.span(0, "steal:run", "steal");
+        if let Some(ids) = &opts.request_ids {
+            run_span.set_args(serde_json::json!({ "requests": &ids[..] }));
+        }
         let mut opts_eff = opts.clone();
         if opts_eff.init_values.is_none() {
             opts_eff.init_values = Some(Arc::clone(&plan.init_values));
@@ -907,11 +1166,11 @@ impl StealPool {
                 if hint == 0 && me.is_some() {
                     self.shared.push_local(me, t);
                 } else if hint == u32::MAX {
-                    self.shared.injector.lock().push_back(t);
+                    self.shared.push_local(None, t);
                     seeded_remote = true;
                 } else {
                     let w = (hint as usize).saturating_sub(1) % self.shared.workers;
-                    self.shared.deques[w].lock().push_back(t);
+                    self.shared.push_deque(w, t);
                     seeded_remote = true;
                 }
             }
@@ -945,6 +1204,7 @@ impl StealPool {
                     });
                     continue; // loop observes `dead` and reports the error
                 }
+                let idle_start = Instant::now();
                 let g = job.wait_m.lock().unwrap_or_else(|e| e.into_inner());
                 if !job.done.load(Ordering::SeqCst) && !job.dead.load(Ordering::SeqCst) {
                     let _ = job
@@ -952,6 +1212,10 @@ impl StealPool {
                         .wait_timeout(g, Duration::from_micros(200))
                         .unwrap_or_else(|e| e.into_inner());
                 }
+                self.shared
+                    .tel(me)
+                    .idle_ns
+                    .fetch_add(idle_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
             };
 
         // Hand the slot back; any foreign tasks our deque accumulated go to
@@ -1174,6 +1438,51 @@ mod tests {
         run_stealing(&g, &clustering, &inputs, &ctx).unwrap();
         assert_eq!(gauge.live_bytes(), 0);
         assert!(gauge.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn telemetry_counts_tasks_and_window_resets() {
+        let g = build(ModelKind::Googlenet, &ModelConfig::tiny());
+        let clustering = cluster_graph(&g, &StaticCost);
+        let ctx = ExecCtx::sequential();
+        let plan = Arc::new(StealPlan::new(&g, &clustering, 1).unwrap());
+        let pool = StealPool::new(2);
+        let inputs = synth_inputs(&g, 21);
+        let before = pool.stats();
+        pool.run_plan(
+            &plan,
+            std::slice::from_ref(&inputs),
+            &ctx,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        let after = pool.stats_and_reset_window();
+        let ran = after.tasks - before.tasks;
+        assert_eq!(ran as usize, plan.num_tasks(), "every task counted once");
+        assert_eq!(after.exec_ns.count, after.tasks, "one exec sample per task");
+        assert!(after.exec_ns.sum > 0);
+        assert!(after.exec_ns.percentile(0.99) >= after.exec_ns.percentile(0.5));
+        // Seeding spread work across worker deques and/or the injector.
+        assert!(after.injector_pushes + after.per_slot.iter().map(|s| s.tasks).sum::<u64>() > 0);
+        // Windows were reset by the snapshot above; lifetime peaks persist.
+        let again = pool.stats();
+        assert!(again.per_slot.iter().all(|s| s.peak_depth_window == 0));
+        assert_eq!(
+            again.per_slot.iter().map(|s| s.peak_depth_lifetime).max(),
+            after.per_slot.iter().map(|s| s.peak_depth_lifetime).max()
+        );
+        // Prometheus rendering carries the counters and the histogram.
+        let mut text = String::new();
+        after.render_prometheus(&mut text);
+        assert!(text.contains("ramiel_steal_tasks_total"));
+        assert!(text.contains("ramiel_steal_task_exec_ns_count"));
+        let parsed = ramiel_obs::parse_prometheus(&text);
+        let total: f64 = parsed
+            .iter()
+            .filter(|s| s.name == "ramiel_steal_tasks_total")
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(total as u64, after.tasks);
     }
 
     #[test]

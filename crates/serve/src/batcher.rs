@@ -34,7 +34,9 @@
 use crate::plan::CompiledPlan;
 use crate::server::{LaneConfig, OverflowPolicy, ServeError, ServeExecutor};
 use crate::stats::ServeStats;
+use crate::trace::RequestTrace;
 use crossbeam::channel::Sender;
+use ramiel_obs::{CounterHandle, GaugeHandle, HistHandle, PeakHandle};
 use ramiel_runtime::{run_sequential_opts, Env, HyperPool, RunOptions, RuntimeError, StealPool};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,11 +47,97 @@ use std::time::{Duration, Instant};
 
 /// One queued inference request.
 pub(crate) struct Request {
+    /// Server-unique id minted at admission; joins serve traces with
+    /// steal-pool spans (the stealing run span carries the batch's ids).
+    pub id: u64,
     pub inputs: Env,
     pub deadline: Option<Instant>,
     pub enqueued: Instant,
+    /// When the collector popped this request off the queue (`None` until
+    /// then). Queue-wait = popped − enqueued; batch-wait = exec − popped.
+    pub popped: Option<Instant>,
     /// One-shot response channel (crossbeam unbounded, used once).
     pub resp: Sender<Result<Env, ServeError>>,
+}
+
+/// Per-lane handles into the server's metric registry, resolved once at
+/// lane spawn (label sets are fixed: the lane's model name and executor).
+/// Every handle is one branch when the registry is disabled.
+pub(crate) struct LaneMetrics {
+    queue_wait: HistHandle,
+    batch_wait: HistHandle,
+    execute: HistHandle,
+    respond: HistHandle,
+    latency: HistHandle,
+    batch_size: HistHandle,
+    batches: CounterHandle,
+    completed: CounterHandle,
+    failed: CounterHandle,
+    shed_queue_full: CounterHandle,
+    shed_deadline: CounterHandle,
+    rejected_shutdown: CounterHandle,
+    queue_depth: GaugeHandle,
+    queue_peak: PeakHandle,
+}
+
+impl LaneMetrics {
+    fn new(cfg: &LaneConfig, model: &str) -> LaneMetrics {
+        let m = &cfg.metrics;
+        let exec = match cfg.executor {
+            ServeExecutor::Hyper => "hyper",
+            ServeExecutor::Stealing => "stealing",
+        };
+        let phase = |p: &str| {
+            m.histogram(
+                "ramiel_request_phase_ns",
+                "per-request phase latency, nanoseconds",
+                &[("model", model), ("executor", exec), ("phase", p)],
+            )
+        };
+        let outcome = |o: &str| {
+            m.counter(
+                "ramiel_requests_total",
+                "requests by final outcome",
+                &[("model", model), ("outcome", o)],
+            )
+        };
+        LaneMetrics {
+            queue_wait: phase("queue"),
+            batch_wait: phase("batch"),
+            execute: phase("execute"),
+            respond: phase("respond"),
+            latency: m.histogram(
+                "ramiel_request_latency_ns",
+                "end-to-end request latency (enqueue to response), nanoseconds",
+                &[("model", model), ("executor", exec)],
+            ),
+            batch_size: m.histogram(
+                "ramiel_batch_size",
+                "achieved micro-batch sizes",
+                &[("model", model)],
+            ),
+            batches: m.counter(
+                "ramiel_batches_total",
+                "micro-batches executed",
+                &[("model", model)],
+            ),
+            completed: outcome("completed"),
+            failed: outcome("failed"),
+            shed_queue_full: outcome("shed_queue_full"),
+            shed_deadline: outcome("shed_deadline"),
+            rejected_shutdown: outcome("rejected_shutdown"),
+            queue_depth: m.gauge(
+                "ramiel_queue_depth",
+                "submission queue depth at the last queue transition",
+                &[("model", model)],
+            ),
+            queue_peak: m.peak_gauge(
+                "ramiel_queue_peak_depth",
+                "queue-depth high-water mark (per scrape window)",
+                &[("model", model)],
+            ),
+        }
+    }
 }
 
 pub(crate) struct LaneShared {
@@ -66,6 +154,10 @@ pub(crate) struct LaneShared {
     plan: parking_lot::Mutex<Arc<CompiledPlan>>,
     cfg: LaneConfig,
     stats: Arc<ServeStats>,
+    /// The lane's model name (stable across hot reloads — lanes are keyed
+    /// by name), used for metric labels and trace entries.
+    model: String,
+    metrics: LaneMetrics,
 }
 
 fn lock<'a, T>(m: &'a StdMutex<T>) -> MutexGuard<'a, T> {
@@ -82,6 +174,8 @@ pub(crate) struct Lane {
 
 impl Lane {
     pub fn spawn(plan: Arc<CompiledPlan>, cfg: LaneConfig, stats: Arc<ServeStats>) -> Lane {
+        let model = plan.name.clone();
+        let metrics = LaneMetrics::new(&cfg, &model);
         let shared = Arc::new(LaneShared {
             queue: StdMutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
@@ -90,6 +184,8 @@ impl Lane {
             plan: parking_lot::Mutex::new(plan),
             cfg,
             stats,
+            model,
+            metrics,
         });
         let collector_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -135,12 +231,14 @@ impl LaneShared {
         let mut q = lock(&self.queue);
         if self.draining.load(Ordering::SeqCst) {
             self.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            self.metrics.rejected_shutdown.inc();
             return Err(ServeError::ShuttingDown);
         }
         if q.len() >= self.cfg.queue_capacity {
             match self.cfg.policy {
                 OverflowPolicy::Shed => {
                     self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.shed_queue_full.inc();
                     return Err(ServeError::QueueFull { depth: q.len() });
                 }
                 OverflowPolicy::Block { max_wait } => {
@@ -151,6 +249,7 @@ impl LaneShared {
                         let now = Instant::now();
                         if now >= give_up {
                             self.stats.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.shed_queue_full.inc();
                             return Err(ServeError::QueueFull { depth: q.len() });
                         }
                         let (guard, _timeout) = self
@@ -161,6 +260,7 @@ impl LaneShared {
                     }
                     if self.draining.load(Ordering::SeqCst) {
                         self.stats.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.rejected_shutdown.inc();
                         return Err(ServeError::ShuttingDown);
                     }
                 }
@@ -171,9 +271,76 @@ impl LaneShared {
         drop(q);
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         self.stats.note_depth(depth);
+        self.metrics.queue_depth.set(depth as u64);
+        self.metrics.queue_peak.observe(depth as u64);
         self.cfg.obs.counter("serve:queue_depth", depth as f64);
         self.not_empty.notify_one();
         Ok(())
+    }
+
+    /// Record everything about an answered request in one place: the four
+    /// phase histograms (queue-wait, batch-wait, execute, respond), the
+    /// end-to-end latency, the per-model outcome counter, and — when
+    /// tracing is on — one [`RequestTrace`] ring entry.
+    ///
+    /// `exec_start..exec_end` is the batch's execution window (equal
+    /// instants for requests that never executed). Phase deltas use
+    /// `saturating_duration_since`, so slightly out-of-order stamps clamp
+    /// to zero instead of panicking.
+    ///
+    /// Call this BEFORE sending the response (mirroring the counter
+    /// updates): once a caller's `wait()` returns, its request is fully
+    /// visible in metrics and the trace ring.
+    fn observe_done(
+        &self,
+        r: &Request,
+        outcome: &'static str,
+        batch: usize,
+        exec_start: Instant,
+        exec_end: Instant,
+    ) {
+        let responded = Instant::now();
+        let popped = r.popped.unwrap_or(r.enqueued);
+        let queue = popped.saturating_duration_since(r.enqueued);
+        let batch_wait = exec_start.saturating_duration_since(popped);
+        let execute = exec_end.saturating_duration_since(exec_start);
+        let respond = responded.saturating_duration_since(exec_end);
+        let latency = responded.saturating_duration_since(r.enqueued);
+
+        self.stats.queue_wait_ns.record(queue.as_nanos() as u64);
+        self.stats
+            .batch_wait_ns
+            .record(batch_wait.as_nanos() as u64);
+        self.stats.execute_ns.record(execute.as_nanos() as u64);
+        self.stats.respond_ns.record(respond.as_nanos() as u64);
+        self.stats.latency_ns.record(latency.as_nanos() as u64);
+
+        self.metrics.queue_wait.record_duration(queue);
+        self.metrics.batch_wait.record_duration(batch_wait);
+        self.metrics.execute.record_duration(execute);
+        self.metrics.respond.record_duration(respond);
+        self.metrics.latency.record_duration(latency);
+        match outcome {
+            "completed" => self.metrics.completed.inc(),
+            "failed" => self.metrics.failed.inc(),
+            "shed_deadline" => self.metrics.shed_deadline.inc(),
+            _ => {}
+        }
+
+        if let Some(ring) = &self.cfg.trace {
+            let ns = |i: Instant| i.saturating_duration_since(self.cfg.epoch).as_nanos() as u64;
+            ring.push(RequestTrace {
+                id: r.id,
+                model: self.model.clone(),
+                batch,
+                outcome,
+                enqueued_ns: ns(r.enqueued),
+                popped_ns: ns(popped),
+                exec_start_ns: ns(exec_start),
+                exec_end_ns: ns(exec_end),
+                responded_ns: ns(responded),
+            });
+        }
     }
 }
 
@@ -187,7 +354,9 @@ fn collector(sh: Arc<LaneShared>) {
         let first = {
             let mut q = lock(&sh.queue);
             loop {
-                if let Some(r) = q.pop_front() {
+                if let Some(mut r) = q.pop_front() {
+                    r.popped = Some(Instant::now());
+                    sh.metrics.queue_depth.set(q.len() as u64);
                     sh.space.notify_one();
                     break r;
                 }
@@ -204,7 +373,9 @@ fn collector(sh: Arc<LaneShared>) {
             let mut q = lock(&sh.queue);
             while batch.len() < sh.cfg.max_batch {
                 match q.pop_front() {
-                    Some(r) => {
+                    Some(mut r) => {
+                        r.popped = Some(Instant::now());
+                        sh.metrics.queue_depth.set(q.len() as u64);
                         sh.space.notify_one();
                         batch.push(r);
                     }
@@ -236,9 +407,17 @@ fn bounded_backoff(cfg: &ramiel_runtime::SupervisorConfig, retry: u32) -> Durati
         .min(cfg.backoff_max)
 }
 
-fn fail_all(sh: &LaneShared, batch: Vec<Request>, err: &ServeError) {
+fn fail_all(
+    sh: &LaneShared,
+    batch: Vec<Request>,
+    err: &ServeError,
+    exec_start: Instant,
+    exec_end: Instant,
+) {
+    let n = batch.len();
     for r in batch {
         sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+        sh.observe_done(&r, "failed", n, exec_start, exec_end);
         let _ = r.resp.send(Err(err.clone()));
     }
 }
@@ -253,11 +432,10 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
     let now = Instant::now();
     let mut live: Vec<Request> = Vec::with_capacity(batch.len());
     for r in batch {
-        sh.stats
-            .queue_ns
-            .fetch_add((now - r.enqueued).as_nanos() as u64, Ordering::Relaxed);
         if r.deadline.is_some_and(|d| d < now) {
             sh.stats.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            // Dead-on-arrival: the execution window is empty.
+            sh.observe_done(&r, "shed_deadline", 0, now, now);
             let _ = r
                 .resp
                 .send(Err(ServeError::DeadlineExceeded { stage: "queued" }));
@@ -270,6 +448,7 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
     }
 
     let plan = Arc::clone(&sh.plan.lock());
+    let ids: Arc<Vec<u64>> = Arc::new(live.iter().map(|r| r.id).collect());
     let run_opts = RunOptions {
         injector: sh.cfg.injector.clone(),
         recv_timeout: sh.cfg.recv_timeout,
@@ -277,6 +456,7 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
         init_values: Some(Arc::clone(&plan.init_values)),
         reuse: true,
         steal_chaos: None,
+        request_ids: Some(Arc::clone(&ids)),
     };
     let stealing = sh.cfg.executor == ServeExecutor::Stealing;
     // Hot reload boundary: a version change means new graph/weights, so
@@ -288,7 +468,8 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
         match HyperPool::with_options(&plan.graph, plan.num_clusters(), &plan.ctx, &run_opts) {
             Ok(p) => *pool_slot = Some((plan.version, p)),
             Err(e) => {
-                fail_all(sh, live, &ServeError::Runtime(e));
+                let t = Instant::now();
+                fail_all(sh, live, &ServeError::Runtime(e), t, t);
                 return;
             }
         }
@@ -296,11 +477,16 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
 
     let n = live.len();
     sh.stats.record_batch(n);
+    sh.metrics.batches.inc();
+    sh.metrics.batch_size.record(n as u64);
     obs.instant(
         0,
         format!("serve:batch x{n}"),
         "serve",
-        serde_json::json!({ "model": plan.name, "batch": n, "version": plan.version }),
+        serde_json::json!({
+            "model": plan.name, "batch": n, "version": plan.version,
+            "requests": &ids[..],
+        }),
     );
     obs.counter("serve:batch_size", n as f64);
 
@@ -315,7 +501,8 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
         match plan.steal_plan_for(n) {
             Ok(p) => BatchExec::Stealing(p),
             Err(e) => {
-                fail_all(sh, live, &e);
+                let t = Instant::now();
+                fail_all(sh, live, &e, t, t);
                 return;
             }
         }
@@ -323,7 +510,8 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
         match plan.schedule_for(n) {
             Ok(s) => BatchExec::Hyper(s),
             Err(e) => {
-                fail_all(sh, live, &e);
+                let t = Instant::now();
+                fail_all(sh, live, &e, t, t);
                 return;
             }
         }
@@ -331,9 +519,12 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
     let inputs: Arc<Vec<Env>> = Arc::new(live.iter().map(|r| r.inputs.clone()).collect());
 
     // Supervised execution on the standing pool: retry transient-shaped
-    // failures with bounded backoff (both pools survive failed jobs).
+    // failures with bounded backoff (both pools survive failed jobs). The
+    // execution window charged to each request spans the whole retry loop
+    // (backoff sleeps included) — that is the latency callers actually saw.
     let sup = &sh.cfg.supervisor;
     let mut attempt = 0u32;
+    let exec_start = Instant::now();
     let result: Result<Vec<Env>, RuntimeError> = loop {
         let attempt_result = match &exec {
             BatchExec::Hyper(sched) => {
@@ -363,10 +554,13 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
         }
     };
 
+    let exec_end = Instant::now();
+
     match result {
         Ok(outs) => {
             for (r, out) in live.into_iter().zip(outs) {
                 sh.stats.completed.fetch_add(1, Ordering::Relaxed);
+                sh.observe_done(&r, "completed", n, exec_start, exec_end);
                 let _ = r.resp.send(Ok(out));
             }
         }
@@ -382,26 +576,30 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
                 serde_json::json!({ "model": plan.name, "error": batch_err.code() }),
             );
             for r in live {
+                let solo_start = Instant::now();
                 let res = catch_unwind(AssertUnwindSafe(|| {
                     run_sequential_opts(&plan.graph, &r.inputs, &plan.ctx, &run_opts)
                 }))
                 .unwrap_or_else(|payload| {
                     Err(ramiel_runtime::fault::panic_to_error(None, payload))
                 });
+                let solo_end = Instant::now();
                 match res {
                     Ok(out) => {
                         sh.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        sh.observe_done(&r, "completed", 1, solo_start, solo_end);
                         let _ = r.resp.send(Ok(out));
                     }
                     Err(e) => {
                         sh.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        sh.observe_done(&r, "failed", 1, solo_start, solo_end);
                         let _ = r.resp.send(Err(ServeError::Runtime(e)));
                     }
                 }
             }
         }
         Err(e) => {
-            fail_all(sh, live, &ServeError::Runtime(e));
+            fail_all(sh, live, &ServeError::Runtime(e), exec_start, exec_end);
         }
     }
 }

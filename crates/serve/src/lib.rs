@@ -23,12 +23,18 @@
 //!   drain-on-shutdown.
 //! - [`tcp`] — newline-delimited JSON over `std::net` TCP, the transport
 //!   behind `ramiel serve <model.json> --port N`.
+//! - [`trace`] — bounded per-request trace ring; every answered request
+//!   leaves a four-phase timeline (queue → batch → execute → respond)
+//!   dumpable as a Chrome trace via the TCP `trace` verb. Metrics live in
+//!   [`stats`] (process-wide) and the per-model registry handed in through
+//!   [`ServeConfig::metrics`], rendered by the TCP `metrics` verb.
 
 pub mod batcher;
 pub mod plan;
 pub mod server;
 pub mod stats;
 pub mod tcp;
+pub mod trace;
 
 #[cfg(test)]
 mod tests;
@@ -37,3 +43,4 @@ pub use plan::{CompiledPlan, PlanCache, PlanSpec};
 pub use server::{OverflowPolicy, ServeConfig, ServeError, ServeExecutor, Server, Ticket};
 pub use stats::{BatchBucket, ServeStats, StatsSnapshot};
 pub use tcp::run_tcp;
+pub use trace::{RequestTrace, TraceRing};

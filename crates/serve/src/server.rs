@@ -5,11 +5,12 @@
 use crate::batcher::{Lane, Request};
 use crate::plan::{CompiledPlan, PlanCache, PlanSpec};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::trace::TraceRing;
 use crossbeam::channel::{unbounded, Receiver};
-use ramiel_obs::Obs;
-use ramiel_runtime::{Env, FaultInjector, RuntimeError, SupervisorConfig};
+use ramiel_obs::{Metrics, Obs};
+use ramiel_runtime::{Env, FaultInjector, RuntimeError, StealPool, SupervisorConfig};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,6 +65,14 @@ pub struct ServeConfig {
     /// Batch executor: per-model hyper pool (default) or the shared
     /// work-stealing pool.
     pub executor: ServeExecutor,
+    /// Metric registry for per-model labeled series (latency/phase
+    /// histograms, outcome counters, depth gauges), rendered by the TCP
+    /// `metrics` verb. Enabled by default; a disabled registry reduces
+    /// every per-model recording to one branch.
+    pub metrics: Metrics,
+    /// Bound on the in-memory per-request trace ring (`0` disables
+    /// tracing; the TCP `trace` verb then returns an empty trace).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +91,8 @@ impl Default for ServeConfig {
             injector: None,
             obs: Obs::disabled(),
             executor: ServeExecutor::default(),
+            metrics: Metrics::enabled(),
+            trace_capacity: 4096,
         }
     }
 }
@@ -99,10 +110,15 @@ pub(crate) struct LaneConfig {
     pub injector: Option<Arc<FaultInjector>>,
     pub obs: Obs,
     pub executor: ServeExecutor,
+    pub metrics: Metrics,
+    /// Server-wide trace ring shared by every lane (`None` = disabled).
+    pub trace: Option<Arc<TraceRing>>,
+    /// Timebase for trace-ring nanosecond offsets.
+    pub epoch: Instant,
 }
 
 impl ServeConfig {
-    pub(crate) fn lane(&self) -> LaneConfig {
+    pub(crate) fn lane(&self, trace: Option<Arc<TraceRing>>, epoch: Instant) -> LaneConfig {
         LaneConfig {
             max_batch: self.max_batch.max(1),
             max_delay: self.max_delay,
@@ -113,6 +129,9 @@ impl ServeConfig {
             injector: self.injector.clone(),
             obs: self.obs.clone(),
             executor: self.executor,
+            metrics: self.metrics.clone(),
+            trace,
+            epoch,
         }
     }
 }
@@ -205,17 +224,31 @@ pub struct Server {
     lanes: parking_lot::Mutex<HashMap<String, Lane>>,
     stats: Arc<ServeStats>,
     shutting_down: AtomicBool,
+    /// Bounded per-request trace ring, shared by all lanes.
+    trace: Option<Arc<TraceRing>>,
+    /// Timebase for trace offsets and rate windows.
+    epoch: Instant,
+    /// RequestId mint: ids are unique per server, starting at 1.
+    next_id: AtomicU64,
 }
 
 impl Server {
     pub fn new(cfg: ServeConfig) -> Server {
         let cache = PlanCache::new(cfg.plan_capacity);
+        let trace = if cfg.trace_capacity > 0 {
+            Some(Arc::new(TraceRing::new(cfg.trace_capacity)))
+        } else {
+            None
+        };
         Server {
             cfg,
             cache,
             lanes: parking_lot::Mutex::new(HashMap::new()),
             stats: Arc::new(ServeStats::default()),
             shutting_down: AtomicBool::new(false),
+            trace,
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
         }
     }
 
@@ -242,7 +275,11 @@ impl Server {
                 None => {
                     lanes.insert(
                         name.to_string(),
-                        Lane::spawn(Arc::clone(&plan), self.cfg.lane(), Arc::clone(&self.stats)),
+                        Lane::spawn(
+                            Arc::clone(&plan),
+                            self.cfg.lane(self.trace.clone(), self.epoch),
+                            Arc::clone(&self.stats),
+                        ),
                     );
                 }
             }
@@ -296,9 +333,11 @@ impl Server {
         };
         let (tx, rx) = unbounded();
         shared.enqueue(Request {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
             inputs,
             deadline,
             enqueued: now,
+            popped: None,
             resp: tx,
         })?;
         Ok(Ticket { rx })
@@ -309,9 +348,57 @@ impl Server {
         self.submit(model, inputs)?.wait()
     }
 
-    /// Point-in-time serving counters.
+    /// Point-in-time serving counters (leaves the current window running).
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Serving counters with interval-delta semantics: per-window gauges
+    /// (the queue-depth peak) are read and reset, so periodic pollers see
+    /// each window's high-water mark instead of the lifetime high. Used by
+    /// the TCP `stats` op.
+    pub fn stats_and_reset_window(&self) -> StatsSnapshot {
+        self.stats.snapshot_and_reset_window()
+    }
+
+    /// The per-model metric registry this server records into.
+    pub fn metrics(&self) -> &Metrics {
+        &self.cfg.metrics
+    }
+
+    /// Prometheus text exposition of everything this process knows:
+    /// per-model serve series from the registry, the shared steal-pool
+    /// telemetry, and server-level gauges. Resets per-window gauges
+    /// (scrape-interval delta semantics).
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.cfg.metrics.render_prometheus(true);
+        out.push_str("# HELP ramiel_server_models loaded model count\n");
+        out.push_str("# TYPE ramiel_server_models gauge\n");
+        out.push_str(&format!("ramiel_server_models {}\n", self.models().len()));
+        out.push_str("# HELP ramiel_server_uptime_seconds seconds since server start\n");
+        out.push_str("# TYPE ramiel_server_uptime_seconds counter\n");
+        out.push_str(&format!(
+            "ramiel_server_uptime_seconds {:.3}\n",
+            self.epoch.elapsed().as_secs_f64()
+        ));
+        StealPool::global()
+            .stats_and_reset_window()
+            .render_prometheus(&mut out);
+        out
+    }
+
+    /// The bounded per-request trace ring, if tracing is enabled.
+    pub fn trace_ring(&self) -> Option<&Arc<TraceRing>> {
+        self.trace.as_ref()
+    }
+
+    /// Chrome trace JSON of the most recent requests (empty `traceEvents`
+    /// when tracing is disabled or nothing has been served yet).
+    pub fn trace_chrome(&self) -> serde_json::Value {
+        match &self.trace {
+            Some(ring) => ring.to_chrome_trace(),
+            None => serde_json::json!({ "traceEvents": [] }),
+        }
     }
 
     /// Graceful drain: reject new submissions, execute everything already

@@ -1,11 +1,11 @@
-//! Serving counters: queue depth, batch-size histogram, time-in-queue,
-//! shed counts. Lock-free on the hot path (atomics), with one small mutex
-//! for the batch-size histogram (touched once per *batch*, not per
-//! request).
+//! Serving counters: queue depth, batch-size histogram, per-phase latency
+//! histograms, shed counts. Entirely lock-free on the hot path — counters
+//! are plain atomics and the histograms are the fixed-bucket atomics from
+//! [`ramiel_obs::metrics`] (the old per-batch `Mutex<BTreeMap>` histogram
+//! is gone).
 
-use parking_lot::Mutex;
+use ramiel_obs::metrics::{bucket_bounds, Histogram, PeakGauge};
 use serde::Serialize;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Live counters shared by the server, its lanes, and the stats endpoint.
@@ -32,11 +32,21 @@ pub struct ServeStats {
     pub retries: AtomicU64,
     /// Batches that degraded to per-request sequential execution.
     pub fallbacks: AtomicU64,
-    /// Total nanoseconds requests spent queued before execution.
-    pub queue_ns: AtomicU64,
-    /// Deepest queue observed at admission.
-    pub peak_depth: AtomicU64,
-    batch_hist: Mutex<BTreeMap<usize, u64>>,
+    /// Deepest queue observed at admission (per-window + lifetime).
+    peak_depth: PeakGauge,
+    /// Achieved batch sizes (exact buckets below 16, so `max_batch <= 15`
+    /// configurations report size-precise histograms).
+    batch_sizes: Histogram,
+    /// Per-request time-in-queue, nanoseconds (enqueue → collector pop).
+    pub(crate) queue_wait_ns: Histogram,
+    /// Collector pop → batch execution start, nanoseconds.
+    pub(crate) batch_wait_ns: Histogram,
+    /// Batch execution window attributed to each request, nanoseconds.
+    pub(crate) execute_ns: Histogram,
+    /// Execution end → response handed to the caller, nanoseconds.
+    pub(crate) respond_ns: Histogram,
+    /// End-to-end latency (enqueue → responded), nanoseconds.
+    pub(crate) latency_ns: Histogram,
 }
 
 impl ServeStats {
@@ -44,22 +54,36 @@ impl ServeStats {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(size as u64, Ordering::Relaxed);
-        *self.batch_hist.lock().entry(size).or_insert(0) += 1;
+        self.batch_sizes.record(size as u64);
     }
 
     pub fn note_depth(&self, depth: usize) {
-        self.peak_depth.fetch_max(depth as u64, Ordering::Relaxed);
+        self.peak_depth.observe(depth as u64);
     }
 
-    /// Point-in-time copy of every counter, plus derived means.
+    /// Point-in-time copy of every counter, plus derived means and
+    /// quantiles. Leaves the current window running.
     pub fn snapshot(&self) -> StatsSnapshot {
+        self.build_snapshot(false)
+    }
+
+    /// [`ServeStats::snapshot`], additionally resetting every per-window
+    /// gauge (the queue-depth peak) so periodic scrapes see interval
+    /// deltas instead of lifetime highs.
+    pub fn snapshot_and_reset_window(&self) -> StatsSnapshot {
+        self.build_snapshot(true)
+    }
+
+    fn build_snapshot(&self, reset_windows: bool) -> StatsSnapshot {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
-        let completed = self.completed.load(Ordering::Relaxed);
-        let queue_ns = self.queue_ns.load(Ordering::Relaxed);
+        let queue = self.queue_wait_ns.snapshot();
+        let latency = self.latency_ns.snapshot();
+        let execute = self.execute_ns.snapshot();
+        let ms = |ns: u64| ns as f64 / 1e6;
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
-            completed,
+            completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
@@ -67,22 +91,35 @@ impl ServeStats {
             batches,
             retries: self.retries.load(Ordering::Relaxed),
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
-            peak_queue_depth: self.peak_depth.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_depth.lifetime(),
+            window_peak_queue_depth: if reset_windows {
+                self.peak_depth.take_window()
+            } else {
+                self.peak_depth.window()
+            },
             mean_batch: if batches > 0 {
                 batched as f64 / batches as f64
             } else {
                 0.0
             },
-            mean_queue_ms: if batched > 0 {
-                queue_ns as f64 / batched as f64 / 1e6
-            } else {
-                0.0
-            },
+            mean_queue_ms: queue.mean() / 1e6,
+            queue_p50_ms: ms(queue.percentile(0.5)),
+            queue_p99_ms: ms(queue.percentile(0.99)),
+            execute_p50_ms: ms(execute.percentile(0.5)),
+            execute_p99_ms: ms(execute.percentile(0.99)),
+            latency_p50_ms: ms(latency.percentile(0.5)),
+            latency_p90_ms: ms(latency.percentile(0.9)),
+            latency_p99_ms: ms(latency.percentile(0.99)),
+            latency_max_ms: ms(latency.max),
             batch_histogram: self
-                .batch_hist
-                .lock()
-                .iter()
-                .map(|(&size, &count)| BatchBucket { size, count })
+                .batch_sizes
+                .snapshot()
+                .nonzero()
+                .map(|(i, count)| BatchBucket {
+                    // Exact below 16; the bucket's lower edge above.
+                    size: bucket_bounds(i).0 as usize,
+                    count,
+                })
                 .collect(),
         }
     }
@@ -108,10 +145,23 @@ pub struct StatsSnapshot {
     pub batches: u64,
     pub retries: u64,
     pub fallbacks: u64,
+    /// Lifetime queue-depth high-water mark.
     pub peak_queue_depth: u64,
+    /// Queue-depth high-water mark since the last window reset
+    /// ([`ServeStats::snapshot_and_reset_window`], used by the TCP `stats`
+    /// and `metrics` ops).
+    pub window_peak_queue_depth: u64,
     /// Mean achieved batch size (batched requests / batches).
     pub mean_batch: f64,
     /// Mean time-in-queue per request, milliseconds.
     pub mean_queue_ms: f64,
+    pub queue_p50_ms: f64,
+    pub queue_p99_ms: f64,
+    pub execute_p50_ms: f64,
+    pub execute_p99_ms: f64,
+    pub latency_p50_ms: f64,
+    pub latency_p90_ms: f64,
+    pub latency_p99_ms: f64,
+    pub latency_max_ms: f64,
     pub batch_histogram: Vec<BatchBucket>,
 }

@@ -9,8 +9,11 @@
 //!
 //! Ops: `ping`, `infer` (named [`TensorData`] inputs), `infer_synth`
 //! (server-side deterministic inputs from `seed` — lets load generators
-//! skip shipping tensors), `stats`, `shutdown` (graceful drain, then the
-//! accept loop exits).
+//! skip shipping tensors), `stats` (resets per-window gauges — pollers see
+//! interval deltas), `metrics` (Prometheus text exposition in the
+//! `metrics` response field; scrape with `ramiel top`), `trace` (Chrome
+//! trace JSON of recent requests in the `trace` field), `shutdown`
+//! (graceful drain, then the accept loop exits).
 //!
 //! Response: `{"id":1,"ok":true,...}` with `outputs` / `stats` on success,
 //! `error` + `code` (SV-*/RT-*) on failure. `model` is optional everywhere
@@ -49,6 +52,10 @@ struct WireResponse {
     outputs: Option<BTreeMap<String, TensorData>>,
     stats: Option<crate::stats::StatsSnapshot>,
     models: Option<Vec<String>>,
+    /// `metrics` op: Prometheus text exposition.
+    metrics: Option<String>,
+    /// `trace` op: Chrome trace JSON (`{"traceEvents": [...]}`).
+    trace: Option<serde_json::Value>,
     error: Option<String>,
     code: Option<String>,
 }
@@ -61,6 +68,8 @@ impl WireResponse {
             outputs: None,
             stats: None,
             models: None,
+            metrics: None,
+            trace: None,
             error: None,
             code: None,
         }
@@ -158,8 +167,18 @@ fn handle_request(server: &Server, default_model: &str, req: WireRequest) -> (Wi
         "ping" => (WireResponse::ok(id), false),
         "stats" => {
             let mut r = WireResponse::ok(id);
-            r.stats = Some(server.stats());
+            r.stats = Some(server.stats_and_reset_window());
             r.models = Some(server.models());
+            (r, false)
+        }
+        "metrics" => {
+            let mut r = WireResponse::ok(id);
+            r.metrics = Some(server.metrics_text());
+            (r, false)
+        }
+        "trace" => {
+            let mut r = WireResponse::ok(id);
+            r.trace = Some(server.trace_chrome());
             (r, false)
         }
         "shutdown" => (WireResponse::ok(id), true),

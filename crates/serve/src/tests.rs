@@ -214,3 +214,143 @@ fn tcp_round_trip_ping_infer_stats_shutdown() {
     accept.join().unwrap().unwrap();
     assert!(server.is_shutting_down());
 }
+
+#[test]
+fn metrics_and_trace_verbs_over_tcp() {
+    let g = synthetic::fork_join(2, 2, 2);
+    let server = Arc::new(Server::new(small_cfg()));
+    server.load("fj", PlanSpec::new(g.clone())).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let srv = Arc::clone(&server);
+    let accept = std::thread::spawn(move || crate::tcp::run_tcp(&srv, "fj", listener));
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut rpc = |line: &str| -> serde_json::Value {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        serde_json::from_str(&resp).unwrap()
+    };
+
+    for seed in 0..3 {
+        let resp = rpc(&format!(
+            r#"{{"id":{seed},"op":"infer_synth","seed":{seed}}}"#
+        ));
+        assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    }
+
+    // `metrics`: well-formed Prometheus exposition with per-model latency
+    // histograms and outcome counters.
+    let resp = rpc(r#"{"id":10,"op":"metrics"}"#);
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let text = resp.get("metrics").and_then(|m| m.as_str()).unwrap();
+    let samples = ramiel_obs::parse_prometheus(text);
+    assert!(!samples.is_empty(), "exposition parsed to zero samples");
+    let completed = samples
+        .iter()
+        .find(|s| {
+            s.name == "ramiel_requests_total"
+                && s.label("model") == Some("fj")
+                && s.label("outcome") == Some("completed")
+        })
+        .expect("completed counter for fj");
+    assert_eq!(completed.value as u64, 3);
+    assert!(
+        samples.iter().any(|s| s.name == "ramiel_request_latency_ns_bucket"
+            && s.label("model") == Some("fj")),
+        "per-model latency histogram missing"
+    );
+    assert!(
+        samples.iter().any(|s| s.name == "ramiel_steal_workers"),
+        "steal-pool telemetry missing from exposition"
+    );
+
+    // `trace`: a valid Chrome trace with four spans per answered request.
+    let resp = rpc(r#"{"id":11,"op":"trace"}"#);
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let trace = resp.get("trace").unwrap();
+    let stats = ramiel_obs::validate_chrome_trace(&trace.to_string()).expect("valid trace");
+    assert_eq!(stats.complete_spans, 3 * 4);
+
+    rpc(r#"{"id":12,"op":"shutdown"}"#);
+    accept.join().unwrap().unwrap();
+}
+
+#[test]
+fn latency_histograms_and_window_reset() {
+    let g = synthetic::fork_join(2, 2, 2);
+    let server = Server::new(small_cfg());
+    server.load("fj", PlanSpec::new(g.clone())).unwrap();
+    for seed in 0..6u64 {
+        server.infer("fj", synth_inputs(&g, seed)).unwrap();
+    }
+    let snap = server.stats_and_reset_window();
+    assert_eq!(snap.completed, 6);
+    // Phase/latency histograms populated with sane orderings.
+    assert!(snap.latency_max_ms > 0.0, "latency max must be positive");
+    assert!(snap.latency_p50_ms <= snap.latency_p99_ms);
+    assert!(snap.latency_p99_ms <= snap.latency_max_ms * 1.0001);
+    assert!(snap.queue_p50_ms <= snap.queue_p99_ms);
+    assert!(snap.mean_queue_ms >= 0.0);
+    assert!(
+        snap.window_peak_queue_depth >= 1,
+        "peak window never observed"
+    );
+    assert_eq!(snap.peak_queue_depth, snap.window_peak_queue_depth);
+
+    // The window was consumed: with no new traffic the next windowed
+    // snapshot reports zero, while the lifetime peak persists.
+    let next = server.stats_and_reset_window();
+    assert_eq!(next.window_peak_queue_depth, 0);
+    assert_eq!(next.peak_queue_depth, snap.peak_queue_depth);
+
+    // The trace ring saw every answered request, newest retained.
+    let ring = server.trace_ring().expect("tracing on by default");
+    assert_eq!(ring.len(), 6);
+    let chrome = server.trace_chrome().to_string();
+    let stats = ramiel_obs::validate_chrome_trace(&chrome).expect("valid trace");
+    assert_eq!(stats.complete_spans, 6 * 4);
+}
+
+#[test]
+fn request_ids_are_unique_and_monotone() {
+    let g = synthetic::chain(3);
+    let server = Server::new(small_cfg());
+    server.load("c", PlanSpec::new(g.clone())).unwrap();
+    for seed in 0..5u64 {
+        server.infer("c", synth_inputs(&g, seed)).unwrap();
+    }
+    let ring = server.trace_ring().unwrap();
+    let ids: Vec<u64> = ring.snapshot().iter().map(|t| t.id).collect();
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 5, "request ids must be unique: {ids:?}");
+}
+
+#[test]
+fn disabled_metrics_and_trace_still_serve() {
+    let g = synthetic::chain(3);
+    let server = Server::new(ServeConfig {
+        metrics: ramiel_obs::Metrics::disabled(),
+        trace_capacity: 0,
+        ..small_cfg()
+    });
+    server.load("c", PlanSpec::new(g.clone())).unwrap();
+    server.infer("c", synth_inputs(&g, 1)).unwrap();
+    assert!(server.trace_ring().is_none());
+    // Registry renders empty; steal-pool + server gauges still appear.
+    let text = server.metrics_text();
+    assert!(!text.contains("ramiel_request_latency_ns"));
+    assert!(text.contains("ramiel_server_models"));
+    // Chrome trace degrades to a valid empty trace.
+    let chrome = server.trace_chrome().to_string();
+    ramiel_obs::validate_chrome_trace(&chrome).expect("empty trace is valid");
+    // Process-wide ServeStats histograms record regardless of the registry.
+    assert!(server.stats().latency_max_ms > 0.0);
+}

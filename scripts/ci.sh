@@ -60,10 +60,14 @@ grep -q "peak memory:" target/ci-analyze.log
 
 # Serving smoke: boot `ramiel serve` on a real TCP socket, then drive it
 # with `ramiel request` — ping, a handful of batched inferences, a stats
-# snapshot, and a graceful shutdown. The server process must exit 0 on its
-# own after the shutdown op (drain, not kill), all under the same hard
-# timeout so a wedged accept loop or un-drained lane fails CI instead of
-# hanging it.
+# snapshot, the telemetry verbs, and a graceful shutdown. The `metrics` op
+# must return Prometheus exposition carrying the per-request latency
+# histograms and the steal-pool counters; the `trace` op's Chrome trace is
+# validated client-side (the CLI exits nonzero on a malformed trace); and
+# one frame of `ramiel top` must render from the same endpoint. The server
+# process must exit 0 on its own after the shutdown op (drain, not kill),
+# all under the same hard timeout so a wedged accept loop or un-drained
+# lane fails CI instead of hanging it.
 echo "==> ramiel serve smoke (TCP round-trip gate)"
 cargo build --offline -p ramiel --bin ramiel
 SERVE_PORT=7979
@@ -81,6 +85,13 @@ timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op ping
 timeout 60s target/debug/ramiel request --port "$SERVE_PORT" \
     --op infer_synth --count 4 > /dev/null
 timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op stats
+timeout 60s target/debug/ramiel request --port "$SERVE_PORT" \
+    --op metrics > target/serve-metrics.txt
+grep -q "ramiel_request_latency_ns_bucket" target/serve-metrics.txt
+grep -q "ramiel_steal_tasks_total" target/serve-metrics.txt
+timeout 60s target/debug/ramiel request --port "$SERVE_PORT" \
+    --op trace > target/serve-trace.json
+timeout 60s target/debug/ramiel top --port "$SERVE_PORT" --frames 1
 timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op shutdown
 wait "$SERVE_PID"
 

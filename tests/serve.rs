@@ -67,6 +67,12 @@ fn concurrent_clients_get_bit_identical_results() {
         .map(|b| b.count * b.size as u64)
         .sum();
     assert_eq!(hist_total, s.completed);
+    // The per-phase latency histograms saw every answered request and
+    // report ordered quantiles.
+    assert!(s.latency_max_ms > 0.0);
+    assert!(s.latency_p50_ms <= s.latency_p99_ms);
+    assert!(s.latency_p99_ms <= s.latency_max_ms * 1.0001);
+    assert!(s.peak_queue_depth >= 1);
 }
 
 /// The same acceptance contract on the work-stealing lane executor: hot
