@@ -22,6 +22,7 @@ struct Row {
     config: String,
     iters: String,
     par_speedup: Option<f64>,
+    simd_speedup: Option<f64>,
     steal_speedup: Option<f64>,
     mem_cut: Option<f64>,
     zero_copy: Option<f64>,
@@ -76,6 +77,22 @@ fn row_for(date: &str, summary: &Value) -> Row {
             .and_then(Value::as_u64)
             .map_or_else(|| "?".into(), |i| i.to_string()),
         par_speedup: geomean(&speedups),
+        // geomean over the guarded kernel-shape rows (labels contain
+        // " mm "); the whole-model row is informational and excluded.
+        simd_speedup: summary
+            .get("backends")
+            .and_then(Value::as_array)
+            .map(|bs| {
+                bs.iter()
+                    .filter(|b| {
+                        b.get("model")
+                            .and_then(Value::as_str)
+                            .is_some_and(|m| m.contains(" mm "))
+                    })
+                    .filter_map(|b| b.get("simd_speedup").and_then(Value::as_f64))
+                    .collect::<Vec<f64>>()
+            })
+            .and_then(|xs| geomean(&xs)),
         steal_speedup: geomean(&steal_speedups),
         mem_cut: mean_of(summary, "memory", "reduction"),
         zero_copy: summary
@@ -151,21 +168,25 @@ fn main() {
          mean reduction in measured peak live bytes from in-place buffer reuse,\n\
          `zero-copy` the channel payload-bytes-to-copied-bytes ratio, and\n\
          `serve speedup` dynamic batching's throughput gain over per-request\n\
-         execution.\n\n",
+         execution. `simd` is the geomean SimdF32-over-ScalarF32 speedup on\n\
+         BERT's dominant Gemm kernel shapes (each guarded \u{2265} 1.3x by\n\
+         `bench_json`; whole-model ratios are reported in the JSON but not\n\
+         folded here).\n\n",
     );
     md.push_str(
-        "| date | config | iters | par speedup | steal b1 | peak-mem cut | zero-copy | serve speedup |\n",
+        "| date | config | iters | par speedup | simd | steal b1 | peak-mem cut | zero-copy | serve speedup |\n",
     );
     md.push_str(
-        "|------|--------|-------|-------------|----------|--------------|-----------|---------------|\n",
+        "|------|--------|-------|-------------|------|----------|--------------|-----------|---------------|\n",
     );
     for r in &rows {
         md.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
             r.date,
             r.config,
             r.iters,
             fmt_x(r.par_speedup),
+            fmt_x(r.simd_speedup),
             fmt_x(r.steal_speedup),
             fmt_pct(r.mem_cut),
             fmt_x(r.zero_copy),

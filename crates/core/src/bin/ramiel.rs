@@ -53,6 +53,13 @@
 //! dynamic schedule's estimate-only view (sound first-ready memory bound,
 //! no channel lints — the executor has no channels to lint).
 //!
+//! `--backend <scalar|simd|quant-i8>` (`run`, `serve`, `analyze`) picks the
+//! kernel backend: `scalar` (default) plain f32 loops, `simd` lane-unrolled
+//! f32x8 microkernels (bit-identical to scalar), `quant-i8` per-tensor
+//! symmetric int8 with dequantized f32 outputs (within tolerance of f32,
+//! not bit-identical). Under `analyze`, `--backend quant-i8` additionally
+//! reports the resident bytes of the per-plan quantized weight cache.
+//!
 //! `ramiel check` runs the pipeline, then statically verifies the resulting
 //! `(graph, schedule)` pair with `ramiel-verify`: partition coverage, cycle
 //! analysis, in-order soundness, channel deadlock-freedom, shape honesty,
@@ -67,7 +74,7 @@ use ramiel_models::{build, ModelConfig, ModelKind};
 use ramiel_runtime::{
     run_parallel, run_parallel_opts, run_sequential, run_sequential_opts, synth_inputs,
 };
-use ramiel_tensor::ExecCtx;
+use ramiel_tensor::{ExecCtx, KernelBackend};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -119,6 +126,7 @@ struct Flags {
     stealing: bool,
     interval_ms: u64,
     frames: usize,
+    backend: Option<KernelBackend>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -151,6 +159,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         stealing: false,
         interval_ms: 1000,
         frames: 0,
+        backend: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -256,6 +265,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     "stealing" => true,
                     other => return Err(format!("unknown executor `{other}` (channel|stealing)")),
                 }
+            }
+            "--backend" => {
+                let v = value("--backend")?;
+                f.backend = Some(
+                    KernelBackend::parse(&v)
+                        .ok_or_else(|| format!("unknown backend `{v}` (scalar|simd|quant-i8)"))?,
+                )
             }
             "--scheduler" => {
                 f.scheduler = match value("--scheduler")?.as_str() {
@@ -392,7 +408,11 @@ fn cmd_run(model: &str, f: &Flags) -> Result<(), String> {
     if let Some(seed) = f.chaos_seed {
         return cmd_run_chaos(&prepared, &inputs, &ctx, seed, f);
     }
-    let run_opts = prepared.run_options();
+    let mut run_opts = prepared.run_options();
+    if let Some(b) = f.backend {
+        run_opts = run_opts.backend(b);
+        println!("kernel backend: {b}");
+    }
 
     let time_it = |label: &str, body: &dyn Fn() -> Result<(), String>| -> Result<(), String> {
         body()?; // warm-up
@@ -465,6 +485,7 @@ fn cmd_run_chaos(
         );
     }
     let mut opts = prepared.run_options();
+    opts.backend = f.backend;
     opts.injector = Some(FaultInjector::new(plan));
     let cfg = SupervisorConfig {
         max_retries: f.max_retries,
@@ -486,7 +507,13 @@ fn cmd_run_chaos(
     }
     match res {
         Ok(out) => {
-            let baseline = run_sequential(&c.graph, inputs, ctx).map_err(|e| e.to_string())?;
+            // Baseline with the same backend (and no injector): QuantI8
+            // output legitimately differs from scalar f32, so comparing
+            // across backends would be a false divergence.
+            let mut base_opts = prepared.run_options();
+            base_opts.backend = f.backend;
+            let baseline = run_sequential_opts(&c.graph, inputs, ctx, &base_opts)
+                .map_err(|e| e.to_string())?;
             if baseline == out {
                 println!("outcome:               ok in {elapsed:.2?} (matches sequential)");
                 Ok(())
@@ -536,13 +563,19 @@ fn cmd_profile(model: &str, f: &Flags) -> Result<(), String> {
 
     let ctx = ExecCtx::with_intra_op(f.intra_op);
     let inputs = synth_inputs(&c.graph, 42);
+    // All four executors profile under the same backend, so the divergence
+    // checks compare like for like (i8 is deterministic across executors).
+    let with_backend = |o: ramiel_runtime::RunOptions| match f.backend {
+        Some(b) => o.backend(b),
+        None => o,
+    };
 
-    let seq_opts = prepared.run_options().obs(obs.with_pid(2));
+    let seq_opts = with_backend(prepared.run_options().obs(obs.with_pid(2)));
     let (seq_out, seq_db) = run_sequential_profiled(&c.graph, &inputs, &ctx, &seq_opts)
         .map_err(|e| format!("sequential: {e}"))?;
     seq_db.export_to_obs(&obs.with_pid(2), &c.graph);
 
-    let par_opts = prepared.run_options().obs(obs.with_pid(3));
+    let par_opts = with_backend(prepared.run_options().obs(obs.with_pid(3)));
     let (par_out, par_db) =
         run_parallel_profiled_opts(&c.graph, &c.clustering, &inputs, &ctx, &par_opts)
             .map_err(|e| format!("parallel: {e}"))?;
@@ -558,12 +591,12 @@ fn cmd_profile(model: &str, f: &Flags) -> Result<(), String> {
     let batch_inputs: Vec<_> = (0..hc.batch)
         .map(|b| synth_inputs(&c.graph, 42 + b as u64))
         .collect();
-    let hyper_opts = prepared.run_options().obs(obs.with_pid(4));
+    let hyper_opts = with_backend(prepared.run_options().obs(obs.with_pid(4)));
     let (_, hyper_db) = run_hyper_profiled_opts(&c.graph, &hc, &batch_inputs, &ctx, &hyper_opts)
         .map_err(|e| format!("hyper: {e}"))?;
     hyper_db.export_to_obs(&obs.with_pid(4), &c.graph);
 
-    let pool_opts = prepared.run_options().obs(obs.with_pid(5));
+    let pool_opts = with_backend(prepared.run_options().obs(obs.with_pid(5)));
     let mut pool = ClusterPool::with_options(&c.graph, &c.clustering, &ctx, &pool_opts)
         .map_err(|e| format!("pool: {e}"))?;
     let (pool_out, pool_db) = pool
@@ -598,10 +631,11 @@ fn cmd_profile(model: &str, f: &Flags) -> Result<(), String> {
     let tuned = simulate_clustering(&c.graph, &reclustered, &measured, &sim_cfg)
         .map_err(|e| e.to_string())?;
     println!(
-        "profile-guided reclustering ({} of {} nodes sampled, {} ns/unit):",
+        "profile-guided reclustering ({} of {} nodes sampled, {} ns/unit, {} backend):",
         measured.sampled_nodes(),
         c.graph.num_nodes(),
-        measured.ns_per_unit()
+        measured.ns_per_unit(),
+        measured.backend().unwrap_or("unknown")
     );
     println!(
         "  original clustering:   {:3} clusters, makespan {:>8} measured units",
@@ -864,6 +898,30 @@ fn analyze_one(
             wm.worker, wm.peak_bytes, wm.resident_bytes, wm.ops
         );
     }
+    if let Some(b) = f.backend {
+        println!("    kernel backend: {b}");
+        if b == KernelBackend::QuantI8 {
+            // The i8 backend caches a quantized copy of every constant
+            // Gemm/MatMul/Conv weight per plan (1 byte per element),
+            // resident on top of the f32 weights above.
+            let mut bytes = 0usize;
+            let mut count = 0usize;
+            for node in &c.graph.nodes {
+                if matches!(
+                    node.op,
+                    ramiel_ir::OpKind::Conv { .. }
+                        | ramiel_ir::OpKind::Gemm { .. }
+                        | ramiel_ir::OpKind::MatMul
+                ) {
+                    if let Some(t) = node.inputs.get(1).and_then(|w| c.graph.initializers.get(w)) {
+                        bytes += t.numel();
+                        count += 1;
+                    }
+                }
+            }
+            println!("    quant-i8 weight cache: {bytes} bytes across {count} constant weights");
+        }
+    }
     Ok(gate)
 }
 
@@ -930,6 +988,7 @@ fn cmd_serve(model: &str, f: &Flags) -> Result<(), String> {
         } else {
             ramiel_serve::ServeExecutor::Hyper
         },
+        backend: f.backend,
         ..Default::default()
     };
     // Hand the already-compiled clustering and initializer table to the
@@ -944,11 +1003,15 @@ fn cmd_serve(model: &str, f: &Flags) -> Result<(), String> {
     let server = Arc::new(Server::new(serve_cfg));
     server.load(model, spec).map_err(|e| e.to_string())?;
     println!(
-        "serving `{model}` (max batch {}, window {} ms, queue {}{})",
+        "serving `{model}` (max batch {}, window {} ms, queue {}{}{})",
         f.max_batch,
         f.max_delay_ms,
         f.queue_cap,
-        if f.shed { ", shedding" } else { "" }
+        if f.shed { ", shedding" } else { "" },
+        match f.backend {
+            Some(b) => format!(", backend {b}"),
+            None => String::new(),
+        }
     );
     let listener = std::net::TcpListener::bind(("127.0.0.1", f.port))
         .map_err(|e| format!("bind 127.0.0.1:{}: {e}", f.port))?;
@@ -1155,16 +1218,11 @@ fn cmd_top(f: &Flags) -> Result<(), String> {
                 Some(p) => (rate(row.completed, p.completed), rate(row.shed, p.shed)),
                 None => (0.0, 0.0),
             };
-            // Windowed percentiles: difference the cumulative buckets
-            // against the previous frame; first frame falls back to
-            // lifetime buckets.
+            // Windowed percentiles: le-aligned saturating differencing
+            // against the previous frame (robust to a concurrent `stats`
+            // reset); first frame falls back to lifetime buckets.
             let window: Vec<(f64, f64)> = match prev_row {
-                Some(p) if p.latency.len() == row.latency.len() => row
-                    .latency
-                    .iter()
-                    .zip(&p.latency)
-                    .map(|(c, pr)| (c.0, (c.1 - pr.1).max(0.0)))
-                    .collect(),
+                Some(p) => ramiel::obs::window_buckets(&row.latency, &p.latency),
                 _ => row.latency.clone(),
             };
             let p50 = ramiel::obs::quantile_from_buckets(&window, 0.5) / 1e6;

@@ -30,8 +30,8 @@ pub mod warn;
 pub use channel::{ChannelEdgeStats, ChannelMeter};
 pub use chrome::{validate_chrome_trace, TraceStats};
 pub use metrics::{
-    parse_prometheus, quantile_from_buckets, CounterHandle, GaugeHandle, HistHandle, Histogram,
-    HistogramSnapshot, Metrics, ParsedSample, PeakHandle,
+    parse_prometheus, quantile_from_buckets, window_buckets, CounterHandle, GaugeHandle,
+    HistHandle, Histogram, HistogramSnapshot, Metrics, ParsedSample, PeakHandle,
 };
 pub use warn::{warn, warnings_snapshot, WarnEvent};
 

@@ -727,6 +727,51 @@ pub fn quantile_from_buckets(buckets: &[(f64, f64)], q: f64) -> f64 {
     buckets.last().map_or(0.0, |&(le, _)| le)
 }
 
+/// Windowed cumulative-bucket differencing for `ramiel top`: subtract a
+/// previous frame's `(le, cumulative)` buckets from the current frame's.
+///
+/// Hardened against two live-scrape hazards:
+///
+/// * **`le` drift** — buckets are matched by `le` *value*, never by
+///   position, so a frame that gained or lost a bucket line (schema
+///   change, truncated scrape) can't pair unrelated buckets.
+/// * **concurrent counter reset** — if a `stats` reset lands between the
+///   two scrapes, the current cumulative counts are *smaller* than the
+///   previous frame's and naive differencing goes negative (and, downstream,
+///   a quantile walk over garbage). A backwards total means the previous
+///   frame predates the reset and describes nothing that happened in this
+///   window, so the lifetime (current) buckets are the only coherent
+///   answer. Per-bucket wobble from a reset racing mid-scrape is clamped
+///   to zero and repaired to a monotone cumulative sequence.
+///
+/// Both inputs must be sorted ascending by `le` (as `ramiel top` builds
+/// them); the output is sorted, saturated at zero, and monotone — safe to
+/// hand straight to [`quantile_from_buckets`].
+pub fn window_buckets(cur: &[(f64, f64)], prev: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let cur_total = cur.last().map_or(0.0, |&(_, c)| c);
+    let prev_total = prev.last().map_or(0.0, |&(_, c)| c);
+    if cur_total < prev_total {
+        return cur.to_vec();
+    }
+    let mut out = Vec::with_capacity(cur.len());
+    let mut pi = 0usize;
+    let mut floor = 0.0f64;
+    for &(le, c) in cur {
+        while pi < prev.len() && prev[pi].0 < le {
+            pi += 1;
+        }
+        let p = if pi < prev.len() && prev[pi].0 == le {
+            prev[pi].1
+        } else {
+            0.0
+        };
+        let d = (c - p).max(0.0).max(floor);
+        floor = d;
+        out.push((le, d));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,6 +801,95 @@ mod tests {
             assert!(bucket_bounds(i - 1).1 < bucket_bounds(i).0);
         }
         assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    /// Normal windowed differencing: le-aligned deltas of two coherent
+    /// frames recover exactly the counts recorded inside the window.
+    #[test]
+    fn window_buckets_differences_coherent_frames() {
+        let prev = vec![(1.0, 3.0), (10.0, 5.0), (f64::INFINITY, 5.0)];
+        let cur = vec![(1.0, 4.0), (10.0, 9.0), (f64::INFINITY, 10.0)];
+        let w = window_buckets(&cur, &prev);
+        assert_eq!(w, vec![(1.0, 1.0), (10.0, 4.0), (f64::INFINITY, 5.0)]);
+        // downstream quantile sees only the window: 5 samples, p50 ≤ 10
+        assert_eq!(quantile_from_buckets(&w, 0.5), 10.0);
+    }
+
+    /// Regression: a `stats` reset between two `top` frames makes every
+    /// cumulative bucket go *backwards*; naive positional differencing
+    /// produced negative deltas (clamped into a garbage distribution).
+    /// A backwards total must fall back to the lifetime buckets.
+    #[test]
+    fn window_buckets_survives_interleaved_reset() {
+        let prev = vec![(1.0, 100.0), (10.0, 400.0), (f64::INFINITY, 500.0)];
+        // after the reset only 7 fresh samples exist
+        let cur = vec![(1.0, 2.0), (10.0, 6.0), (f64::INFINITY, 7.0)];
+        let w = window_buckets(&cur, &prev);
+        assert_eq!(w, cur, "reset must fall back to lifetime buckets");
+        assert!(quantile_from_buckets(&w, 0.99).is_finite() || w.last().unwrap().0.is_infinite());
+
+        // reset racing *mid-scrape*: some buckets already re-accumulated
+        // past the previous frame, others not — deltas stay ≥ 0 and the
+        // cumulative sequence stays monotone.
+        let torn = vec![(1.0, 90.0), (10.0, 410.0), (f64::INFINITY, 510.0)];
+        let w = window_buckets(&torn, &prev);
+        assert!(w.iter().all(|&(_, c)| c >= 0.0));
+        for pair in w.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "cumulative counts must be monotone: {w:?}"
+            );
+        }
+    }
+
+    /// Buckets are matched by `le` value: a frame that lost a bucket line
+    /// must not pair unrelated buckets positionally.
+    #[test]
+    fn window_buckets_aligns_by_le_not_position() {
+        let prev = vec![(1.0, 3.0), (10.0, 5.0), (f64::INFINITY, 5.0)];
+        // current frame lost the le=1 line (truncated scrape)
+        let cur = vec![(10.0, 8.0), (f64::INFINITY, 9.0)];
+        let w = window_buckets(&cur, &prev);
+        assert_eq!(w, vec![(10.0, 3.0), (f64::INFINITY, 4.0)]);
+    }
+
+    /// Regression: `mean()` on an empty snapshot used to be 0/0 = NaN,
+    /// which poisoned every downstream aggregate it was merged into. Empty
+    /// must answer 0 for mean, every percentile, and max.
+    #[test]
+    fn empty_histogram_reports_zeros_not_nan() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert!(!s.mean().is_nan());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), 0);
+        }
+        assert_eq!(s.max, 0);
+
+        // merging an empty snapshot is a no-op on the target's stats
+        let mut m = s.clone();
+        m.merge(&HistogramSnapshot::default());
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.count, 0);
+    }
+
+    /// A single sample pins every statistic: mean == p50 == p99 == max ==
+    /// the recorded value (up to the bucket's upper bound, capped by max).
+    #[test]
+    fn single_sample_pins_all_statistics() {
+        for v in [0u64, 1, 15, 16, 1000, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            let s = h.snapshot();
+            assert_eq!(s.count, 1);
+            assert_eq!(s.mean(), v as f64, "mean of one sample is the sample");
+            for q in [0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(s.percentile(q), v.min(s.max), "p{q} of one sample");
+            }
+            assert_eq!(s.max, v);
+        }
     }
 
     #[test]

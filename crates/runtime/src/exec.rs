@@ -56,6 +56,10 @@ fn run_sequential_inner(
     opts: &RunOptions,
     mut profile: Option<&mut ProfileDb>,
 ) -> Result<Env> {
+    let ctx = &opts.apply_backend(ctx);
+    if let Some(db) = profile.as_deref_mut() {
+        db.set_backend(ctx.backend().name());
+    }
     let epoch = Instant::now();
     let order = topo_sort(graph).map_err(|e| RuntimeError::Setup(e.to_string()))?;
     let mut env: HashMap<&str, Value> = HashMap::with_capacity(graph.num_nodes() * 2);

@@ -156,6 +156,7 @@ impl HyperPool {
         if workers == 0 {
             return Err(RuntimeError::Setup("pool needs at least one worker".into()));
         }
+        let ctx = &opts.apply_backend(ctx);
         let graph = Arc::new(graph.clone());
         let recv_timeout = opts.recv_timeout.unwrap_or_else(default_recv_timeout);
         let init_values = match &opts.init_values {

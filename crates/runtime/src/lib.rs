@@ -38,6 +38,7 @@ pub use parallel::{
 pub use pool::ClusterPool;
 pub use predict::{predict_report, ClusterPrediction, KindPrediction, PredictionReport};
 pub use profile::{OpRecord, ProfileDb, SlackReport, WorkerSpan};
+pub use ramiel_tensor::KernelBackend;
 pub use sim::{
     simulate_clustering, simulate_hyper, simulate_sequential, SimConfig, SimEvent, SimResult,
 };

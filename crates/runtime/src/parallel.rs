@@ -36,7 +36,7 @@ use ramiel_cluster::Clustering;
 use ramiel_ir::{Graph, OpKind};
 use ramiel_obs::{ChannelMeter, Obs};
 use ramiel_passes::{inplace_marks, InPlaceMarks};
-use ramiel_tensor::{eval_op, eval_op_inplace, ExecCtx, Value};
+use ramiel_tensor::{eval_op, eval_op_inplace, ExecCtx, KernelBackend, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -102,6 +102,13 @@ pub struct RunOptions {
     /// steal-pool task placement on the shared obs timeline. `None`
     /// outside the serving path.
     pub request_ids: Option<Arc<Vec<u64>>>,
+    /// Kernel backend override for this run. `None` keeps whatever the
+    /// [`ExecCtx`] already carries (its default is
+    /// [`KernelBackend::ScalarF32`]); `Some` rebinds the context at the
+    /// executor boundary, so one prepared model can serve different
+    /// backends per request. All six executors honor it — the override is
+    /// applied at each executor's single ctx-plumbing point.
+    pub backend: Option<KernelBackend>,
 }
 
 impl Default for RunOptions {
@@ -114,6 +121,7 @@ impl Default for RunOptions {
             reuse: true,
             steal_chaos: None,
             request_ids: None,
+            backend: None,
         }
     }
 }
@@ -153,6 +161,24 @@ impl RunOptions {
     pub fn steal_chaos(mut self, chaos: crate::stealing::StealChaos) -> Self {
         self.steal_chaos = Some(chaos);
         self
+    }
+
+    /// Select the kernel backend for this run (scalar f32, lane-unrolled
+    /// SIMD f32, or quantized i8).
+    pub fn backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// The context this run should execute with: the caller's `ctx`, with
+    /// the backend override rebound if one is set. Every executor routes
+    /// its worker contexts through here so `--backend` behaves identically
+    /// across all of them.
+    pub fn apply_backend(&self, ctx: &ExecCtx) -> ExecCtx {
+        match self.backend {
+            Some(b) if b != ctx.backend() => ctx.with_backend(b),
+            _ => ctx.clone(),
+        }
     }
 }
 
@@ -344,11 +370,13 @@ fn run_hyper_inner(
     };
     let graph_outputs: HashSet<&str> = graph.outputs.iter().map(String::as_str).collect();
 
+    let ctx = opts.apply_backend(ctx);
     let out_envs: Mutex<Vec<Env>> = Mutex::new(vec![Env::new(); hc.batch]);
     let mut db0 = ProfileDb::new(k, hc.batch);
     // Anchor this run on the sink's timeline so executor slices line up
     // with compile spans captured earlier on the same sink.
     db0.set_epoch_offset_ns(opts.obs.now_ns());
+    db0.set_backend(ctx.backend().name());
     let db: Mutex<ProfileDb> = Mutex::new(db0);
     let meter = ChannelMeter::new(k);
     let abort = AtomicBool::new(false);

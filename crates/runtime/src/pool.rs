@@ -91,6 +91,7 @@ impl ClusterPool {
         ctx: &ExecCtx,
         opts: &RunOptions,
     ) -> Result<ClusterPool> {
+        let ctx = &opts.apply_backend(ctx);
         let graph = Arc::new(graph.clone());
         let assign = clustering.assignment();
         let adj = graph.adjacency();

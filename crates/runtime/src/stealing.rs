@@ -306,6 +306,7 @@ impl JobInner {
         opts: &RunOptions,
         deadline: Instant,
     ) -> JobInner {
+        let ctx = &opts.apply_backend(ctx);
         let pending = (0..plan.batch)
             .flat_map(|_| plan.nodes.iter().map(|n| AtomicU32::new(n.preds)))
             .collect();

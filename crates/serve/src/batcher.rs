@@ -457,6 +457,7 @@ fn execute_batch(sh: &LaneShared, pool_slot: &mut Option<(u64, HyperPool)>, batc
         reuse: true,
         steal_chaos: None,
         request_ids: Some(Arc::clone(&ids)),
+        backend: sh.cfg.backend,
     };
     let stealing = sh.cfg.executor == ServeExecutor::Stealing;
     // Hot reload boundary: a version change means new graph/weights, so

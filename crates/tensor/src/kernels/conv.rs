@@ -22,7 +22,8 @@ pub struct ConvSpec {
 /// Defensive attribute check. `ir::validate` rejects these graphs up front
 /// (RV0002); the kernels still refuse them so a hand-built spec degrades to
 /// an `ExecError` instead of a divide-by-zero panic in the output-size math.
-fn check_spec(spec: &ConvSpec) -> Result<()> {
+/// Shared with the quantized conv kernel (`super::quant`).
+pub(crate) fn check_spec(spec: &ConvSpec) -> Result<()> {
     if spec.stride.0 == 0 || spec.stride.1 == 0 {
         return exec_err(format!("conv2d stride {:?} must be nonzero", spec.stride));
     }
@@ -36,6 +37,9 @@ fn check_spec(spec: &ConvSpec) -> Result<()> {
 }
 
 /// Compute one output image (single batch element, single output channel).
+/// `simd` routes the innermost (`ox`, `kx`) loops through the lane-unrolled
+/// [`super::simd::conv_row`] kernel; results are bit-identical either way
+/// (per output element both variants run the same ascending-`kx` chain).
 #[allow(clippy::too_many_arguments)]
 fn conv_one_output(
     x: &[f32],
@@ -48,6 +52,7 @@ fn conv_one_output(
     wd: usize,
     ho: usize,
     wo: usize,
+    simd: bool,
 ) {
     let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
@@ -66,6 +71,10 @@ fn conv_one_output(
                 }
                 let xrow = &xc[(iy as usize) * wd..(iy as usize + 1) * wd];
                 let wrow = &wc[ky * kw..(ky + 1) * kw];
+                if simd {
+                    super::simd::conv_row(xrow, wrow, orow, sw, pw);
+                    continue;
+                }
                 for (ox, o) in orow.iter_mut().enumerate() {
                     let ix0 = (ox * sw) as isize - pw as isize;
                     let mut acc = 0.0f32;
@@ -144,6 +153,7 @@ pub fn conv2d(
     };
     let m_per_g = m / g;
     let mut out = vec![0.0f32; n * m * ho * wo];
+    let simd = ctx.backend() == crate::ctx::KernelBackend::SimdF32;
 
     let run = |(idx, oimg): (usize, &mut [f32])| {
         let (ni, mi) = (idx / m, idx % m);
@@ -151,7 +161,7 @@ pub fn conv2d(
         let xg = &x.data()[ni * c * h * wd + gi * cg * h * wd..][..cg * h * wd];
         let wm = &w.data()[mi * cg * kh * kw..(mi + 1) * cg * kh * kw];
         let bv = bias.map_or(0.0, |b| b.data()[mi]);
-        conv_one_output(xg, wm, oimg, bv, spec, cg, h, wd, ho, wo);
+        conv_one_output(xg, wm, oimg, bv, spec, cg, h, wd, ho, wo, simd);
     };
 
     if ctx.parallel() && n * m >= 2 {

@@ -83,6 +83,52 @@ fn binary_generic<T: Copy + Default, R: Copy + Default>(
         let data = b.data().iter().map(|&y| f(x, y)).collect();
         return Tensor::new(out_shape, data);
     }
+    // Fast path: one side broadcasts only over *leading* axes (its shape,
+    // leading 1s stripped, is a suffix of the output shape) — bias add
+    // `[m, n] + [n]`, mask add `[.., s] + [1, 1, 1, s]`. The small buffer
+    // tiles the output, so the loop is a chunked zip instead of an
+    // unravel + two stride walks per element. Same `f` on the same pairs
+    // in the same order, so results are bit-identical to the general loop.
+    if a.shape() == out_shape {
+        if let Some(bn) = suffix_numel(b.shape(), &out_shape) {
+            let bd = &b.data()[..bn];
+            let data = a
+                .data()
+                .chunks_exact(bn)
+                .flat_map(|ch| ch.iter().zip(bd).map(|(&x, &y)| f(x, y)))
+                .collect();
+            return Tensor::new(out_shape, data);
+        }
+        // Fast path: one side broadcasts only over *trailing* axes (its
+        // shape, trailing 1s stripped, is a prefix of the output shape) —
+        // layernorm's per-row mean/std, `[m, n] - [m, 1]`. Each small-side
+        // element covers one contiguous run of the output.
+        if let Some(run) = prefix_run(b.shape(), &out_shape) {
+            let mut data = Vec::with_capacity(a.numel());
+            for (ch, &y) in a.data().chunks_exact(run).zip(b.data()) {
+                data.extend(ch.iter().map(|&x| f(x, y)));
+            }
+            return Tensor::new(out_shape, data);
+        }
+    }
+    if b.shape() == out_shape {
+        if let Some(an) = suffix_numel(a.shape(), &out_shape) {
+            let ad = &a.data()[..an];
+            let data = b
+                .data()
+                .chunks_exact(an)
+                .flat_map(|ch| ad.iter().zip(ch).map(|(&x, &y)| f(x, y)))
+                .collect();
+            return Tensor::new(out_shape, data);
+        }
+        if let Some(run) = prefix_run(a.shape(), &out_shape) {
+            let mut data = Vec::with_capacity(b.numel());
+            for (&x, ch) in a.data().iter().zip(b.data().chunks_exact(run)) {
+                data.extend(ch.iter().map(|&y| f(x, y)));
+            }
+            return Tensor::new(out_shape, data);
+        }
+    }
     // General broadcast loop.
     let numel: usize = out_shape.iter().product();
     let sa = strides_of(a.shape());
@@ -96,6 +142,35 @@ fn binary_generic<T: Copy + Default, R: Copy + Default>(
         data.push(f(x, y));
     }
     Tensor::new(out_shape, data)
+}
+
+/// If `small` (leading 1s stripped) is exactly the trailing slice of
+/// `out`, the small buffer tiles the output; returns its element count.
+/// Zero-size and all-ones shapes fall through to other paths.
+fn suffix_numel(small: &[usize], out: &[usize]) -> Option<usize> {
+    let eff: &[usize] = &small[small.iter().take_while(|&&d| d == 1).count()..];
+    let n: usize = eff.iter().product();
+    (n > 1 && eff.len() <= out.len() && out[out.len() - eff.len()..] == *eff).then_some(n)
+}
+
+/// If `small` is full-rank and, trailing 1s stripped, is exactly the
+/// leading slice of `out`, each small element maps to one contiguous
+/// output run; returns the run length (product of the remaining `out`
+/// dims). Full rank is required because broadcasting right-aligns: a
+/// lower-rank `small` pads with *leading* 1s, so its dims never align
+/// with `out`'s prefix.
+fn prefix_run(small: &[usize], out: &[usize]) -> Option<usize> {
+    if small.len() != out.len() {
+        return None;
+    }
+    let keep = small.len() - small.iter().rev().take_while(|&&d| d == 1).count();
+    let eff = &small[..keep];
+    if eff.iter().product::<usize>() > 1 && out[..keep] == *eff {
+        let run: usize = out[keep..].iter().product();
+        (run > 0).then_some(run)
+    } else {
+        None
+    }
 }
 
 /// Elementwise equality producing a bool tensor.
@@ -173,6 +248,58 @@ mod tests {
         let col = t(vec![2, 1], vec![100., 200.]);
         let y = binary_f32(&a, &col, |x, y| x + y).unwrap();
         assert_eq!(y.data(), &[101., 102., 103., 204., 205., 206.]);
+    }
+
+    /// The general unravel/stride loop, kept as the semantic reference for
+    /// the contiguous fast paths.
+    fn binary_reference(a: &Tensor<f32>, b: &Tensor<f32>) -> Vec<f32> {
+        let out_shape = broadcast(a.shape(), b.shape()).unwrap();
+        let numel: usize = out_shape.iter().product();
+        let sa = strides_of(a.shape());
+        let sb = strides_of(b.shape());
+        let mut coords = vec![0usize; out_shape.len()];
+        let mut data = Vec::with_capacity(numel);
+        for idx in 0..numel {
+            unravel(idx, &out_shape, &mut coords);
+            let x = a.data()[broadcast_offset(&coords, a.shape(), &sa)];
+            let y = b.data()[broadcast_offset(&coords, b.shape(), &sb)];
+            data.push(x + y);
+        }
+        data
+    }
+
+    #[test]
+    fn broadcast_fast_paths_match_reference() {
+        let fill = |shape: &[usize]| {
+            let n: usize = shape.iter().product();
+            t(
+                shape.to_vec(),
+                (0..n).map(|i| i as f32 * 0.5 + 1.0).collect(),
+            )
+        };
+        // (bias add, mask add, layernorm row stats, internal-1 suffix,
+        // and the right-alignment trap: [4,1] against [4,4,5] must NOT
+        // take the prefix path — broadcasting pads it to [1,4,1].)
+        let cases: &[(&[usize], &[usize])] = &[
+            (&[7, 5], &[5]),
+            (&[2, 3, 4, 5], &[1, 1, 1, 5]),
+            (&[7, 5], &[7, 1]),
+            (&[2, 32, 9, 9], &[2, 32, 9, 1]),
+            (&[4, 2, 1, 3], &[2, 1, 3]),
+            (&[4, 4, 5], &[4, 1]),
+            (&[3, 1], &[3, 4]),
+            (&[5], &[7, 5]),
+        ];
+        for (sa, sb) in cases {
+            let a = fill(sa);
+            let b = fill(sb);
+            let got = binary_f32(&a, &b, |x, y| x + y).unwrap();
+            assert_eq!(
+                got.data(),
+                &binary_reference(&a, &b)[..],
+                "mismatch for {sa:?} + {sb:?}"
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,12 @@ fn mm_block(
 pub fn mm(ctx: &ExecCtx, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    // The SIMD backend swaps in the panel-packed lane-unrolled microkernels;
+    // per-element accumulation order is identical, so both produce the same
+    // bits.
+    if ctx.backend() == crate::ctx::KernelBackend::SimdF32 {
+        return super::simd::mm(ctx, a, b, m, k, n);
+    }
     let mut out = vec![0.0f32; m * n];
     if !(ctx.parallel() && m * k * n >= 16_384) {
         for (bi, oblk) in out.chunks_mut(n * MB).enumerate() {

@@ -11,4 +11,6 @@ pub mod gemm;
 pub mod movement;
 pub mod norm;
 pub mod pool;
+pub mod quant;
 pub mod reduce;
+pub mod simd;

@@ -1,0 +1,493 @@
+//! Explicitly 8-lane-unrolled f32 microkernels (stable Rust, no nightly
+//! `portable_simd`): fixed-width `[f32; 8]` lane arrays with fully unrolled
+//! register tiles, which LLVM lowers to packed SSE/AVX arithmetic.
+//!
+//! ## The bit-identity contract
+//!
+//! Every kernel here computes, per output element, the **same multiply-add
+//! chain in the same ascending-`k` order** as its scalar counterpart in
+//! [`super::gemm`] / [`super::conv`]. Lane-unrolling only runs *independent*
+//! output elements side by side — it never reassociates one element's
+//! accumulation, and Rust never contracts `a * b + c` into a fused
+//! multiply-add behind your back. `SimdF32` results are therefore
+//! bit-identical to `ScalarF32`, and the cross-executor equivalence suites
+//! hold for both backends without loosening a single tolerance.
+//!
+//! ## Structure
+//!
+//! [`mm`] is a BLIS-shaped microkernel GEMM: `b` is first repacked into
+//! contiguous `k × 8` column panels (one linear stream per panel instead of
+//! an `n`-strided gather), then an `MR×8` register tile accumulates over
+//! the whole `k` extent without touching the output row in between. The
+//! scalar `mm_block` loads and stores each output row once per `kk` step;
+//! the tile does it once per `k` sweep. The speed comes from register
+//! tiling and packing, not from changing the math.
+
+use crate::ctx::ExecCtx;
+use rayon::prelude::*;
+
+/// Lane width of the unrolled kernels (one AVX register of f32).
+pub const NR: usize = 8;
+
+/// Row-tile height of the register microkernel. `MR × NR` accumulators
+/// (4×8 = 32 f32 = 8 XMM / 4 YMM registers) plus one `b` vector and a
+/// broadcast `a` scalar fit the x86-64 register file with room to spare.
+pub const MR: usize = 4;
+
+/// Row-block height: `b`'s panels are streamed once per block, so taller
+/// blocks amortize the memory traffic better than the scalar kernel's
+/// 8-row blocks (the register tile, not the block, bounds store traffic).
+const MB_SIMD: usize = 32;
+
+/// Pack `b` into panels only past this `k·n` element count (≈512 KiB of
+/// f32, the point where `b` stops being L2-resident and the microkernel's
+/// `n`-strided column reads start thrashing). Below it, strided reads are
+/// cheap and the pack pass is pure overhead.
+const PACK_MIN_ELEMS: usize = 128 * 1024;
+
+/// `b` repacked into column panels, based at a 64-byte boundary. An 8-lane
+/// panel row is exactly half a cache line, so whether every microkernel
+/// load stays inside one line or straddles two is decided by the buffer's
+/// base address — and `Vec<f32>`'s natural 4-byte alignment leaves that to
+/// allocator luck, which varies run to run. Anchoring the base makes the
+/// packed path's performance reproducible.
+pub struct PackedPanels {
+    buf: Vec<f32>,
+    off: usize,
+}
+
+impl PackedPanels {
+    /// The packed panels, starting at the aligned base.
+    pub fn panels(&self) -> &[f32] {
+        &self.buf[self.off..]
+    }
+}
+
+/// Repack `b[k×n]` into `ceil(n/8)` column panels, each `k × 8` and
+/// contiguous (`panel[kk*8 + l] == b[kk*n + j0 + l]`). The last panel is
+/// zero-padded; padded lanes are computed and discarded, never stored.
+pub fn pack_panels(b: &[f32], k: usize, n: usize) -> PackedPanels {
+    let np = n.div_ceil(NR);
+    let pad = 64 / std::mem::size_of::<f32>();
+    let mut buf = vec![0.0f32; np * k * NR + pad];
+    let off = match buf.as_ptr().align_offset(64) {
+        usize::MAX => 0, // allocator can't say — fall back to the raw base
+        o => o.min(pad),
+    };
+    for (p, dst) in buf[off..].chunks_mut(k * NR).take(np).enumerate() {
+        let j0 = p * NR;
+        let width = (n - j0).min(NR);
+        for kk in 0..k {
+            dst[kk * NR..kk * NR + width].copy_from_slice(&b[kk * n + j0..kk * n + j0 + width]);
+        }
+    }
+    PackedPanels { buf, off }
+}
+
+/// `MR_ROWS × 8` register tile: columns `[j, j+width)` of absolute output
+/// rows `i0+r0 .. i0+r0+MR_ROWS` (row indices into `oblk` are relative).
+/// `bsrc`/`bs` abstract the `b` layout: a packed panel (`bs == NR`) or the
+/// raw matrix offset to column `j` (`bs == n`, which requires
+/// `width == NR` so reads stay in bounds). Accumulates the full `k` extent
+/// in ascending order; in the packed case lanes `>= width` ride along
+/// against the panel's zero padding and are discarded at the store.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro<const MR_ROWS: usize>(
+    a: &[f32],
+    bsrc: &[f32],
+    bs: usize,
+    oblk: &mut [f32],
+    i0: usize,
+    r0: usize,
+    k: usize,
+    n: usize,
+    j: usize,
+    width: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR_ROWS];
+    for (rt, row) in acc.iter_mut().enumerate() {
+        row[..width].copy_from_slice(&oblk[(r0 + rt) * n + j..(r0 + rt) * n + j + width]);
+    }
+    for kk in 0..k {
+        let bv = &bsrc[kk * bs..kk * bs + NR];
+        for (rt, row) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + r0 + rt) * k + kk];
+            for (l, lane) in row.iter_mut().enumerate() {
+                *lane += av * bv[l];
+            }
+        }
+    }
+    for (rt, row) in acc.iter().enumerate() {
+        oblk[(r0 + rt) * n + j..(r0 + rt) * n + j + width].copy_from_slice(&row[..width]);
+    }
+}
+
+/// Dispatch one column strip of a row block to the widest register tile
+/// that fits the remaining rows.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn row_tiles(
+    a: &[f32],
+    bsrc: &[f32],
+    bs: usize,
+    oblk: &mut [f32],
+    i0: usize,
+    k: usize,
+    n: usize,
+    j: usize,
+    width: usize,
+) {
+    let rows = oblk.len() / n;
+    let mut r = 0;
+    while r < rows {
+        let rb = (rows - r).min(MR);
+        match rb {
+            4 => micro::<4>(a, bsrc, bs, oblk, i0, r, k, n, j, width),
+            3 => micro::<3>(a, bsrc, bs, oblk, i0, r, k, n, j, width),
+            2 => micro::<2>(a, bsrc, bs, oblk, i0, r, k, n, j, width),
+            _ => micro::<1>(a, bsrc, bs, oblk, i0, r, k, n, j, width),
+        }
+        r += rb;
+    }
+}
+
+/// `oblk += a · b` over a contiguous block of output rows starting at
+/// absolute row `i0`, with `b` pre-packed into panels. Panels run in the
+/// outer loop so each `k×8` panel stays L1-resident across every row tile
+/// of the block.
+fn mm_block_panels(a: &[f32], panels: &[f32], oblk: &mut [f32], i0: usize, k: usize, n: usize) {
+    // `panels` may carry alignment padding past the last panel — bound the
+    // walk by the panel count, not the slice length.
+    for (p, panel) in panels.chunks(k * NR).take(n.div_ceil(NR)).enumerate() {
+        let j = p * NR;
+        let width = (n - j).min(NR);
+        row_tiles(a, panel, NR, oblk, i0, k, n, j, width);
+    }
+}
+
+/// `oblk += a · b` with `b` read in place (`n`-strided column reads):
+/// cheaper than panel packing while `b` is L2-resident. The ragged column
+/// tail (< 8) uses the identical per-element ascending-`kk` scalar chain.
+fn mm_block_unpacked(a: &[f32], b: &[f32], oblk: &mut [f32], i0: usize, k: usize, n: usize) {
+    let rows = oblk.len() / n;
+    let mut j = 0;
+    while j + NR <= n {
+        row_tiles(a, &b[j..], n, oblk, i0, k, n, j, NR);
+        j += NR;
+    }
+    for r in 0..rows {
+        let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        for jj in j..n {
+            let mut acc = oblk[r * n + jj];
+            for (kk, &av) in arow.iter().enumerate() {
+                acc += av * b[kk * n + jj];
+            }
+            oblk[r * n + jj] = acc;
+        }
+    }
+}
+
+/// One-row variant for the (row, column-tile) parallel split: `tile +=
+/// arow · b[.., j0..j0+tile.len()]` with `b` pre-packed. Requires
+/// `j0 % 8 == 0` (the column tiles are cut at `NB = 512` boundaries).
+fn mm_tile_panels(arow: &[f32], panels: &[f32], tile: &mut [f32], k: usize, j0: usize) {
+    debug_assert_eq!(j0 % NR, 0);
+    let mut off = 0;
+    let mut p = j0 / NR;
+    while off < tile.len() {
+        let width = (tile.len() - off).min(NR);
+        let panel = &panels[p * k * NR..(p + 1) * k * NR];
+        let mut acc = [0.0f32; NR];
+        acc[..width].copy_from_slice(&tile[off..off + width]);
+        for (kk, &av) in arow.iter().enumerate() {
+            let bv = &panel[kk * NR..kk * NR + NR];
+            for (l, lane) in acc.iter_mut().enumerate() {
+                *lane += av * bv[l];
+            }
+        }
+        tile[off..off + width].copy_from_slice(&acc[..width]);
+        off += width;
+        p += 1;
+    }
+}
+
+/// One-row column tile with `b` read in place; scalar chain on the ragged
+/// tail.
+fn mm_tile_unpacked(arow: &[f32], b: &[f32], tile: &mut [f32], n: usize, j0: usize) {
+    let nb = tile.len();
+    let mut off = 0;
+    while off + NR <= nb {
+        let mut acc = [0.0f32; NR];
+        acc.copy_from_slice(&tile[off..off + NR]);
+        for (kk, &av) in arow.iter().enumerate() {
+            let bv = &b[kk * n + j0 + off..kk * n + j0 + off + NR];
+            for (l, lane) in acc.iter_mut().enumerate() {
+                *lane += av * bv[l];
+            }
+        }
+        tile[off..off + NR].copy_from_slice(&acc);
+        off += NR;
+    }
+    for (jj, o) in tile[off..].iter_mut().enumerate() {
+        let j = j0 + off + jj;
+        let mut acc = *o;
+        for (kk, &av) in arow.iter().enumerate() {
+            acc += av * b[kk * n + j];
+        }
+        *o = acc;
+    }
+}
+
+/// Lane-unrolled `a[m×k] · b[k×n]`: the `SimdF32` counterpart of
+/// [`super::gemm::mm`], with the same sequential/row-block/column-tile
+/// split structure and thresholds. Bit-identical outputs to the scalar
+/// kernel on every path. `b` is repacked into panels only when it is large
+/// enough to fall out of L2 *and* `m` amortizes the pack pass.
+pub fn mm(ctx: &ExecCtx, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let pack = m >= 2 * MR && k * n >= PACK_MIN_ELEMS;
+    let packed: Option<PackedPanels> = pack.then(|| pack_panels(b, k, n));
+    let block = |oblk: &mut [f32], i0: usize| match &packed {
+        Some(p) => mm_block_panels(a, p.panels(), oblk, i0, k, n),
+        None => mm_block_unpacked(a, b, oblk, i0, k, n),
+    };
+    let tile_mm = |arow: &[f32], tile: &mut [f32], j0: usize| match &packed {
+        Some(p) => mm_tile_panels(arow, p.panels(), tile, k, j0),
+        None => mm_tile_unpacked(arow, b, tile, n, j0),
+    };
+    let mut out = vec![0.0f32; m * n];
+    if !(ctx.parallel() && m * k * n >= 16_384) {
+        for (bi, oblk) in out.chunks_mut(n * MB_SIMD).enumerate() {
+            block(oblk, bi * MB_SIMD);
+        }
+        return out;
+    }
+    let threads = ctx.intra_op_threads();
+    if m >= 2 * threads {
+        let rows_per = m.div_ceil(4 * threads).clamp(1, MB_SIMD);
+        ctx.install(|| {
+            out.par_chunks_mut(n * rows_per)
+                .enumerate()
+                .for_each(|(bi, oblk)| block(oblk, bi * rows_per));
+        });
+    } else {
+        // Few rows with a wide output: one task per (row, column-tile) so
+        // the pool still fills. NB matches the scalar kernel's tile width.
+        const NB: usize = 512;
+        let mut tiles: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(m * n.div_ceil(NB));
+        let mut rest = out.as_mut_slice();
+        let mut i = 0;
+        while !rest.is_empty() {
+            let (mut row, r) = std::mem::take(&mut rest).split_at_mut(n);
+            rest = r;
+            let mut j0 = 0;
+            while !row.is_empty() {
+                let w = NB.min(row.len());
+                let (tile, rr) = std::mem::take(&mut row).split_at_mut(w);
+                tiles.push((i, j0, tile));
+                j0 += w;
+                row = rr;
+            }
+            i += 1;
+        }
+        ctx.install(|| {
+            tiles.into_par_iter().for_each(|(i, j0, tile)| {
+                tile_mm(&a[i * k..(i + 1) * k], tile, j0);
+            });
+        });
+    }
+    out
+}
+
+/// Lane-unrolled replacement for the conv kernel's innermost (`ox`, `kx`)
+/// loops: one input row × one weight row accumulated into one output row.
+/// Eight output columns run side by side; each lane's `kx` chain is the
+/// scalar chain, and clipped border chunks fall back to the per-element
+/// loop, so results stay bit-identical to the scalar kernel.
+pub fn conv_row(xrow: &[f32], wrow: &[f32], orow: &mut [f32], sw: usize, pw: usize) {
+    let wd = xrow.len();
+    let kw = wrow.len();
+    let wo = orow.len();
+    let mut ox0 = 0usize;
+    while ox0 < wo {
+        let lanes = (wo - ox0).min(NR);
+        let lo = (ox0 * sw) as isize - pw as isize;
+        let hi = ((ox0 + lanes - 1) * sw + kw - 1) as isize - pw as isize;
+        if lanes == NR && lo >= 0 && (hi as usize) < wd {
+            // All taps of all eight lanes are in bounds: no border branches
+            // in the hot loop.
+            let base = lo as usize;
+            let mut acc = [0.0f32; NR];
+            for (kx, &wv) in wrow.iter().enumerate() {
+                let x0 = base + kx;
+                for (l, lane) in acc.iter_mut().enumerate() {
+                    *lane += xrow[x0 + l * sw] * wv;
+                }
+            }
+            for (l, o) in orow[ox0..ox0 + NR].iter_mut().enumerate() {
+                *o += acc[l];
+            }
+        } else {
+            for (ox, o) in orow[ox0..ox0 + lanes].iter_mut().enumerate() {
+                let ix0 = ((ox0 + ox) * sw) as isize - pw as isize;
+                let mut acc = 0.0f32;
+                for (kx, &wv) in wrow.iter().enumerate() {
+                    let ix = ix0 + kx as isize;
+                    if ix >= 0 && (ix as usize) < wd {
+                        acc += xrow[ix as usize] * wv;
+                    }
+                }
+                *o += acc;
+            }
+        }
+        ox0 += lanes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference: the naive ascending-`kk` chain per element.
+    fn mm_ref(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_vec(len: usize, seed: u64) -> Vec<f32> {
+        // xorshift so the test needs no external RNG
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..len)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mm_bit_identical_to_scalar_on_ragged_shapes() {
+        let ctx = ExecCtx::sequential();
+        for (m, k, n) in [
+            (8, 16, 32),   // exact multiples
+            (5, 7, 19),    // everything ragged
+            (1, 3, 9),     // single row
+            (33, 31, 41),  // crosses the 32-row block boundary
+            (2, 1, 7),     // k=1, tail-only
+            (13, 64, 8),   // single full panel
+            (9, 260, 521), // k·n past PACK_MIN_ELEMS → packed-panel path, ragged
+        ] {
+            let a = rand_vec(m * k, 1 + m as u64);
+            let b = rand_vec(k * n, 99 + n as u64);
+            let simd = mm(&ctx, &a, &b, m, k, n);
+            let scal = mm_ref(&a, &b, m, k, n);
+            assert_eq!(
+                simd.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                scal.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn mm_parallel_paths_bit_identical_to_sequential() {
+        let seq = ExecCtx::sequential();
+        let par = ExecCtx::with_intra_op(4);
+        // Row-block path (many rows), column-tile path (few rows, wide),
+        // and the packed-panel path (k·n past PACK_MIN_ELEMS).
+        for (m, k, n) in [(64, 96, 48), (3, 128, 1100), (16, 256, 521)] {
+            let a = rand_vec(m * k, 5);
+            let b = rand_vec(k * n, 6);
+            let y1 = mm(&seq, &a, &b, m, k, n);
+            let y2 = mm(&par, &a, &b, m, k, n);
+            assert_eq!(
+                y1.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                y2.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                "m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_times_inf_and_nan_still_propagate() {
+        // Same IEEE contract as the scalar kernel: no `av == 0.0` skip.
+        let ctx = ExecCtx::sequential();
+        let (m, k, n) = (2, 4, 9);
+        let mut a = vec![1.0f32; m * k];
+        a[0] = 0.0;
+        a[k] = 0.0;
+        let mut b = vec![1.0f32; k * n];
+        b[0] = f32::INFINITY;
+        b[1] = f32::NAN;
+        let y = mm(&ctx, &a, &b, m, k, n);
+        for i in 0..m {
+            assert!(y[i * n].is_nan(), "0·∞ must yield NaN (row {i})");
+            assert!(y[i * n + 1].is_nan(), "0·NaN must yield NaN (row {i})");
+            assert_eq!(y[i * n + 2], (k - 1) as f32);
+        }
+    }
+
+    #[test]
+    fn pack_panels_lays_out_columns_contiguously() {
+        let (k, n) = (3, 10);
+        let b: Vec<f32> = (0..k * n).map(|v| v as f32).collect();
+        let packed = pack_panels(&b, k, n);
+        let panels = packed.panels();
+        assert!(panels.len() >= 2 * k * NR);
+        assert_eq!(
+            panels.as_ptr() as usize % 64,
+            0,
+            "panel base must be 64-byte aligned"
+        );
+        // panel 0, kk=1, lane 2 == b[1*10 + 2]
+        assert_eq!(panels[NR + 2], b[n + 2]);
+        // panel 1 (cols 8..10), kk=2, lane 1 == b[2*10 + 9]
+        assert_eq!(panels[k * NR + 2 * NR + 1], b[2 * n + 9]);
+        // padding lanes are zero
+        assert_eq!(panels[k * NR + 2 * NR + 5], 0.0);
+    }
+
+    #[test]
+    fn conv_row_matches_scalar_with_borders() {
+        for (wd, kw, sw, pw, wo) in [
+            (32usize, 3usize, 1usize, 1usize, 32usize), // padded same-size
+            (17, 5, 2, 2, 9),                           // strided, ragged
+            (8, 3, 1, 0, 6),                            // valid, < 8 outputs
+            (40, 7, 1, 3, 40),                          // wide kernel
+        ] {
+            let xrow = rand_vec(wd, 7);
+            let wrow = rand_vec(kw, 8);
+            let mut simd = vec![0.5f32; wo];
+            let mut scal = vec![0.5f32; wo];
+            conv_row(&xrow, &wrow, &mut simd, sw, pw);
+            for (ox, o) in scal.iter_mut().enumerate() {
+                let ix0 = (ox * sw) as isize - pw as isize;
+                let mut acc = 0.0f32;
+                for (kx, &wv) in wrow.iter().enumerate() {
+                    let ix = ix0 + kx as isize;
+                    if ix >= 0 && (ix as usize) < wd {
+                        acc += xrow[ix as usize] * wv;
+                    }
+                }
+                *o += acc;
+            }
+            assert_eq!(
+                simd.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                scal.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                "wd={wd} kw={kw} sw={sw} pw={pw}"
+            );
+        }
+    }
+}

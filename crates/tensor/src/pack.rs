@@ -39,17 +39,39 @@ struct Entry {
     packed: Arc<Vec<f32>>,
 }
 
+/// A per-tensor symmetrically quantized weight: `data[i] · scale`
+/// reconstructs the f32 value to within half a step. Cached per plan just
+/// like the f32 packed weights (see [`PackedWeightCache::quant_kn`] /
+/// [`PackedWeightCache::quant_flat`]), so the `QuantI8` backend quantizes
+/// each constant weight once and shares the buffer afterwards.
+#[derive(Clone)]
+pub struct QuantWeight {
+    pub data: Arc<Vec<i8>>,
+    pub scale: f32,
+}
+
+struct QEntry {
+    _anchor: Arc<Vec<f32>>,
+    weight: QuantWeight,
+}
+
 /// Entry cap: a plan has one entry per distinct `Gemm` weight, so real
 /// models sit far below this; a pathological caller (fresh weight buffers
 /// every call) flushes rather than growing without bound.
 const MAX_ENTRIES: usize = 512;
 
-/// Cache of weight matrices re-laid-out for the `mm` kernel.
+/// Cache of weight matrices re-laid-out for the `mm` kernel, plus the
+/// i8-quantized variants the `QuantI8` backend uses. The f32 and i8 maps
+/// are independent, so mixing backends on one plan never evicts the other's
+/// entries.
 #[derive(Default)]
 pub struct PackedWeightCache {
     entries: Mutex<HashMap<Key, Entry>>,
+    qkn: Mutex<HashMap<Key, QEntry>>,
+    qflat: Mutex<HashMap<Key, QEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    races: AtomicU64,
 }
 
 impl PackedWeightCache {
@@ -84,14 +106,105 @@ impl PackedWeightCache {
         if entries.len() >= MAX_ENTRIES {
             entries.clear();
         }
-        let e = entries.entry(key).or_insert_with(|| Entry {
-            _anchor: Arc::clone(w.data_arc()),
-            packed: Arc::clone(&packed),
-        });
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // A racing worker may have inserted first; everyone returns the
-        // entry that won so all callers share one buffer.
-        Arc::clone(&e.packed)
+        // Re-check under the lock: a racing worker may have inserted while
+        // we packed outside it. The loser's transpose is redundant work but
+        // must not count as a miss — `misses` is "how many times was this
+        // weight materialized into the cache", and the answer stays 1.
+        match entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.races.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(&e.get().packed)
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let e = v.insert(Entry {
+                    _anchor: Arc::clone(w.data_arc()),
+                    packed: Arc::clone(&packed),
+                });
+                Arc::clone(&e.packed)
+            }
+        }
+    }
+
+    /// The `[n, k]` (transB) weight `w` repacked as `[k, n]` **and**
+    /// symmetrically quantized to i8, materialized on first use.
+    pub fn quant_kn(&self, w: &Tensor<f32>, k: usize, n: usize) -> QuantWeight {
+        let key = Key {
+            ptr: w.data_ptr(),
+            k,
+            n,
+        };
+        if let Some(e) = self.qkn.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return e.weight.clone();
+        }
+        // Transpose + quantize outside the lock (same discipline as
+        // `gemm_kn`); the scale only depends on the values, not the layout.
+        let wd = w.data();
+        let mut t = vec![0.0f32; k * n];
+        for j in 0..n {
+            let wrow = &wd[j * k..(j + 1) * k];
+            for (kk, &v) in wrow.iter().enumerate() {
+                t[kk * n + j] = v;
+            }
+        }
+        let (q, scale) = crate::kernels::quant::quantize_symmetric(&t);
+        let weight = QuantWeight {
+            data: Arc::new(q),
+            scale,
+        };
+        self.insert_quant(&self.qkn, key, w, weight)
+    }
+
+    /// `w` quantized to i8 in its existing layout (conv weights, `transB=0`
+    /// Gemm weights, MatMul right-hand sides), materialized on first use.
+    pub fn quant_flat(&self, w: &Tensor<f32>) -> QuantWeight {
+        let key = Key {
+            ptr: w.data_ptr(),
+            k: w.numel(),
+            n: 0,
+        };
+        if let Some(e) = self.qflat.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return e.weight.clone();
+        }
+        let (q, scale) = crate::kernels::quant::quantize_symmetric(w.data());
+        let weight = QuantWeight {
+            data: Arc::new(q),
+            scale,
+        };
+        self.insert_quant(&self.qflat, key, w, weight)
+    }
+
+    /// Shared insert-or-lose tail for the quant maps: re-check under the
+    /// lock, count the loser of a first-call race as a hit.
+    fn insert_quant(
+        &self,
+        map: &Mutex<HashMap<Key, QEntry>>,
+        key: Key,
+        w: &Tensor<f32>,
+        weight: QuantWeight,
+    ) -> QuantWeight {
+        let mut entries = map.lock().expect("cache poisoned");
+        if entries.len() >= MAX_ENTRIES {
+            entries.clear();
+        }
+        match entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.races.fetch_add(1, Ordering::Relaxed);
+                e.get().weight.clone()
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                v.insert(QEntry {
+                    _anchor: Arc::clone(w.data_arc()),
+                    weight: weight.clone(),
+                });
+                weight
+            }
+        }
     }
 
     /// `(hits, misses)` so far — a warmed plan should be all hits.
@@ -100,6 +213,20 @@ impl PackedWeightCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// First-call races lost so far: lookups that packed a weight but found
+    /// another worker's entry already inserted when they re-took the lock.
+    /// Each such call is also counted as a hit, never as a miss.
+    pub fn races(&self) -> u64 {
+        self.races.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct i8-quantized weights currently materialized
+    /// (both layouts).
+    pub fn quant_len(&self) -> usize {
+        self.qkn.lock().expect("cache poisoned").len()
+            + self.qflat.lock().expect("cache poisoned").len()
     }
 
     /// Number of distinct packed weights currently materialized.
@@ -142,6 +269,72 @@ mod tests {
         let p3 = cache.gemm_kn(&w3, 2, 2);
         assert_eq!(p1.as_slice(), p3.as_slice());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn racing_first_calls_count_one_miss() {
+        // Regression: `gemm_kn` used to bump `misses` unconditionally after
+        // re-locking, so every worker racing the first call counted a miss
+        // (and the stats claimed the weight was packed N times).
+        let cache = Arc::new(PackedWeightCache::new());
+        let w = crate::value::Value::random_f32(vec![32, 48], 5)
+            .f32()
+            .unwrap()
+            .clone();
+        let threads = 8u64;
+        let barrier = Arc::new(std::sync::Barrier::new(threads as usize));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (cache, w, barrier) = (Arc::clone(&cache), w.clone(), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.gemm_kn(&w, 48, 32)
+                })
+            })
+            .collect();
+        let packs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for p in &packs {
+            assert!(Arc::ptr_eq(&packs[0], p), "all callers share one buffer");
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1, "racing workers must materialize the weight once");
+        assert_eq!(hits, threads - 1);
+        assert!(cache.races() <= hits, "races are a subset of hits");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn quant_entries_cached_and_race_safe() {
+        let cache = Arc::new(PackedWeightCache::new());
+        let w = crate::value::Value::random_f32(vec![16, 24], 9)
+            .f32()
+            .unwrap()
+            .clone();
+        let threads = 6u64;
+        let barrier = Arc::new(std::sync::Barrier::new(threads as usize));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (cache, w, barrier) = (Arc::clone(&cache), w.clone(), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.quant_flat(&w)
+                })
+            })
+            .collect();
+        let qs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for q in &qs {
+            assert!(Arc::ptr_eq(&qs[0].data, &q.data));
+            assert_eq!(qs[0].scale, q.scale);
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, threads - 1);
+        assert_eq!(cache.quant_len(), 1);
+        // the [k,n] map is independent of the flat map
+        let kn = cache.quant_kn(&w, 24, 16);
+        assert_eq!(kn.data.len(), w.numel());
+        assert_eq!(cache.quant_len(), 2);
+        assert_eq!(cache.len(), 0, "f32 map untouched");
     }
 
     #[test]

@@ -213,3 +213,116 @@ proptest! {
         prop_assert_eq!(flat, orig);
     }
 }
+
+// Quantization round-trip and SIMD bit-identity properties.
+use ramiel_tensor::kernels::quant::{dequantize, quantize_symmetric};
+use ramiel_tensor::KernelBackend;
+
+/// Strategy mixing ordinary magnitudes with the awkward corners of f32:
+/// ±0, subnormals, values straddling the subnormal boundary, and huge
+/// finite values.
+fn awkward_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        4 => -1e6f32..1e6f32,
+        1 => Just(0.0f32),
+        1 => Just(-0.0f32),
+        1 => Just(f32::MIN_POSITIVE),          // smallest normal
+        1 => Just(f32::MIN_POSITIVE / 2.0),    // subnormal
+        1 => Just(-f32::MIN_POSITIVE / 4.0),   // negative subnormal
+        1 => Just(f32::from_bits(1)),          // smallest subnormal
+        1 => Just(3.4e38f32),
+        1 => Just(-3.4e38f32),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `dequantize(quantize(x))` reconstructs every finite element within
+    /// half a quantization step — including tensors that are all
+    /// subnormal, all zero, or span the full f32 range.
+    #[test]
+    fn quantize_roundtrip_within_half_step(
+        xs in prop::collection::vec(awkward_f32(), 0..64)
+    ) {
+        let (q, scale) = quantize_symmetric(&xs);
+        prop_assert!(scale > 0.0 && scale.is_finite(), "scale {scale} degenerate");
+        let back = dequantize(&q, scale);
+        prop_assert_eq!(back.len(), xs.len());
+        // Half a step, plus the sub-ulp rounding of the `q · scale`
+        // multiply (bounded by eps · max_abs = eps · 127 · scale).
+        let tol = scale * (0.5 + 127.0 * f32::EPSILON);
+        for (i, (&x, &y)) in xs.iter().zip(&back).enumerate() {
+            prop_assert!(
+                (x - y).abs() <= tol,
+                "index {i}: {x} -> code {} -> {y}, err {} > tol {tol} (scale {scale})",
+                q[i], (x - y).abs()
+            );
+        }
+    }
+
+    /// Quantization is sign-faithful: ±0 code to exactly 0, and no code
+    /// ever flips the sign of its input.
+    #[test]
+    fn quantize_preserves_zero_and_sign(
+        xs in prop::collection::vec(awkward_f32(), 1..48)
+    ) {
+        let (q, scale) = quantize_symmetric(&xs);
+        for (&x, &c) in xs.iter().zip(&q) {
+            if x == 0.0 {
+                prop_assert_eq!(c, 0, "±0 must code to 0");
+            }
+            if c != 0 {
+                prop_assert_eq!(
+                    (c > 0), x > 0.0,
+                    "code {c} flips sign of input {x} (scale {scale})"
+                );
+            }
+        }
+    }
+
+    /// The f32x8 SIMD microkernels are lane-unrolled but keep each output
+    /// element's ascending-k accumulation chain, so they must agree with
+    /// the scalar kernel *bit for bit* — on ragged shapes that exercise
+    /// every tail path (partial 8-wide column panels, partial 4-row
+    /// blocks, and the packed-panel path at larger sizes).
+    #[test]
+    fn simd_mm_bit_identical_to_scalar_on_ragged_shapes(
+        m in 1usize..37, k in 1usize..41, n in 1usize..37, seed in any::<u64>()
+    ) {
+        let scalar = ExecCtx::sequential();
+        let simd = scalar.with_backend(KernelBackend::SimdF32);
+        let a = rand_t(vec![m, k], seed);
+        let b = rand_t(vec![k, n], seed ^ 9);
+        let ys = matmul(&scalar, &a, &b).unwrap();
+        let yv = matmul(&simd, &a, &b).unwrap();
+        for (i, (p, q)) in ys.data().iter().zip(yv.data()).enumerate() {
+            prop_assert_eq!(
+                p.to_bits(), q.to_bits(),
+                "bit divergence at flat index {} of {}x{}x{}: {} vs {}",
+                i, m, k, n, p, q
+            );
+        }
+    }
+}
+
+/// The packed-panel SIMD path (large k·n) is also bit-identical — pinned
+/// deterministically because proptest shrinks away from big shapes.
+#[test]
+fn simd_mm_bit_identical_on_packed_path() {
+    let scalar = ExecCtx::sequential();
+    let simd = scalar.with_backend(KernelBackend::SimdF32);
+    // k·n = 512·384 = 196_608 ≥ PACK_MIN_ELEMS, with ragged m/n tails.
+    let (m, k, n) = (9usize, 512usize, 384usize);
+    let a = rand_t(vec![m, k], 1234);
+    let b = rand_t(vec![k, n], 4321);
+    let ys = matmul(&scalar, &a, &b).unwrap();
+    let yv = matmul(&simd, &a, &b).unwrap();
+    for (i, (p, q)) in ys.data().iter().zip(yv.data()).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            q.to_bits(),
+            "bit divergence at flat index {i}: {p} vs {q}"
+        );
+    }
+}

@@ -37,6 +37,17 @@ RAMIEL_CONFORMANCE_CASES="${RAMIEL_CONFORMANCE_CASES:-250}" \
     timeout --kill-after=30s 600s \
     cargo test --offline -p ramiel --test steal_conformance
 
+# Kernel-backend conformance gate. The f32 SIMD backend is covered by the
+# differential suite above (it is bit-identical to scalar by construction,
+# so the 6-executor matrix exercises it unchanged); the i8 quantized
+# backend has a different contract — tolerance-close to f32, bit-identical
+# *across executors* — pinned by its own suite on all 8 model generators.
+# Same hard timeout discipline: a wedged executor under QuantI8 is a
+# failing exit code, not a stuck job.
+echo "==> quant backend conformance gate (8 models x executors)"
+timeout --kill-after=30s 600s \
+    cargo test --offline -p ramiel --test quant_conformance
+
 # Observability smoke: `ramiel profile` runs the model on all four executors
 # and validates the merged Chrome/Perfetto trace before writing it — a
 # malformed trace (or any executor divergence) is a failing exit code. Same
@@ -98,10 +109,13 @@ wait "$SERVE_PID"
 # Bench guards, release profile: bench_json exits nonzero if any of its
 # embedded regression guards trip — notably the batch-1 work-stealing guard
 # (stealing must beat sequential on every model; min-of-iters on both sides
-# so scheduler noise can't decide it), plus the memory-soundness, zero-copy,
-# and serve-throughput guards. The JSON itself is a throwaway here; the
-# dated snapshots come from scripts/bench.sh.
-echo "==> bench guards (stealing >= sequential at batch 1, memory, zero-copy, serve)"
+# so scheduler noise can't decide it), the SIMD backend guard (f32x8
+# microkernels >= 1.3x scalar on BERT's dominant Gemm shapes, interleaved
+# median so host frequency swings hit all backends alike), plus the
+# memory-soundness, zero-copy, and serve-throughput guards. The JSON
+# itself is a throwaway here; the dated snapshots come from
+# scripts/bench.sh.
+echo "==> bench guards (stealing at batch 1, SIMD >= 1.3x, memory, zero-copy, serve)"
 cargo build --release --offline -p ramiel-bench --bin bench_json
 timeout --kill-after=30s 600s \
     ./target/release/bench_json target/ci-bench.json --iters 3

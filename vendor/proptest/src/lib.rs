@@ -139,6 +139,22 @@ macro_rules! impl_signed_range_strategy {
 }
 impl_signed_range_strategy!(i8, i16, i32, i64, isize);
 
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // uniform in [start, end): u64 → [0, 1) keeps the
+                // endpoints exact without bias worth caring about here
+                let u = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
 /// Types with a full-domain `any::<T>()` strategy.
 pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;
@@ -193,6 +209,78 @@ impl_tuple_strategy! {
     (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
+/// Boxing helper used by `prop_oneof!` so every arm coerces to the same
+/// trait-object type regardless of its concrete strategy.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Weighted union over same-valued strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick below total always lands in an arm")
+    }
+}
+
+/// Pick one of several strategies per case, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:literal => $s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($w as u32, $crate::boxed($s))),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::boxed($s))),+])
+    };
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements are
+    /// drawn independently from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+}
+
 pub mod sample {
     use super::{Strategy, TestRng};
 
@@ -234,7 +322,8 @@ impl Default for ProptestConfig {
 pub mod prelude {
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -338,6 +427,27 @@ mod tests {
         fn tuples_and_map_work(v in (1usize..4, 1usize..4).prop_map(|(a, b)| a * 10 + b)) {
             prop_assert!((11..=33).contains(&v));
             prop_assert_eq!(v, v);
+        }
+
+        #[test]
+        fn float_ranges_stay_in_bounds(x in -2.5f32..7.5f32, y in 0.0f64..1.0f64) {
+            prop_assert!((-2.5..7.5).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn oneof_picks_only_listed_arms(
+            v in prop_oneof![3 => 0usize..10, 1 => crate::Just(99usize)]
+        ) {
+            prop_assert!(v < 10 || v == 99);
+        }
+
+        #[test]
+        fn collection_vec_respects_length(
+            xs in prop::collection::vec(0u8..4, 2..6)
+        ) {
+            prop_assert!((2..6).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&b| b < 4));
         }
     }
 }
