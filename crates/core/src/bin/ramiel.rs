@@ -12,9 +12,16 @@
 //! ramiel analyze <model|all> [flags]     tensor lifetimes, static peak
 //!                                        memory, happens-before channel
 //!                                        lints (`--json` for machine use)
-//! ramiel export <model> <path>           save a model as .rmodel.json
+//! ramiel export <model> <path>           save a model as .rmodel.json, or
+//!                                        as ONNX with --onnx / a .onnx path
+//! ramiel pull <url> [--sha256 H]         fetch a model into the content-
+//!                                        addressed cache (file:// or http://)
+//! ramiel fileserver <dir> [--port N]     loopback static file server (CI)
 //! ramiel serve <model> [flags]           dynamic-batching inference server
-//!                                        (newline-delimited JSON over TCP)
+//!                                        (newline-delimited JSON over TCP);
+//!                                        <model> may be a .onnx path or a
+//!                                        URL pulled through the registry
+//!                                        (--sha256 pins the digest)
 //! ramiel request [flags]                 send requests to a running server
 //! ramiel top [flags]                     live metrics table for a running
 //!                                        server (polls the `metrics` verb)
@@ -22,7 +29,8 @@
 //!
 //! `<model>` is a built-in name (`squeezenet`, `googlenet`, `inception-v3`,
 //! `inception-v4`, `yolo-v5`, `bert`, `retinanet`, `nasnet`) or a path to a
-//! `.rmodel.json` file.
+//! model file — `.rmodel.json`, `.rmodel` text, or binary `.onnx` (all
+//! three route through the same loader).
 //!
 //! Flags: `--prune` (const-prop + DCE), `--clone` (task cloning),
 //! `--batch N` + `--switched` (hyperclustering), `--intra-op N` (rayon
@@ -33,8 +41,10 @@
 //! `--max-batch N` (micro-batch bound, default 8), `--max-delay-ms N`
 //! (batch window, default 2), `--queue-cap N` (default 128), `--shed`
 //! (reject on full queue instead of blocking). Client flags (`request`):
-//! `--port N`, `--op <ping|infer_synth|stats|metrics|trace|shutdown>`,
-//! `--seed N`, `--count N`, `--deadline-ms N`. The `metrics` op prints the
+//! `--port N`, `--op <ping|infer_synth|stats|metrics|trace|load|shutdown>`,
+//! `--seed N`, `--count N`, `--deadline-ms N`; `--op load` hot-swaps a model
+//! into the running server (`--source <ref>`, optional `--sha256` pin) and
+//! prints the new plan version. The `metrics` op prints the
 //! server's Prometheus exposition; `trace` prints (and validates) a Chrome
 //! trace of recent requests. `ramiel top` takes `--port N`,
 //! `--interval-ms N` (default 1000) and `--frames N` (0 = forever).
@@ -92,7 +102,10 @@ fn parse_model(name: &str, cfg: &ModelConfig) -> Result<ramiel_ir::Graph, String
     };
     match kind {
         Some(k) => Ok(build(k, cfg)),
-        None => ramiel_ir::model_file::load(name)
+        // Unified loader: JSON / text `.rmodel` and binary `.onnx` all route
+        // through `ramiel_onnx::load_model`, so every verb accepts any of
+        // the three encodings.
+        None => ramiel_onnx::load_model(name)
             .map_err(|e| format!("`{name}` is not a built-in model or loadable file: {e}")),
     }
 }
@@ -127,6 +140,10 @@ struct Flags {
     interval_ms: u64,
     frames: usize,
     backend: Option<KernelBackend>,
+    sha256: Option<String>,
+    cache: Option<String>,
+    onnx: bool,
+    source: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -160,6 +177,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         interval_ms: 1000,
         frames: 0,
         backend: None,
+        sha256: None,
+        cache: None,
+        onnx: false,
+        source: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -170,6 +191,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         };
         match a.as_str() {
             "--prune" => f.prune = true,
+            "--onnx" => f.onnx = true,
+            "--sha256" => f.sha256 = Some(value("--sha256")?),
+            "--cache" => f.cache = Some(value("--cache")?),
+            "--source" => f.source = Some(value("--source")?),
             "--deny-warnings" => f.deny_warnings = true,
             "--json" => f.json = true,
             "--clone" => f.clone = true,
@@ -953,7 +978,7 @@ fn cmd_analyze(model: &str, f: &Flags) -> Result<Gate, String> {
 /// executions. Runs until a client sends `{"op":"shutdown"}` (graceful
 /// drain: queued requests finish first).
 fn cmd_serve(model: &str, f: &Flags) -> Result<(), String> {
-    use ramiel_serve::{run_tcp, OverflowPolicy, PlanSpec, ServeConfig, Server};
+    use ramiel_serve::{run_tcp_with_registry, OverflowPolicy, PlanSpec, ServeConfig, Server};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -962,7 +987,19 @@ fn cmd_serve(model: &str, f: &Flags) -> Result<(), String> {
     } else {
         ModelConfig::full()
     };
-    let g = parse_model(model, &cfg)?;
+    let registry = Arc::new(registry_from_flags(f));
+    // A URL model reference (or a checksum-pinned local one) goes through
+    // the registry so the bytes are content-addressed and the pin verified;
+    // anything else takes the plain built-in/file path.
+    let g = if model.contains("://") || f.sha256.is_some() {
+        let pulled = registry
+            .pull(model, f.sha256.as_deref())
+            .map_err(|e| format!("[{}] {e}", e.code()))?;
+        println!("pulled {} (sha256 {})", pulled.source, pulled.sha256);
+        ramiel_onnx::load_model(&pulled.path).map_err(|e| e.to_string())?
+    } else {
+        parse_model(model, &cfg)?
+    };
     let prepared = ramiel::prepare(g, &options(f)).map_err(|e| e.to_string())?;
     summarize(&prepared.compiled);
 
@@ -1015,7 +1052,7 @@ fn cmd_serve(model: &str, f: &Flags) -> Result<(), String> {
     );
     let listener = std::net::TcpListener::bind(("127.0.0.1", f.port))
         .map_err(|e| format!("bind 127.0.0.1:{}: {e}", f.port))?;
-    run_tcp(&server, model, listener).map_err(|e| e.to_string())?;
+    run_tcp_with_registry(&server, model, listener, Some(registry)).map_err(|e| e.to_string())?;
     let s = server.stats();
     println!(
         "served {} requests in {} batches (mean batch {:.2}, {} shed, {} failed)",
@@ -1074,9 +1111,24 @@ fn cmd_request(f: &Flags) -> Result<(), String> {
             op @ ("ping" | "stats" | "shutdown" | "metrics" | "trace") => {
                 format!("{{\"id\":{i},\"op\":\"{op}\"}}")
             }
+            "load" => {
+                let source = f
+                    .source
+                    .as_deref()
+                    .ok_or("--op load needs --source <model reference>")?;
+                let mut req = format!(
+                    "{{\"id\":{i},\"op\":\"load\",\"source\":{}",
+                    serde_json::to_string(source).map_err(|e| e.to_string())?
+                );
+                if let Some(pin) = &f.sha256 {
+                    req.push_str(&format!(",\"sha256\":\"{pin}\""));
+                }
+                req.push('}');
+                req
+            }
             other => {
                 return Err(format!(
-                    "unknown op `{other}` (ping|infer_synth|stats|metrics|trace|shutdown)"
+                    "unknown op `{other}` (ping|infer_synth|stats|metrics|trace|load|shutdown)"
                 ))
             }
         };
@@ -1259,15 +1311,62 @@ fn cmd_export(model: &str, path: &str, f: &Flags) -> Result<(), String> {
         ModelConfig::full()
     };
     let g = parse_model(model, &cfg)?;
-    ramiel_ir::model_file::save(&g, path).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} nodes)", path, g.num_nodes());
+    if f.onnx || path.to_ascii_lowercase().ends_with(".onnx") {
+        ramiel_onnx::save_onnx(&g, path).map_err(|e| e.to_string())?;
+        println!("wrote {} ({} nodes, ONNX)", path, g.num_nodes());
+    } else {
+        ramiel_ir::model_file::save(&g, path).map_err(|e| e.to_string())?;
+        println!("wrote {} ({} nodes)", path, g.num_nodes());
+    }
     Ok(())
+}
+
+/// Build the registry the `pull` and `serve` verbs share: `--cache DIR`
+/// overrides the default root ($RAMIEL_CACHE → ~/.cache/ramiel →
+/// ./.ramiel-cache).
+fn registry_from_flags(f: &Flags) -> ramiel_serve::Registry {
+    match &f.cache {
+        Some(dir) => ramiel_serve::Registry::new(std::path::PathBuf::from(dir)),
+        None => ramiel_serve::Registry::new(ramiel_serve::Registry::default_root()),
+    }
+}
+
+/// `ramiel pull <url> [--sha256 <hex>] [--cache DIR]`: fetch a model
+/// reference into the content-addressed cache, verifying the digest pin if
+/// one was given, and print where it landed.
+fn cmd_pull(source: &str, f: &Flags) -> Result<(), String> {
+    let registry = registry_from_flags(f);
+    let pulled = registry
+        .pull(source, f.sha256.as_deref())
+        .map_err(|e| format!("[{}] {e}", e.code()))?;
+    println!(
+        "pulled {} ({} bytes{})",
+        pulled.source,
+        pulled.bytes,
+        if pulled.cache_hit { ", cache hit" } else { "" }
+    );
+    println!("sha256 {}", pulled.sha256);
+    println!("cached {}", pulled.path.display());
+    Ok(())
+}
+
+/// `ramiel fileserver <dir> [--port N]`: loopback static file server used by
+/// the registry round-trip CI gate to exercise `http://` pulls without a
+/// network. Serves until killed; prints `fileserver on ADDR` at startup.
+fn cmd_fileserver(dir: &str, f: &Flags) -> Result<(), String> {
+    let root = std::path::PathBuf::from(dir);
+    if !root.is_dir() {
+        return Err(format!("`{dir}` is not a directory"));
+    }
+    let listener = std::net::TcpListener::bind(("127.0.0.1", f.port))
+        .map_err(|e| format!("bind 127.0.0.1:{}: {e}", f.port))?;
+    ramiel_serve::registry::serve_dir(listener, root).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage =
-        "usage: ramiel <models|report|compile|run|profile|simulate|check|analyze|fuzz|export|serve|request|top> [model] [flags]";
+        "usage: ramiel <models|report|compile|run|profile|simulate|check|analyze|fuzz|export|pull|fileserver|serve|request|top> [model] [flags]";
     // `check` and `analyze` gate the exit code on their findings
     // (0 clean / 1 warnings under --deny-warnings / 2 errors); every other
     // subcommand maps success to 0 and operational failure to 1.
@@ -1312,6 +1411,12 @@ fn main() -> ExitCode {
             .map(|()| Gate::Clean),
         Some("export") if args.len() >= 3 => parse_flags(&args[3..])
             .and_then(|f| cmd_export(&args[1], &args[2], &f))
+            .map(|()| Gate::Clean),
+        Some("pull") if args.len() >= 2 => parse_flags(&args[2..])
+            .and_then(|f| cmd_pull(&args[1], &f))
+            .map(|()| Gate::Clean),
+        Some("fileserver") if args.len() >= 2 => parse_flags(&args[2..])
+            .and_then(|f| cmd_fileserver(&args[1], &f))
             .map(|()| Gate::Clean),
         _ => Err(usage.to_string()),
     };

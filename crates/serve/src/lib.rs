@@ -31,7 +31,9 @@
 
 pub mod batcher;
 pub mod plan;
+pub mod registry;
 pub mod server;
+pub mod sha256;
 pub mod stats;
 pub mod tcp;
 pub mod trace;
@@ -40,7 +42,8 @@ pub mod trace;
 mod tests;
 
 pub use plan::{CompiledPlan, PlanCache, PlanSpec};
+pub use registry::{ManifestEntry, Pulled, Registry, RegistryError};
 pub use server::{OverflowPolicy, ServeConfig, ServeError, ServeExecutor, Server, Ticket};
 pub use stats::{BatchBucket, ServeStats, StatsSnapshot};
-pub use tcp::run_tcp;
+pub use tcp::{run_tcp, run_tcp_with_registry};
 pub use trace::{RequestTrace, TraceRing};

@@ -241,6 +241,16 @@ impl PlanCache {
         self.inner.lock().iter().map(|p| p.name.clone()).collect()
     }
 
+    /// `(name, version)` for every loaded plan, most-recently-used first —
+    /// the observable a hot-swap verifier polls for the version bump.
+    pub fn versions(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|p| (p.name.clone(), p.version))
+            .collect()
+    }
+
     pub fn len(&self) -> usize {
         self.inner.lock().len()
     }

@@ -306,6 +306,12 @@ impl Server {
         self.cache.names()
     }
 
+    /// Plan version per loaded model — bumped by every (re)load, so a
+    /// client can verify a hot swap took effect via the `stats` verb.
+    pub fn model_versions(&self) -> std::collections::BTreeMap<String, u64> {
+        self.cache.versions().into_iter().collect()
+    }
+
     /// Submit one inference without a deadline.
     pub fn submit(&self, model: &str, inputs: Env) -> Result<Ticket, ServeError> {
         self.submit_with_deadline(model, inputs, None)

@@ -10,15 +10,24 @@
 //! Ops: `ping`, `infer` (named [`TensorData`] inputs), `infer_synth`
 //! (server-side deterministic inputs from `seed` — lets load generators
 //! skip shipping tensors), `stats` (resets per-window gauges — pollers see
-//! interval deltas), `metrics` (Prometheus text exposition in the
-//! `metrics` response field; scrape with `ramiel top`), `trace` (Chrome
-//! trace JSON of recent requests in the `trace` field), `shutdown`
-//! (graceful drain, then the accept loop exits).
+//! interval deltas; includes per-model plan `versions` so hot swaps are
+//! observable), `metrics` (Prometheus text exposition in the `metrics`
+//! response field; scrape with `ramiel top`), `trace` (Chrome trace JSON of
+//! recent requests in the `trace` field), `load` (pull `source` through the
+//! registry — with optional `sha256` pin — and hot-swap it in as `model`;
+//! the response carries the new plan `version` and the content digest),
+//! `shutdown` (graceful drain, then the accept loop exits).
+//!
+//! When the server runs with a registry ([`run_tcp_with_registry`]), an
+//! `infer`/`infer_synth` naming an unknown model whose name parses as a
+//! model reference (a path or URL) is *autoloaded* on first request.
 //!
 //! Response: `{"id":1,"ok":true,...}` with `outputs` / `stats` on success,
 //! `error` + `code` (SV-*/RT-*) on failure. `model` is optional everywhere
 //! and defaults to the model the server was started with.
 
+use crate::plan::PlanSpec;
+use crate::registry::Registry;
 use crate::server::{ServeError, Server};
 use ramiel_ir::TensorData;
 use ramiel_runtime::Env;
@@ -43,6 +52,10 @@ struct WireRequest {
     seed: Option<u64>,
     /// Relative deadline; the request is shed if it can't start in time.
     deadline_ms: Option<u64>,
+    /// `load`: model reference to pull (`file://…`, `http://…`, or a path).
+    source: Option<String>,
+    /// `load`: optional sha256 pin for the pulled bytes.
+    sha256: Option<String>,
 }
 
 #[derive(Debug, Serialize)]
@@ -56,6 +69,12 @@ struct WireResponse {
     metrics: Option<String>,
     /// `trace` op: Chrome trace JSON (`{"traceEvents": [...]}`).
     trace: Option<serde_json::Value>,
+    /// `stats` op: plan version per loaded model (hot-swap observable).
+    versions: Option<BTreeMap<String, u64>>,
+    /// `load` op: the new plan's version.
+    version: Option<u64>,
+    /// `load` op: content digest of the pulled model bytes.
+    sha256: Option<String>,
     error: Option<String>,
     code: Option<String>,
 }
@@ -70,6 +89,9 @@ impl WireResponse {
             models: None,
             metrics: None,
             trace: None,
+            versions: None,
+            version: None,
+            sha256: None,
             error: None,
             code: None,
         }
@@ -83,6 +105,18 @@ impl WireResponse {
             ..WireResponse::ok(id)
         }
     }
+
+    /// Failure with an explicit code — used for registry (`RG-*`) and
+    /// importer (`ONNX-*`) failures surfaced through the `load` op, which
+    /// have their own code namespaces.
+    fn err_code(id: u64, code: &str, message: String) -> WireResponse {
+        WireResponse {
+            error: Some(message),
+            code: Some(code.to_string()),
+            ok: false,
+            ..WireResponse::ok(id)
+        }
+    }
 }
 
 /// Serve `server` on `listener` until a client sends `{"op":"shutdown"}`.
@@ -92,6 +126,18 @@ pub fn run_tcp(
     server: &Arc<Server>,
     default_model: &str,
     listener: TcpListener,
+) -> std::io::Result<()> {
+    run_tcp_with_registry(server, default_model, listener, None)
+}
+
+/// [`run_tcp`] with an attached model registry: enables the `load` op and
+/// autoload-on-first-request for unknown model names that parse as model
+/// references.
+pub fn run_tcp_with_registry(
+    server: &Arc<Server>,
+    default_model: &str,
+    listener: TcpListener,
+    registry: Option<Arc<Registry>>,
 ) -> std::io::Result<()> {
     let addr = listener.local_addr()?;
     println!("listening on {addr}");
@@ -107,10 +153,11 @@ pub fn run_tcp(
         let server = Arc::clone(server);
         let model = default_model.to_string();
         let stop = Arc::clone(&stop);
+        let registry = registry.clone();
         std::thread::Builder::new()
             .name("ramiel-serve-conn".into())
             .spawn(move || {
-                let shutdown_requested = handle_conn(&server, &model, stream);
+                let shutdown_requested = handle_conn(&server, &model, registry.as_deref(), stream);
                 if shutdown_requested {
                     server.shutdown();
                     stop.store(true, Ordering::SeqCst);
@@ -124,7 +171,12 @@ pub fn run_tcp(
 }
 
 /// Serve one connection; returns true if the client requested shutdown.
-fn handle_conn(server: &Server, default_model: &str, stream: TcpStream) -> bool {
+fn handle_conn(
+    server: &Server,
+    default_model: &str,
+    registry: Option<&Registry>,
+    stream: TcpStream,
+) -> bool {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return false,
@@ -139,7 +191,7 @@ fn handle_conn(server: &Server, default_model: &str, stream: TcpStream) -> bool 
             continue;
         }
         let (resp, shutdown) = match serde_json::from_str::<WireRequest>(&line) {
-            Ok(req) => handle_request(server, default_model, req),
+            Ok(req) => handle_request(server, default_model, registry, req),
             Err(e) => (
                 WireResponse::err(0, &ServeError::Internal(format!("bad request: {e}"))),
                 false,
@@ -160,7 +212,12 @@ fn handle_conn(server: &Server, default_model: &str, stream: TcpStream) -> bool 
     false
 }
 
-fn handle_request(server: &Server, default_model: &str, req: WireRequest) -> (WireResponse, bool) {
+fn handle_request(
+    server: &Server,
+    default_model: &str,
+    registry: Option<&Registry>,
+    req: WireRequest,
+) -> (WireResponse, bool) {
     let id = req.id.unwrap_or(0);
     let model = req.model.as_deref().unwrap_or(default_model);
     match req.op.as_str() {
@@ -169,6 +226,7 @@ fn handle_request(server: &Server, default_model: &str, req: WireRequest) -> (Wi
             let mut r = WireResponse::ok(id);
             r.stats = Some(server.stats_and_reset_window());
             r.models = Some(server.models());
+            r.versions = Some(server.model_versions());
             (r, false)
         }
         "metrics" => {
@@ -182,6 +240,34 @@ fn handle_request(server: &Server, default_model: &str, req: WireRequest) -> (Wi
             (r, false)
         }
         "shutdown" => (WireResponse::ok(id), true),
+        "load" => {
+            let Some(source) = req.source.as_deref() else {
+                return (
+                    WireResponse::err(id, &ServeError::Internal("load needs `source`".into())),
+                    false,
+                );
+            };
+            let Some(registry) = registry else {
+                return (
+                    WireResponse::err(
+                        id,
+                        &ServeError::Internal("server is running without a registry".into()),
+                    ),
+                    false,
+                );
+            };
+            // The `model` name the plan is installed under defaults to the
+            // lane the server was started with — a hot *swap*, not a new lane.
+            match load_from_registry(server, registry, model, source, req.sha256.as_deref(), id) {
+                Ok((version, digest)) => {
+                    let mut r = WireResponse::ok(id);
+                    r.version = Some(version);
+                    r.sha256 = Some(digest);
+                    (r, false)
+                }
+                Err(resp) => (*resp, false),
+            }
+        }
         "infer" => {
             let Some(wire_inputs) = req.inputs else {
                 return (
@@ -206,9 +292,15 @@ fn handle_request(server: &Server, default_model: &str, req: WireRequest) -> (Wi
                     }
                 }
             }
+            if let Err(resp) = autoload(server, registry, model, id) {
+                return (*resp, false);
+            }
             (run_infer(server, model, env, req.deadline_ms, id), false)
         }
         "infer_synth" => {
+            if let Err(resp) = autoload(server, registry, model, id) {
+                return (*resp, false);
+            }
             let Some(plan) = server.plan(model) else {
                 return (
                     WireResponse::err(id, &ServeError::UnknownModel(model.to_string())),
@@ -223,6 +315,58 @@ fn handle_request(server: &Server, default_model: &str, req: WireRequest) -> (Wi
             false,
         ),
     }
+}
+
+/// Pull `source` through the registry, import it with the unified model
+/// loader, and hot-swap it in as `name`. Returns the new plan's version and
+/// the content digest, or a ready-to-send error response (registry failures
+/// keep their `RG-*` codes, importer failures their `ONNX-*`/parse codes).
+fn load_from_registry(
+    server: &Server,
+    registry: &Registry,
+    name: &str,
+    source: &str,
+    pin: Option<&str>,
+    id: u64,
+) -> Result<(u64, String), Box<WireResponse>> {
+    let pulled = registry
+        .pull(source, pin)
+        .map_err(|e| Box::new(WireResponse::err_code(id, e.code(), e.to_string())))?;
+    let graph = ramiel_onnx::load_model(&pulled.path).map_err(|e| {
+        let code = match &e {
+            ramiel_onnx::LoadError::Onnx(oe) => oe.code(),
+            ramiel_onnx::LoadError::Io { .. } => "RG-IO",
+            ramiel_onnx::LoadError::Native(_) => "SV-MODEL",
+        };
+        Box::new(WireResponse::err_code(id, code, e.to_string()))
+    })?;
+    let plan = server
+        .load(name, PlanSpec::new(graph))
+        .map_err(|e| Box::new(WireResponse::err(id, &e)))?;
+    Ok((plan.version, pulled.sha256))
+}
+
+/// Autoload-on-first-request: if `model` isn't loaded but the server has a
+/// registry and the name parses as a model reference (a URL or an existing
+/// path), pull and load it before the request proceeds. Missing models whose
+/// names are *not* references fall through to the usual SV-MODEL error.
+fn autoload(
+    server: &Server,
+    registry: Option<&Registry>,
+    model: &str,
+    id: u64,
+) -> Result<(), Box<WireResponse>> {
+    if server.plan(model).is_some() {
+        return Ok(());
+    }
+    let Some(registry) = registry else {
+        return Ok(());
+    };
+    let is_reference = model.contains("://") || std::path::Path::new(model).exists();
+    if !is_reference {
+        return Ok(());
+    }
+    load_from_registry(server, registry, model, model, None, id).map(|_| ())
 }
 
 fn run_infer(

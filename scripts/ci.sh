@@ -106,6 +106,85 @@ timeout 60s target/debug/ramiel top --port "$SERVE_PORT" --frames 1
 timeout 60s target/debug/ramiel request --port "$SERVE_PORT" --op shutdown
 wait "$SERVE_PID"
 
+# ONNX ingestion gates. Import smoke: the checked-in golden fixtures must
+# import through the full validate/verify pipeline (`ramiel check` compiles
+# and statically verifies the schedule), the deliberately clipped fixture
+# must fail with a structured ONNX-WIRE error, and a CLI export→import
+# round trip must hold. The 8-model bit-identical round-trip matrix and the
+# truncation/corruption sweeps run as test suites under the same timeout
+# discipline as the other gates.
+echo "==> onnx import/round-trip gates (8-model matrix + golden fixtures)"
+timeout --kill-after=30s 600s \
+    cargo test --offline -p ramiel --test onnx_roundtrip --test onnx_golden
+timeout 60s target/debug/ramiel check tests/fixtures/squeezenet_tiny.onnx
+if timeout 60s target/debug/ramiel check tests/fixtures/truncated.onnx \
+    2> target/ci-onnx-err.log; then
+    echo "truncated.onnx unexpectedly imported"; exit 1
+fi
+grep -q "ONNX-WIRE" target/ci-onnx-err.log
+timeout 60s target/debug/ramiel export bert target/ci-bert.onnx --tiny
+timeout 60s target/debug/ramiel check target/ci-bert.onnx
+
+# Registry round-trip gate: serve the fixture dir over loopback HTTP with
+# `ramiel fileserver`, pull it through the content-addressed cache with a
+# sha256 pin (a wrong pin must refuse with RG-CHECKSUM and cache nothing),
+# then hot-swap the pulled model into a *running* `ramiel serve` via the
+# `load` op and verify the plan version bump through `stats`.
+echo "==> registry round-trip gate (loopback HTTP, pinned pull, hot swap)"
+RCACHE=target/ci-registry-cache
+rm -rf "$RCACHE"
+FS_PORT=7980
+timeout --kill-after=30s 600s \
+    target/debug/ramiel fileserver tests/fixtures --port "$FS_PORT" \
+    > target/ci-fileserver.log 2>&1 &
+FS_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "fileserver on" target/ci-fileserver.log 2>/dev/null && break
+    kill -0 "$FS_PID" 2>/dev/null || { cat target/ci-fileserver.log; exit 1; }
+    sleep 0.2
+done
+PIN=$(sha256sum tests/fixtures/squeezenet_tiny.onnx | cut -d' ' -f1)
+MODEL_URL="http://127.0.0.1:$FS_PORT/squeezenet_tiny.onnx"
+timeout 60s target/debug/ramiel pull "$MODEL_URL" --sha256 "$PIN" --cache "$RCACHE"
+BAD_PIN=$(printf 'a%.0s' $(seq 64))
+if timeout 60s target/debug/ramiel pull "$MODEL_URL" --sha256 "$BAD_PIN" \
+    --cache "$RCACHE" 2> target/ci-pull-err.log; then
+    echo "mismatched pin was not refused"; exit 1
+fi
+grep -q "RG-CHECKSUM" target/ci-pull-err.log
+test ! -e "$RCACHE/sha256/$BAD_PIN"
+
+SWAP_PORT=7981
+timeout --kill-after=30s 600s \
+    target/debug/ramiel serve squeezenet --tiny --port "$SWAP_PORT" \
+    --cache "$RCACHE" > target/ci-swap.log 2>&1 &
+SWAP_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" target/ci-swap.log 2>/dev/null && break
+    kill -0 "$SWAP_PID" 2>/dev/null || { cat target/ci-swap.log; exit 1; }
+    sleep 0.2
+done
+timeout 60s target/debug/ramiel request --port "$SWAP_PORT" \
+    --op load --source "$MODEL_URL" --sha256 "$PIN" > target/ci-load.json
+grep -q "\"sha256\":\"$PIN\"" target/ci-load.json
+timeout 60s target/debug/ramiel request --port "$SWAP_PORT" \
+    --op stats > target/ci-swap-stats.json
+grep -q '"versions":{"squeezenet":2}' target/ci-swap-stats.json
+timeout 60s target/debug/ramiel request --port "$SWAP_PORT" \
+    --op infer_synth > /dev/null
+if timeout 60s target/debug/ramiel request --port "$SWAP_PORT" \
+    --op load --source "$MODEL_URL" --sha256 "$BAD_PIN" > target/ci-load-bad.json; then
+    echo "hot swap with mismatched pin was not refused"; exit 1
+fi
+grep -q "RG-CHECKSUM" target/ci-load-bad.json
+timeout 60s target/debug/ramiel request --port "$SWAP_PORT" \
+    --op stats > target/ci-swap-stats2.json
+grep -q '"versions":{"squeezenet":2}' target/ci-swap-stats2.json
+timeout 60s target/debug/ramiel request --port "$SWAP_PORT" --op shutdown
+wait "$SWAP_PID"
+kill "$FS_PID" 2>/dev/null || true
+wait "$FS_PID" 2>/dev/null || true
+
 # Bench guards, release profile: bench_json exits nonzero if any of its
 # embedded regression guards trip — notably the batch-1 work-stealing guard
 # (stealing must beat sequential on every model; min-of-iters on both sides

@@ -1,0 +1,203 @@
+//! Golden `.onnx` fixture tests: checked-in binary files that must keep
+//! importing to exactly the graphs the in-repo builders produce, plus
+//! truncation/corruption sweeps asserting the importer's `ONNX-*` error
+//! contract (structured errors, never panics, never a silently wrong graph).
+//!
+//! Regenerate the fixtures after an intentional exporter format change with
+//! `cargo test --test onnx_golden regen_fixtures -- --ignored` and commit
+//! the new bytes.
+
+use ramiel_models::{build, ModelConfig, ModelKind};
+use ramiel_onnx::proto::{data_type, GraphProto, ModelProto, NodeProto, ValueInfoProto};
+use ramiel_onnx::{import_model, OnnxError};
+use std::path::PathBuf;
+
+/// `(fixture file, builder)` pairs covered by the golden checks.
+const FIXTURES: &[(&str, ModelKind)] = &[
+    ("squeezenet_tiny.onnx", ModelKind::Squeezenet),
+    ("bert_tiny.onnx", ModelKind::Bert),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+fn read_fixture(name: &str) -> Vec<u8> {
+    let path = fixture_dir().join(name);
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run regen_fixtures",
+            path.display()
+        )
+    })
+}
+
+/// Writes the golden files. `#[ignore]`d: fixtures are checked in, and this
+/// only needs to run when the export format intentionally changes.
+#[test]
+#[ignore]
+fn regen_fixtures() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for &(file, kind) in FIXTURES {
+        let bytes = ramiel_onnx::export_model(&build(kind, &ModelConfig::tiny()));
+        std::fs::write(dir.join(file), &bytes).unwrap();
+        println!("wrote {file} ({} bytes)", bytes.len());
+    }
+    // A deliberately clipped copy — half a model, for the wire-error gate.
+    let whole = std::fs::read(dir.join(FIXTURES[0].0)).unwrap();
+    std::fs::write(dir.join("truncated.onnx"), &whole[..whole.len() / 2]).unwrap();
+}
+
+#[test]
+fn golden_fixtures_import_to_the_builder_graphs() {
+    for &(file, kind) in FIXTURES {
+        let imported = import_model(&read_fixture(file)).expect(file);
+        let built = build(kind, &ModelConfig::tiny());
+        assert_eq!(
+            imported, built,
+            "{file} no longer imports to build({kind:?}, tiny)"
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_executes_bit_identically_to_the_builder() {
+    use ramiel_runtime::{run_sequential, synth_inputs};
+    use ramiel_tensor::ExecCtx;
+    let (file, kind) = FIXTURES[0];
+    let imported = import_model(&read_fixture(file)).unwrap();
+    let built = build(kind, &ModelConfig::tiny());
+    let ctx = ExecCtx::sequential();
+    let a = run_sequential(&imported, &synth_inputs(&imported, 7), &ctx).unwrap();
+    let b = run_sequential(&built, &synth_inputs(&built, 7), &ctx).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn truncated_fixture_fails_with_a_wire_error() {
+    let err = import_model(&read_fixture("truncated.onnx")).unwrap_err();
+    assert_eq!(err.code(), "ONNX-WIRE", "got {err}");
+    // The diagnostic must carry an offset a human can act on.
+    assert!(err.to_string().contains("byte"), "no offset in: {err}");
+}
+
+/// Every truncation point yields a structured error — never a panic, and
+/// never an `Ok` (a clipped model must not import as a smaller valid one).
+#[test]
+fn every_truncation_is_a_structured_error() {
+    let bytes = read_fixture(FIXTURES[0].0);
+    for cut in 0..bytes.len() {
+        match import_model(&bytes[..cut]) {
+            Ok(_) => panic!("truncation at {cut}/{} imported successfully", bytes.len()),
+            Err(e) => assert!(
+                e.to_string().starts_with("[ONNX-"),
+                "uncoded error at cut {cut}: {e}"
+            ),
+        }
+    }
+}
+
+/// Bit-flip sweep: corrupting any single byte either still imports (flips
+/// inside weight payloads change values, not structure) or fails with a
+/// coded error. The importer must never panic on hostile bytes.
+#[test]
+fn byte_corruption_never_panics_and_errors_are_coded() {
+    let bytes = read_fixture(FIXTURES[0].0);
+    let mut flipped_ok = 0usize;
+    let mut flipped_err = 0usize;
+    for i in 0..bytes.len() {
+        let mut copy = bytes.clone();
+        copy[i] ^= 0xff;
+        match import_model(&copy) {
+            Ok(_) => flipped_ok += 1,
+            Err(e) => {
+                assert!(
+                    e.to_string().starts_with("[ONNX-"),
+                    "uncoded error at byte {i}: {e}"
+                );
+                flipped_err += 1;
+            }
+        }
+    }
+    // Both outcomes must actually occur, or the sweep isn't exercising
+    // anything: structure bytes must break, payload bytes must survive.
+    assert!(flipped_err > 0, "no corruption was ever detected");
+    assert!(
+        flipped_ok > 0,
+        "every flip errored — sweep covers no payload bytes"
+    );
+}
+
+#[test]
+fn unsupported_operator_is_named_in_the_error() {
+    let model = ModelProto {
+        ir_version: 8,
+        opset_import: vec![(String::new(), 13)],
+        graph: Some(GraphProto {
+            name: "g".into(),
+            input: vec![ValueInfoProto::tensor("x", data_type::FLOAT, &[1, 4])],
+            output: vec![ValueInfoProto::tensor("y", data_type::FLOAT, &[1, 4])],
+            node: vec![NodeProto {
+                name: "weird_0".into(),
+                op_type: "FancyCustomOp".into(),
+                input: vec!["x".into()],
+                output: vec!["y".into()],
+                ..Default::default()
+            }],
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    match import_model(&model.encode()) {
+        Err(OnnxError::UnsupportedOp { op, node }) => {
+            assert_eq!(op, "FancyCustomOp");
+            assert_eq!(node, "weird_0");
+        }
+        other => panic!("expected ONNX-UNSUPPORTED-OP, got {other:?}"),
+    }
+}
+
+#[test]
+fn model_without_a_graph_is_an_onnx_model_error() {
+    let model = ModelProto {
+        ir_version: 8,
+        ..Default::default()
+    };
+    let err = import_model(&model.encode()).unwrap_err();
+    assert_eq!(err.code(), "ONNX-MODEL", "got {err}");
+}
+
+#[test]
+fn symbolic_batch_dimension_is_an_onnx_shape_error() {
+    use ramiel_onnx::proto::Dim;
+    let mut input = ValueInfoProto::tensor("x", data_type::FLOAT, &[1, 4]);
+    input.tensor_type = Some((
+        data_type::FLOAT,
+        vec![Dim::Param("batch".into()), Dim::Value(4)],
+    ));
+    let model = ModelProto {
+        ir_version: 8,
+        opset_import: vec![(String::new(), 13)],
+        graph: Some(GraphProto {
+            name: "g".into(),
+            input: vec![input],
+            output: vec![ValueInfoProto::tensor("y", data_type::FLOAT, &[1, 4])],
+            node: vec![NodeProto {
+                name: "relu_0".into(),
+                op_type: "Relu".into(),
+                input: vec!["x".into()],
+                output: vec!["y".into()],
+                ..Default::default()
+            }],
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    let err = import_model(&model.encode()).unwrap_err();
+    assert_eq!(err.code(), "ONNX-SHAPE", "got {err}");
+    assert!(
+        err.to_string().contains("batch"),
+        "symbol name missing: {err}"
+    );
+}
